@@ -1,0 +1,105 @@
+// Backbone ablation: MADE vs BlockTransformer carrying the Duet estimator.
+//
+// The paper evaluates Duet on MADE/ResMADE and argues (Sec. V-A4) that the
+// O(n) -> O(1) inference saving grows with backbone cost, anticipating a
+// Transformer variant. This bench trains both backbones on the same data
+// with the same budget and reports accuracy, estimation cost and size, plus
+// the Naru-style O(n) cost a Transformer *would* pay with progressive
+// sampling (forward passes x per-pass cost) to show the saving scales.
+//
+// Flags: --epochs=N --rows=N --queries=N
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace duet::bench {
+namespace {
+
+struct BackboneResult {
+  std::string name;
+  double train_s = 0.0;
+  double est_ms = 0.0;
+  double size_mb = 0.0;
+  ErrorSummary rand_q;
+};
+
+BackboneResult RunOne(const data::Table& t, core::DuetModelOptions mopt,
+                      core::TrainOptions topt, const query::Workload& rand_q,
+                      const std::string& name) {
+  BackboneResult res;
+  res.name = name;
+  core::DuetModel model(t, mopt);
+  Timer timer;
+  core::DuetTrainer(model, topt).Train();
+  res.train_s = timer.Millis() / 1000.0;
+  core::DuetEstimator est(model);
+  res.est_ms = MeasureEstimationMs(est, rand_q);
+  res.size_mb = model.SizeMB();
+  res.rand_q = ErrorSummary::FromValues(query::EvaluateQErrors(est, rand_q, t.num_rows()));
+  return res;
+}
+
+}  // namespace
+}  // namespace duet::bench
+
+int main(int argc, char** argv) {
+  using namespace duet;
+  using namespace duet::bench;
+  Flags flags(argc, argv);
+  const double scale = Flags::ScaleFactor();
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 6));
+  const int queries = static_cast<int>(flags.GetInt("queries", 150));
+
+  data::Table t =
+      data::CensusLike(flags.GetInt("rows", static_cast<int64_t>(4000 * scale)), 42);
+  const query::Workload rand_q = MakeRandQ(t, queries);
+
+  core::TrainOptions topt;
+  topt.epochs = epochs;
+  topt.batch_size = 128;
+  topt.lambda = 0.0f;  // isolate the backbone: data-driven training only
+
+  std::printf("Backbone ablation on %s (%lld rows), %d epochs, Rand-Q\n",
+              t.name().c_str(), static_cast<long long>(t.num_rows()), epochs);
+  std::printf("%-14s %10s %10s %9s %9s %9s %9s\n", "backbone", "train(s)", "est(ms)",
+              "size(MB)", "median", "99th", "max");
+
+  // MADE (the paper's evaluated configuration).
+  core::DuetModelOptions made_opt = DuetOptionsFor(t);
+  const BackboneResult made = RunOne(t, made_opt, topt, rand_q, "MADE");
+
+  // BlockTransformer (the paper's anticipated configuration).
+  core::DuetModelOptions tr_opt = DuetOptionsFor(t);
+  tr_opt.backbone = core::DuetBackbone::kTransformer;
+  tr_opt.transformer.d_model = 32;
+  tr_opt.transformer.num_heads = 4;
+  tr_opt.transformer.num_layers = 2;
+  const BackboneResult trans = RunOne(t, tr_opt, topt, rand_q, "Transformer");
+
+  for (const BackboneResult& r : {made, trans}) {
+    std::printf("%-14s %10.2f %10.3f %9.2f %9.3f %9.3f %9.3f\n", r.name.c_str(),
+                r.train_s, r.est_ms, r.size_mb, r.rand_q.median, r.rand_q.p99,
+                r.rand_q.max);
+  }
+
+  // The scaling argument: a progressive-sampling estimator pays
+  // n_constrained forward passes per estimate; Duet pays exactly one. The
+  // per-pass cost of a Transformer is higher, so the multiplicative saving
+  // grows with the backbone.
+  PrintSectionRule();
+  const double avg_preds = [&] {
+    double s = 0.0;
+    for (const auto& lq : rand_q) s += lq.query.NumConstrainedColumns();
+    return s / static_cast<double>(rand_q.size());
+  }();
+  std::printf(
+      "hypothetical progressive-sampling cost on the Transformer backbone:\n"
+      "  avg constrained columns = %.2f -> ~%.2f ms/query vs Duet's %.3f ms\n",
+      avg_preds, avg_preds * trans.est_ms, trans.est_ms);
+  std::printf(
+      "\nExpected shape: the Transformer trades higher per-pass cost for\n"
+      "similar accuracy at this scale; Duet keeps both backbones O(1) per\n"
+      "estimate, so the saving vs progressive sampling grows with the\n"
+      "backbone's forward cost (paper Sec. V-A4).\n");
+  return 0;
+}

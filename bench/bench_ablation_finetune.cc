@@ -1,0 +1,69 @@
+// Long-tail fine-tuning ablation (paper Sec. IV-A): collect the served
+// queries the deployed model estimates worst, fine-tune on them with the
+// hybrid loss, and measure the tail before/after — plus a held-out workload
+// to confirm the correction does not erode general accuracy.
+//
+// Flags: --epochs=N --rows=N --queries=N --threshold=Q
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/finetune.h"
+
+int main(int argc, char** argv) {
+  using namespace duet;
+  using namespace duet::bench;
+  Flags flags(argc, argv);
+  const double scale = Flags::ScaleFactor();
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 5));
+  const int queries = static_cast<int>(flags.GetInt("queries", 300));
+
+  data::Table t =
+      data::CensusLike(flags.GetInt("rows", static_cast<int64_t>(4000 * scale)), 42);
+  const query::Workload served = MakeRandQ(t, queries);
+  const query::Workload held_out = MakeInQ(t, queries);
+
+  // A deliberately lightly-trained model so the tail has room to move.
+  core::DuetModel model(t, DuetOptionsFor(t));
+  core::TrainOptions topt;
+  topt.epochs = epochs;
+  topt.batch_size = 128;
+  topt.lambda = 0.0f;
+  core::DuetTrainer(model, topt).Train();
+  core::DuetEstimator est(model);
+
+  auto summary = [&](const query::Workload& wl) {
+    return ErrorSummary::FromValues(query::EvaluateQErrors(est, wl, t.num_rows()));
+  };
+  const ErrorSummary served_before = summary(served);
+  const ErrorSummary held_before = summary(held_out);
+
+  core::FineTuneOptions fopt;
+  fopt.qerror_threshold = flags.GetInt("threshold", 3);
+  fopt.epochs = 4;
+  const core::FineTuneReport report = core::FineTune(model, served, fopt);
+
+  const ErrorSummary served_after = summary(served);
+  const ErrorSummary held_after = summary(held_out);
+
+  std::printf("Long-tail fine-tuning on %s (%lld rows); collected %zu queries with "
+              "QErr > %.1f\n",
+              t.name().c_str(), static_cast<long long>(t.num_rows()),
+              report.collected.size(), fopt.qerror_threshold);
+  std::printf("%-26s %9s %9s %9s %9s\n", "workload", "median", "99th", "max", "mean");
+  std::printf("%-26s %9.3f %9.3f %9.3f %9.3f\n", "served (before)", served_before.median,
+              served_before.p99, served_before.max, served_before.mean);
+  std::printf("%-26s %9.3f %9.3f %9.3f %9.3f\n", "served (after)", served_after.median,
+              served_after.p99, served_after.max, served_after.mean);
+  std::printf("%-26s %9.3f %9.3f %9.3f %9.3f\n", "held-out (before)", held_before.median,
+              held_before.p99, held_before.max, held_before.mean);
+  std::printf("%-26s %9.3f %9.3f %9.3f %9.3f\n", "held-out (after)", held_after.median,
+              held_after.p99, held_after.max, held_after.mean);
+  std::printf("collected-set mean QErr: %.3f -> %.3f, max: %.3f -> %.3f\n",
+              report.before_mean, report.after_mean, report.before_max, report.after_max);
+  std::printf(
+      "\nExpected shape: the collected tail shrinks decisively (that is the\n"
+      "paper's Sec. IV-A promise) while held-out accuracy stays in the same\n"
+      "band because the unsupervised replay term anchors the data\n"
+      "distribution during fine-tuning.\n");
+  return 0;
+}

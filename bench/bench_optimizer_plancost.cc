@@ -1,0 +1,151 @@
+// End-to-end plan-quality bench: how much plan cost does each estimator's
+// Q-error buy? (The paper's introduction motivation, quantified with the
+// plan-cost ratio / P-error of Han et al., ref [46].)
+//
+// A three-table star schema with correlated filter columns is planned for
+// many random filter combinations; for each estimator we report the
+// distribution of true-cost(chosen plan) / true-cost(optimal plan).
+//
+// Flags: --rows=N --queries=N --epochs=N
+#include <cstdio>
+#include <memory>
+
+#include "baselines/pgm/chow_liu.h"
+#include "baselines/traditional/independence.h"
+#include "baselines/traditional/mhist.h"
+#include "bench/bench_util.h"
+#include "optimizer/planner.h"
+#include "query/evaluator.h"
+
+namespace duet::bench {
+namespace {
+
+class Oracle : public query::CardinalityEstimator {
+ public:
+  explicit Oracle(const data::Table& t) : table_(t), exact_(t) {}
+  double EstimateSelectivity(const query::Query& q) override {
+    return static_cast<double>(exact_.Count(q)) / static_cast<double>(table_.num_rows());
+  }
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  const data::Table& table_;
+  query::ExactEvaluator exact_;
+};
+
+/// Equal-sized tables whose *filters* decide the join order; `correlation`
+/// controls how badly the independence assumption misjudges the two-column
+/// conjunction (0 = independent columns, Indep is exact).
+data::Table MakeStarTable(const std::string& name, int64_t rows, uint64_t seed,
+                          double correlation) {
+  data::SyntheticSpec spec;
+  spec.name = name;
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.num_latent = 1;
+  spec.latent_cardinality = 40;
+  spec.columns = {{40, 0.4, 0.3, 0},
+                  {12, 0.6, correlation, 0},
+                  {12, 0.6, correlation, 0}};
+  return data::GenerateSynthetic(spec);
+}
+
+}  // namespace
+}  // namespace duet::bench
+
+int main(int argc, char** argv) {
+  using namespace duet;
+  using namespace duet::bench;
+  Flags flags(argc, argv);
+  const double scale = Flags::ScaleFactor();
+  const int num_queries = static_cast<int>(flags.GetInt("queries", 60));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 20));
+
+  const int64_t rows = flags.GetInt("rows", static_cast<int64_t>(6000 * scale));
+  data::Table a = MakeStarTable("t_corr", rows, 1, /*correlation=*/0.95);
+  data::Table b = MakeStarTable("t_mixed", rows, 2, /*correlation=*/0.6);
+  data::Table c = MakeStarTable("t_indep", rows, 3, /*correlation=*/0.0);
+  const std::vector<const data::Table*> tables = {&a, &b, &c};
+
+  // Per-table estimator stables.
+  std::vector<std::unique_ptr<core::DuetModel>> duet_models;
+  std::vector<std::unique_ptr<query::CardinalityEstimator>> duet_est, indep_est, mhist_est,
+      pgm_est, oracle_est;
+  for (const data::Table* t : tables) {
+    core::DuetModelOptions mopt;
+    mopt.hidden_sizes = {64, 64};
+    mopt.residual = true;
+    auto model = std::make_unique<core::DuetModel>(*t, mopt);
+    core::TrainOptions topt;
+    topt.epochs = epochs;
+    topt.batch_size = 128;
+    core::DuetTrainer(*model, topt).Train();
+    duet_est.push_back(std::make_unique<core::DuetEstimator>(*model));
+    duet_models.push_back(std::move(model));
+    indep_est.push_back(std::make_unique<baselines::IndependenceEstimator>(*t));
+    mhist_est.push_back(std::make_unique<baselines::MHistEstimator>(*t, 512));
+    pgm_est.push_back(std::make_unique<baselines::ChowLiuEstimator>(*t));
+    oracle_est.push_back(std::make_unique<Oracle>(*t));
+  }
+
+  struct Entry {
+    const char* name;
+    std::vector<query::CardinalityEstimator*> ests;
+    std::vector<double> ratios;
+  };
+  auto raw = [](const std::vector<std::unique_ptr<query::CardinalityEstimator>>& v) {
+    std::vector<query::CardinalityEstimator*> out;
+    for (const auto& e : v) out.push_back(e.get());
+    return out;
+  };
+  std::vector<Entry> entries = {{"Indep", raw(indep_est), {}},
+                                {"MHist", raw(mhist_est), {}},
+                                {"PGM", raw(pgm_est), {}},
+                                {"Duet", raw(duet_est), {}},
+                                {"Oracle", raw(oracle_est), {}}};
+
+  // Random correlated filters: a >=-range pair on the two filter columns.
+  Rng rng(777);
+  for (int qi = 0; qi < num_queries; ++qi) {
+    optimizer::StarJoinQuery star;
+    star.tables = tables;
+    star.join_col = 0;
+    for (const data::Table* t : tables) {
+      // Equality pairs on the correlated filter columns: the conjunction is
+      // exactly where the independence assumption breaks.
+      const data::Column& c1 = t->column(1);
+      const data::Column& c2 = t->column(2);
+      query::Query f;
+      f.predicates.push_back(
+          {1, query::PredOp::kEq,
+           c1.Value(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(c1.ndv()))))});
+      f.predicates.push_back(
+          {2, query::PredOp::kEq,
+           c2.Value(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(c2.ndv()))))});
+      star.filters.push_back(f);
+    }
+    optimizer::StarJoinPlanner planner(star);
+    for (Entry& e : entries) {
+      const optimizer::JoinPlan plan = planner.PlanWithEstimators(e.ests);
+      e.ratios.push_back(planner.PlanCostRatio(plan));
+    }
+  }
+
+  std::printf("Plan-cost ratio over %d random star-join queries "
+              "(3 tables, correlated filters; 1.0 = optimal plan)\n",
+              num_queries);
+  std::printf("%-10s %9s %9s %9s %9s\n", "estimator", "mean", "median", "95th", "max");
+  for (Entry& e : entries) {
+    const ErrorSummary s = ErrorSummary::FromValues(e.ratios);
+    std::printf("%-10s %9.3f %9.3f %9.3f %9.3f\n", e.name, s.mean, s.median,
+                Percentile(e.ratios, 95.0), s.max);
+  }
+  std::printf(
+      "\nExpected shape: the oracle's small residual gap is the uniform-key\n"
+      "fanout assumption in the join formula, not cardinality error; Duet\n"
+      "tracks the oracle because its conditional model absorbs the\n"
+      "cross-column correlation; the independence assumption pays the\n"
+      "largest plan-cost premium — the end-to-end version of the paper's\n"
+      "accuracy story.\n");
+  return 0;
+}

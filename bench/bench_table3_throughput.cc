@@ -1,0 +1,110 @@
+// Table III reproduction: training throughput (tuples/s) of the data-driven
+// and hybrid methods on the three datasets. The expected shape (paper):
+// Naru > DuetD > Duet >> UAE, with UAE OOM on the high-dimensional dataset
+// at its paper-scale sampling configuration.
+//
+// Flags: --datasets=census,kdd,dmv --batch=N
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace duet::bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  double naru = 0.0;
+  double uae = 0.0;
+  bool uae_oom = false;
+  double duetd = 0.0;
+  double duet = 0.0;
+};
+
+Row RunDataset(const data::Table& t, int64_t batch, int uae_samples) {
+  Row row;
+  row.dataset = t.name();
+  const query::Workload train_wl = MakeTrainingWorkload(t, 200);
+
+  {
+    baselines::NaruModel model(t, NaruOptionsFor(t, 100));
+    core::TrainOptions topt;
+    topt.epochs = 1;
+    topt.batch_size = batch;
+    row.naru = baselines::NaruTrainer(model, topt).TrainEpoch(0).tuples_per_second;
+  }
+  {
+    baselines::UaeOptions uopt;
+    uopt.naru = NaruOptionsFor(t, 100);
+    uopt.train_samples = uae_samples;
+    uopt.memory_budget_mb = 10240;
+    baselines::UaeModel model(t, uopt);
+    core::TrainOptions topt;
+    topt.epochs = 1;
+    topt.batch_size = batch;
+    topt.train_workload = &train_wl;
+    baselines::UaeTrainer trainer(model, topt);
+    const auto stats = trainer.TrainEpoch(0);
+    row.uae_oom = trainer.oom();
+    row.uae = stats.tuples_per_second;
+  }
+  {
+    core::DuetModel model(t, DuetOptionsFor(t));
+    core::TrainOptions topt;
+    topt.epochs = 1;
+    topt.batch_size = batch;
+    row.duetd = core::DuetTrainer(model, topt).TrainEpoch(0).tuples_per_second;
+  }
+  {
+    core::DuetModel model(t, DuetOptionsFor(t));
+    core::TrainOptions topt;
+    topt.epochs = 1;
+    topt.batch_size = batch;
+    topt.train_workload = &train_wl;
+    row.duet = core::DuetTrainer(model, topt).TrainEpoch(0).tuples_per_second;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace duet::bench
+
+int main(int argc, char** argv) {
+  using namespace duet;
+  using namespace duet::bench;
+  Flags flags(argc, argv);
+  const double scale = Flags::ScaleFactor();
+  const std::string datasets = flags.GetString("datasets", "census,kdd,dmv");
+  std::printf("Table III reproduction: training throughput (tuples/s)\n");
+
+  std::vector<Row> rows;
+  if (datasets.find("census") != std::string::npos) {
+    rows.push_back(RunDataset(MakeCensus(scale), flags.GetInt("batch", 128), 4));
+  }
+  if (datasets.find("kdd") != std::string::npos) {
+    // UAE at its paper-scale sample count: the memory model reports OOM.
+    rows.push_back(RunDataset(MakeKdd(scale), flags.GetInt("batch", 128), 200));
+  }
+  if (datasets.find("dmv") != std::string::npos) {
+    rows.push_back(RunDataset(MakeDmv(scale), flags.GetInt("batch", 256), 4));
+  }
+
+  std::printf("\n%-10s", "estimator");
+  for (const Row& r : rows) std::printf(" %14s", r.dataset.c_str());
+  std::printf("\n");
+  auto print_line = [&](const char* name, auto getter, auto oom_getter) {
+    std::printf("%-10s", name);
+    for (const Row& r : rows) {
+      if (oom_getter(r)) {
+        std::printf(" %14s", "OOM");
+      } else {
+        std::printf(" %14.1f", getter(r));
+      }
+    }
+    std::printf("\n");
+  };
+  print_line("Naru", [](const Row& r) { return r.naru; }, [](const Row&) { return false; });
+  print_line("UAE", [](const Row& r) { return r.uae; }, [](const Row& r) { return r.uae_oom; });
+  print_line("DuetD", [](const Row& r) { return r.duetd; }, [](const Row&) { return false; });
+  print_line("Duet", [](const Row& r) { return r.duet; }, [](const Row&) { return false; });
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench runs standalone with scaled-down defaults sized for a laptop
+// CPU; set DUET_BENCH_SCALE (e.g. 4 or 10) to grow datasets, workloads and
+// training budgets toward paper scale. All sizes are also overridable via
+// --flags. The printed rows/series mirror the corresponding paper artifact
+// (see DESIGN.md Sec. 4 for the per-experiment index).
+#ifndef DUET_BENCH_BENCH_UTIL_H_
+#define DUET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/naru/naru_model.h"
+#include "baselines/uae/uae_model.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "query/estimator.h"
+#include "query/workload.h"
+
+namespace duet::bench {
+
+/// Scaled dataset factories (paper: Census 48.8k x 14, Kddcup98 95k x 100,
+/// DMV 12.4M x 11; defaults here are laptop-sized stand-ins, DESIGN.md S1).
+inline data::Table MakeCensus(double scale = Flags::ScaleFactor()) {
+  return data::CensusLike(static_cast<int64_t>(6000 * scale), 42);
+}
+inline data::Table MakeKdd(double scale = Flags::ScaleFactor(), int cols = 100) {
+  return data::KddLike(static_cast<int64_t>(4000 * scale), cols, 42);
+}
+inline data::Table MakeDmv(double scale = Flags::ScaleFactor()) {
+  return data::DmvLike(static_cast<int64_t>(20000 * scale), 42);
+}
+
+/// Paper-shaped model architectures, scaled for CPU benches:
+/// DMV uses the plain heterogeneous MADE, Census/Kdd use 2-block ResMADE.
+inline core::DuetModelOptions DuetOptionsFor(const data::Table& table) {
+  core::DuetModelOptions opt;
+  if (table.name() == "dmv_like") {
+    opt.hidden_sizes = {128, 64, 128, 32, 256};  // paper: 512,256,512,128,1024
+    opt.residual = false;
+  } else {
+    opt.hidden_sizes = {64, 64};  // paper: 2 x 128 ResMADE
+    opt.residual = true;
+  }
+  return opt;
+}
+
+inline baselines::NaruOptions NaruOptionsFor(const data::Table& table, int num_samples) {
+  baselines::NaruOptions opt;
+  const core::DuetModelOptions base = DuetOptionsFor(table);
+  opt.hidden_sizes = base.hidden_sizes;
+  opt.residual = base.residual;
+  opt.num_samples = num_samples;
+  return opt;
+}
+
+/// Training workload (paper Sec. V-A2): seed 42, gamma-skewed predicate
+/// count, bounded column = 1% of the largest column's distinct values.
+inline query::Workload MakeTrainingWorkload(const data::Table& table, int n) {
+  query::WorkloadSpec spec;
+  spec.num_queries = n;
+  spec.seed = 42;
+  spec.gamma_num_predicates = true;
+  spec.bounded_column = table.LargestNdvColumn();
+  return query::WorkloadGenerator(table, spec).Generate();
+}
+
+/// In-workload test queries: same distribution and seed family as training.
+inline query::Workload MakeInQ(const data::Table& table, int n) {
+  query::WorkloadSpec spec;
+  spec.num_queries = n;
+  spec.seed = 42;
+  spec.gamma_num_predicates = true;
+  spec.bounded_column = table.LargestNdvColumn();
+  // Offset the stream so the queries are fresh but in-distribution.
+  spec.seed = 42 + 1;
+  return query::WorkloadGenerator(table, spec).Generate();
+}
+
+/// Random test queries: seed 1234, uniform predicate count, unbounded.
+inline query::Workload MakeRandQ(const data::Table& table, int n) {
+  query::WorkloadSpec spec;
+  spec.num_queries = n;
+  spec.seed = 1234;
+  return query::WorkloadGenerator(table, spec).Generate();
+}
+
+/// Measures mean per-query estimation latency (ms).
+inline double MeasureEstimationMs(query::CardinalityEstimator& est,
+                                  const query::Workload& workload) {
+  Timer timer;
+  for (const auto& lq : workload) est.EstimateSelectivity(lq.query);
+  return timer.Millis() / static_cast<double>(workload.size());
+}
+
+/// One Table-II-style row: name, size, cost, five-number summary.
+inline void PrintAccuracyRow(const std::string& name, double size_mb, double cost_ms,
+                             const ErrorSummary& sum) {
+  std::printf("%-10s %8.2f %9.3f  %s\n", name.c_str(), size_mb, cost_ms,
+              sum.ToString().c_str());
+}
+
+inline void PrintAccuracyHeader(const std::string& workload_name) {
+  std::printf("%-10s %8s %9s  %8s %8s %8s %10s %10s   [%s]\n", "estimator", "size(MB)",
+              "cost(ms)", "mean", "median", "75th", "99th", "max", workload_name.c_str());
+}
+
+inline void PrintSectionRule() {
+  std::printf("------------------------------------------------------------------------------\n");
+}
+
+}  // namespace duet::bench
+
+#endif  // DUET_BENCH_BENCH_UTIL_H_

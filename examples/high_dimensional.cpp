@@ -1,0 +1,75 @@
+// High-dimensional tables (the paper's Problems 1 and 2).
+//
+// On a 100-column table, progressive sampling needs one network pass per
+// constrained column and its per-column errors compound into a long tail.
+// Duet answers any conjunction with a single pass. This example trains both
+// briefly and prints latency plus tail error side by side.
+#include <cstdio>
+
+#include "baselines/naru/naru_model.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "query/workload.h"
+
+int main() {
+  using namespace duet;
+  data::Table table = data::KddLike(/*rows=*/3000, /*num_columns=*/100, /*seed=*/42);
+  std::printf("table: %lld rows x %d columns (Kddcup98-like)\n",
+              static_cast<long long>(table.num_rows()), table.num_columns());
+
+  core::DuetModelOptions mopt;
+  mopt.hidden_sizes = {64, 64};
+  mopt.residual = true;
+  core::DuetModel duet(table, mopt);
+  core::TrainOptions topt;
+  topt.epochs = 4;
+  topt.batch_size = 128;
+  core::DuetTrainer(duet, topt).Train();
+
+  baselines::NaruOptions nopt;
+  nopt.hidden_sizes = {64, 64};
+  nopt.residual = true;
+  nopt.num_samples = 32;
+  baselines::NaruModel naru(table, nopt);
+  baselines::NaruTrainer(naru, topt).Train();
+
+  query::WorkloadSpec spec;
+  spec.num_queries = 60;
+  spec.seed = 1234;
+  const query::Workload wl = query::WorkloadGenerator(table, spec).Generate();
+
+  // Latency + accuracy, same trained budget for both.
+  Timer timer;
+  std::vector<double> duet_err;
+  for (const auto& lq : wl) {
+    const double est = std::max(1.0, duet.EstimateSelectivity(lq.query) *
+                                         static_cast<double>(table.num_rows()));
+    duet_err.push_back(query::QError(est, static_cast<double>(lq.cardinality)));
+  }
+  const double duet_ms = timer.Millis() / static_cast<double>(wl.size());
+
+  Rng rng(9);
+  timer.Reset();
+  std::vector<double> naru_err;
+  for (const auto& lq : wl) {
+    const double est = std::max(1.0, naru.EstimateSelectivity(lq.query, rng) *
+                                         static_cast<double>(table.num_rows()));
+    naru_err.push_back(query::QError(est, static_cast<double>(lq.cardinality)));
+  }
+  const double naru_ms = timer.Millis() / static_cast<double>(wl.size());
+
+  const ErrorSummary duet_sum = ErrorSummary::FromValues(duet_err);
+  const ErrorSummary naru_sum = ErrorSummary::FromValues(naru_err);
+  std::printf("\n%-6s %12s %10s %10s %12s\n", "model", "latency(ms)", "median", "p99", "max");
+  std::printf("%-6s %12.3f %10.2f %10.2f %12.2f\n", "Duet", duet_ms, duet_sum.median,
+              duet_sum.p99, duet_sum.max);
+  std::printf("%-6s %12.3f %10.2f %10.2f %12.2f\n", "Naru", naru_ms, naru_sum.median,
+              naru_sum.p99, naru_sum.max);
+  std::printf("\nExpected: Duet is an order of magnitude faster (one pass vs one pass per "
+              "constrained column) and has a shorter error tail (no per-column error "
+              "accumulation).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Model persistence: train, checkpoint to disk, reload into a fresh model,
+// and verify the reloaded estimator is bit-identical — the deployment flow
+// behind the paper's "fine-tune the model after it is deployed" scenario
+// (Sec. IV-D): serve from a checkpoint, collect badly-estimated queries,
+// fine-tune, checkpoint again.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/checkpoint.h"
+#include "core/duet_model.h"
+#include "core/finetune.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "query/workload.h"
+
+int main() {
+  using namespace duet;
+
+  data::Table table = data::CensusLike(/*rows=*/6000, /*seed=*/42);
+  core::DuetModelOptions options;
+  options.hidden_sizes = {64, 64};
+  options.residual = true;
+
+  // --- train and checkpoint ---
+  core::DuetModel model(table, options);
+  core::TrainOptions topt;
+  topt.epochs = 5;
+  topt.batch_size = 128;
+  core::DuetTrainer(model, topt).Train();
+
+  const std::string path = "/tmp/duet_example_checkpoint.bin";
+  core::SaveModuleFile(path, "duet", model);
+  std::printf("saved %lld parameters (fingerprint %016llx) to %s\n",
+              static_cast<long long>(model.NumParams()),
+              static_cast<unsigned long long>(core::ModuleFingerprint(model)),
+              path.c_str());
+
+  // --- reload into a freshly constructed model of the same architecture ---
+  core::DuetModel reloaded(table, options);
+  core::LoadModuleFile(path, "duet", &reloaded);
+
+  query::WorkloadSpec wspec;
+  wspec.num_queries = 200;
+  wspec.seed = 1234;
+  const query::Workload served = query::WorkloadGenerator(table, wspec).Generate();
+
+  int identical = 0;
+  for (const query::LabeledQuery& lq : served) {
+    if (model.EstimateSelectivity(lq.query) == reloaded.EstimateSelectivity(lq.query)) {
+      ++identical;
+    }
+  }
+  std::printf("reloaded model reproduces %d/%zu estimates exactly\n", identical,
+              served.size());
+
+  // --- the deployed loop: collect bad queries, fine-tune, re-checkpoint ---
+  core::FineTuneOptions fopt;
+  fopt.qerror_threshold = 3.0;
+  const core::FineTuneReport report = core::FineTune(reloaded, served, fopt);
+  std::printf("fine-tuned on %zu high-error queries: mean QErr %.2f -> %.2f\n",
+              report.collected.size(), report.before_mean, report.after_mean);
+  core::SaveModuleFile(path, "duet", reloaded);
+  std::printf("updated checkpoint written\n");
+
+  std::remove(path.c_str());
+  return identical == static_cast<int>(served.size()) ? 0 : 1;
+}

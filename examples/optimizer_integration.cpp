@@ -1,0 +1,133 @@
+// Optimizer integration: what cardinality estimation is *for*.
+//
+// The paper's introduction motivates Duet with the query optimizer: plans
+// are costed from cardinality estimates, so estimation error turns into bad
+// join orders and bad access paths. This example builds a three-table star
+// schema with correlated columns, plans the same join with (a) the
+// independence assumption, (b) a trained Duet model per table, and (c) the
+// exact oracle, and prints the plan-cost ratio each choice pays.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/traditional/independence.h"
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "optimizer/planner.h"
+#include "common/rng.h"
+#include "query/evaluator.h"
+
+namespace {
+
+/// Exact-cardinality oracle.
+class Oracle : public duet::query::CardinalityEstimator {
+ public:
+  explicit Oracle(const duet::data::Table& t) : table_(t), exact_(t) {}
+  double EstimateSelectivity(const duet::query::Query& q) override {
+    return static_cast<double>(exact_.Count(q)) /
+           static_cast<double>(table_.num_rows());
+  }
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  const duet::data::Table& table_;
+  duet::query::ExactEvaluator exact_;
+};
+
+duet::data::Table MakeStarTable(const std::string& name, int64_t rows, uint64_t seed,
+                                double correlation) {
+  duet::data::SyntheticSpec spec;
+  spec.name = name;
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.num_latent = 1;
+  spec.latent_cardinality = 40;
+  // Column 0 is the join key; 1 and 2 are filter columns driven by the same
+  // latent factor, so their conjunction defeats the independence assumption
+  // on the correlated tables.
+  spec.columns = {{/*ndv=*/40, /*zipf_s=*/0.4, /*correlation=*/0.3, /*latent=*/0},
+                  {/*ndv=*/12, /*zipf_s=*/0.6, correlation, /*latent=*/0},
+                  {/*ndv=*/12, /*zipf_s=*/0.6, correlation, /*latent=*/0}};
+  return duet::data::GenerateSynthetic(spec);
+}
+
+}  // namespace
+
+int main() {
+  using namespace duet;
+
+  data::Table a = MakeStarTable("t_corr", 6000, 1, /*correlation=*/0.95);
+  data::Table b = MakeStarTable("t_mixed", 6000, 2, /*correlation=*/0.6);
+  data::Table c = MakeStarTable("t_indep", 6000, 3, /*correlation=*/0.0);
+  // (a) independence-assumption estimators.
+  baselines::IndependenceEstimator ia(a), ib(b), ic(c);
+
+  // (b) a small Duet model per table.
+  auto train_duet = [](const data::Table& t) {
+    core::DuetModelOptions mopt;
+    mopt.hidden_sizes = {64, 64};
+    mopt.residual = true;
+    auto model = std::make_unique<core::DuetModel>(t, mopt);
+    core::TrainOptions topt;
+    topt.epochs = 15;
+    topt.batch_size = 128;
+    core::DuetTrainer(*model, topt).Train();
+    return model;
+  };
+  auto da = train_duet(a), db = train_duet(b), dc = train_duet(c);
+  core::DuetEstimator ea(*da), eb(*db), ec(*dc);
+
+  // (c) the oracle.
+  Oracle oa(a), ob(b), oc(c);
+
+  // Plan a batch of random filter queries: equality pairs on the correlated
+  // filter columns, exactly the conjunctions the independence assumption
+  // misjudges. Aggregating over queries keeps the picture stable.
+  struct Contender {
+    const char* name;
+    std::vector<query::CardinalityEstimator*> ests;
+    double ratio_sum = 0.0;
+    double ratio_max = 0.0;
+  };
+  std::vector<Contender> contenders = {{"Indep", {&ia, &ib, &ic}, 0.0, 0.0},
+                                       {"Duet", {&ea, &eb, &ec}, 0.0, 0.0},
+                                       {"Oracle", {&oa, &ob, &oc}, 0.0, 0.0}};
+  Rng rng(779);
+  const int kQueries = 12;
+  for (int qi = 0; qi < kQueries; ++qi) {
+    optimizer::StarJoinQuery star;
+    star.tables = {&a, &b, &c};
+    star.join_col = 0;
+    for (const data::Table* t : star.tables) {
+      const data::Column& c1 = t->column(1);
+      const data::Column& c2 = t->column(2);
+      query::Query f;
+      f.predicates.push_back(
+          {1, query::PredOp::kEq,
+           c1.Value(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(c1.ndv()))))});
+      f.predicates.push_back(
+          {2, query::PredOp::kEq,
+           c2.Value(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(c2.ndv()))))});
+      star.filters.push_back(f);
+    }
+    optimizer::StarJoinPlanner planner(star);
+    for (Contender& who : contenders) {
+      const double ratio = planner.PlanCostRatio(planner.PlanWithEstimators(who.ests));
+      who.ratio_sum += ratio;
+      who.ratio_max = std::max(who.ratio_max, ratio);
+    }
+  }
+
+  std::printf("plan-cost ratio over %d star-join queries (1.0 = optimal plan)\n", kQueries);
+  for (const Contender& who : contenders) {
+    std::printf("%-10s mean = %6.3f   max = %6.3f\n", who.name, who.ratio_sum / kQueries,
+                who.ratio_max);
+  }
+  std::printf(
+      "\nA ratio of 1.0 means the truly optimal join order was chosen. Even the\n"
+      "oracle keeps a small gap (the planner's uniform-key fanout formula);\n"
+      "everything above that is the price of cardinality estimation error.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Workload drift (the paper's Problem 5, its core motivation).
+//
+// A query-driven estimator (MSCN) is trained on a bounded, skewed workload
+// and then confronted with random queries whose distribution has drifted;
+// its error degrades. Duet, which learns mostly from data, keeps its
+// accuracy on the drifted workload without any fine-tuning — the behaviour
+// Table II demonstrates with the In-Q vs Rand-Q comparison.
+#include <cstdio>
+
+#include "baselines/mscn/mscn_model.h"
+#include "common/stats.h"
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "query/workload.h"
+
+int main() {
+  using namespace duet;
+  data::Table table = data::CensusLike(/*rows=*/6000, /*seed=*/42);
+
+  // Training workload: gamma-skewed predicate counts, bounded column
+  // (only 1% of the largest column's values ever appear) — paper Sec. V-A2.
+  query::WorkloadSpec train_spec;
+  train_spec.num_queries = 800;
+  train_spec.seed = 42;
+  train_spec.gamma_num_predicates = true;
+  train_spec.bounded_column = table.LargestNdvColumn();
+  const query::Workload train_wl = query::WorkloadGenerator(table, train_spec).Generate();
+
+  // In-workload test queries (same distribution) and drifted random queries.
+  query::WorkloadSpec in_spec = train_spec;
+  in_spec.seed = 43;
+  in_spec.num_queries = 200;
+  const query::Workload in_q = query::WorkloadGenerator(table, in_spec).Generate();
+  query::WorkloadSpec rand_spec;
+  rand_spec.num_queries = 200;
+  rand_spec.seed = 1234;
+  const query::Workload rand_q = query::WorkloadGenerator(table, rand_spec).Generate();
+
+  // --- MSCN: learns only from the labeled workload ---
+  baselines::MscnOptions mscn_opt;
+  mscn_opt.epochs = 30;
+  mscn_opt.bitmap_size = 500;
+  mscn_opt.max_preds = table.num_columns();
+  baselines::MscnModel mscn(table, mscn_opt);
+  mscn.Train(train_wl);
+
+  // --- Duet: hybrid (data first, workload as a supplement) ---
+  core::DuetModelOptions mopt;
+  mopt.hidden_sizes = {64, 64};
+  mopt.residual = true;
+  core::DuetModel duet(table, mopt);
+  core::TrainOptions topt;
+  topt.epochs = 8;
+  topt.batch_size = 256;
+  topt.train_workload = &train_wl;
+  topt.lambda = 0.1f;
+  core::DuetTrainer(duet, topt).Train();
+  core::DuetEstimator duet_est(duet);
+
+  auto report = [&](const char* name, query::CardinalityEstimator& est) {
+    const auto in_err = query::EvaluateQErrors(est, in_q, table.num_rows());
+    const auto rand_err = query::EvaluateQErrors(est, rand_q, table.num_rows());
+    const ErrorSummary in_sum = ErrorSummary::FromValues(in_err);
+    const ErrorSummary rand_sum = ErrorSummary::FromValues(rand_err);
+    std::printf("%-6s  In-Q   median %7.2f  p99 %9.2f  max %9.2f\n", name, in_sum.median,
+                in_sum.p99, in_sum.max);
+    std::printf("%-6s  Rand-Q median %7.2f  p99 %9.2f  max %9.2f   (drift ratio p99: %.1fx)\n",
+                name, rand_sum.median, rand_sum.p99, rand_sum.max,
+                rand_sum.p99 / in_sum.p99);
+  };
+  std::printf("Workload drift: in-distribution vs drifted accuracy\n\n");
+  report("MSCN", mscn);
+  std::printf("\n");
+  report("Duet", duet_est);
+  std::printf("\nExpected: MSCN's error inflates under drift; Duet's stays stable because "
+              "its knowledge comes from the data distribution itself.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Naru baseline (Yang et al., VLDB 2020; paper Sec. V-A5 #6).
+//
+// A MADE/ResMADE autoregressive model over *tuple values*: input block i is
+// the (wildcard-skippable) encoding of column i's value, output block i the
+// distribution P(C_i | v_<i). Range queries are answered with progressive
+// sampling: one forward pass per constrained column, each over `num_samples`
+// Monte-Carlo samples — the O(n) inference cost, sampling variance and
+// long-tail behaviour that Duet's single-pass design removes.
+#ifndef DUET_BASELINES_NARU_NARU_MODEL_H_
+#define DUET_BASELINES_NARU_NARU_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/duet_model.h"
+#include "core/encoding.h"
+#include "core/trainer.h"
+#include "nn/made.h"
+#include "nn/module.h"
+#include "query/estimator.h"
+#include "tensor/optimizer.h"
+
+namespace duet::baselines {
+
+/// Naru architecture + inference knobs.
+struct NaruOptions {
+  std::vector<int64_t> hidden_sizes = {256, 256};
+  bool residual = false;
+  core::EncodingOptions encoding;
+  uint64_t seed = 1;
+  /// Progressive-sampling budget per estimation (paper uses 2000; scaled
+  /// default keeps CPU benches fast — it is a flag everywhere).
+  int num_samples = 200;
+  /// Wildcard-skipping probability during training.
+  double wildcard_prob = 0.3;
+};
+
+/// Naru model + progressive-sampling estimator.
+class NaruModel : public nn::Module {
+ public:
+  NaruModel(const data::Table& table, NaruOptions options);
+
+  // ----- training -----
+
+  /// Cross-entropy of the anchor tuples with wildcard-skipping masking.
+  /// Deterministic in `seed`.
+  tensor::Tensor DataLoss(const std::vector<int64_t>& anchor_rows, uint64_t seed) const;
+
+  // ----- inference -----
+
+  /// Progressive sampling (unbiased, random): one forward pass per
+  /// constrained column over options.num_samples samples.
+  double EstimateSelectivity(const query::Query& query, Rng& rng) const;
+
+  /// Deterministic wrapper: fresh Rng seeded from the query contents (the
+  /// variance across seeds is measured by the stability experiment).
+  double EstimateSelectivitySeeded(const query::Query& query, uint64_t seed) const;
+
+  // ----- shared internals (UAE reuses these) -----
+
+  /// Encodes a batch of (possibly wildcarded) code rows; codes: [b * N],
+  /// -1 = wildcard.
+  tensor::Tensor EncodeCodes(const std::vector<int32_t>& codes, int64_t batch) const;
+
+  tensor::Tensor ForwardLogits(const tensor::Tensor& x) const { return made_->Forward(x); }
+
+  const data::Table& table() const { return table_; }
+  const core::NaruInputEncoder& encoder() const { return encoder_; }
+  const nn::Made& made() const { return *made_; }
+  const NaruOptions& options() const { return options_; }
+  core::PhaseTimes& phase_times() const { return phase_times_; }
+
+ private:
+  const data::Table& table_;
+  NaruOptions options_;
+  core::NaruInputEncoder encoder_;
+  std::unique_ptr<nn::Made> made_;
+  mutable core::PhaseTimes phase_times_;
+};
+
+/// Data-driven trainer for Naru (maximum likelihood over tuples).
+class NaruTrainer {
+ public:
+  NaruTrainer(NaruModel& model, core::TrainOptions options);
+
+  std::vector<core::EpochStats> Train(
+      const std::function<void(const core::EpochStats&)>& on_epoch = {});
+  core::EpochStats TrainEpoch(int epoch_index);
+
+ private:
+  NaruModel& model_;
+  core::TrainOptions options_;
+  tensor::Adam optimizer_;
+  Rng rng_;
+};
+
+/// CardinalityEstimator adapter (deterministic per-query seeding).
+class NaruEstimator : public query::CardinalityEstimator {
+ public:
+  NaruEstimator(const NaruModel& model, std::string name = "Naru", uint64_t seed = 17)
+      : model_(model), name_(std::move(name)), rng_(seed) {}
+
+  double EstimateSelectivity(const query::Query& query) override {
+    return model_.EstimateSelectivity(query, rng_);
+  }
+  std::string name() const override { return name_; }
+  double SizeMB() const override { return model_.SizeMB(); }
+
+ private:
+  const NaruModel& model_;
+  std::string name_;
+  Rng rng_;
+};
+
+}  // namespace duet::baselines
+
+#endif  // DUET_BASELINES_NARU_NARU_MODEL_H_

@@ -1,0 +1,265 @@
+#include "baselines/pgm/chow_liu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace duet::baselines {
+
+namespace {
+
+/// Bucket index of a code under contiguous bucket bounds.
+int BucketOf(const std::vector<int32_t>& bounds, int32_t code) {
+  // bounds = {b0=0, b1, ..., bk=ndv}; bucket i covers [bounds[i], bounds[i+1]).
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), code);
+  return static_cast<int>(it - bounds.begin()) - 1;
+}
+
+}  // namespace
+
+ChowLiuEstimator::ChowLiuEstimator(const data::Table& table, ChowLiuOptions options)
+    : table_(table), options_(options) {
+  const int n = table.num_columns();
+  const int64_t rows = table.num_rows();
+  DUET_CHECK_GT(n, 0);
+  DUET_CHECK_GT(rows, 0);
+  DUET_CHECK_GE(options_.max_buckets, 1);
+
+  // --- Bucketize every column: equal-frequency contiguous code intervals ---
+  bucket_bounds_.resize(static_cast<size_t>(n));
+  bucket_row_counts_.resize(static_cast<size_t>(n));
+  code_count_prefix_.resize(static_cast<size_t>(n));
+  std::vector<std::vector<int>> row_buckets(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    const data::Column& col = table.column(c);
+    const int32_t ndv = col.ndv();
+    std::vector<int64_t> code_counts(static_cast<size_t>(ndv), 0);
+    for (int64_t r = 0; r < rows; ++r) code_counts[static_cast<size_t>(col.code(r))]++;
+
+    std::vector<int64_t>& prefix = code_count_prefix_[static_cast<size_t>(c)];
+    prefix.assign(static_cast<size_t>(ndv) + 1, 0);
+    for (int32_t v = 0; v < ndv; ++v) {
+      prefix[static_cast<size_t>(v) + 1] = prefix[static_cast<size_t>(v)] + code_counts[static_cast<size_t>(v)];
+    }
+
+    std::vector<int32_t>& bounds = bucket_bounds_[static_cast<size_t>(c)];
+    bounds.push_back(0);
+    if (ndv <= options_.max_buckets) {
+      for (int32_t v = 1; v <= ndv; ++v) bounds.push_back(v);
+    } else {
+      // Equal-frequency: advance the boundary once a bucket holds its share.
+      const double target = static_cast<double>(rows) / options_.max_buckets;
+      double acc = 0.0;
+      for (int32_t v = 0; v < ndv; ++v) {
+        acc += static_cast<double>(code_counts[static_cast<size_t>(v)]);
+        const bool last_bucket = static_cast<int>(bounds.size()) == options_.max_buckets;
+        if (acc >= target && !last_bucket && v + 1 < ndv) {
+          bounds.push_back(v + 1);
+          acc = 0.0;
+        }
+      }
+      bounds.push_back(ndv);
+    }
+
+    const int num_b = static_cast<int>(bounds.size()) - 1;
+    bucket_row_counts_[static_cast<size_t>(c)].assign(static_cast<size_t>(num_b), 0);
+    for (int b = 0; b < num_b; ++b) {
+      bucket_row_counts_[static_cast<size_t>(c)][static_cast<size_t>(b)] =
+          prefix[static_cast<size_t>(bounds[static_cast<size_t>(b) + 1])] -
+          prefix[static_cast<size_t>(bounds[static_cast<size_t>(b)])];
+    }
+
+    std::vector<int>& rb = row_buckets[static_cast<size_t>(c)];
+    rb.resize(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      rb[static_cast<size_t>(r)] = BucketOf(bounds, col.code(r));
+    }
+  }
+
+  // --- Pairwise mutual information over bucketized columns ---
+  mi_.assign(static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (int a = 0; a < n; ++a) {
+    const int ba = num_buckets(a);
+    for (int b = a + 1; b < n; ++b) {
+      const int bb = num_buckets(b);
+      std::vector<int64_t> joint(static_cast<size_t>(ba) * static_cast<size_t>(bb), 0);
+      const std::vector<int>& ra = row_buckets[static_cast<size_t>(a)];
+      const std::vector<int>& rb = row_buckets[static_cast<size_t>(b)];
+      for (int64_t r = 0; r < rows; ++r) {
+        joint[static_cast<size_t>(ra[static_cast<size_t>(r)]) * static_cast<size_t>(bb) +
+              static_cast<size_t>(rb[static_cast<size_t>(r)])]++;
+      }
+      double mi = 0.0;
+      for (int i = 0; i < ba; ++i) {
+        const double pa = static_cast<double>(
+                              bucket_row_counts_[static_cast<size_t>(a)][static_cast<size_t>(i)]) /
+                          static_cast<double>(rows);
+        if (pa == 0.0) continue;
+        for (int j = 0; j < bb; ++j) {
+          const int64_t cnt = joint[static_cast<size_t>(i) * static_cast<size_t>(bb) +
+                                    static_cast<size_t>(j)];
+          if (cnt == 0) continue;
+          const double pj = static_cast<double>(cnt) / static_cast<double>(rows);
+          const double pb = static_cast<double>(bucket_row_counts_[static_cast<size_t>(b)]
+                                                                  [static_cast<size_t>(j)]) /
+                            static_cast<double>(rows);
+          mi += pj * std::log(pj / (pa * pb));
+        }
+      }
+      mi_[static_cast<size_t>(a)][static_cast<size_t>(b)] = mi;
+      mi_[static_cast<size_t>(b)][static_cast<size_t>(a)] = mi;
+    }
+  }
+
+  // --- Maximum spanning tree (Prim), rooted at column 0 ---
+  root_ = 0;
+  parents_.assign(static_cast<size_t>(n), -1);
+  children_.assign(static_cast<size_t>(n), {});
+  std::vector<bool> in_tree(static_cast<size_t>(n), false);
+  std::vector<double> best_w(static_cast<size_t>(n), -1.0);
+  std::vector<int> best_p(static_cast<size_t>(n), -1);
+  in_tree[static_cast<size_t>(root_)] = true;
+  for (int c = 0; c < n; ++c) {
+    if (c == root_) continue;
+    best_w[static_cast<size_t>(c)] = mi_[static_cast<size_t>(root_)][static_cast<size_t>(c)];
+    best_p[static_cast<size_t>(c)] = root_;
+  }
+  for (int step = 1; step < n; ++step) {
+    int pick = -1;
+    double w = -std::numeric_limits<double>::infinity();
+    for (int c = 0; c < n; ++c) {
+      if (!in_tree[static_cast<size_t>(c)] && best_w[static_cast<size_t>(c)] > w) {
+        w = best_w[static_cast<size_t>(c)];
+        pick = c;
+      }
+    }
+    DUET_CHECK_GE(pick, 0);
+    in_tree[static_cast<size_t>(pick)] = true;
+    parents_[static_cast<size_t>(pick)] = best_p[static_cast<size_t>(pick)];
+    children_[static_cast<size_t>(best_p[static_cast<size_t>(pick)])].push_back(pick);
+    for (int c = 0; c < n; ++c) {
+      if (!in_tree[static_cast<size_t>(c)] &&
+          mi_[static_cast<size_t>(pick)][static_cast<size_t>(c)] > best_w[static_cast<size_t>(c)]) {
+        best_w[static_cast<size_t>(c)] = mi_[static_cast<size_t>(pick)][static_cast<size_t>(c)];
+        best_p[static_cast<size_t>(c)] = pick;
+      }
+    }
+  }
+
+  // --- Parameters: root marginal + per-edge CPTs with Laplace smoothing ---
+  const double alpha = options_.laplace_alpha;
+  {
+    const int rb = num_buckets(root_);
+    root_marginal_.assign(static_cast<size_t>(rb), 0.0);
+    const double denom = static_cast<double>(rows) + alpha * rb;
+    for (int b = 0; b < rb; ++b) {
+      root_marginal_[static_cast<size_t>(b)] =
+          (static_cast<double>(bucket_row_counts_[static_cast<size_t>(root_)][static_cast<size_t>(b)]) +
+           alpha) /
+          denom;
+    }
+  }
+  cpt_.resize(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    const int p = parents_[static_cast<size_t>(c)];
+    if (p < 0) continue;
+    const int bc = num_buckets(c);
+    const int bp = num_buckets(p);
+    std::vector<int64_t> joint(static_cast<size_t>(bp) * static_cast<size_t>(bc), 0);
+    const std::vector<int>& rc = row_buckets[static_cast<size_t>(c)];
+    const std::vector<int>& rp = row_buckets[static_cast<size_t>(p)];
+    for (int64_t r = 0; r < rows; ++r) {
+      joint[static_cast<size_t>(rp[static_cast<size_t>(r)]) * static_cast<size_t>(bc) +
+            static_cast<size_t>(rc[static_cast<size_t>(r)])]++;
+    }
+    std::vector<double>& cpt = cpt_[static_cast<size_t>(c)];
+    cpt.assign(static_cast<size_t>(bp) * static_cast<size_t>(bc), 0.0);
+    for (int i = 0; i < bp; ++i) {
+      const double denom =
+          static_cast<double>(bucket_row_counts_[static_cast<size_t>(p)][static_cast<size_t>(i)]) +
+          alpha * bc;
+      for (int j = 0; j < bc; ++j) {
+        cpt[static_cast<size_t>(i) * static_cast<size_t>(bc) + static_cast<size_t>(j)] =
+            (static_cast<double>(joint[static_cast<size_t>(i) * static_cast<size_t>(bc) +
+                                       static_cast<size_t>(j)]) +
+             alpha) /
+            denom;
+      }
+    }
+  }
+}
+
+double ChowLiuEstimator::EdgeMutualInformation(int a, int b) const {
+  return mi_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+}
+
+std::vector<double> ChowLiuEstimator::EvidenceForRange(int col,
+                                                       const query::CodeRange& range) const {
+  const std::vector<int32_t>& bounds = bucket_bounds_[static_cast<size_t>(col)];
+  const std::vector<int64_t>& prefix = code_count_prefix_[static_cast<size_t>(col)];
+  const int nb = num_buckets(col);
+  std::vector<double> ev(static_cast<size_t>(nb), 0.0);
+  for (int b = 0; b < nb; ++b) {
+    const int32_t blo = bounds[static_cast<size_t>(b)];
+    const int32_t bhi = bounds[static_cast<size_t>(b) + 1];
+    const int32_t lo = std::max(blo, range.lo);
+    const int32_t hi = std::min(bhi, range.hi);
+    const int64_t bucket_rows =
+        bucket_row_counts_[static_cast<size_t>(col)][static_cast<size_t>(b)];
+    if (lo >= hi || bucket_rows == 0) continue;
+    const int64_t in_range =
+        prefix[static_cast<size_t>(hi)] - prefix[static_cast<size_t>(lo)];
+    ev[static_cast<size_t>(b)] =
+        static_cast<double>(in_range) / static_cast<double>(bucket_rows);
+  }
+  return ev;
+}
+
+std::vector<double> ChowLiuEstimator::UpwardMessage(
+    int col, const std::vector<std::vector<double>>& evidence) const {
+  // belief_c(b) = evidence_c(b) * prod_{child k} m_{k->c}(b)
+  const int nb = num_buckets(col);
+  std::vector<double> belief = evidence[static_cast<size_t>(col)];
+  for (int child : children_[static_cast<size_t>(col)]) {
+    const std::vector<double> child_msg = UpwardMessage(child, evidence);
+    const int bc = num_buckets(child);
+    const std::vector<double>& cpt = cpt_[static_cast<size_t>(child)];
+    for (int b = 0; b < nb; ++b) {
+      double sum = 0.0;
+      const double* row = cpt.data() + static_cast<size_t>(b) * static_cast<size_t>(bc);
+      for (int j = 0; j < bc; ++j) sum += row[j] * child_msg[static_cast<size_t>(j)];
+      belief[static_cast<size_t>(b)] *= sum;
+    }
+  }
+  return belief;
+}
+
+double ChowLiuEstimator::EstimateSelectivity(const query::Query& query) {
+  const std::vector<query::CodeRange> ranges = query.PerColumnRanges(table_);
+  std::vector<std::vector<double>> evidence(static_cast<size_t>(table_.num_columns()));
+  for (int c = 0; c < table_.num_columns(); ++c) {
+    const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+    if (r.empty()) return 0.0;
+    evidence[static_cast<size_t>(c)] = EvidenceForRange(c, r);
+  }
+  const std::vector<double> root_belief = UpwardMessage(root_, evidence);
+  double sel = 0.0;
+  for (size_t b = 0; b < root_belief.size(); ++b) {
+    sel += root_marginal_[b] * root_belief[b];
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double ChowLiuEstimator::SizeMB() const {
+  size_t doubles = root_marginal_.size();
+  for (const auto& c : cpt_) doubles += c.size();
+  size_t ints = 0;
+  for (const auto& b : bucket_bounds_) ints += b.size();
+  for (const auto& p : code_count_prefix_) ints += p.size();
+  return static_cast<double>(doubles * sizeof(double) + ints * sizeof(int64_t)) /
+         (1024.0 * 1024.0);
+}
+
+}  // namespace duet::baselines

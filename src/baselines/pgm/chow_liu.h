@@ -1,0 +1,91 @@
+// Chow-Liu tree probabilistic graphical model (PGM) baseline.
+//
+// Related work [40] (Chow & Liu 1968) approximates the joint distribution
+// with the maximum-spanning tree over pairwise mutual information; classic
+// PGM cardinality estimators use exactly this dependence-tree structure.
+// The reproduction builds the tree over equal-frequency *bucketized*
+// columns (contiguous code intervals, so range predicates translate to
+// exact per-bucket overlap fractions), estimates edge CPTs with Laplace
+// smoothing, and answers conjunctive range queries with one upward pass of
+// belief propagation using soft evidence — O(N * B^2) per query.
+//
+// Like DeepDB's RSPN it is a *structural* independence approximation: it
+// captures the strongest pairwise dependencies but cannot represent
+// higher-order interactions, which is the accuracy gap the paper's
+// learned-model comparisons (Table II) exhibit.
+#ifndef DUET_BASELINES_PGM_CHOW_LIU_H_
+#define DUET_BASELINES_PGM_CHOW_LIU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "query/estimator.h"
+#include "query/query.h"
+
+namespace duet::baselines {
+
+/// Chow-Liu estimator configuration.
+struct ChowLiuOptions {
+  /// Maximum number of equal-frequency buckets per column; columns with
+  /// fewer distinct values get one bucket per value (exact evidence).
+  int max_buckets = 64;
+  /// Laplace smoothing pseudo-count for CPT cells.
+  double laplace_alpha = 0.5;
+};
+
+/// Tree-structured Bayesian network over bucketized columns.
+class ChowLiuEstimator : public query::CardinalityEstimator {
+ public:
+  /// Builds structure + parameters from the table (one pass for buckets and
+  /// marginals, one pass per column pair for mutual information).
+  ChowLiuEstimator(const data::Table& table, ChowLiuOptions options = {});
+
+  double EstimateSelectivity(const query::Query& query) override;
+  std::string name() const override { return "PGM"; }
+  double SizeMB() const override;
+
+  /// Parent of column c in the directed tree (-1 for the root).
+  int parent(int c) const { return parents_[static_cast<size_t>(c)]; }
+  int root() const { return root_; }
+  int num_buckets(int c) const {
+    return static_cast<int>(bucket_row_counts_[static_cast<size_t>(c)].size());
+  }
+
+  /// Mutual information used for the tree edges (exposed for tests).
+  double EdgeMutualInformation(int a, int b) const;
+
+ private:
+  /// Per-column soft evidence: P(predicate satisfied | bucket).
+  std::vector<double> EvidenceForRange(int col, const query::CodeRange& range) const;
+
+  /// Recursive upward message of belief propagation.
+  std::vector<double> UpwardMessage(int col,
+                                    const std::vector<std::vector<double>>& evidence) const;
+
+  const data::Table& table_;
+  ChowLiuOptions options_;
+
+  // Bucketization: bucket b of column c covers codes
+  // [bucket_bounds_[c][b], bucket_bounds_[c][b+1]).
+  std::vector<std::vector<int32_t>> bucket_bounds_;
+  std::vector<std::vector<int64_t>> bucket_row_counts_;
+  // Per-code row counts (prefix-summed) for exact overlap evidence.
+  std::vector<std::vector<int64_t>> code_count_prefix_;
+
+  // Tree structure.
+  int root_ = 0;
+  std::vector<int> parents_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<double>> mi_;  // pairwise MI (symmetric)
+
+  // Parameters: root marginal and per-edge CPTs
+  // cpt_[c][p * B_c + b] = P(bucket_c = b | bucket_parent = p).
+  std::vector<double> root_marginal_;
+  std::vector<std::vector<double>> cpt_;
+};
+
+}  // namespace duet::baselines
+
+#endif  // DUET_BASELINES_PGM_CHOW_LIU_H_

@@ -1,0 +1,278 @@
+#include "baselines/spn/spn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace duet::baselines {
+
+namespace {
+
+/// Bins a code into [0, bins) proportionally to its position in the domain.
+int32_t BinOf(int32_t code, int32_t ndv, int32_t bins) {
+  if (ndv <= bins) return code;
+  return static_cast<int32_t>(static_cast<int64_t>(code) * bins / ndv);
+}
+
+/// Normalized mutual information of two columns over a row subset.
+double NormalizedMI(const data::Table& table, const std::vector<int64_t>& rows, int a, int b) {
+  constexpr int32_t kMaxBins = 16;
+  const int32_t bins_a = std::min<int32_t>(table.column(a).ndv(), kMaxBins);
+  const int32_t bins_b = std::min<int32_t>(table.column(b).ndv(), kMaxBins);
+  std::vector<double> joint(static_cast<size_t>(bins_a * bins_b), 0.0);
+  std::vector<double> pa(static_cast<size_t>(bins_a), 0.0);
+  std::vector<double> pb(static_cast<size_t>(bins_b), 0.0);
+  const double inv = 1.0 / static_cast<double>(rows.size());
+  for (int64_t r : rows) {
+    const int32_t ba = BinOf(table.code(r, a), table.column(a).ndv(), bins_a);
+    const int32_t bb = BinOf(table.code(r, b), table.column(b).ndv(), bins_b);
+    joint[static_cast<size_t>(ba * bins_b + bb)] += inv;
+    pa[static_cast<size_t>(ba)] += inv;
+    pb[static_cast<size_t>(bb)] += inv;
+  }
+  double mi = 0.0, ha = 0.0, hb = 0.0;
+  for (int32_t i = 0; i < bins_a; ++i) {
+    if (pa[static_cast<size_t>(i)] > 0.0) ha -= pa[static_cast<size_t>(i)] * std::log(pa[static_cast<size_t>(i)]);
+  }
+  for (int32_t j = 0; j < bins_b; ++j) {
+    if (pb[static_cast<size_t>(j)] > 0.0) hb -= pb[static_cast<size_t>(j)] * std::log(pb[static_cast<size_t>(j)]);
+  }
+  for (int32_t i = 0; i < bins_a; ++i) {
+    for (int32_t j = 0; j < bins_b; ++j) {
+      const double pij = joint[static_cast<size_t>(i * bins_b + j)];
+      if (pij <= 0.0) continue;
+      mi += pij * std::log(pij / (pa[static_cast<size_t>(i)] * pb[static_cast<size_t>(j)]));
+    }
+  }
+  const double h = std::min(ha, hb);
+  if (h <= 1e-12) return 0.0;  // a (near-)constant column is independent
+  return mi / h;
+}
+
+}  // namespace
+
+SpnEstimator::SpnEstimator(const data::Table& table, SpnOptions options)
+    : table_(table), options_(options) {
+  std::vector<int64_t> rows(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) rows[static_cast<size_t>(r)] = r;
+  std::vector<int> scope(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) scope[static_cast<size_t>(c)] = c;
+  root_ = Build(rows, scope, 0, options_.seed);
+}
+
+std::unique_ptr<SpnEstimator::Node> SpnEstimator::MakeLeaf(
+    const std::vector<int64_t>& rows, const std::vector<int>& scope) const {
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kLeaf;
+  node->scope = scope;
+  const double inv = 1.0 / static_cast<double>(rows.size());
+  for (int c : scope) {
+    const int32_t ndv = table_.column(c).ndv();
+    std::vector<double> freq(static_cast<size_t>(ndv), 0.0);
+    for (int64_t r : rows) freq[static_cast<size_t>(table_.code(r, c))] += inv;
+    std::vector<double> cum(static_cast<size_t>(ndv) + 1, 0.0);
+    for (int32_t k = 0; k < ndv; ++k) {
+      cum[static_cast<size_t>(k) + 1] = cum[static_cast<size_t>(k)] + freq[static_cast<size_t>(k)];
+    }
+    node->cum_hists.push_back(std::move(cum));
+  }
+  return node;
+}
+
+std::unique_ptr<SpnEstimator::Node> SpnEstimator::Build(const std::vector<int64_t>& rows,
+                                                        const std::vector<int>& scope,
+                                                        int depth, uint64_t seed) {
+  DUET_CHECK(!rows.empty());
+  DUET_CHECK(!scope.empty());
+  if (static_cast<int64_t>(rows.size()) < options_.min_instances || scope.size() == 1 ||
+      depth >= options_.max_depth) {
+    return MakeLeaf(rows, scope);
+  }
+  Rng rng(seed);
+
+  // --- Column split: connected components of the dependence graph. ---
+  std::vector<int64_t> dep_rows = rows;
+  if (static_cast<int64_t>(dep_rows.size()) > options_.dependence_sample) {
+    std::vector<int64_t> sampled;
+    sampled.reserve(static_cast<size_t>(options_.dependence_sample));
+    for (int64_t i = 0; i < options_.dependence_sample; ++i) {
+      sampled.push_back(dep_rows[rng.UniformInt(dep_rows.size())]);
+    }
+    dep_rows = std::move(sampled);
+  }
+  const int k = static_cast<int>(scope.size());
+  std::vector<int> parent(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) parent[static_cast<size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] = parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (NormalizedMI(table_, dep_rows, scope[static_cast<size_t>(i)],
+                       scope[static_cast<size_t>(j)]) > options_.dependence_threshold) {
+        parent[static_cast<size_t>(find(i))] = find(j);
+      }
+    }
+  }
+  std::vector<std::vector<int>> groups;
+  {
+    std::vector<int> group_of(static_cast<size_t>(k), -1);
+    for (int i = 0; i < k; ++i) {
+      const int root = find(i);
+      if (group_of[static_cast<size_t>(root)] < 0) {
+        group_of[static_cast<size_t>(root)] = static_cast<int>(groups.size());
+        groups.emplace_back();
+      }
+      groups[static_cast<size_t>(group_of[static_cast<size_t>(root)])].push_back(
+          scope[static_cast<size_t>(i)]);
+    }
+  }
+  if (groups.size() > 1) {
+    auto node = std::make_unique<Node>();
+    node->type = Node::Type::kProduct;
+    node->scope = scope;
+    for (const auto& g : groups) {
+      node->children.push_back(Build(rows, g, depth + 1, rng()));
+    }
+    return node;
+  }
+
+  // --- Row split: 2-means over z-scored codes of the scope columns. ---
+  const size_t dims = scope.size();
+  std::vector<double> mean(dims, 0.0), stdev(dims, 0.0);
+  for (size_t d = 0; d < dims; ++d) {
+    for (int64_t r : dep_rows) mean[d] += table_.code(r, scope[d]);
+    mean[d] /= static_cast<double>(dep_rows.size());
+    for (int64_t r : dep_rows) {
+      const double diff = table_.code(r, scope[d]) - mean[d];
+      stdev[d] += diff * diff;
+    }
+    stdev[d] = std::sqrt(stdev[d] / static_cast<double>(dep_rows.size()));
+    if (stdev[d] < 1e-9) stdev[d] = 1.0;
+  }
+  auto feature = [&](int64_t r, size_t d) {
+    return (static_cast<double>(table_.code(r, scope[d])) - mean[d]) / stdev[d];
+  };
+  // Initialize centroids from two random rows.
+  std::vector<double> c0(dims), c1(dims);
+  const int64_t r0 = rows[rng.UniformInt(rows.size())];
+  const int64_t r1 = rows[rng.UniformInt(rows.size())];
+  for (size_t d = 0; d < dims; ++d) {
+    c0[d] = feature(r0, d);
+    c1[d] = feature(r1, d) + 1e-3;
+  }
+  std::vector<uint8_t> assign(rows.size(), 0);
+  for (int iter = 0; iter < options_.kmeans_iters; ++iter) {
+    std::vector<double> n0(dims, 0.0), n1(dims, 0.0);
+    int64_t cnt0 = 0, cnt1 = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      double d0 = 0.0, d1 = 0.0;
+      for (size_t d = 0; d < dims; ++d) {
+        const double v = feature(rows[i], d);
+        d0 += (v - c0[d]) * (v - c0[d]);
+        d1 += (v - c1[d]) * (v - c1[d]);
+      }
+      assign[i] = d1 < d0 ? 1 : 0;
+      auto& acc = assign[i] ? n1 : n0;
+      for (size_t d = 0; d < dims; ++d) acc[d] += feature(rows[i], d);
+      (assign[i] ? cnt1 : cnt0)++;
+    }
+    if (cnt0 == 0 || cnt1 == 0) break;
+    for (size_t d = 0; d < dims; ++d) {
+      c0[d] = n0[d] / static_cast<double>(cnt0);
+      c1[d] = n1[d] / static_cast<double>(cnt1);
+    }
+  }
+  std::vector<int64_t> left, right;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    (assign[i] ? right : left).push_back(rows[i]);
+  }
+  if (left.empty() || right.empty()) {
+    return MakeLeaf(rows, scope);  // degenerate clustering
+  }
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kSum;
+  node->scope = scope;
+  node->weights = {static_cast<double>(left.size()) / static_cast<double>(rows.size()),
+                   static_cast<double>(right.size()) / static_cast<double>(rows.size())};
+  node->children.push_back(Build(left, scope, depth + 1, rng()));
+  node->children.push_back(Build(right, scope, depth + 1, rng()));
+  return node;
+}
+
+double SpnEstimator::Evaluate(const Node& node,
+                              const std::vector<query::CodeRange>& ranges) const {
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      double p = 1.0;
+      for (size_t i = 0; i < node.scope.size(); ++i) {
+        const int c = node.scope[i];
+        const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+        if (r.lo == 0 && r.hi == table_.column(c).ndv()) continue;
+        const auto& cum = node.cum_hists[i];
+        p *= cum[static_cast<size_t>(r.hi)] - cum[static_cast<size_t>(r.lo)];
+      }
+      return p;
+    }
+    case Node::Type::kProduct: {
+      double p = 1.0;
+      for (const auto& child : node.children) p *= Evaluate(*child, ranges);
+      return p;
+    }
+    case Node::Type::kSum: {
+      double p = 0.0;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        p += node.weights[i] * Evaluate(*node.children[i], ranges);
+      }
+      return p;
+    }
+  }
+  return 0.0;
+}
+
+double SpnEstimator::EstimateSelectivity(const query::Query& query) {
+  const auto ranges = query.PerColumnRanges(table_);
+  for (const query::CodeRange& r : ranges) {
+    if (r.empty()) return 0.0;
+  }
+  return Evaluate(*root_, ranges);
+}
+
+void SpnEstimator::Count(const Node& node, NodeCounts* counts) const {
+  switch (node.type) {
+    case Node::Type::kSum:
+      counts->sum++;
+      break;
+    case Node::Type::kProduct:
+      counts->product++;
+      break;
+    case Node::Type::kLeaf:
+      counts->leaf++;
+      break;
+  }
+  for (const auto& child : node.children) Count(*child, counts);
+}
+
+SpnEstimator::NodeCounts SpnEstimator::CountNodes() const {
+  NodeCounts counts;
+  Count(*root_, &counts);
+  return counts;
+}
+
+double SpnEstimator::NodeBytes(const Node& node) const {
+  double bytes = static_cast<double>(node.scope.size()) * 4.0 + 32.0;
+  for (const auto& h : node.cum_hists) bytes += static_cast<double>(h.size()) * 8.0;
+  for (const auto& child : node.children) bytes += NodeBytes(*child);
+  return bytes;
+}
+
+double SpnEstimator::SizeMB() const { return NodeBytes(*root_) / (1024.0 * 1024.0); }
+
+}  // namespace duet::baselines

@@ -1,0 +1,81 @@
+// DeepDB-style Relational Sum-Product Network (Hilprecht et al., VLDB 2020;
+// paper Sec. V-A5 #5).
+//
+// Structure learning recursively partitions the table: columns split into
+// independent groups when their pairwise (normalized mutual information)
+// dependence is below a threshold (Product node); otherwise rows are
+// clustered with 2-means (Sum node, weighted by cluster share); recursion
+// bottoms out in leaves that keep per-column histograms and assume
+// independence inside the leaf — the residual conditional-independence
+// assumption responsible for DeepDB's long-tail errors (paper Problem 2).
+#ifndef DUET_BASELINES_SPN_SPN_H_
+#define DUET_BASELINES_SPN_SPN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "query/estimator.h"
+
+namespace duet::baselines {
+
+/// SPN structure-learning knobs.
+struct SpnOptions {
+  /// Stop splitting below this many rows (DeepDB's min_instances_slice).
+  int64_t min_instances = 512;
+  /// Columns whose normalized MI exceeds this are considered dependent.
+  double dependence_threshold = 0.08;
+  /// Rows sampled for the pairwise dependence test.
+  int64_t dependence_sample = 3000;
+  int kmeans_iters = 8;
+  int max_depth = 24;
+  uint64_t seed = 11;
+};
+
+/// Sum-product-network estimator over one table.
+class SpnEstimator : public query::CardinalityEstimator {
+ public:
+  SpnEstimator(const data::Table& table, SpnOptions options = {});
+
+  double EstimateSelectivity(const query::Query& query) override;
+  std::string name() const override { return "DeepDB"; }
+  double SizeMB() const override;
+
+  /// Introspection for tests: node counts by type.
+  struct NodeCounts {
+    int sum = 0;
+    int product = 0;
+    int leaf = 0;
+  };
+  NodeCounts CountNodes() const;
+
+ private:
+  struct Node {
+    enum class Type { kSum, kProduct, kLeaf };
+    Type type = Type::kLeaf;
+    std::vector<int> scope;  // columns this node models
+    // Sum node:
+    std::vector<double> weights;
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf node: per-scope-column cumulative histograms (size ndv+1).
+    std::vector<std::vector<double>> cum_hists;
+  };
+
+  std::unique_ptr<Node> Build(const std::vector<int64_t>& rows, const std::vector<int>& scope,
+                              int depth, uint64_t seed);
+  std::unique_ptr<Node> MakeLeaf(const std::vector<int64_t>& rows,
+                                 const std::vector<int>& scope) const;
+  double Evaluate(const Node& node, const std::vector<query::CodeRange>& ranges) const;
+  void Count(const Node& node, NodeCounts* counts) const;
+  double NodeBytes(const Node& node) const;
+
+  const data::Table& table_;
+  SpnOptions options_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace duet::baselines
+
+#endif  // DUET_BASELINES_SPN_SPN_H_

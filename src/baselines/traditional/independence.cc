@@ -1,0 +1,39 @@
+#include "baselines/traditional/independence.h"
+
+namespace duet::baselines {
+
+IndependenceEstimator::IndependenceEstimator(const data::Table& table) : table_(table) {
+  const double inv_rows = 1.0 / static_cast<double>(table.num_rows());
+  cum_.resize(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const data::Column& col = table.column(c);
+    std::vector<double> freq(static_cast<size_t>(col.ndv()), 0.0);
+    for (int32_t code : col.codes()) freq[static_cast<size_t>(code)] += inv_rows;
+    std::vector<double>& cum = cum_[static_cast<size_t>(c)];
+    cum.assign(static_cast<size_t>(col.ndv()) + 1, 0.0);
+    for (int32_t k = 0; k < col.ndv(); ++k) {
+      cum[static_cast<size_t>(k) + 1] = cum[static_cast<size_t>(k)] + freq[static_cast<size_t>(k)];
+    }
+  }
+}
+
+double IndependenceEstimator::EstimateSelectivity(const query::Query& query) {
+  const auto ranges = query.PerColumnRanges(table_);
+  double sel = 1.0;
+  for (int c = 0; c < table_.num_columns(); ++c) {
+    const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+    if (r.empty()) return 0.0;
+    if (r.lo == 0 && r.hi == table_.column(c).ndv()) continue;
+    const std::vector<double>& cum = cum_[static_cast<size_t>(c)];
+    sel *= cum[static_cast<size_t>(r.hi)] - cum[static_cast<size_t>(r.lo)];
+  }
+  return sel;
+}
+
+double IndependenceEstimator::SizeMB() const {
+  int64_t entries = 0;
+  for (const auto& c : cum_) entries += static_cast<int64_t>(c.size());
+  return static_cast<double>(entries) * 8.0 / (1024.0 * 1024.0);
+}
+
+}  // namespace duet::baselines

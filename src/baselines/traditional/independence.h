@@ -1,0 +1,32 @@
+// Traditional baseline: attribute-value-independence estimator (paper
+// Sec. V-A5 #2). Keeps exact per-column histograms and multiplies the
+// per-predicate selectivities.
+#ifndef DUET_BASELINES_TRADITIONAL_INDEPENDENCE_H_
+#define DUET_BASELINES_TRADITIONAL_INDEPENDENCE_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "query/estimator.h"
+
+namespace duet::baselines {
+
+/// Independence-assumption estimator with exact 1-D histograms.
+class IndependenceEstimator : public query::CardinalityEstimator {
+ public:
+  explicit IndependenceEstimator(const data::Table& table);
+
+  double EstimateSelectivity(const query::Query& query) override;
+  std::string name() const override { return "Indep"; }
+  double SizeMB() const override;
+
+ private:
+  const data::Table& table_;
+  /// freq_[c][code] = fraction of rows with that code; prefix-summed for
+  /// O(1) range mass: cum_[c][k] = sum of freq over codes < k.
+  std::vector<std::vector<double>> cum_;
+};
+
+}  // namespace duet::baselines
+
+#endif  // DUET_BASELINES_TRADITIONAL_INDEPENDENCE_H_

@@ -1,0 +1,139 @@
+#include "baselines/traditional/mhist.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace duet::baselines {
+
+namespace {
+
+/// Build-time bucket: bounds + the rows it currently owns.
+struct BuildBucket {
+  std::vector<int32_t> lo;
+  std::vector<int32_t> hi;
+  std::vector<int64_t> rows;
+};
+
+}  // namespace
+
+MHistEstimator::MHistEstimator(const data::Table& table, int num_buckets) : table_(table) {
+  DUET_CHECK_GE(num_buckets, 1);
+  const int n = table.num_columns();
+
+  auto root = std::make_unique<BuildBucket>();
+  root->lo.assign(static_cast<size_t>(n), 0);
+  root->hi.resize(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) root->hi[static_cast<size_t>(c)] = table.column(c).ndv() - 1;
+  root->rows.resize(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) root->rows[static_cast<size_t>(r)] = r;
+
+  // Max-heap on row count.
+  auto cmp = [](const std::unique_ptr<BuildBucket>& a, const std::unique_ptr<BuildBucket>& b) {
+    return a->rows.size() < b->rows.size();
+  };
+  std::vector<std::unique_ptr<BuildBucket>> heap;
+  heap.push_back(std::move(root));
+  std::vector<std::unique_ptr<BuildBucket>> done;
+
+  while (static_cast<int>(heap.size() + done.size()) < num_buckets && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    std::unique_ptr<BuildBucket> bucket = std::move(heap.back());
+    heap.pop_back();
+    if (bucket->rows.size() <= 1) {
+      done.push_back(std::move(bucket));
+      continue;
+    }
+    // Split dimension: the one with the widest code span.
+    int dim = -1;
+    int32_t best_span = 0;
+    for (int c = 0; c < n; ++c) {
+      const int32_t span = bucket->hi[static_cast<size_t>(c)] - bucket->lo[static_cast<size_t>(c)];
+      if (span > best_span) {
+        best_span = span;
+        dim = c;
+      }
+    }
+    if (dim < 0) {  // single-cell bucket, cannot split further
+      done.push_back(std::move(bucket));
+      continue;
+    }
+    // Median code of the bucket's rows along `dim`.
+    std::vector<int32_t> codes;
+    codes.reserve(bucket->rows.size());
+    for (int64_t r : bucket->rows) codes.push_back(table.code(r, dim));
+    std::nth_element(codes.begin(), codes.begin() + static_cast<int64_t>(codes.size() / 2),
+                     codes.end());
+    int32_t split = codes[codes.size() / 2];
+    // Left = codes <= split; ensure both halves are non-empty in code space.
+    if (split >= bucket->hi[static_cast<size_t>(dim)]) {
+      split = bucket->hi[static_cast<size_t>(dim)] - 1;
+    }
+    if (split < bucket->lo[static_cast<size_t>(dim)]) {
+      done.push_back(std::move(bucket));
+      continue;
+    }
+    auto left = std::make_unique<BuildBucket>();
+    auto right = std::make_unique<BuildBucket>();
+    left->lo = bucket->lo;
+    left->hi = bucket->hi;
+    left->hi[static_cast<size_t>(dim)] = split;
+    right->lo = bucket->lo;
+    right->hi = bucket->hi;
+    right->lo[static_cast<size_t>(dim)] = split + 1;
+    for (int64_t r : bucket->rows) {
+      if (table.code(r, dim) <= split) {
+        left->rows.push_back(r);
+      } else {
+        right->rows.push_back(r);
+      }
+    }
+    heap.push_back(std::move(left));
+    std::push_heap(heap.begin(), heap.end(), cmp);
+    heap.push_back(std::move(right));
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  }
+  for (auto& b : heap) done.push_back(std::move(b));
+
+  buckets_.reserve(done.size());
+  for (const auto& b : done) {
+    if (b->rows.empty()) continue;
+    Bucket out;
+    out.lo = b->lo;
+    out.hi = b->hi;
+    out.count = static_cast<double>(b->rows.size());
+    buckets_.push_back(std::move(out));
+  }
+}
+
+double MHistEstimator::EstimateSelectivity(const query::Query& query) {
+  const auto ranges = query.PerColumnRanges(table_);
+  const int n = table_.num_columns();
+  double total = 0.0;
+  for (const Bucket& b : buckets_) {
+    double frac = 1.0;
+    for (int c = 0; c < n && frac > 0.0; ++c) {
+      const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+      // Query interval [r.lo, r.hi) vs bucket interval [b.lo, b.hi].
+      const int32_t lo = std::max(r.lo, b.lo[static_cast<size_t>(c)]);
+      const int32_t hi = std::min(r.hi - 1, b.hi[static_cast<size_t>(c)]);
+      if (lo > hi) {
+        frac = 0.0;
+        break;
+      }
+      const int32_t bucket_len = b.hi[static_cast<size_t>(c)] - b.lo[static_cast<size_t>(c)] + 1;
+      frac *= static_cast<double>(hi - lo + 1) / static_cast<double>(bucket_len);
+    }
+    total += frac * b.count;
+  }
+  return total / static_cast<double>(table_.num_rows());
+}
+
+double MHistEstimator::SizeMB() const {
+  const double per_bucket = static_cast<double>(table_.num_columns()) * 2.0 * 4.0 + 8.0;
+  return static_cast<double>(buckets_.size()) * per_bucket / (1024.0 * 1024.0);
+}
+
+}  // namespace duet::baselines

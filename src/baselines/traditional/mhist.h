@@ -1,0 +1,42 @@
+// Traditional baseline: MHist n-dimensional histogram (paper Sec. V-A5 #3,
+// after Poosala & Ioannidis). MHIST-2 style greedy construction: repeatedly
+// split the heaviest bucket along its most-spread dimension at the median
+// code, until the bucket budget is exhausted. Estimation assumes uniformity
+// inside each bucket (fractional overlap product across dimensions).
+#ifndef DUET_BASELINES_TRADITIONAL_MHIST_H_
+#define DUET_BASELINES_TRADITIONAL_MHIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "query/estimator.h"
+
+namespace duet::baselines {
+
+/// Multi-dimensional equi-ish-depth histogram.
+class MHistEstimator : public query::CardinalityEstimator {
+ public:
+  /// Builds up to `num_buckets` buckets over the full table.
+  MHistEstimator(const data::Table& table, int num_buckets = 1024);
+
+  double EstimateSelectivity(const query::Query& query) override;
+  std::string name() const override { return "MHist"; }
+  double SizeMB() const override;
+
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+ private:
+  struct Bucket {
+    std::vector<int32_t> lo;  // inclusive per-dimension code bounds
+    std::vector<int32_t> hi;
+    double count = 0.0;
+  };
+
+  const data::Table& table_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace duet::baselines
+
+#endif  // DUET_BASELINES_TRADITIONAL_MHIST_H_

@@ -1,0 +1,55 @@
+#include "baselines/traditional/sampling.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace duet::baselines {
+
+SamplingEstimator::SamplingEstimator(const data::Table& table, double fraction, uint64_t seed)
+    : table_(table) {
+  DUET_CHECK_GT(fraction, 0.0);
+  DUET_CHECK_LE(fraction, 1.0);
+  const int64_t rows = table.num_rows();
+  const int64_t take = std::max<int64_t>(1, static_cast<int64_t>(rows * fraction));
+  Rng rng(seed);
+  std::vector<uint32_t> perm = rng.Permutation(static_cast<uint32_t>(rows));
+  sample_rows_.reserve(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) sample_rows_.push_back(perm[static_cast<size_t>(i)]);
+  std::sort(sample_rows_.begin(), sample_rows_.end());
+}
+
+double SamplingEstimator::EstimateSelectivity(const query::Query& query) {
+  const auto ranges = query.PerColumnRanges(table_);
+  // Restrict the scan to constrained columns.
+  std::vector<int> cols;
+  for (int c = 0; c < table_.num_columns(); ++c) {
+    const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+    if (r.empty()) return 0.0;
+    if (r.lo != 0 || r.hi != table_.column(c).ndv()) cols.push_back(c);
+  }
+  if (cols.empty()) return 1.0;
+  int64_t hits = 0;
+  for (int64_t row : sample_rows_) {
+    bool ok = true;
+    for (int c : cols) {
+      const int32_t code = table_.code(row, c);
+      const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+      if (code < r.lo || code >= r.hi) {
+        ok = false;
+        break;
+      }
+    }
+    hits += ok ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(sample_rows_.size());
+}
+
+double SamplingEstimator::SizeMB() const {
+  // The sample stores one code per column per sampled row (int32).
+  return static_cast<double>(sample_rows_.size()) * table_.num_columns() * 4.0 /
+         (1024.0 * 1024.0);
+}
+
+}  // namespace duet::baselines

@@ -1,0 +1,33 @@
+// Traditional baseline: uniform-sample estimator (paper Sec. V-A5 #1).
+// Materializes p% of the rows and answers queries by scanning the sample.
+#ifndef DUET_BASELINES_TRADITIONAL_SAMPLING_H_
+#define DUET_BASELINES_TRADITIONAL_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "query/estimator.h"
+
+namespace duet::baselines {
+
+/// Uniform row-sample estimator.
+class SamplingEstimator : public query::CardinalityEstimator {
+ public:
+  /// Samples `fraction` of the table's rows (at least 1) with `seed`.
+  SamplingEstimator(const data::Table& table, double fraction = 0.01, uint64_t seed = 42);
+
+  double EstimateSelectivity(const query::Query& query) override;
+  std::string name() const override { return "Sampling"; }
+  double SizeMB() const override;
+
+  int64_t sample_size() const { return static_cast<int64_t>(sample_rows_.size()); }
+
+ private:
+  const data::Table& table_;
+  std::vector<int64_t> sample_rows_;
+};
+
+}  // namespace duet::baselines
+
+#endif  // DUET_BASELINES_TRADITIONAL_SAMPLING_H_

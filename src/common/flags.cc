@@ -1,0 +1,55 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace duet {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;  // positional args are ignored
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Flags::GetString(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stoll(it->second);
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Flags::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+double Flags::ScaleFactor() {
+  const char* env = std::getenv("DUET_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  DUET_CHECK_GT(v, 0.0) << "DUET_BENCH_SCALE must be positive";
+  return v;
+}
+
+}  // namespace duet

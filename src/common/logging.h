@@ -1,0 +1,49 @@
+// Minimal logging / assertion macros used across the library.
+//
+// CHECK-style macros abort with a readable message; they are always on
+// (cardinality estimators guard invariants cheaply relative to model math).
+#ifndef DUET_COMMON_LOGGING_H_
+#define DUET_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace duet {
+
+namespace internal {
+
+/// Accumulates a fatal message and aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace duet
+
+#define DUET_CHECK(cond)                                              \
+  if (!(cond))                                                        \
+  ::duet::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define DUET_CHECK_OP(a, b, op) DUET_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define DUET_CHECK_EQ(a, b) DUET_CHECK_OP(a, b, ==)
+#define DUET_CHECK_NE(a, b) DUET_CHECK_OP(a, b, !=)
+#define DUET_CHECK_LT(a, b) DUET_CHECK_OP(a, b, <)
+#define DUET_CHECK_LE(a, b) DUET_CHECK_OP(a, b, <=)
+#define DUET_CHECK_GT(a, b) DUET_CHECK_OP(a, b, >)
+#define DUET_CHECK_GE(a, b) DUET_CHECK_OP(a, b, >=)
+
+#endif  // DUET_COMMON_LOGGING_H_

@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace duet {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  DUET_CHECK_GT(n, 0u);
+  // Lemire's nearly-divisionless rejection method.
+  uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  DUET_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+float Rng::UniformFloat() { return static_cast<float>((*this)() >> 40) * 0x1.0p-24f; }
+
+double Rng::Gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gamma(double shape, double scale) {
+  DUET_CHECK_GT(shape, 0.0);
+  DUET_CHECK_GT(scale, 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and correct with a power of a uniform variate.
+    const double u = std::max(UniformDouble(), 1e-300);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = Gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = UniformDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 1e-300 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(UniformInt(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Split() { return Rng((*this)()); }
+
+ZipfDistribution::ZipfDistribution(uint32_t n, double s) {
+  DUET_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+uint32_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint32_t rank) const {
+  DUET_CHECK_LT(rank, cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace duet

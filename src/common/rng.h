@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation and the distributions the
+// reproduction needs (uniform, normal, gamma, zipf).
+//
+// Everything in the repository that involves randomness takes an explicit
+// seed so that datasets, workloads, model initialization and training runs
+// are bit-reproducible. The engine is xoshiro256++ seeded via SplitMix64,
+// which is fast, high quality, and trivially portable.
+#ifndef DUET_COMMON_RNG_H_
+#define DUET_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace duet {
+
+/// xoshiro256++ PRNG with SplitMix64 seeding.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions where convenient, but the member samplers
+/// below are preferred for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [0, 1).
+  float UniformFloat();
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double Gaussian();
+
+  /// Gamma(shape k, scale theta) via Marsaglia-Tsang; used by the workload
+  /// generator to skew the number of predicates per query (paper Sec. V-A2).
+  double Gamma(double shape, double scale);
+
+  /// Bernoulli with probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+  /// Derive an independent child generator (for per-thread streams).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Zipf(1..n, s) sampler with precomputed CDF; used by the synthetic data
+/// generators to produce the skewed marginals the paper's datasets exhibit.
+class ZipfDistribution {
+ public:
+  /// Builds a sampler over ranks {0, ..., n-1} with exponent `s` >= 0.
+  /// s == 0 degenerates to uniform.
+  ZipfDistribution(uint32_t n, double s);
+
+  /// Draws one rank (0-based; rank 0 is the most frequent).
+  uint32_t Sample(Rng& rng) const;
+
+  /// Probability mass of a rank.
+  double Pmf(uint32_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace duet
+
+#endif  // DUET_COMMON_RNG_H_

@@ -1,0 +1,95 @@
+#include "common/serialize.h"
+
+#include "common/logging.h"
+
+namespace duet {
+
+void BinaryWriter::WriteU32(uint32_t v) { out_.write(reinterpret_cast<const char*>(&v), sizeof v); }
+void BinaryWriter::WriteU64(uint64_t v) { out_.write(reinterpret_cast<const char*>(&v), sizeof v); }
+void BinaryWriter::WriteI64(int64_t v) { out_.write(reinterpret_cast<const char*>(&v), sizeof v); }
+void BinaryWriter::WriteF32(float v) { out_.write(reinterpret_cast<const char*>(&v), sizeof v); }
+void BinaryWriter::WriteF64(double v) { out_.write(reinterpret_cast<const char*>(&v), sizeof v); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteF32Vector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+}
+
+void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
+}
+
+void BinaryReader::ReadRaw(void* dst, size_t n) {
+  in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  DUET_CHECK(in_.good()) << "truncated or corrupt binary stream";
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+int64_t BinaryReader::ReadI64() {
+  int64_t v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+float BinaryReader::ReadF32() {
+  float v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+double BinaryReader::ReadF64() {
+  double v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  std::string s(n, '\0');
+  if (n > 0) ReadRaw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadF32Vector() {
+  const uint64_t n = ReadU64();
+  std::vector<float> v(n);
+  if (n > 0) ReadRaw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<int64_t> BinaryReader::ReadI64Vector() {
+  const uint64_t n = ReadU64();
+  std::vector<int64_t> v(n);
+  if (n > 0) ReadRaw(v.data(), n * sizeof(int64_t));
+  return v;
+}
+
+std::vector<uint32_t> BinaryReader::ReadU32Vector() {
+  const uint64_t n = ReadU64();
+  std::vector<uint32_t> v(n);
+  if (n > 0) ReadRaw(v.data(), n * sizeof(uint32_t));
+  return v;
+}
+
+}  // namespace duet

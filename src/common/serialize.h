@@ -1,0 +1,56 @@
+// Tiny binary (de)serialization layer used for model checkpoints and
+// dataset caching. Little-endian, length-prefixed, with a magic header and
+// format version so stale checkpoints fail loudly instead of silently.
+#ifndef DUET_COMMON_SERIALIZE_H_
+#define DUET_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace duet {
+
+/// Streaming binary writer.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteF32Vector(const std::vector<float>& v);
+  void WriteI64Vector(const std::vector<int64_t>& v);
+  void WriteU32Vector(const std::vector<uint32_t>& v);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Streaming binary reader; every method DUET_CHECKs stream health.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadF32Vector();
+  std::vector<int64_t> ReadI64Vector();
+  std::vector<uint32_t> ReadU32Vector();
+
+ private:
+  void ReadRaw(void* dst, size_t n);
+  std::istream& in_;
+};
+
+}  // namespace duet
+
+#endif  // DUET_COMMON_SERIALIZE_H_

@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace duet {
+
+double Percentile(std::vector<double> values, double q) {
+  DUET_CHECK(!values.empty());
+  DUET_CHECK_GE(q, 0.0);
+  DUET_CHECK_LE(q, 100.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+ErrorSummary ErrorSummary::FromValues(const std::vector<double>& values) {
+  ErrorSummary s;
+  if (values.empty()) return s;
+  s.mean = duet::Mean(values);
+  s.median = Percentile(values, 50.0);
+  s.p75 = Percentile(values, 75.0);
+  s.p99 = Percentile(values, 99.0);
+  s.max = Percentile(values, 100.0);
+  return s;
+}
+
+std::string ErrorSummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%8.3f %8.3f %8.3f %10.3f %10.3f", mean, median, p75, p99,
+                max);
+  return buf;
+}
+
+}  // namespace duet

@@ -1,0 +1,34 @@
+// Summary statistics over error distributions (the paper reports
+// mean / median / 75th / 99th / max Q-error, Table II).
+#ifndef DUET_COMMON_STATS_H_
+#define DUET_COMMON_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace duet {
+
+/// Percentile with linear interpolation; q in [0, 100]. Sorts a copy.
+double Percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// The five-number summary the paper's Table II reports per workload.
+struct ErrorSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  /// Computes the summary from raw q-errors.
+  static ErrorSummary FromValues(const std::vector<double>& values);
+
+  /// "mean median p75 p99 max" with fixed formatting for bench tables.
+  std::string ToString() const;
+};
+
+}  // namespace duet
+
+#endif  // DUET_COMMON_STATS_H_

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace duet {
+
+namespace {
+// Nested ParallelFor calls from inside a worker run serially; the global
+// pool's Wait() tracks all in-flight tasks, so re-entering it from a worker
+// would deadlock.
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DUET_CHECK(!stop_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    t_inside_worker = true;
+    task();
+    t_inside_worker = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+/// Global pool slot; intentionally leaked (workers outlive static dtors).
+ThreadPool*& GlobalSlot() {
+  static ThreadPool* pool = nullptr;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  ThreadPool*& slot = GlobalSlot();
+  if (slot == nullptr) slot = new ThreadPool();
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(unsigned num_threads) {
+  ThreadPool*& slot = GlobalSlot();
+  delete slot;  // joins the old workers
+  slot = new ThreadPool(num_threads);
+}
+
+void ParallelFor(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn,
+                 bool parallel, int64_t grain) {
+  ParallelForChunked(
+      begin, end,
+      [&fn](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      parallel, grain);
+}
+
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn, bool parallel,
+                        int64_t grain) {
+  if (begin >= end) return;
+  const int64_t n = end - begin;
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t max_chunks = static_cast<int64_t>(pool.num_threads()) * 4;
+  // A single-worker pool cannot overlap anything with the caller; chunking
+  // through it only buys context switches.
+  if (!parallel || t_inside_worker || n <= grain || max_chunks <= 1 ||
+      pool.num_threads() <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunk = std::max<int64_t>((n + max_chunks - 1) / max_chunks, grain);
+  for (int64_t lo = begin; lo < end; lo += chunk) {
+    const int64_t hi = std::min(lo + chunk, end);
+    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.Wait();
+}
+
+}  // namespace duet

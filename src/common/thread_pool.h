@@ -1,0 +1,74 @@
+// A small fixed-size thread pool plus a blocking ParallelFor helper.
+//
+// The paper parallelizes Algorithm 1 (virtual-tuple sampling) per column and
+// the MPSN encoders per column with "multi-threading to avoid the Python GIL
+// limitation"; this pool is the C++ substrate for those paths and for
+// batch-parallel inference (the stand-in for GPU batching, see DESIGN.md).
+#ifndef DUET_COMMON_THREAD_POOL_H_
+#define DUET_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace duet {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; Wait() blocks
+/// until all submitted tasks have drained.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means std::thread::hardware_concurrency).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Process-wide pool (lazily constructed, hardware concurrency).
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `num_threads` workers (0 =
+  /// hardware concurrency). Must only be called while no parallel work is in
+  /// flight; existing workers are joined first. Used by the thread-scaling
+  /// ablation bench.
+  static void SetGlobalThreads(unsigned num_threads);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  uint64_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, splitting the range into
+/// contiguous chunks. Falls back to a serial loop for tiny ranges or when
+/// `parallel` is false (useful to measure single-thread costs).
+void ParallelFor(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn,
+                 bool parallel = true, int64_t grain = 1024);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) per contiguous chunk. This is
+/// the workhorse for vectorized column kernels.
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        bool parallel = true, int64_t grain = 1024);
+
+}  // namespace duet
+
+#endif  // DUET_COMMON_THREAD_POOL_H_

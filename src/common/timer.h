@@ -1,0 +1,50 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#ifndef DUET_COMMON_TIMER_H_
+#define DUET_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace duet {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across repeated Start/Stop sections (used to split
+/// estimation latency into encode / forward / mask phases for Fig. 6).
+class AccumTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_ += timer_.Seconds(); }
+  void Clear() { total_ = 0.0; }
+  double Seconds() const { return total_; }
+  double Millis() const { return total_ * 1e3; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace duet
+
+#endif  // DUET_COMMON_TIMER_H_

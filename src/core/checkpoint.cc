@@ -1,0 +1,69 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace duet::core {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x44554554;  // "DUET"
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  // Mix each byte of v into the running FNV-1a state.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ModuleFingerprint(const nn::Module& module) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(h, static_cast<uint64_t>(module.parameters().size()));
+  for (const tensor::Tensor& p : module.parameters()) {
+    h = Fnv1a(h, static_cast<uint64_t>(p.ndim()));
+    for (int64_t d : p.shape()) h = Fnv1a(h, static_cast<uint64_t>(d));
+  }
+  return h;
+}
+
+void SaveModuleFile(const std::string& path, const std::string& kind,
+                    const nn::Module& module) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DUET_CHECK(out.good()) << "cannot open checkpoint for writing: " << path;
+  BinaryWriter w(out);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteString(kind);
+  w.WriteU64(ModuleFingerprint(module));
+  module.Save(w);
+  out.flush();
+  DUET_CHECK(out.good()) << "short write on checkpoint: " << path;
+}
+
+void LoadModuleFile(const std::string& path, const std::string& kind, nn::Module* module) {
+  DUET_CHECK(module != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  DUET_CHECK(in.good()) << "cannot open checkpoint: " << path;
+  BinaryReader r(in);
+  const uint32_t magic = r.ReadU32();
+  DUET_CHECK_EQ(magic, kMagic) << "not a duet checkpoint: " << path;
+  const uint32_t version = r.ReadU32();
+  DUET_CHECK_EQ(version, kVersion) << "unsupported checkpoint version in " << path;
+  const std::string file_kind = r.ReadString();
+  DUET_CHECK(file_kind == kind) << "checkpoint holds a '" << file_kind
+                                << "' model, expected '" << kind << "': " << path;
+  const uint64_t fingerprint = r.ReadU64();
+  DUET_CHECK_EQ(fingerprint, ModuleFingerprint(*module))
+      << "architecture fingerprint mismatch for " << path
+      << " (the checkpoint was produced by a differently shaped model)";
+  module->Load(r);
+}
+
+}  // namespace duet::core

@@ -1,0 +1,35 @@
+// Versioned model checkpoints on disk.
+//
+// A deployed estimator (paper Sec. IV-D: "such a mechanism allows users to
+// fine-tune the model based on history query workloads after it is
+// deployed") needs durable model state. Checkpoints carry a magic tag, a
+// format version, a model-kind string and an architecture fingerprint
+// (hashed parameter shapes), so loading a stale or mismatched file fails
+// loudly with a readable message instead of silently corrupting weights.
+#ifndef DUET_CORE_CHECKPOINT_H_
+#define DUET_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.h"
+
+namespace duet::core {
+
+/// Hash of a module's parameter shapes (FNV-1a over count, ndim, dims).
+/// Two modules share a fingerprint iff their parameter layouts agree.
+uint64_t ModuleFingerprint(const nn::Module& module);
+
+/// Writes `module`'s parameters to `path` under a validated header.
+/// `kind` names the model class (e.g. "duet", "naru", "mscn").
+void SaveModuleFile(const std::string& path, const std::string& kind,
+                    const nn::Module& module);
+
+/// Loads parameters saved by SaveModuleFile into an already-constructed
+/// module of the same architecture. Aborts with a readable message if the
+/// file is missing/corrupt, the kind differs, or the fingerprint mismatches.
+void LoadModuleFile(const std::string& path, const std::string& kind, nn::Module* module);
+
+}  // namespace duet::core
+
+#endif  // DUET_CORE_CHECKPOINT_H_

@@ -1,0 +1,38 @@
+#include "core/disjunction.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace duet::core {
+
+query::Query IntersectClauses(const std::vector<const query::Query*>& clauses) {
+  query::Query out;
+  for (const query::Query* clause : clauses) {
+    for (const query::Predicate& p : clause->predicates) {
+      out.predicates.push_back(p);
+    }
+  }
+  return out;
+}
+
+double EstimateDisjunction(query::CardinalityEstimator& estimator,
+                           const std::vector<query::Query>& clauses) {
+  DUET_CHECK_GE(clauses.size(), 1u);
+  DUET_CHECK_LE(clauses.size(), 20u) << "inclusion-exclusion is exponential in clauses";
+  const size_t k = clauses.size();
+  double total = 0.0;
+  // Subsets are enumerated by bitmask; parity gives the sign.
+  for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+    std::vector<const query::Query*> subset;
+    for (size_t i = 0; i < k; ++i) {
+      if (mask & (1u << i)) subset.push_back(&clauses[i]);
+    }
+    const query::Query intersection = IntersectClauses(subset);
+    const double sel = estimator.EstimateSelectivity(intersection);
+    total += (subset.size() % 2 == 1 ? 1.0 : -1.0) * sel;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+}  // namespace duet::core

@@ -1,0 +1,29 @@
+// Disjunction support (paper Sec. III: "its estimation can be performed by
+// converting disjunction into conjunction").
+//
+// A disjunction of conjunctive clauses (DNF) is estimated with
+// inclusion-exclusion: every intersection of clauses is itself a
+// conjunction (per-column code-range intersection), so each term is one
+// ordinary Duet estimate. Exponential in the number of clauses — intended
+// for the small disjunction counts query optimizers actually see.
+#ifndef DUET_CORE_DISJUNCTION_H_
+#define DUET_CORE_DISJUNCTION_H_
+
+#include <vector>
+
+#include "query/estimator.h"
+#include "query/query.h"
+
+namespace duet::core {
+
+/// Conjunction of the predicates of several clauses (their AND).
+query::Query IntersectClauses(const std::vector<const query::Query*>& clauses);
+
+/// Selectivity of `clause_1 OR ... OR clause_k` via inclusion-exclusion
+/// against any conjunctive estimator. Requires 1 <= k <= 20.
+double EstimateDisjunction(query::CardinalityEstimator& estimator,
+                           const std::vector<query::Query>& clauses);
+
+}  // namespace duet::core
+
+#endif  // DUET_CORE_DISJUNCTION_H_

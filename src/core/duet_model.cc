@@ -1,0 +1,217 @@
+#include "core/duet_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace duet::core {
+
+using tensor::Tensor;
+
+namespace {
+/// Selectivity factors are floored at this value before the log-space
+/// product so hybrid-training gradients stay finite.
+constexpr float kSelEps = 1e-12f;
+}  // namespace
+
+DuetModel::DuetModel(const data::Table& table, DuetModelOptions options)
+    : table_(table), options_(std::move(options)), encoder_(table, options_.encoding) {
+  Rng rng(options_.seed);
+  if (options_.backbone == DuetBackbone::kTransformer) {
+    nn::TransformerOptions t_opt;
+    t_opt.input_widths = encoder_.BlockWidths();
+    t_opt.output_widths = table.ColumnNdvs();
+    t_opt.config = options_.transformer;
+    net_ = std::make_unique<nn::BlockTransformer>(std::move(t_opt), rng);
+  } else {
+    nn::MadeOptions made_opt;
+    made_opt.input_widths = encoder_.BlockWidths();
+    made_opt.output_widths = table.ColumnNdvs();
+    made_opt.hidden_sizes = options_.hidden_sizes;
+    made_opt.residual = options_.residual;
+    net_ = std::make_unique<nn::Made>(made_opt, rng);
+  }
+  RegisterChild(*net_);
+}
+
+Tensor DuetModel::EncodeVirtualBatch(const VirtualBatch& batch) const {
+  DUET_CHECK_EQ(batch.num_columns, table_.num_columns());
+  const int64_t b = batch.batch;
+  const int64_t d = encoder_.total_width();
+  Tensor x = Tensor::Zeros({b, d});
+  float* xp = x.data();
+  for (int64_t r = 0; r < b; ++r) {
+    float* row = xp + r * d;
+    for (int c = 0; c < batch.num_columns; ++c) {
+      const int8_t op = batch.op_at(r, c);
+      if (op < 0) continue;  // wildcard block stays zero
+      encoder_.EncodePredicate(c, static_cast<query::PredOp>(op), batch.code_at(r, c),
+                               row + encoder_.block_offset(c));
+    }
+  }
+  return x;
+}
+
+Tensor DuetModel::ForwardLogits(const Tensor& x) const { return net_->Forward(x); }
+
+Tensor DuetModel::DataLoss(const VirtualBatch& batch) const {
+  const Tensor x = EncodeVirtualBatch(batch);
+  const Tensor logits = ForwardLogits(x);
+  const Tensor logp = tensor::LogSoftmaxBlocks(logits, net_->output_blocks());
+  return tensor::NllLossBlocks(logp, net_->output_blocks(), batch.labels);
+}
+
+void DuetModel::EncodeQueryRow(const query::Query& query, float* dst) const {
+  // Group predicates per column. Single predicates encode directly; a
+  // column with several predicates (e.g. a closed interval, or clause
+  // intersections from disjunction support) is condensed to one
+  // representative predicate over the intersected code range — the input
+  // only *conditions* the network, exact containment is always enforced by
+  // the zero-out mask. The MPSN model (core/mpsn_model.h) embeds the full
+  // predicate list instead.
+  std::vector<int> count(static_cast<size_t>(table_.num_columns()), 0);
+  for (const query::Predicate& p : query.predicates) count[static_cast<size_t>(p.col)]++;
+  std::vector<bool> done(static_cast<size_t>(table_.num_columns()), false);
+  std::vector<query::CodeRange> ranges;  // lazily computed for condensation
+  for (const query::Predicate& p : query.predicates) {
+    const size_t ci = static_cast<size_t>(p.col);
+    if (done[ci]) continue;
+    done[ci] = true;
+    const data::Column& col = table_.column(p.col);
+    if (count[ci] == 1) {
+      // The predicate value maps to its boundary code; exact containment is
+      // enforced by the zero-out mask, the input only conditions the net.
+      int32_t code = std::clamp(col.LowerBound(p.value), 0, col.ndv() - 1);
+      encoder_.EncodePredicate(p.col, p.op, code, dst + encoder_.block_offset(p.col));
+      continue;
+    }
+    if (ranges.empty()) ranges = query.PerColumnRanges(table_);
+    const query::CodeRange& r = ranges[ci];
+    if (r.empty()) continue;  // estimator returns 0 before the forward pass
+    const int32_t lo = std::clamp(r.lo, 0, col.ndv() - 1);
+    const query::PredOp op = r.size() == 1 ? query::PredOp::kEq : query::PredOp::kGe;
+    encoder_.EncodePredicate(p.col, op, lo, dst + encoder_.block_offset(p.col));
+  }
+}
+
+void DuetModel::FillMaskRow(const std::vector<query::CodeRange>& ranges, float* dst) const {
+  const auto& blocks = net_->output_blocks();
+  for (int c = 0; c < table_.num_columns(); ++c) {
+    const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+    float* block = dst + blocks[static_cast<size_t>(c)].offset;
+    for (int32_t j = r.lo; j < r.hi; ++j) block[j] = 1.0f;
+  }
+}
+
+Tensor DuetModel::SelectivityBatch(const std::vector<query::Query>& queries) const {
+  DUET_CHECK(!queries.empty());
+  const int64_t b = static_cast<int64_t>(queries.size());
+  const int64_t d = encoder_.total_width();
+  const int64_t out_dim = net_->output_dim();
+  Tensor x = Tensor::Zeros({b, d});
+  Tensor mask = Tensor::Zeros({b, out_dim});
+  for (int64_t r = 0; r < b; ++r) {
+    const query::Query& q = queries[static_cast<size_t>(r)];
+    EncodeQueryRow(q, x.data() + r * d);
+    FillMaskRow(q.PerColumnRanges(table_), mask.data() + r * out_dim);
+  }
+  const Tensor logits = ForwardLogits(x);
+  const Tensor probs = tensor::SoftmaxBlocks(logits, net_->output_blocks());
+  const Tensor factors = tensor::MaskedSumBlocks(probs, mask, net_->output_blocks());
+  // Product over columns in log space (numerically safe for 100 columns).
+  const Tensor logf = tensor::Log(tensor::ClampMin(factors, kSelEps));
+  return tensor::Exp(tensor::SumCols(logf));
+}
+
+double DuetModel::EstimateSelectivity(const query::Query& query) const {
+  tensor::NoGradGuard no_grad;
+  Timer timer;
+
+  // Phase 1: encode.
+  const int64_t d = encoder_.total_width();
+  Tensor x = Tensor::Zeros({1, d});
+  EncodeQueryRow(query, x.data());
+  const std::vector<query::CodeRange> ranges = query.PerColumnRanges(table_);
+  for (const query::CodeRange& r : ranges) {
+    if (r.empty()) return 0.0;  // contradictory predicates select nothing
+  }
+  phase_times_.encode_ms += timer.Millis();
+
+  // Phase 2: one forward pass.
+  timer.Reset();
+  const Tensor logits = ForwardLogits(x);
+  phase_times_.forward_ms += timer.Millis();
+
+  // Phase 3: per-block softmax restricted to the mask (Algorithm 3 lines
+  // 3-4), done with raw loops - no tensors needed for a single row.
+  timer.Reset();
+  const float* lp = logits.data();
+  const auto& blocks = net_->output_blocks();
+  double log_sel = 0.0;
+  for (int c = 0; c < table_.num_columns(); ++c) {
+    const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+    const tensor::BlockSpec& blk = blocks[static_cast<size_t>(c)];
+    if (r.lo == 0 && r.hi == static_cast<int32_t>(blk.len)) continue;  // wildcard: factor 1
+    const float* ls = lp + blk.offset;
+    float mx = ls[0];
+    for (int64_t j = 1; j < blk.len; ++j) mx = std::max(mx, ls[j]);
+    double denom = 0.0, num = 0.0;
+    for (int64_t j = 0; j < blk.len; ++j) {
+      const double e = std::exp(static_cast<double>(ls[j] - mx));
+      denom += e;
+      if (j >= r.lo && j < r.hi) num += e;
+    }
+    const double factor = std::max(num / denom, static_cast<double>(kSelEps));
+    log_sel += std::log(factor);
+  }
+  phase_times_.post_ms += timer.Millis();
+  return std::exp(log_sel);
+}
+
+std::vector<double> DuetModel::EstimateSelectivityBatch(
+    const std::vector<query::Query>& queries) const {
+  tensor::NoGradGuard no_grad;
+  if (queries.empty()) return {};
+  const int64_t b = static_cast<int64_t>(queries.size());
+  const int64_t d = encoder_.total_width();
+  Tensor x = Tensor::Zeros({b, d});
+  std::vector<std::vector<query::CodeRange>> all_ranges(static_cast<size_t>(b));
+  for (int64_t r = 0; r < b; ++r) {
+    EncodeQueryRow(queries[static_cast<size_t>(r)], x.data() + r * d);
+    all_ranges[static_cast<size_t>(r)] = queries[static_cast<size_t>(r)].PerColumnRanges(table_);
+  }
+  const Tensor logits = ForwardLogits(x);
+  const auto& blocks = net_->output_blocks();
+  const int64_t out_dim = net_->output_dim();
+  std::vector<double> sels(static_cast<size_t>(b));
+  for (int64_t r = 0; r < b; ++r) {
+    const float* lp = logits.data() + r * out_dim;
+    double log_sel = 0.0;
+    bool empty = false;
+    for (int c = 0; c < table_.num_columns() && !empty; ++c) {
+      const query::CodeRange& cr = all_ranges[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      const tensor::BlockSpec& blk = blocks[static_cast<size_t>(c)];
+      if (cr.empty()) {
+        empty = true;
+        break;
+      }
+      if (cr.lo == 0 && cr.hi == static_cast<int32_t>(blk.len)) continue;
+      const float* ls = lp + blk.offset;
+      float mx = ls[0];
+      for (int64_t j = 1; j < blk.len; ++j) mx = std::max(mx, ls[j]);
+      double denom = 0.0, num = 0.0;
+      for (int64_t j = 0; j < blk.len; ++j) {
+        const double e = std::exp(static_cast<double>(ls[j] - mx));
+        denom += e;
+        if (j >= cr.lo && j < cr.hi) num += e;
+      }
+      log_sel += std::log(std::max(num / denom, static_cast<double>(kSelEps)));
+    }
+    sels[static_cast<size_t>(r)] = empty ? 0.0 : std::exp(log_sel);
+  }
+  return sels;
+}
+
+}  // namespace duet::core

@@ -1,0 +1,140 @@
+// The Duet model: a predicate-conditioned autoregressive network
+// (paper Sec. IV) plus the sampling-free estimator (Algorithm 3).
+//
+// The MADE network consumes one predicate block per column
+// ([value_enc | op one-hot], all zeros for wildcards) and emits one logit
+// block per column over that column's distinct values. Selectivity of a
+// query is the product over columns of the predicate-mask-weighted softmax
+// mass of each block — a single forward pass, no sampling, deterministic,
+// and differentiable end to end (which is what enables hybrid training).
+//
+// This class covers the paper's main configuration: at most one predicate
+// per column ("direct mode"). Multi-predicate support via MPSN lives in
+// core/mpsn_model.h.
+#ifndef DUET_CORE_DUET_MODEL_H_
+#define DUET_CORE_DUET_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/sampler.h"
+#include "nn/backbone.h"
+#include "nn/made.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+#include "query/estimator.h"
+#include "query/query.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace duet::core {
+
+/// Which autoregressive network carries the model (paper Sec. V-A4: MADE is
+/// evaluated; a Transformer is anticipated as the higher-capacity variant).
+enum class DuetBackbone : int32_t {
+  kMade = 0,
+  kTransformer = 1,
+};
+
+/// Architecture knobs (defaults follow the paper's Sec. V-A4 choices).
+struct DuetModelOptions {
+  /// MADE hidden sizes; the paper uses {512,256,512,128,1024} for DMV and
+  /// 2x128 ResMADE for Kddcup98/Census.
+  std::vector<int64_t> hidden_sizes = {256, 256};
+  /// Use ResMADE residual blocks instead of a plain masked MLP.
+  bool residual = false;
+  /// Backbone selection; kMade reproduces the paper's evaluation.
+  DuetBackbone backbone = DuetBackbone::kMade;
+  /// Transformer architecture (used only when backbone == kTransformer).
+  nn::TransformerConfig transformer;
+  EncodingOptions encoding;
+  uint64_t seed = 1;
+};
+
+/// Per-phase estimation cost accumulators (Fig. 6 / Fig. 7 breakdowns).
+struct PhaseTimes {
+  double encode_ms = 0.0;
+  double forward_ms = 0.0;
+  double post_ms = 0.0;  // softmax + zero-out mask + product
+  double total_ms() const { return encode_ms + forward_ms + post_ms; }
+  void Clear() { encode_ms = forward_ms = post_ms = 0.0; }
+};
+
+/// Duet model (direct mode).
+class DuetModel : public nn::Module {
+ public:
+  DuetModel(const data::Table& table, DuetModelOptions options);
+
+  // ----- training-side API (differentiable) -----
+
+  /// Encodes a sampled virtual batch into the network input (constants).
+  tensor::Tensor EncodeVirtualBatch(const VirtualBatch& batch) const;
+
+  /// Raw logits for an encoded input.
+  tensor::Tensor ForwardLogits(const tensor::Tensor& x) const;
+
+  /// Cross-entropy L_data for a virtual batch (mean over rows of the summed
+  /// per-column NLL of the anchor labels).
+  tensor::Tensor DataLoss(const VirtualBatch& batch) const;
+
+  /// Differentiable selectivity for a batch of queries: one forward pass,
+  /// then per-column masked sums and a log-space product (Algorithm 3 with
+  /// gradients). Queries must have at most one predicate per column.
+  tensor::Tensor SelectivityBatch(const std::vector<query::Query>& queries) const;
+
+  // ----- inference-side API (no autograd) -----
+
+  /// Algorithm 3 for a single query; deterministic. Returns selectivity in
+  /// [0, 1]; queries with an empty predicate range return exactly 0.
+  double EstimateSelectivity(const query::Query& query) const;
+
+  /// Batched inference (the GPU-batching stand-in used by throughput
+  /// benches): one forward pass for all queries.
+  std::vector<double> EstimateSelectivityBatch(const std::vector<query::Query>& queries) const;
+
+  // ----- introspection -----
+
+  const data::Table& table() const { return table_; }
+  const DuetInputEncoder& encoder() const { return encoder_; }
+  /// The autoregressive network (MADE or BlockTransformer).
+  const nn::Backbone& backbone() const { return *net_; }
+  PhaseTimes& phase_times() const { return phase_times_; }
+
+ private:
+  /// Fills a pre-zeroed input row for a query; uses at most one predicate
+  /// per column (checked).
+  void EncodeQueryRow(const query::Query& query, float* dst) const;
+
+  /// Builds the zero-out mask row (out_dim floats) from per-column ranges.
+  void FillMaskRow(const std::vector<query::CodeRange>& ranges, float* dst) const;
+
+  const data::Table& table_;
+  DuetModelOptions options_;
+  DuetInputEncoder encoder_;
+  std::unique_ptr<nn::Backbone> net_;
+  mutable PhaseTimes phase_times_;
+};
+
+/// CardinalityEstimator adapter over a trained DuetModel.
+class DuetEstimator : public query::CardinalityEstimator {
+ public:
+  DuetEstimator(const DuetModel& model, std::string name = "Duet")
+      : model_(model), name_(std::move(name)) {}
+
+  double EstimateSelectivity(const query::Query& query) override {
+    return model_.EstimateSelectivity(query);
+  }
+  std::string name() const override { return name_; }
+  double SizeMB() const override { return model_.SizeMB(); }
+
+ private:
+  const DuetModel& model_;
+  std::string name_;
+};
+
+}  // namespace duet::core
+
+#endif  // DUET_CORE_DUET_MODEL_H_

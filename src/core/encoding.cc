@@ -1,0 +1,137 @@
+#include "core/encoding.h"
+
+#include "common/logging.h"
+
+namespace duet::core {
+
+int64_t BinaryWidth(int32_t ndv) {
+  DUET_CHECK_GT(ndv, 0);
+  int64_t bits = 1;
+  while ((int64_t{1} << bits) < ndv) ++bits;
+  return bits;
+}
+
+ColumnValueEncoder::ColumnValueEncoder(const data::Table& table,
+                                       const EncodingOptions& options) {
+  Rng rng(options.seed);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const int32_t ndv = table.column(c).ndv();
+    ndvs_.push_back(ndv);
+    ValueEncoding kind =
+        ndv <= options.one_hot_max_ndv ? ValueEncoding::kOneHot : options.large_encoding;
+    kinds_.push_back(kind);
+    switch (kind) {
+      case ValueEncoding::kOneHot:
+        widths_.push_back(ndv);
+        codebooks_.emplace_back();
+        break;
+      case ValueEncoding::kBinary:
+        widths_.push_back(BinaryWidth(ndv));
+        codebooks_.emplace_back();
+        break;
+      case ValueEncoding::kEmbedding: {
+        widths_.push_back(options.embedding_dim);
+        std::vector<float> book(static_cast<size_t>(ndv * options.embedding_dim));
+        for (auto& v : book) v = static_cast<float>(rng.Gaussian()) * 0.5f;
+        codebooks_.push_back(std::move(book));
+        break;
+      }
+    }
+  }
+}
+
+void ColumnValueEncoder::EncodeValue(int col, int32_t code, float* dst) const {
+  const size_t ci = static_cast<size_t>(col);
+  DUET_CHECK_GE(code, 0);
+  DUET_CHECK_LT(code, ndvs_[ci]);
+  switch (kinds_[ci]) {
+    case ValueEncoding::kOneHot:
+      dst[code] = 1.0f;
+      break;
+    case ValueEncoding::kBinary: {
+      const int64_t w = widths_[ci];
+      for (int64_t b = 0; b < w; ++b) {
+        dst[b] = static_cast<float>((static_cast<uint32_t>(code) >> b) & 1u);
+      }
+      break;
+    }
+    case ValueEncoding::kEmbedding: {
+      const int64_t w = widths_[ci];
+      const float* row = codebooks_[ci].data() + static_cast<int64_t>(code) * w;
+      for (int64_t b = 0; b < w; ++b) dst[b] = row[b];
+      break;
+    }
+  }
+}
+
+tensor::Tensor ColumnValueEncoder::CodeMatrix(int col) const {
+  const size_t ci = static_cast<size_t>(col);
+  const int32_t ndv = ndvs_[ci];
+  const int64_t w = widths_[ci];
+  tensor::Tensor m = tensor::Tensor::Zeros({ndv, w});
+  float* p = m.data();
+  for (int32_t c = 0; c < ndv; ++c) EncodeValue(col, c, p + static_cast<int64_t>(c) * w);
+  return m;
+}
+
+DuetInputEncoder::DuetInputEncoder(const data::Table& table, const EncodingOptions& options)
+    : values_(table, options) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    offsets_.push_back(total_width_);
+    total_width_ += block_width(c);
+  }
+}
+
+int64_t DuetInputEncoder::block_width(int col) const {
+  return values_.value_width(col) + query::kNumPredOps;
+}
+
+std::vector<int64_t> DuetInputEncoder::BlockWidths() const {
+  std::vector<int64_t> widths;
+  for (int c = 0; c < values_.num_columns(); ++c) widths.push_back(block_width(c));
+  return widths;
+}
+
+void DuetInputEncoder::EncodePredicate(int col, query::PredOp op, int32_t code,
+                                       float* dst) const {
+  values_.EncodeValue(col, code, dst);
+  dst[values_.value_width(col) + static_cast<int32_t>(op)] = 1.0f;
+}
+
+void DuetInputEncoder::EncodeWildcard(int /*col*/, float* /*dst*/) const {
+  // All-zero block: no op bit set <=> no predicate (paper Sec. IV-C).
+}
+
+NaruInputEncoder::NaruInputEncoder(const data::Table& table, const EncodingOptions& options)
+    : values_(table, options) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    offsets_.push_back(total_width_);
+    total_width_ += block_width(c);
+  }
+}
+
+int64_t NaruInputEncoder::block_width(int col) const {
+  return 1 + values_.value_width(col);
+}
+
+std::vector<int64_t> NaruInputEncoder::BlockWidths() const {
+  std::vector<int64_t> widths;
+  for (int c = 0; c < values_.num_columns(); ++c) widths.push_back(block_width(c));
+  return widths;
+}
+
+void NaruInputEncoder::EncodeValue(int col, int32_t code, float* dst) const {
+  dst[0] = 1.0f;  // present flag (wildcard-skipping marker)
+  values_.EncodeValue(col, code, dst + 1);
+}
+
+tensor::Tensor NaruInputEncoder::BlockCodeMatrix(int col) const {
+  const int32_t ndv = values_.ndv(col);
+  const int64_t w = block_width(col);
+  tensor::Tensor m = tensor::Tensor::Zeros({ndv, w});
+  float* p = m.data();
+  for (int32_t c = 0; c < ndv; ++c) EncodeValue(col, c, p + static_cast<int64_t>(c) * w);
+  return m;
+}
+
+}  // namespace duet::core

@@ -1,0 +1,77 @@
+#include "core/finetune.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "query/estimator.h"
+
+namespace duet::core {
+
+namespace {
+
+/// Mean and max Q-error of the model over a workload.
+std::pair<double, double> Score(const DuetModel& model, const query::Workload& workload) {
+  double sum = 0.0, mx = 0.0;
+  const int64_t rows = model.table().num_rows();
+  for (const query::LabeledQuery& lq : workload) {
+    const double est = std::max(1.0, model.EstimateSelectivity(lq.query) *
+                                         static_cast<double>(rows));
+    const double err = query::QError(est, static_cast<double>(lq.cardinality));
+    sum += err;
+    mx = std::max(mx, err);
+  }
+  return {workload.empty() ? 0.0 : sum / static_cast<double>(workload.size()), mx};
+}
+
+}  // namespace
+
+query::Workload CollectHighErrorQueries(const DuetModel& model, const query::Workload& served,
+                                        const FineTuneOptions& options) {
+  DUET_CHECK_GT(options.qerror_threshold, 1.0);
+  DUET_CHECK_GT(options.max_queries, 0);
+  const int64_t rows = model.table().num_rows();
+  std::vector<std::pair<double, size_t>> errors;  // (qerror, index)
+  for (size_t i = 0; i < served.size(); ++i) {
+    const double est = std::max(1.0, model.EstimateSelectivity(served[i].query) *
+                                         static_cast<double>(rows));
+    const double err = query::QError(est, static_cast<double>(served[i].cardinality));
+    if (err > options.qerror_threshold) errors.emplace_back(err, i);
+  }
+  std::sort(errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (static_cast<int>(errors.size()) > options.max_queries) {
+    errors.resize(static_cast<size_t>(options.max_queries));
+  }
+  query::Workload collected;
+  collected.reserve(errors.size());
+  for (const auto& [err, idx] : errors) collected.push_back(served[idx]);
+  return collected;
+}
+
+FineTuneReport FineTune(DuetModel& model, const query::Workload& served,
+                        const FineTuneOptions& options) {
+  FineTuneReport report;
+  report.collected = CollectHighErrorQueries(model, served, options);
+  if (report.collected.empty()) return report;
+
+  std::tie(report.before_mean, report.before_max) = Score(model, report.collected);
+
+  TrainOptions topt;
+  topt.epochs = options.epochs;
+  topt.batch_size = options.batch_size;
+  topt.learning_rate = options.learning_rate;
+  topt.lambda = options.lambda;
+  topt.expand = options.expand;
+  topt.wildcard_prob = options.wildcard_prob;
+  topt.train_workload = &report.collected;
+  if (options.use_importance_sampling) topt.importance_workload = &report.collected;
+  topt.seed = options.seed;
+  DuetTrainer trainer(model, topt);
+  report.epochs = trainer.Train();
+
+  std::tie(report.after_mean, report.after_max) = Score(model, report.collected);
+  return report;
+}
+
+}  // namespace duet::core

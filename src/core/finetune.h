@@ -1,0 +1,73 @@
+// Long-tail fine-tuning (paper Sec. IV-A): "for queries with large
+// estimation errors during actual use, we can collect them and perform
+// targeted fine-tuning of the model to improve the long-tail distribution
+// problem."
+//
+// The flow mirrors a deployed estimator: a served workload is scored, the
+// worst-estimated queries are collected, and the model is fine-tuned with
+// the hybrid loss on exactly those queries — with the collected workload
+// also guiding the virtual-table importance sampler so the unsupervised
+// term concentrates on the same region. Because Duet's estimator is fully
+// differentiable, this needs no sampling machinery (unlike Naru/UAE).
+#ifndef DUET_CORE_FINETUNE_H_
+#define DUET_CORE_FINETUNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "query/query.h"
+
+namespace duet::core {
+
+/// Fine-tuning knobs.
+struct FineTuneOptions {
+  /// Queries whose Q-error exceeds this are collected.
+  double qerror_threshold = 5.0;
+  /// At most this many worst queries are kept (worst-first).
+  int max_queries = 256;
+  /// Fine-tuning epochs over the collected set.
+  int epochs = 3;
+  int64_t batch_size = 256;
+  /// Lower than training LR: targeted correction, not re-training.
+  float learning_rate = 5e-4f;
+  /// Query-loss weight; higher than the training default because the
+  /// collected set is exactly the region the model must fix.
+  float lambda = 0.5f;
+  /// Virtual-table sampling knobs for the replayed unsupervised term (kept
+  /// on so the model does not forget the data distribution).
+  int expand = 4;
+  double wildcard_prob = 0.3;
+  /// Guide the sampler with the collected queries' operator / value
+  /// distributions (Sec. IV-C locality refinement).
+  bool use_importance_sampling = true;
+  uint64_t seed = 99;
+};
+
+/// Outcome of one fine-tuning round.
+struct FineTuneReport {
+  /// The collected high-error queries (with their true cardinalities).
+  query::Workload collected;
+  /// Mean / max Q-error on the collected set before and after tuning.
+  double before_mean = 0.0;
+  double before_max = 0.0;
+  double after_mean = 0.0;
+  double after_max = 0.0;
+  /// Telemetry of the fine-tuning epochs.
+  std::vector<EpochStats> epochs;
+};
+
+/// Scores `served` with the model and returns the worst-estimated queries
+/// (Q-error > threshold, worst-first, capped at max_queries).
+query::Workload CollectHighErrorQueries(const DuetModel& model, const query::Workload& served,
+                                        const FineTuneOptions& options);
+
+/// One collect + fine-tune round. If no query exceeds the threshold the
+/// model is untouched and the report's `collected` is empty.
+FineTuneReport FineTune(DuetModel& model, const query::Workload& served,
+                        const FineTuneOptions& options = {});
+
+}  // namespace duet::core
+
+#endif  // DUET_CORE_FINETUNE_H_

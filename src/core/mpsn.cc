@@ -1,0 +1,344 @@
+#include "core/mpsn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace duet::core {
+
+using tensor::Tensor;
+
+const char* MpsnKindName(MpsnKind kind) {
+  switch (kind) {
+    case MpsnKind::kMlp:
+      return "MLP";
+    case MpsnKind::kRecursive:
+      return "REC";
+    case MpsnKind::kRnn:
+      return "RNN";
+  }
+  return "?";
+}
+
+MultiPredBatch MultiPredBatch::FromVirtualBatches(const std::vector<VirtualBatch>& draws) {
+  DUET_CHECK(!draws.empty());
+  MultiPredBatch out;
+  out.batch = draws[0].batch;
+  out.num_columns = draws[0].num_columns;
+  out.max_preds = static_cast<int>(draws.size());
+  out.codes.assign(static_cast<size_t>(out.batch * out.num_columns * out.max_preds), -1);
+  out.ops.assign(static_cast<size_t>(out.batch * out.num_columns * out.max_preds), -1);
+  out.labels = draws[0].labels;
+  for (int s = 0; s < out.max_preds; ++s) {
+    const VirtualBatch& vb = draws[static_cast<size_t>(s)];
+    DUET_CHECK_EQ(vb.batch, out.batch);
+    DUET_CHECK_EQ(vb.num_columns, out.num_columns);
+    DUET_CHECK(vb.labels == out.labels) << "draws must share anchors";
+    for (int64_t r = 0; r < out.batch; ++r) {
+      for (int c = 0; c < out.num_columns; ++c) {
+        const size_t idx = out.SlotIndex(r, c, s);
+        out.codes[idx] = vb.code_at(r, c);
+        out.ops[idx] = vb.op_at(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Common slot-encoding helpers shared by the embedders.
+///
+/// Per-column slot input: the column's predicate encoding, zero for absent
+/// slots. Padded layout (width = max over columns) is used by the merged
+/// path so all blocks share one in-dimension.
+struct SlotEncoding {
+  Tensor padded;                  // [B, N * pad_width] (merged path)
+  std::vector<Tensor> per_col;    // [B, enc_w(c)] per column (per-column paths)
+  std::vector<float> presence;    // [B * N], 1 if slot present
+};
+
+int64_t MaxEncWidth(const DuetInputEncoder& enc) {
+  int64_t w = 0;
+  for (int c = 0; c < enc.values().num_columns(); ++c) w = std::max(w, enc.block_width(c));
+  return w;
+}
+
+SlotEncoding EncodeSlot(const MultiPredBatch& batch, const DuetInputEncoder& enc, int slot,
+                        bool build_padded, bool build_per_col) {
+  const int64_t b = batch.batch;
+  const int n = batch.num_columns;
+  const int64_t pad = MaxEncWidth(enc);
+  SlotEncoding out;
+  out.presence.assign(static_cast<size_t>(b * n), 0.0f);
+  if (build_padded) out.padded = Tensor::Zeros({b, static_cast<int64_t>(n) * pad});
+  if (build_per_col) {
+    out.per_col.reserve(static_cast<size_t>(n));
+    for (int c = 0; c < n; ++c) out.per_col.push_back(Tensor::Zeros({b, enc.block_width(c)}));
+  }
+  for (int64_t r = 0; r < b; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const size_t idx = batch.SlotIndex(r, c, slot);
+      const int8_t op = batch.ops[idx];
+      if (op < 0) continue;
+      out.presence[static_cast<size_t>(r * n + c)] = 1.0f;
+      if (build_padded) {
+        enc.EncodePredicate(c, static_cast<query::PredOp>(op), batch.codes[idx],
+                            out.padded.data() + r * n * pad + c * pad);
+      }
+      if (build_per_col) {
+        enc.EncodePredicate(c, static_cast<query::PredOp>(op), batch.codes[idx],
+                            out.per_col[static_cast<size_t>(c)].data() +
+                                r * enc.block_width(c));
+      }
+    }
+  }
+  return out;
+}
+
+/// Expands a [B*N] presence vector into a [B, N*E] constant mask tensor.
+Tensor ExpandPresence(const std::vector<float>& presence, int64_t b, int n, int64_t e) {
+  Tensor m = Tensor::Zeros({b, static_cast<int64_t>(n) * e});
+  float* p = m.data();
+  for (int64_t r = 0; r < b; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (presence[static_cast<size_t>(r * n + c)] == 0.0f) continue;
+      float* dst = p + r * n * e + c * e;
+      for (int64_t j = 0; j < e; ++j) dst[j] = 1.0f;
+    }
+  }
+  return m;
+}
+
+/// Per-column presence mask [B, E] for column c.
+Tensor ColumnPresence(const std::vector<float>& presence, int64_t b, int n, int c, int64_t e) {
+  Tensor m = Tensor::Zeros({b, e});
+  float* p = m.data();
+  for (int64_t r = 0; r < b; ++r) {
+    if (presence[static_cast<size_t>(r * n + c)] == 0.0f) continue;
+    for (int64_t j = 0; j < e; ++j) p[r * e + j] = 1.0f;
+  }
+  return m;
+}
+
+/// Packed parameter helper for the merged MLP: one [N, in, out] weight and
+/// one [N*out] bias per layer, executed with BlockDiagMatMul.
+struct PackedLayer {
+  Tensor w;  // [N * in * out] viewed as [N, in, out]
+  Tensor b;  // [N * out]
+  int64_t in = 0;
+  int64_t out = 0;
+};
+
+PackedLayer MakePackedLayer(int n, int64_t in, int64_t out, Rng& rng) {
+  PackedLayer l;
+  l.in = in;
+  l.out = out;
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in));
+  l.w = Tensor::Zeros({static_cast<int64_t>(n), in, out});
+  l.b = Tensor::Zeros({static_cast<int64_t>(n) * out});
+  for (int64_t i = 0; i < l.w.numel(); ++i) {
+    l.w.data()[i] = (rng.UniformFloat() * 2.0f - 1.0f) * bound;
+  }
+  for (int64_t i = 0; i < l.b.numel(); ++i) {
+    l.b.data()[i] = (rng.UniformFloat() * 2.0f - 1.0f) * bound;
+  }
+  return l;
+}
+
+/// MLP & vector-sum embedder, merged (block-diagonal fused) execution.
+class MlpMergedEmbedder final : public MpsnEmbedder {
+ public:
+  MlpMergedEmbedder(const MpsnOptions& opt, const DuetInputEncoder& enc, Rng& rng)
+      : opt_(opt), n_(enc.values().num_columns()), pad_(MaxEncWidth(enc)) {
+    l1_ = MakePackedLayer(n_, pad_, opt.hidden, rng);
+    l2_ = MakePackedLayer(n_, opt.hidden, opt.hidden, rng);
+    l3_ = MakePackedLayer(n_, opt.hidden, opt.embed_dim, rng);
+    for (PackedLayer* l : {&l1_, &l2_, &l3_}) {
+      l->w = RegisterParam(l->w);
+      l->b = RegisterParam(l->b);
+    }
+  }
+
+  Tensor Embed(const MultiPredBatch& batch, const DuetInputEncoder& enc) const override {
+    using namespace tensor;  // NOLINT
+    const int64_t b = batch.batch;
+    Tensor acc = Tensor::Zeros({b, static_cast<int64_t>(n_) * opt_.embed_dim});
+    for (int s = 0; s < batch.max_preds; ++s) {
+      SlotEncoding se = EncodeSlot(batch, enc, s, /*padded=*/true, /*per_col=*/false);
+      Tensor h = AddBias(BlockDiagMatMul(se.padded, l1_.w, n_, l1_.in, l1_.out), l1_.b);
+      h = Relu(h);
+      h = AddBias(BlockDiagMatMul(h, l2_.w, n_, l2_.in, l2_.out), l2_.b);
+      h = Relu(h);
+      h = AddBias(BlockDiagMatMul(h, l3_.w, n_, l3_.in, l3_.out), l3_.b);
+      acc = Add(acc, Mul(h, ExpandPresence(se.presence, b, n_, opt_.embed_dim)));
+    }
+    return acc;
+  }
+
+  MpsnKind kind() const override { return MpsnKind::kMlp; }
+
+ private:
+  MpsnOptions opt_;
+  int n_;
+  int64_t pad_;
+  PackedLayer l1_, l2_, l3_;
+};
+
+/// MLP & vector-sum embedder, independent per-column networks (the
+/// non-merged baseline for the acceleration ablation).
+class MlpPerColumnEmbedder final : public MpsnEmbedder {
+ public:
+  MlpPerColumnEmbedder(const MpsnOptions& opt, const DuetInputEncoder& enc, Rng& rng)
+      : opt_(opt), n_(enc.values().num_columns()) {
+    for (int c = 0; c < n_; ++c) {
+      mlps_.emplace_back(
+          std::vector<int64_t>{enc.block_width(c), opt.hidden, opt.hidden, opt.embed_dim}, rng);
+    }
+    for (auto& m : mlps_) RegisterChild(m);
+  }
+
+  Tensor Embed(const MultiPredBatch& batch, const DuetInputEncoder& enc) const override {
+    using namespace tensor;  // NOLINT
+    const int64_t b = batch.batch;
+    std::vector<Tensor> cols;
+    std::vector<Tensor> acc(static_cast<size_t>(n_));
+    for (int c = 0; c < n_; ++c) acc[static_cast<size_t>(c)] = Tensor::Zeros({b, opt_.embed_dim});
+    for (int s = 0; s < batch.max_preds; ++s) {
+      SlotEncoding se = EncodeSlot(batch, enc, s, /*padded=*/false, /*per_col=*/true);
+      for (int c = 0; c < n_; ++c) {
+        Tensor y = mlps_[static_cast<size_t>(c)].Forward(se.per_col[static_cast<size_t>(c)]);
+        acc[static_cast<size_t>(c)] = Add(
+            acc[static_cast<size_t>(c)],
+            Mul(y, ColumnPresence(se.presence, b, n_, c, opt_.embed_dim)));
+      }
+    }
+    for (int c = 0; c < n_; ++c) cols.push_back(acc[static_cast<size_t>(c)]);
+    return ConcatCols(cols);
+  }
+
+  MpsnKind kind() const override { return MpsnKind::kMlp; }
+
+ private:
+  MpsnOptions opt_;
+  int n_;
+  std::vector<nn::Mlp> mlps_;
+};
+
+/// Recursive embedder: out_j = MLP([enc_j | out_{j-1}]); absent slots keep
+/// the previous state.
+class RecursiveEmbedder final : public MpsnEmbedder {
+ public:
+  RecursiveEmbedder(const MpsnOptions& opt, const DuetInputEncoder& enc, Rng& rng)
+      : opt_(opt), n_(enc.values().num_columns()) {
+    for (int c = 0; c < n_; ++c) {
+      mlps_.emplace_back(std::vector<int64_t>{enc.block_width(c) + opt.embed_dim, opt.hidden,
+                                              opt.hidden, opt.embed_dim},
+                         rng);
+    }
+    for (auto& m : mlps_) RegisterChild(m);
+  }
+
+  Tensor Embed(const MultiPredBatch& batch, const DuetInputEncoder& enc) const override {
+    using namespace tensor;  // NOLINT
+    const int64_t b = batch.batch;
+    std::vector<Tensor> state(static_cast<size_t>(n_));
+    for (int c = 0; c < n_; ++c) {
+      state[static_cast<size_t>(c)] = Tensor::Zeros({b, opt_.embed_dim});
+    }
+    for (int s = 0; s < batch.max_preds; ++s) {
+      SlotEncoding se = EncodeSlot(batch, enc, s, /*padded=*/false, /*per_col=*/true);
+      for (int c = 0; c < n_; ++c) {
+        Tensor input = ConcatCols({se.per_col[static_cast<size_t>(c)],
+                                   state[static_cast<size_t>(c)]});
+        Tensor y = mlps_[static_cast<size_t>(c)].Forward(input);
+        Tensor presence = ColumnPresence(se.presence, b, n_, c, opt_.embed_dim);
+        // state <- presence ? y : state
+        state[static_cast<size_t>(c)] =
+            Add(Mul(y, presence),
+                Mul(state[static_cast<size_t>(c)],
+                    tensor::AddScalar(tensor::MulScalar(presence, -1.0f), 1.0f)));
+      }
+    }
+    return ConcatCols(state);
+  }
+
+  MpsnKind kind() const override { return MpsnKind::kRecursive; }
+
+ private:
+  MpsnOptions opt_;
+  int n_;
+  std::vector<nn::Mlp> mlps_;
+};
+
+/// LSTM embedder: per-column 2-layer LSTM; each step's hidden state goes
+/// through a shared-per-column FC layer and the outputs are summed.
+class RnnEmbedder final : public MpsnEmbedder {
+ public:
+  RnnEmbedder(const MpsnOptions& opt, const DuetInputEncoder& enc, Rng& rng)
+      : opt_(opt), n_(enc.values().num_columns()) {
+    for (int c = 0; c < n_; ++c) {
+      cells1_.emplace_back(enc.block_width(c), opt.hidden, rng);
+      cells2_.emplace_back(opt.hidden, opt.hidden, rng);
+      fcs_.emplace_back(opt.hidden, opt.embed_dim, rng);
+    }
+    for (auto& m : cells1_) RegisterChild(m);
+    for (auto& m : cells2_) RegisterChild(m);
+    for (auto& m : fcs_) RegisterChild(m);
+  }
+
+  Tensor Embed(const MultiPredBatch& batch, const DuetInputEncoder& enc) const override {
+    using namespace tensor;  // NOLINT
+    const int64_t b = batch.batch;
+    std::vector<Tensor> acc(static_cast<size_t>(n_));
+    std::vector<nn::LstmCell::State> s1(static_cast<size_t>(n_)), s2(static_cast<size_t>(n_));
+    for (int c = 0; c < n_; ++c) {
+      acc[static_cast<size_t>(c)] = Tensor::Zeros({b, opt_.embed_dim});
+      s1[static_cast<size_t>(c)] = cells1_[static_cast<size_t>(c)].InitialState(b);
+      s2[static_cast<size_t>(c)] = cells2_[static_cast<size_t>(c)].InitialState(b);
+    }
+    for (int s = 0; s < batch.max_preds; ++s) {
+      SlotEncoding se = EncodeSlot(batch, enc, s, /*padded=*/false, /*per_col=*/true);
+      for (int c = 0; c < n_; ++c) {
+        s1[static_cast<size_t>(c)] = cells1_[static_cast<size_t>(c)].Forward(
+            se.per_col[static_cast<size_t>(c)], s1[static_cast<size_t>(c)]);
+        s2[static_cast<size_t>(c)] = cells2_[static_cast<size_t>(c)].Forward(
+            s1[static_cast<size_t>(c)].h, s2[static_cast<size_t>(c)]);
+        Tensor y = fcs_[static_cast<size_t>(c)].Forward(s2[static_cast<size_t>(c)].h);
+        acc[static_cast<size_t>(c)] =
+            Add(acc[static_cast<size_t>(c)],
+                Mul(y, ColumnPresence(se.presence, b, n_, c, opt_.embed_dim)));
+      }
+    }
+    return ConcatCols(acc);
+  }
+
+  MpsnKind kind() const override { return MpsnKind::kRnn; }
+
+ private:
+  MpsnOptions opt_;
+  int n_;
+  std::vector<nn::LstmCell> cells1_;
+  std::vector<nn::LstmCell> cells2_;
+  std::vector<nn::Linear> fcs_;
+};
+
+}  // namespace
+
+std::unique_ptr<MpsnEmbedder> MakeMpsnEmbedder(const MpsnOptions& options,
+                                               const DuetInputEncoder& encoder, Rng& rng) {
+  switch (options.kind) {
+    case MpsnKind::kMlp:
+      if (options.merged) return std::make_unique<MlpMergedEmbedder>(options, encoder, rng);
+      return std::make_unique<MlpPerColumnEmbedder>(options, encoder, rng);
+    case MpsnKind::kRecursive:
+      return std::make_unique<RecursiveEmbedder>(options, encoder, rng);
+    case MpsnKind::kRnn:
+      return std::make_unique<RnnEmbedder>(options, encoder, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace duet::core

@@ -1,0 +1,87 @@
+// MPSN: Multiple Predicates Supporting Networks (paper Sec. IV-F).
+//
+// When a column can carry several predicates, Duet embeds the variable-
+// length list of (op, value) pairs of each column into a fixed-width vector
+// that becomes the column's MADE input block. Three candidate embedders are
+// reproduced (paper Table I):
+//   * MLP & vector sum  - order-invariant, cheapest; the paper's default;
+//   * Recursive network - out_j = MLP([enc_j | out_{j-1}]);
+//   * RNN (LSTM)        - per-step FC outputs summed.
+// The MLP variant additionally ships the paper's "merged" acceleration: all
+// per-column MLPs execute as one block-diagonal fused layer per slot
+// (tensor::BlockDiagMatMul) instead of N separate calls.
+#ifndef DUET_CORE_MPSN_H_
+#define DUET_CORE_MPSN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/sampler.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace duet::core {
+
+/// MPSN architecture selector.
+enum class MpsnKind : int32_t {
+  kMlp = 0,
+  kRecursive = 1,
+  kRnn = 2,
+};
+
+const char* MpsnKindName(MpsnKind kind);
+
+/// MPSN knobs (paper: 2 hidden layers of 64 units, per-column networks).
+struct MpsnOptions {
+  MpsnKind kind = MpsnKind::kMlp;
+  int64_t hidden = 64;
+  /// Width of the per-column embedding (the MADE input block width).
+  int64_t embed_dim = 32;
+  /// Maximum number of predicates per column (slot count).
+  int max_preds = 2;
+  /// MLP only: fused block-diagonal execution of all column MLPs.
+  bool merged = true;
+};
+
+/// A batch of multi-predicate virtual tuples / queries.
+/// Layout: [batch, column, slot]; code/op == -1 marks an absent slot.
+struct MultiPredBatch {
+  int64_t batch = 0;
+  int num_columns = 0;
+  int max_preds = 0;
+  std::vector<int32_t> codes;
+  std::vector<int8_t> ops;
+  std::vector<int32_t> labels;  // [batch, column]; empty at inference
+
+  size_t SlotIndex(int64_t row, int col, int slot) const {
+    return static_cast<size_t>((row * num_columns + col) * max_preds + slot);
+  }
+
+  /// Merges `slots` independent single-predicate draws into one
+  /// multi-predicate batch (each draw is satisfied by the same anchors, so
+  /// their conjunction is too).
+  static MultiPredBatch FromVirtualBatches(const std::vector<VirtualBatch>& draws);
+};
+
+/// Interface: embed each column's predicate list into a fixed vector.
+class MpsnEmbedder : public nn::Module {
+ public:
+  ~MpsnEmbedder() override = default;
+
+  /// Returns [batch, num_columns * embed_dim].
+  virtual tensor::Tensor Embed(const MultiPredBatch& batch,
+                               const DuetInputEncoder& encoder) const = 0;
+
+  virtual MpsnKind kind() const = 0;
+};
+
+/// Factory; `encoder` defines per-column predicate encoding widths.
+std::unique_ptr<MpsnEmbedder> MakeMpsnEmbedder(const MpsnOptions& options,
+                                               const DuetInputEncoder& encoder, Rng& rng);
+
+}  // namespace duet::core
+
+#endif  // DUET_CORE_MPSN_H_

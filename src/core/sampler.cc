@@ -1,0 +1,199 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace duet::core {
+
+std::vector<double> OpWeightsFromWorkload(const query::Workload& workload, double smoothing) {
+  std::vector<double> weights(query::kNumPredOps, smoothing);
+  for (const query::LabeledQuery& lq : workload) {
+    for (const query::Predicate& p : lq.query.predicates) {
+      weights[static_cast<size_t>(p.op)] += 1.0;
+    }
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+std::vector<std::vector<double>> ValueWeightsFromWorkload(const data::Table& table,
+                                                           const query::Workload& workload,
+                                                           double smoothing) {
+  std::vector<std::vector<double>> weights(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    weights[static_cast<size_t>(c)].assign(
+        static_cast<size_t>(table.column(c).ndv()), smoothing);
+  }
+  for (const query::LabeledQuery& lq : workload) {
+    for (const query::Predicate& p : lq.query.predicates) {
+      const data::Column& col = table.column(p.col);
+      const int32_t code = std::clamp(col.LowerBound(p.value), 0, col.ndv() - 1);
+      weights[static_cast<size_t>(p.col)][static_cast<size_t>(code)] += 1.0;
+    }
+  }
+  return weights;
+}
+
+VirtualTupleSampler::VirtualTupleSampler(const data::Table& table, SamplerOptions options)
+    : table_(table), options_(std::move(options)) {
+  DUET_CHECK_GE(options_.expand, 1);
+  DUET_CHECK_GE(options_.wildcard_prob, 0.0);
+  DUET_CHECK_LT(options_.wildcard_prob, 1.0);
+  if (!options_.op_weights.empty()) {
+    DUET_CHECK_EQ(options_.op_weights.size(), static_cast<size_t>(query::kNumPredOps));
+    double total = 0.0;
+    for (double w : options_.op_weights) {
+      DUET_CHECK_GE(w, 0.0);
+      total += w;
+    }
+    DUET_CHECK_GT(total, 0.0);
+  }
+  if (!options_.value_weights.empty()) {
+    DUET_CHECK_EQ(options_.value_weights.size(), static_cast<size_t>(table.num_columns()));
+    value_prefix_.resize(options_.value_weights.size());
+    for (size_t c = 0; c < options_.value_weights.size(); ++c) {
+      const std::vector<double>& w = options_.value_weights[c];
+      DUET_CHECK_EQ(w.size(), static_cast<size_t>(table.column(static_cast<int>(c)).ndv()));
+      std::vector<double>& prefix = value_prefix_[c];
+      prefix.resize(w.size());
+      double acc = 0.0;
+      for (size_t v = 0; v < w.size(); ++v) {
+        DUET_CHECK_GE(w[v], 0.0);
+        acc += w[v];
+        prefix[v] = acc;
+      }
+      DUET_CHECK_GT(acc, 0.0) << "column " << c << " has zero total value weight";
+    }
+  }
+}
+
+int32_t VirtualTupleSampler::DrawCode(int col, int32_t lo, int32_t hi, Rng& rng) const {
+  if (value_prefix_.empty()) {
+    return lo + static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  const std::vector<double>& prefix = value_prefix_[static_cast<size_t>(col)];
+  const double below = lo > 0 ? prefix[static_cast<size_t>(lo - 1)] : 0.0;
+  const double mass = prefix[static_cast<size_t>(hi)] - below;
+  if (mass <= 0.0) {
+    return lo + static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  const double u = below + rng.UniformDouble() * mass;
+  const auto it = std::lower_bound(prefix.begin() + lo, prefix.begin() + hi + 1, u);
+  return static_cast<int32_t>(it - prefix.begin());
+}
+
+VirtualBatch VirtualTupleSampler::Sample(const std::vector<int64_t>& anchor_rows,
+                                         uint64_t seed) const {
+  DUET_CHECK(!anchor_rows.empty());
+  const int64_t bs = static_cast<int64_t>(anchor_rows.size());
+  const int64_t expanded = bs * options_.expand;
+  const int n = table_.num_columns();
+
+  VirtualBatch out;
+  out.batch = expanded;
+  out.num_columns = n;
+  out.pred_codes.assign(static_cast<size_t>(expanded * n), -1);
+  out.pred_ops.assign(static_cast<size_t>(expanded * n), -1);
+  out.labels.resize(static_cast<size_t>(expanded * n));
+
+  // Labels: anchor codes, replicated mu times (replica-major layout).
+  for (int64_t j = 0; j < options_.expand; ++j) {
+    for (int64_t t = 0; t < bs; ++t) {
+      const int64_t r = j * bs + t;
+      for (int c = 0; c < n; ++c) {
+        out.labels[static_cast<size_t>(r * n + c)] =
+            table_.code(anchor_rows[static_cast<size_t>(t)], c);
+      }
+    }
+  }
+
+  // Each column samples independently with a derived seed (thread-safe and
+  // deterministic regardless of scheduling).
+  ParallelFor(
+      0, n,
+      [&](int64_t col) {
+        SampleColumn(anchor_rows, static_cast<int>(col),
+                     seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(col + 1)), &out);
+      },
+      options_.parallel && n > 1, /*grain=*/1);
+  return out;
+}
+
+void VirtualTupleSampler::SampleColumn(const std::vector<int64_t>& anchor_rows, int col,
+                                       uint64_t seed, VirtualBatch* out) const {
+  Rng rng(seed);
+  const int64_t bs = static_cast<int64_t>(anchor_rows.size());
+  const int n = out->num_columns;
+  const int32_t ndv = table_.column(col).ndv();
+  constexpr int kOps = query::kNumPredOps;
+
+  for (int64_t j = 0; j < options_.expand; ++j) {
+    // Fresh operator-to-slice assignment per replica ("randomly assign
+    // predicates for slices without repetition", Algorithm 1 line 7). With
+    // importance weights, slice sizes are proportional to each operator's
+    // historical frequency instead of equal fifths.
+    const std::vector<uint32_t> op_perm = rng.Permutation(kOps);
+    int64_t boundaries[kOps + 1];
+    boundaries[0] = 0;
+    if (options_.op_weights.empty()) {
+      for (int k = 1; k <= kOps; ++k) boundaries[k] = k * bs / kOps;
+    } else {
+      double total = 0.0;
+      for (double w : options_.op_weights) total += w;
+      double cum = 0.0;
+      for (int k = 1; k <= kOps; ++k) {
+        cum += options_.op_weights[op_perm[static_cast<size_t>(k - 1)]];
+        boundaries[k] = static_cast<int64_t>(cum / total * static_cast<double>(bs) + 0.5);
+      }
+      boundaries[kOps] = bs;
+    }
+    for (int64_t t = 0; t < bs; ++t) {
+      const int64_t r = j * bs + t;
+      const size_t idx = static_cast<size_t>(r * n + col);
+      if (options_.wildcard_prob > 0.0 && rng.Bernoulli(options_.wildcard_prob)) {
+        continue;  // wildcard slot: code/op stay -1
+      }
+      int slice = kOps - 1;
+      for (int k = 0; k < kOps; ++k) {
+        if (t < boundaries[k + 1]) {
+          slice = k;
+          break;
+        }
+      }
+      const auto op = static_cast<query::PredOp>(op_perm[static_cast<size_t>(slice)]);
+      const int32_t anchor = out->labels[idx];
+      int32_t lo = 0, hi = -1;  // inclusive code bounds for the predicate value
+      switch (op) {
+        case query::PredOp::kEq:
+          lo = hi = anchor;
+          break;
+        case query::PredOp::kGt:  // col > v, anchor satisfies iff v < anchor
+          lo = 0;
+          hi = anchor - 1;
+          break;
+        case query::PredOp::kLt:  // col < v, anchor satisfies iff v > anchor
+          lo = anchor + 1;
+          hi = ndv - 1;
+          break;
+        case query::PredOp::kGe:  // col >= v, v <= anchor
+          lo = 0;
+          hi = anchor;
+          break;
+        case query::PredOp::kLe:  // col <= v, v >= anchor
+          lo = anchor;
+          hi = ndv - 1;
+          break;
+      }
+      if (lo > hi) continue;  // infeasible range -> wildcard (mask bookkeeping)
+      const int32_t code = DrawCode(col, lo, hi, rng);
+      out->pred_codes[idx] = code;
+      out->pred_ops[idx] = static_cast<int8_t>(op);
+    }
+  }
+}
+
+}  // namespace duet::core

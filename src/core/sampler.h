@@ -1,0 +1,108 @@
+// Algorithm 1: Parallel Vectorized Sampling of virtual tuples.
+//
+// Duet does not learn from table tuples directly. For each anchor tuple x
+// drawn by SGD it generates a virtual tuple x' of predicates that x
+// satisfies: each column gets a random operator (slices of the batch are
+// assigned distinct operators without repetition, mirroring the paper's
+// slice trick that avoids per-row indexing costs) and a predicate value
+// drawn uniformly from the satisfying code range. Anchor rows whose range
+// is infeasible for the assigned operator (e.g. `>` on the minimum value)
+// degrade to wildcards, exactly like the mask bookkeeping in the paper.
+// The batch is replicated `mu` times with independent predicate draws
+// (expand coefficient, Sec. IV-C), and columns are sampled in parallel.
+#ifndef DUET_CORE_SAMPLER_H_
+#define DUET_CORE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/table.h"
+#include "query/query.h"
+
+namespace duet::core {
+
+/// One sampled batch of virtual tuples. Layout is row-major [batch, column];
+/// code/op == -1 marks a wildcard slot.
+struct VirtualBatch {
+  int64_t batch = 0;
+  int num_columns = 0;
+  std::vector<int32_t> pred_codes;  // predicate value codes, -1 = wildcard
+  std::vector<int8_t> pred_ops;     // PredOp index, -1 = wildcard
+  std::vector<int32_t> labels;      // anchor tuple codes (training target)
+
+  int32_t code_at(int64_t row, int col) const {
+    return pred_codes[static_cast<size_t>(row * num_columns + col)];
+  }
+  int8_t op_at(int64_t row, int col) const {
+    return pred_ops[static_cast<size_t>(row * num_columns + col)];
+  }
+  int32_t label_at(int64_t row, int col) const {
+    return labels[static_cast<size_t>(row * num_columns + col)];
+  }
+};
+
+/// Sampler configuration.
+struct SamplerOptions {
+  /// Expand coefficient mu: each anchor tuple is replicated this many times
+  /// with independent predicate draws (paper default 4).
+  int expand = 4;
+  /// Probability that a column is wildcarded instead of receiving a
+  /// predicate (Naru-style wildcard skipping so inference-time unconstrained
+  /// columns are in-distribution).
+  double wildcard_prob = 0.3;
+  /// Parallelize across columns (paper: one thread per column).
+  bool parallel = true;
+  /// Importance sampling of predicate operators (paper Sec. IV-C: "in
+  /// real-world scenarios with strong query time locality, it's possible to
+  /// use the historical queries' distributions to guide the sampling").
+  /// Empty = uniform (the paper's worst-case default); otherwise
+  /// kNumPredOps weights controlling how much of each batch slice is
+  /// assigned to each operator.
+  std::vector<double> op_weights;
+  /// Importance sampling of predicate *values* (same Sec. IV-C locality
+  /// note): per column, one weight per distinct-value code. Predicate
+  /// values are then drawn from the historical value distribution restricted
+  /// to the anchor-feasible range instead of uniformly. Empty = uniform.
+  std::vector<std::vector<double>> value_weights;
+};
+
+/// Derives smoothed per-column predicate-value weights from a historical
+/// workload (every code gets `smoothing` mass so no value starves).
+std::vector<std::vector<double>> ValueWeightsFromWorkload(const data::Table& table,
+                                                          const query::Workload& workload,
+                                                          double smoothing = 0.25);
+
+/// Derives operator importance weights from a historical workload (the
+/// relative frequency of each operator, smoothed so no operator starves).
+std::vector<double> OpWeightsFromWorkload(const query::Workload& workload,
+                                          double smoothing = 0.05);
+
+/// Vectorized per-column sampler over one table.
+class VirtualTupleSampler {
+ public:
+  VirtualTupleSampler(const data::Table& table, SamplerOptions options);
+
+  /// Samples a virtual batch for the given anchor rows. Deterministic in
+  /// `seed` (per-column child seeds are derived from it).
+  VirtualBatch Sample(const std::vector<int64_t>& anchor_rows, uint64_t seed) const;
+
+  const SamplerOptions& options() const { return options_; }
+
+ private:
+  void SampleColumn(const std::vector<int64_t>& anchor_rows, int col, uint64_t seed,
+                    VirtualBatch* out) const;
+
+  /// Draws a code in [lo, hi] from the column's importance distribution
+  /// (prefix-sum inversion), or uniformly when no weights are configured.
+  int32_t DrawCode(int col, int32_t lo, int32_t hi, Rng& rng) const;
+
+  const data::Table& table_;
+  SamplerOptions options_;
+  /// Per-column inclusive prefix sums of value_weights (empty = uniform).
+  std::vector<std::vector<double>> value_prefix_;
+};
+
+}  // namespace duet::core
+
+#endif  // DUET_CORE_SAMPLER_H_

@@ -1,0 +1,86 @@
+// Algorithm 2: hybrid training of Duet.
+//
+// Each SGD step draws a batch of anchor tuples, samples virtual predicate
+// tuples (Algorithm 1), and minimizes
+//     L = L_data + lambda * log2(QError + 1)
+// where L_data is cross-entropy against the anchor labels and the query
+// term runs the differentiable Algorithm 3 estimator on training-workload
+// queries (paper Sec. IV-D: the log2 mapping tames the huge early Q-error
+// so L_query converges at the same rate as L_data, Fig. 3). With
+// lambda == 0 or no workload the trainer degrades to DuetD (data-only).
+#ifndef DUET_CORE_TRAINER_H_
+#define DUET_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/duet_model.h"
+#include "core/sampler.h"
+#include "query/query.h"
+#include "tensor/optimizer.h"
+
+namespace duet::core {
+
+/// Training knobs (paper defaults).
+struct TrainOptions {
+  int epochs = 20;
+  int64_t batch_size = 512;
+  float learning_rate = 2e-3f;
+  /// Expand coefficient mu for Algorithm 1.
+  int expand = 4;
+  /// Wildcard probability during virtual-tuple sampling.
+  double wildcard_prob = 0.3;
+  /// Trade-off coefficient lambda; the hyper-parameter study (Fig. 5)
+  /// selects 0.1.
+  float lambda = 0.1f;
+  /// Hybrid training workload (nullptr -> DuetD, data-driven only).
+  const query::Workload* train_workload = nullptr;
+  /// Historical workload guiding importance sampling of predicate operators
+  /// and values (paper Sec. IV-C's query-locality refinement). nullptr keeps
+  /// the paper's worst-case uniform sampling.
+  const query::Workload* importance_workload = nullptr;
+  /// Map Q-error through log2(q+1) (Duet's loss). Setting this false
+  /// reproduces UAE-style unmapped Q-error for the Fig. 3 comparison.
+  bool map_query_loss = true;
+  uint64_t seed = 3407;
+  bool parallel_sampler = true;
+};
+
+/// Per-epoch training telemetry.
+struct EpochStats {
+  int epoch = 0;
+  double data_loss = 0.0;
+  double query_loss = 0.0;   // mapped (as optimized)
+  double raw_qerror = 0.0;   // mean raw Q-error of the training queries seen
+  double seconds = 0.0;
+  double tuples_per_second = 0.0;
+};
+
+/// Runs Algorithm 2 over a DuetModel.
+class DuetTrainer {
+ public:
+  DuetTrainer(DuetModel& model, TrainOptions options);
+
+  /// Trains for options.epochs; `on_epoch` (optional) observes telemetry
+  /// after every epoch (used by the convergence benches, Fig. 8/9).
+  std::vector<EpochStats> Train(const std::function<void(const EpochStats&)>& on_epoch = {});
+
+  /// Runs one epoch (exposed for fine-tuning flows, Sec. IV-A: collecting
+  /// badly estimated queries and fine-tuning on them).
+  EpochStats TrainEpoch(int epoch_index);
+
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  DuetModel& model_;
+  TrainOptions options_;
+  VirtualTupleSampler sampler_;
+  tensor::Adam optimizer_;
+  Rng rng_;
+  size_t workload_cursor_ = 0;
+};
+
+}  // namespace duet::core
+
+#endif  // DUET_CORE_TRAINER_H_

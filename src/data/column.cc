@@ -1,0 +1,57 @@
+#include "data/column.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace duet::data {
+
+Column Column::FromValues(std::string name, const std::vector<double>& values) {
+  Column col;
+  col.name_ = std::move(name);
+  std::vector<double> distinct = values;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  col.distinct_ = std::move(distinct);
+  col.codes_.resize(values.size());
+  for (size_t r = 0; r < values.size(); ++r) {
+    const auto it = std::lower_bound(col.distinct_.begin(), col.distinct_.end(), values[r]);
+    col.codes_[r] = static_cast<int32_t>(it - col.distinct_.begin());
+  }
+  return col;
+}
+
+Column Column::FromCodes(std::string name, std::vector<int32_t> codes,
+                         std::vector<double> distinct) {
+  Column col;
+  col.name_ = std::move(name);
+  for (size_t i = 1; i < distinct.size(); ++i) {
+    DUET_CHECK_LT(distinct[i - 1], distinct[i]) << "dictionary must be strictly increasing";
+  }
+  const int32_t ndv = static_cast<int32_t>(distinct.size());
+  for (int32_t c : codes) {
+    DUET_CHECK_GE(c, 0);
+    DUET_CHECK_LT(c, ndv);
+  }
+  col.codes_ = std::move(codes);
+  col.distinct_ = std::move(distinct);
+  return col;
+}
+
+int32_t Column::LowerBound(double v) const {
+  const auto it = std::lower_bound(distinct_.begin(), distinct_.end(), v);
+  return static_cast<int32_t>(it - distinct_.begin());
+}
+
+int32_t Column::UpperBound(double v) const {
+  const auto it = std::upper_bound(distinct_.begin(), distinct_.end(), v);
+  return static_cast<int32_t>(it - distinct_.begin());
+}
+
+int32_t Column::CodeOf(double v) const {
+  const int32_t lb = LowerBound(v);
+  if (lb < ndv() && distinct_[static_cast<size_t>(lb)] == v) return lb;
+  return -1;
+}
+
+}  // namespace duet::data

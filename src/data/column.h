@@ -1,0 +1,59 @@
+// Dictionary-encoded column storage.
+//
+// Every column is encoded against its sorted distinct-value dictionary, so
+// a predicate on raw values maps to a contiguous code interval. All learned
+// estimators in the paper (Naru, UAE, Duet) operate in this code space: one
+// categorical distribution per column with NDV states.
+#ifndef DUET_DATA_COLUMN_H_
+#define DUET_DATA_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace duet::data {
+
+/// A single dictionary-encoded column.
+class Column {
+ public:
+  Column() = default;
+
+  /// Builds from raw values: computes the sorted distinct dictionary and
+  /// encodes every row as an index into it.
+  static Column FromValues(std::string name, const std::vector<double>& values);
+
+  /// Builds directly from codes + dictionary (used by generators that already
+  /// produce code space). `distinct` must be strictly increasing.
+  static Column FromCodes(std::string name, std::vector<int32_t> codes,
+                          std::vector<double> distinct);
+
+  const std::string& name() const { return name_; }
+  int64_t num_rows() const { return static_cast<int64_t>(codes_.size()); }
+
+  /// Number of distinct values (paper: NDV / d_i).
+  int32_t ndv() const { return static_cast<int32_t>(distinct_.size()); }
+
+  /// Code of row r.
+  int32_t code(int64_t r) const { return codes_[static_cast<size_t>(r)]; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+
+  /// The raw value for a code.
+  double Value(int32_t code) const { return distinct_[static_cast<size_t>(code)]; }
+  const std::vector<double>& distinct() const { return distinct_; }
+
+  /// Smallest code whose value is >= v (== ndv() if none).
+  int32_t LowerBound(double v) const;
+  /// Smallest code whose value is > v (== ndv() if none).
+  int32_t UpperBound(double v) const;
+  /// Code of v if v is in the dictionary, -1 otherwise.
+  int32_t CodeOf(double v) const;
+
+ private:
+  std::string name_;
+  std::vector<int32_t> codes_;
+  std::vector<double> distinct_;
+};
+
+}  // namespace duet::data
+
+#endif  // DUET_DATA_COLUMN_H_

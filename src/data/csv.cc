@@ -1,0 +1,127 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace duet::data {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (char ch : line) {
+    if (ch == '"') {
+      quoted = !quoted;
+    } else if (ch == ',' && !quoted) {
+      cells.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Table LoadCsv(std::istream& in, const std::string& table_name) {
+  std::string line;
+  DUET_CHECK(static_cast<bool>(std::getline(in, line))) << "empty CSV";
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::vector<std::string> header = SplitCsvLine(line);
+  const size_t ncols = header.size();
+  DUET_CHECK_GT(ncols, 0u);
+
+  std::vector<std::vector<std::string>> raw(ncols);
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    DUET_CHECK_EQ(cells.size(), ncols) << "ragged CSV row";
+    for (size_t c = 0; c < ncols; ++c) raw[c].push_back(cells[c]);
+  }
+  DUET_CHECK(!raw[0].empty()) << "CSV has no data rows";
+
+  std::vector<Column> columns;
+  for (size_t c = 0; c < ncols; ++c) {
+    // A column is numeric iff every non-empty cell parses as a double.
+    bool numeric = true;
+    for (const std::string& cell : raw[c]) {
+      double unused;
+      if (!cell.empty() && !ParseDouble(cell, &unused)) {
+        numeric = false;
+        break;
+      }
+    }
+    std::vector<double> values(raw[c].size());
+    if (numeric) {
+      double min_seen = 0.0;
+      bool have_min = false;
+      for (const std::string& cell : raw[c]) {
+        double v = 0.0;
+        if (ParseDouble(cell, &v) && (!have_min || v < min_seen)) {
+          min_seen = v;
+          have_min = true;
+        }
+      }
+      for (size_t r = 0; r < raw[c].size(); ++r) {
+        double v = min_seen;
+        ParseDouble(raw[c][r], &v);
+        values[r] = v;
+      }
+    } else {
+      // Lexicographic string dictionary -> double codes.
+      std::map<std::string, double> dict;
+      for (const std::string& cell : raw[c]) dict[cell] = 0.0;
+      double code = 0.0;
+      for (auto& [key, val] : dict) {
+        val = code;
+        code += 1.0;
+      }
+      for (size_t r = 0; r < raw[c].size(); ++r) values[r] = dict[raw[c][r]];
+    }
+    columns.push_back(Column::FromValues(header[c], values));
+  }
+  return Table(table_name, std::move(columns));
+}
+
+Table LoadCsvFile(const std::string& path, const std::string& table_name) {
+  std::ifstream in(path);
+  DUET_CHECK(in.is_open()) << "cannot open " << path;
+  return LoadCsv(in, table_name);
+}
+
+void SaveCsv(const Table& table, std::ostream& out) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ",";
+    out << table.column(c).name();
+  }
+  out << "\n";
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ",";
+      out << table.column(c).Value(table.code(r, c));
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace duet::data

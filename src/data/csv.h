@@ -1,0 +1,28 @@
+// Minimal CSV import/export so users can run the estimators on their own
+// tables. Numeric cells parse as doubles; non-numeric cells are dictionary
+// encoded by string (their code order is lexicographic, which preserves
+// range-predicate semantics over the encoded domain).
+#ifndef DUET_DATA_CSV_H_
+#define DUET_DATA_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "data/table.h"
+
+namespace duet::data {
+
+/// Parses a CSV with a header row. Empty cells become the column minimum.
+/// Throws via DUET_CHECK on ragged rows.
+Table LoadCsv(std::istream& in, const std::string& table_name);
+
+/// Convenience file overload.
+Table LoadCsvFile(const std::string& path, const std::string& table_name);
+
+/// Writes a table (decoded values) as CSV with a header row.
+void SaveCsv(const Table& table, std::ostream& out);
+
+}  // namespace duet::data
+
+#endif  // DUET_DATA_CSV_H_

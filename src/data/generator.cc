@@ -1,0 +1,140 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace duet::data {
+
+namespace {
+
+/// Mixes a latent value into a column-specific code deterministically
+/// (splitmix-style finalizer) so columns sharing a latent factor are strongly
+/// but not trivially correlated.
+int32_t LatentToCode(int64_t latent, int col, int32_t ndv) {
+  uint64_t z = static_cast<uint64_t>(latent) * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(col) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int32_t>(z % static_cast<uint64_t>(ndv));
+}
+
+}  // namespace
+
+Table GenerateSynthetic(const SyntheticSpec& spec) {
+  DUET_CHECK_GT(spec.rows, 0);
+  DUET_CHECK(!spec.columns.empty());
+  DUET_CHECK_GT(spec.num_latent, 0);
+  Rng rng(spec.seed);
+
+  // Latent factor stream per row.
+  ZipfDistribution latent_dist(static_cast<uint32_t>(spec.latent_cardinality),
+                               spec.latent_zipf_s);
+  std::vector<std::vector<int32_t>> latent(static_cast<size_t>(spec.num_latent));
+  for (auto& l : latent) {
+    l.resize(static_cast<size_t>(spec.rows));
+    for (int64_t r = 0; r < spec.rows; ++r) {
+      l[static_cast<size_t>(r)] = static_cast<int32_t>(latent_dist.Sample(rng));
+    }
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(spec.columns.size());
+  for (size_t ci = 0; ci < spec.columns.size(); ++ci) {
+    const ColumnSpec& cs = spec.columns[ci];
+    DUET_CHECK_GE(cs.ndv, 2);
+    DUET_CHECK_GE(cs.latent, 0);
+    DUET_CHECK_LT(cs.latent, spec.num_latent);
+    ZipfDistribution indep(static_cast<uint32_t>(cs.ndv), cs.zipf_s);
+    // Column-specific permutation decorrelates rank order across columns so
+    // "rank 0 of column A" is not always co-located with "rank 0 of column B".
+    const std::vector<uint32_t> perm = rng.Permutation(static_cast<uint32_t>(cs.ndv));
+    // Dictionary with irregular gaps: exercises value->code mapping paths.
+    std::vector<double> dict(static_cast<size_t>(cs.ndv));
+    double v = rng.UniformDouble() * 10.0;
+    for (int32_t c = 0; c < cs.ndv; ++c) {
+      dict[static_cast<size_t>(c)] = v;
+      v += 0.5 + rng.UniformDouble() * 9.5;
+    }
+    std::vector<double> values(static_cast<size_t>(spec.rows));
+    const std::vector<int32_t>& lat = latent[static_cast<size_t>(cs.latent)];
+    for (int64_t r = 0; r < spec.rows; ++r) {
+      int32_t code;
+      if (rng.Bernoulli(cs.correlation)) {
+        code = LatentToCode(lat[static_cast<size_t>(r)], static_cast<int>(ci), cs.ndv);
+      } else {
+        code = static_cast<int32_t>(perm[indep.Sample(rng)]);
+      }
+      values[static_cast<size_t>(r)] = dict[static_cast<size_t>(code)];
+    }
+    columns.push_back(Column::FromValues("col" + std::to_string(ci), values));
+  }
+  return Table(spec.name, std::move(columns));
+}
+
+Table CensusLike(int64_t rows, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "census_like";
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.num_latent = 2;
+  spec.latent_cardinality = 150;
+  // NDV profile modeled on UCI Census (paper: 14 columns, NDV 2..123).
+  const int32_t ndvs[] = {9, 16, 7, 14, 6, 5, 2, 41, 52, 94, 123, 99, 42, 2};
+  const double zipf[] = {0.9, 0.7, 1.2, 0.8, 0.6, 1.0, 0.4, 1.3, 1.1, 1.5, 1.4, 1.2, 0.9, 0.3};
+  for (int i = 0; i < 14; ++i) {
+    ColumnSpec cs;
+    cs.ndv = ndvs[i];
+    cs.zipf_s = zipf[i];
+    cs.correlation = 0.5 + 0.05 * static_cast<double>(i % 8);
+    cs.latent = i % 2;
+    spec.columns.push_back(cs);
+  }
+  return GenerateSynthetic(spec);
+}
+
+Table KddLike(int64_t rows, int num_columns, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "kdd_like";
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.num_latent = 4;
+  spec.latent_cardinality = 300;
+  for (int i = 0; i < num_columns; ++i) {
+    ColumnSpec cs;
+    // NDV cycles through [2, 57] like the KDD Cup 98 profile.
+    cs.ndv = 2 + (i * 7) % 56;
+    cs.zipf_s = 0.4 + 0.1 * static_cast<double>(i % 12);
+    cs.correlation = 0.55 + 0.05 * static_cast<double>(i % 8);
+    cs.latent = i % 4;
+    spec.columns.push_back(cs);
+  }
+  return GenerateSynthetic(spec);
+}
+
+Table DmvLike(int64_t rows, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "dmv_like";
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.num_latent = 3;
+  spec.latent_cardinality = 2500;
+  // NDV profile modeled on the DMV registration table (2..2774; the largest
+  // column is scaled with the row count so small test tables stay dense).
+  const int32_t big = static_cast<int32_t>(std::min<int64_t>(2000, std::max<int64_t>(64, rows / 100)));
+  const int32_t ndvs[] = {big, 825, 575, 75, 36, 26, 10, 9, 2, 2, 120};
+  const double zipf[] = {1.2, 1.4, 1.1, 0.9, 1.3, 0.8, 0.5, 1.0, 0.2, 0.4, 1.1};
+  for (int i = 0; i < 11; ++i) {
+    ColumnSpec cs;
+    cs.ndv = std::min<int32_t>(ndvs[i], static_cast<int32_t>(std::max<int64_t>(2, rows / 4)));
+    cs.zipf_s = zipf[i];
+    cs.correlation = 0.55 + 0.06 * static_cast<double>(i % 6);
+    cs.latent = i % 3;
+    spec.columns.push_back(cs);
+  }
+  return GenerateSynthetic(spec);
+}
+
+}  // namespace duet::data

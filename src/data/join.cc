@@ -1,0 +1,87 @@
+#include "data/join.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace duet::data {
+
+namespace {
+
+/// Value -> right-row-indices map over the right key column.
+std::unordered_map<double, std::vector<int64_t>> BuildRightIndex(const Table& right,
+                                                                 int right_key) {
+  std::unordered_map<double, std::vector<int64_t>> index;
+  const Column& key = right.column(right_key);
+  index.reserve(static_cast<size_t>(key.ndv()));
+  for (int64_t r = 0; r < right.num_rows(); ++r) {
+    index[key.Value(key.code(r))].push_back(r);
+  }
+  return index;
+}
+
+}  // namespace
+
+int64_t EquiJoinSize(const Table& left, int left_key, const Table& right, int right_key,
+                     JoinKind kind) {
+  const auto index = BuildRightIndex(right, right_key);
+  const Column& key = left.column(left_key);
+  int64_t rows = 0;
+  for (int64_t r = 0; r < left.num_rows(); ++r) {
+    const auto it = index.find(key.Value(key.code(r)));
+    if (it != index.end()) {
+      rows += static_cast<int64_t>(it->second.size());
+    } else if (kind == JoinKind::kLeftOuter) {
+      rows += 1;
+    }
+  }
+  return rows;
+}
+
+Table EquiJoin(const Table& left, int left_key, const Table& right, int right_key,
+               const std::string& name, JoinKind kind) {
+  DUET_CHECK_GE(left_key, 0);
+  DUET_CHECK_LT(left_key, left.num_columns());
+  DUET_CHECK_GE(right_key, 0);
+  DUET_CHECK_LT(right_key, right.num_columns());
+
+  const auto index = BuildRightIndex(right, right_key);
+  const Column& key = left.column(left_key);
+
+  // Pair list of (left row, right row); right row -1 marks an outer null.
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t r = 0; r < left.num_rows(); ++r) {
+    const auto it = index.find(key.Value(key.code(r)));
+    if (it != index.end()) {
+      for (int64_t rr : it->second) pairs.emplace_back(r, rr);
+    } else if (kind == JoinKind::kLeftOuter) {
+      pairs.emplace_back(r, -1);
+    }
+  }
+  DUET_CHECK(!pairs.empty()) << "empty join result";
+
+  std::vector<Column> columns;
+  columns.reserve(static_cast<size_t>(left.num_columns() + right.num_columns() - 1));
+  for (int c = 0; c < left.num_columns(); ++c) {
+    const Column& src = left.column(c);
+    std::vector<double> values;
+    values.reserve(pairs.size());
+    for (const auto& [lr, rr] : pairs) values.push_back(src.Value(src.code(lr)));
+    columns.push_back(Column::FromValues("l_" + src.name(), values));
+  }
+  for (int c = 0; c < right.num_columns(); ++c) {
+    if (c == right_key) continue;  // the key already appears as l_<key>
+    const Column& src = right.column(c);
+    const double null_stand_in = src.Value(0);
+    std::vector<double> values;
+    values.reserve(pairs.size());
+    for (const auto& [lr, rr] : pairs) {
+      values.push_back(rr >= 0 ? src.Value(src.code(rr)) : null_stand_in);
+    }
+    columns.push_back(Column::FromValues("r_" + src.name(), values));
+  }
+  return Table(name, std::move(columns));
+}
+
+}  // namespace duet::data

@@ -1,0 +1,43 @@
+// Join support (paper Sec. III: "Since Duet shares the framework of Naru,
+// it also supports joins just like NeuroCard does, which ... learns from the
+// full-out join table to estimate cardinality for join queries").
+//
+// This reproduction materializes the equi-join of two tables into a flat
+// Table; any estimator in the library trained on that table answers join
+// queries (predicates over columns of either side) directly, and its
+// selectivity multiplied by the join size is the join cardinality.
+// NeuroCard's *full outer* join with scale/fanout columns is approximated
+// by the inner join plus optional null rows for unmatched tuples — for the
+// foreign-key joins the paper's framework targets (every fact row matches
+// one dimension row) the two coincide.
+#ifndef DUET_DATA_JOIN_H_
+#define DUET_DATA_JOIN_H_
+
+#include <string>
+
+#include "data/table.h"
+
+namespace duet::data {
+
+/// Join flavour.
+enum class JoinKind {
+  kInner,
+  /// Left rows without a match are kept, right columns take the value of
+  /// their dictionary minimum (a visible "null stand-in"; documented).
+  kLeftOuter,
+};
+
+/// Materializes `left JOIN right ON left[left_key] == right[right_key]`
+/// (value equality, not code equality: the tables keep independent
+/// dictionaries). The result's columns are all left columns followed by all
+/// right columns except the right key; names are prefixed "l_" / "r_".
+Table EquiJoin(const Table& left, int left_key, const Table& right, int right_key,
+               const std::string& name, JoinKind kind = JoinKind::kInner);
+
+/// Number of result rows EquiJoin would produce (cheap pre-check).
+int64_t EquiJoinSize(const Table& left, int left_key, const Table& right, int right_key,
+                     JoinKind kind = JoinKind::kInner);
+
+}  // namespace duet::data
+
+#endif  // DUET_DATA_JOIN_H_

@@ -1,0 +1,32 @@
+#include "data/table.h"
+
+#include "common/logging.h"
+
+namespace duet::data {
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  DUET_CHECK(!columns_.empty());
+  num_rows_ = columns_[0].num_rows();
+  for (const Column& c : columns_) {
+    DUET_CHECK_EQ(c.num_rows(), num_rows_) << "ragged table";
+    DUET_CHECK_GT(c.ndv(), 0);
+  }
+}
+
+std::vector<int64_t> Table::ColumnNdvs() const {
+  std::vector<int64_t> ndvs;
+  ndvs.reserve(columns_.size());
+  for (const Column& c : columns_) ndvs.push_back(c.ndv());
+  return ndvs;
+}
+
+int Table::LargestNdvColumn() const {
+  int best = 0;
+  for (int i = 1; i < num_columns(); ++i) {
+    if (column(i).ndv() > column(best).ndv()) best = i;
+  }
+  return best;
+}
+
+}  // namespace duet::data

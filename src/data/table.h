@@ -1,0 +1,43 @@
+// Table = named collection of equally sized dictionary-encoded columns.
+#ifndef DUET_DATA_TABLE_H_
+#define DUET_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+
+namespace duet::data {
+
+/// In-memory relation.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Per-column NDVs in column order (model head widths).
+  std::vector<int64_t> ColumnNdvs() const;
+
+  /// Index of the column with the most distinct values.
+  int LargestNdvColumn() const;
+
+  /// The code of row r in column c (convenience accessor).
+  int32_t code(int64_t r, int c) const { return columns_[static_cast<size_t>(c)].code(r); }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace duet::data
+
+#endif  // DUET_DATA_TABLE_H_

@@ -1,0 +1,73 @@
+#include "data/table_io.h"
+
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace duet::data {
+
+namespace {
+constexpr uint32_t kMagic = 0x44555442;  // "DUTB"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void SaveTable(BinaryWriter& w, const Table& table) {
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteString(table.name());
+  w.WriteU64(static_cast<uint64_t>(table.num_columns()));
+  w.WriteI64(table.num_rows());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    w.WriteString(col.name());
+    // Dictionary (doubles), then codes (int32 packed via u32).
+    w.WriteU64(static_cast<uint64_t>(col.ndv()));
+    for (double v : col.distinct()) w.WriteF64(v);
+    std::vector<uint32_t> codes(col.codes().begin(), col.codes().end());
+    w.WriteU32Vector(codes);
+  }
+}
+
+Table LoadTable(BinaryReader& r) {
+  const uint32_t magic = r.ReadU32();
+  DUET_CHECK_EQ(magic, kMagic) << "not a duet table cache";
+  const uint32_t version = r.ReadU32();
+  DUET_CHECK_EQ(version, kVersion) << "unsupported table-cache version";
+  const std::string name = r.ReadString();
+  const uint64_t num_columns = r.ReadU64();
+  const int64_t num_rows = r.ReadI64();
+  std::vector<Column> columns;
+  columns.reserve(num_columns);
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    const std::string col_name = r.ReadString();
+    const uint64_t ndv = r.ReadU64();
+    std::vector<double> distinct(ndv);
+    for (uint64_t v = 0; v < ndv; ++v) distinct[v] = r.ReadF64();
+    const std::vector<uint32_t> raw = r.ReadU32Vector();
+    DUET_CHECK_EQ(static_cast<int64_t>(raw.size()), num_rows)
+        << "row-count mismatch in column " << col_name;
+    std::vector<int32_t> codes(raw.begin(), raw.end());
+    columns.push_back(Column::FromCodes(col_name, std::move(codes), std::move(distinct)));
+  }
+  return Table(name, std::move(columns));
+}
+
+void SaveTableFile(const std::string& path, const Table& table) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DUET_CHECK(out.good()) << "cannot open table cache for writing: " << path;
+  BinaryWriter w(out);
+  SaveTable(w, table);
+  out.flush();
+  DUET_CHECK(out.good()) << "short write on table cache: " << path;
+}
+
+Table LoadTableFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DUET_CHECK(in.good()) << "cannot open table cache: " << path;
+  BinaryReader r(in);
+  return LoadTable(r);
+}
+
+}  // namespace duet::data

@@ -1,0 +1,31 @@
+// Binary table cache: (de)serialize dictionary-encoded tables.
+//
+// Re-ingesting a CSV and re-deriving dictionaries on every process start is
+// wasteful for the multi-hundred-MB tables the paper targets; a deployed
+// estimator ships the encoded table next to the model checkpoint. The
+// format carries a magic tag and version like the model checkpoints so
+// stale caches fail loudly.
+#ifndef DUET_DATA_TABLE_IO_H_
+#define DUET_DATA_TABLE_IO_H_
+
+#include <string>
+
+#include "common/serialize.h"
+#include "data/table.h"
+
+namespace duet::data {
+
+/// Writes the table (schema, dictionaries, codes) to a stream.
+void SaveTable(BinaryWriter& w, const Table& table);
+
+/// Reads a table written by SaveTable.
+Table LoadTable(BinaryReader& r);
+
+/// File-level convenience wrappers (abort with a readable message on I/O
+/// failure or format mismatch, mirroring core/checkpoint).
+void SaveTableFile(const std::string& path, const Table& table);
+Table LoadTableFile(const std::string& path);
+
+}  // namespace duet::data
+
+#endif  // DUET_DATA_TABLE_IO_H_

@@ -1,0 +1,326 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace duet::ml {
+
+namespace {
+
+/// Per-feature quantile bin edges computed once from the training matrix.
+/// Bin b holds values in (edges[b-1], edges[b]]; the split threshold between
+/// bins b and b+1 is edges[b].
+struct BinPlan {
+  std::vector<std::vector<float>> edges;  // per feature, ascending, size <= num_bins-1
+  std::vector<std::vector<uint16_t>> codes;  // per feature, per row bin index
+
+  int NumBins(int64_t f) const {
+    return static_cast<int>(edges[static_cast<size_t>(f)].size()) + 1;
+  }
+};
+
+BinPlan BuildBins(const Matrix& x, int num_bins) {
+  BinPlan plan;
+  plan.edges.resize(static_cast<size_t>(x.cols));
+  plan.codes.resize(static_cast<size_t>(x.cols));
+  std::vector<float> vals(static_cast<size_t>(x.rows));
+  for (int64_t f = 0; f < x.cols; ++f) {
+    for (int64_t r = 0; r < x.rows; ++r) vals[static_cast<size_t>(r)] = x.at(r, f);
+    std::vector<float> sorted = vals;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<float>& e = plan.edges[static_cast<size_t>(f)];
+    if (static_cast<int>(sorted.size()) <= num_bins) {
+      // Few distinct values: one bin per value, split between neighbours.
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        e.push_back(0.5f * (sorted[i] + sorted[i + 1]));
+      }
+    } else {
+      for (int b = 1; b < num_bins; ++b) {
+        const size_t idx = sorted.size() * static_cast<size_t>(b) / static_cast<size_t>(num_bins);
+        const float edge = sorted[std::min(idx, sorted.size() - 1)];
+        if (e.empty() || edge > e.back()) e.push_back(edge);
+      }
+    }
+    // Encode rows.
+    std::vector<uint16_t>& codes = plan.codes[static_cast<size_t>(f)];
+    codes.resize(static_cast<size_t>(x.rows));
+    for (int64_t r = 0; r < x.rows; ++r) {
+      const float v = x.at(r, f);
+      const auto it = std::lower_bound(e.begin(), e.end(), v);
+      codes[static_cast<size_t>(r)] = static_cast<uint16_t>(it - e.begin());
+    }
+  }
+  return plan;
+}
+
+/// Gain of a candidate child under XGBoost's squared-loss criterion.
+double LeafGain(double sum_g, double count, float l2) {
+  return sum_g * sum_g / (count + static_cast<double>(l2));
+}
+
+struct SplitDecision {
+  int feature = -1;
+  int bin = -1;  // split between bin and bin+1 (threshold = edges[bin])
+  double gain = 0.0;
+};
+
+}  // namespace
+
+float Tree::Predict(const float* row) const {
+  DUET_CHECK(!nodes.empty());
+  int idx = 0;
+  while (nodes[static_cast<size_t>(idx)].feature >= 0) {
+    const Node& nd = nodes[static_cast<size_t>(idx)];
+    idx = row[nd.feature] <= nd.threshold ? nd.left : nd.right;
+  }
+  return values[static_cast<size_t>(nodes[static_cast<size_t>(idx)].value_index)];
+}
+
+GbdtRegressor::GbdtRegressor(GbdtOptions options) : options_(options) {
+  DUET_CHECK_GT(options_.num_trees, 0);
+  DUET_CHECK_GT(options_.max_depth, 0);
+  DUET_CHECK_GE(options_.num_bins, 2);
+  DUET_CHECK_GT(options_.feature_fraction, 0.0);
+  DUET_CHECK_LE(options_.feature_fraction, 1.0);
+}
+
+void GbdtRegressor::Fit(const Matrix& x, const std::vector<float>& y) {
+  DUET_CHECK_EQ(static_cast<int64_t>(y.size()), x.rows);
+  DUET_CHECK_GT(x.rows, 0);
+  trees_.clear();
+  rmse_history_.clear();
+  num_features_ = x.cols;
+  feature_gain_.assign(static_cast<size_t>(x.cols), 0.0);
+
+  // Base score = target mean (one-leaf "tree zero").
+  double mean = 0.0;
+  for (float v : y) mean += v;
+  base_score_ = static_cast<float>(mean / static_cast<double>(x.rows));
+
+  const BinPlan bins = BuildBins(x, options_.num_bins);
+  Rng rng(options_.seed);
+
+  std::vector<float> pred(y.size(), base_score_);
+  std::vector<float> residual(y.size());
+  // Node assignment of every row while growing one tree.
+  std::vector<int> row_node(y.size());
+
+  const int64_t feat_per_split = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(options_.feature_fraction *
+                                           static_cast<double>(x.cols))));
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - pred[i];
+
+    Tree tree;
+    tree.nodes.push_back({});
+    std::fill(row_node.begin(), row_node.end(), 0);
+    // Frontier of expandable nodes at the current depth.
+    std::vector<int> frontier = {0};
+
+    for (int depth = 0; depth < options_.max_depth && !frontier.empty(); ++depth) {
+      // Histograms: per frontier node, per candidate feature, per bin.
+      std::vector<int64_t> feats(static_cast<size_t>(x.cols));
+      std::iota(feats.begin(), feats.end(), 0);
+      if (feat_per_split < x.cols) {
+        for (int64_t i = 0; i < feat_per_split; ++i) {
+          const int64_t j =
+              i + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(x.cols - i)));
+          std::swap(feats[static_cast<size_t>(i)], feats[static_cast<size_t>(j)]);
+        }
+        feats.resize(static_cast<size_t>(feat_per_split));
+      }
+
+      // node -> index into the frontier (or -1).
+      std::vector<int> node_slot(tree.nodes.size(), -1);
+      for (size_t s = 0; s < frontier.size(); ++s) node_slot[static_cast<size_t>(frontier[s])] = static_cast<int>(s);
+
+      const size_t num_slots = frontier.size();
+      std::vector<double> node_sum(num_slots, 0.0);
+      std::vector<int64_t> node_count(num_slots, 0);
+      for (int64_t r = 0; r < x.rows; ++r) {
+        const int slot = node_slot[static_cast<size_t>(row_node[static_cast<size_t>(r)])];
+        if (slot < 0) continue;
+        node_sum[static_cast<size_t>(slot)] += residual[static_cast<size_t>(r)];
+        node_count[static_cast<size_t>(slot)]++;
+      }
+
+      std::vector<SplitDecision> best(num_slots);
+      for (int64_t f : feats) {
+        const int nb = bins.NumBins(f);
+        if (nb < 2) continue;
+        // Per-slot histograms over this feature.
+        std::vector<double> hist_sum(num_slots * static_cast<size_t>(nb), 0.0);
+        std::vector<int64_t> hist_cnt(num_slots * static_cast<size_t>(nb), 0);
+        const std::vector<uint16_t>& codes = bins.codes[static_cast<size_t>(f)];
+        for (int64_t r = 0; r < x.rows; ++r) {
+          const int slot = node_slot[static_cast<size_t>(row_node[static_cast<size_t>(r)])];
+          if (slot < 0) continue;
+          const size_t cell = static_cast<size_t>(slot) * static_cast<size_t>(nb) + codes[static_cast<size_t>(r)];
+          hist_sum[cell] += residual[static_cast<size_t>(r)];
+          hist_cnt[cell]++;
+        }
+        for (size_t s = 0; s < num_slots; ++s) {
+          const double total_gain_base =
+              LeafGain(node_sum[s], static_cast<double>(node_count[s]), options_.l2_reg);
+          double left_sum = 0.0;
+          int64_t left_cnt = 0;
+          for (int b = 0; b + 1 < nb; ++b) {
+            const size_t cell = s * static_cast<size_t>(nb) + static_cast<size_t>(b);
+            left_sum += hist_sum[cell];
+            left_cnt += hist_cnt[cell];
+            const int64_t right_cnt = node_count[s] - left_cnt;
+            if (left_cnt < options_.min_samples_leaf || right_cnt < options_.min_samples_leaf) {
+              continue;
+            }
+            const double right_sum = node_sum[s] - left_sum;
+            const double gain = LeafGain(left_sum, static_cast<double>(left_cnt), options_.l2_reg) +
+                                LeafGain(right_sum, static_cast<double>(right_cnt), options_.l2_reg) -
+                                total_gain_base;
+            if (gain > best[s].gain + 1e-12) {
+              best[s] = {static_cast<int>(f), b, gain};
+            }
+          }
+        }
+      }
+
+      // Apply the chosen splits; collect the next frontier.
+      std::vector<int> next_frontier;
+      for (size_t s = 0; s < num_slots; ++s) {
+        const SplitDecision& d = best[s];
+        if (d.feature < 0) continue;  // stays a leaf
+        const int node_idx = frontier[s];
+        const int left = static_cast<int>(tree.nodes.size());
+        tree.nodes.push_back({});
+        const int right = static_cast<int>(tree.nodes.size());
+        tree.nodes.push_back({});
+        Tree::Node& nd = tree.nodes[static_cast<size_t>(node_idx)];
+        nd.feature = d.feature;
+        nd.threshold = bins.edges[static_cast<size_t>(d.feature)][static_cast<size_t>(d.bin)];
+        nd.left = left;
+        nd.right = right;
+        feature_gain_[static_cast<size_t>(d.feature)] += d.gain;
+        next_frontier.push_back(left);
+        next_frontier.push_back(right);
+      }
+
+      if (next_frontier.empty()) break;
+      // Reassign rows to children.
+      for (int64_t r = 0; r < x.rows; ++r) {
+        int& node = row_node[static_cast<size_t>(r)];
+        const Tree::Node& nd = tree.nodes[static_cast<size_t>(node)];
+        if (nd.feature < 0) continue;
+        node = x.at(r, nd.feature) <= nd.threshold ? nd.left : nd.right;
+      }
+      frontier = std::move(next_frontier);
+    }
+
+    // Leaf values: shrunken regularized mean of residuals per leaf.
+    std::vector<double> leaf_sum(tree.nodes.size(), 0.0);
+    std::vector<int64_t> leaf_cnt(tree.nodes.size(), 0);
+    for (int64_t r = 0; r < x.rows; ++r) {
+      // Rows in split nodes still need routing to the final leaves (the last
+      // frontier may have been split in the final depth iteration).
+      int node = row_node[static_cast<size_t>(r)];
+      while (tree.nodes[static_cast<size_t>(node)].feature >= 0) {
+        const Tree::Node& nd = tree.nodes[static_cast<size_t>(node)];
+        node = x.at(r, nd.feature) <= nd.threshold ? nd.left : nd.right;
+      }
+      row_node[static_cast<size_t>(r)] = node;
+      leaf_sum[static_cast<size_t>(node)] += residual[static_cast<size_t>(r)];
+      leaf_cnt[static_cast<size_t>(node)]++;
+    }
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      Tree::Node& nd = tree.nodes[i];
+      if (nd.feature >= 0) continue;
+      nd.value_index = static_cast<int>(tree.values.size());
+      const double denom = static_cast<double>(leaf_cnt[i]) + static_cast<double>(options_.l2_reg);
+      const double v = denom > 0.0 ? leaf_sum[i] / denom : 0.0;
+      tree.values.push_back(options_.learning_rate * static_cast<float>(v));
+    }
+
+    // Update predictions and track RMSE.
+    double se = 0.0;
+    for (int64_t r = 0; r < x.rows; ++r) {
+      pred[static_cast<size_t>(r)] += tree.values[static_cast<size_t>(
+          tree.nodes[static_cast<size_t>(row_node[static_cast<size_t>(r)])].value_index)];
+      const double e = static_cast<double>(y[static_cast<size_t>(r)]) -
+                       static_cast<double>(pred[static_cast<size_t>(r)]);
+      se += e * e;
+    }
+    trees_.push_back(std::move(tree));
+    rmse_history_.push_back(std::sqrt(se / static_cast<double>(x.rows)));
+
+    if (options_.early_stopping_rounds > 0 &&
+        static_cast<int>(rmse_history_.size()) > options_.early_stopping_rounds) {
+      const double before =
+          rmse_history_[rmse_history_.size() - 1 - static_cast<size_t>(options_.early_stopping_rounds)];
+      if (before - rmse_history_.back() < options_.early_stopping_tol) break;
+    }
+  }
+}
+
+float GbdtRegressor::Predict(const float* row) const {
+  double acc = base_score_;
+  for (const Tree& t : trees_) acc += t.Predict(row);
+  return static_cast<float>(acc);
+}
+
+std::vector<float> GbdtRegressor::PredictBatch(const Matrix& x) const {
+  DUET_CHECK_EQ(x.cols, num_features_);
+  std::vector<float> out(static_cast<size_t>(x.rows));
+  for (int64_t r = 0; r < x.rows; ++r) out[static_cast<size_t>(r)] = Predict(x.row(r));
+  return out;
+}
+
+double GbdtRegressor::SizeMB() const {
+  size_t bytes = 0;
+  for (const Tree& t : trees_) {
+    bytes += t.nodes.size() * sizeof(Tree::Node) + t.values.size() * sizeof(float);
+  }
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+void GbdtRegressor::Save(BinaryWriter& w) const {
+  w.WriteU32(0x47424454);  // "GBDT"
+  w.WriteI64(num_features_);
+  w.WriteF32(base_score_);
+  w.WriteU64(trees_.size());
+  for (const Tree& t : trees_) {
+    w.WriteU64(t.nodes.size());
+    for (const Tree::Node& nd : t.nodes) {
+      w.WriteI64(nd.feature);
+      w.WriteF32(nd.threshold);
+      w.WriteI64(nd.left);
+      w.WriteI64(nd.right);
+      w.WriteI64(nd.value_index);
+    }
+    w.WriteF32Vector(t.values);
+  }
+}
+
+void GbdtRegressor::Load(BinaryReader& r) {
+  const uint32_t magic = r.ReadU32();
+  DUET_CHECK_EQ(magic, 0x47424454u) << "not a GBDT checkpoint";
+  num_features_ = r.ReadI64();
+  base_score_ = r.ReadF32();
+  trees_.assign(r.ReadU64(), Tree{});
+  for (Tree& t : trees_) {
+    t.nodes.assign(r.ReadU64(), Tree::Node{});
+    for (Tree::Node& nd : t.nodes) {
+      nd.feature = static_cast<int>(r.ReadI64());
+      nd.threshold = r.ReadF32();
+      nd.left = static_cast<int>(r.ReadI64());
+      nd.right = static_cast<int>(r.ReadI64());
+      nd.value_index = static_cast<int>(r.ReadI64());
+    }
+    t.values = r.ReadF32Vector();
+  }
+}
+
+}  // namespace duet::ml

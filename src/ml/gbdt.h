@@ -1,0 +1,117 @@
+// Gradient-boosted regression trees (histogram-based), the engine behind
+// the LW-XGB baseline.
+//
+// The paper's introduction cites LW-XGB / LW-NN (Dutt et al., "Selectivity
+// Estimation for Range Predicates using Lightweight Models", VLDB 2019) as
+// the representative lightweight query-driven estimators. LW-XGB boosts
+// regression trees on per-column range features to predict log-selectivity.
+// This is a from-scratch reproduction of the needed subset of XGBoost:
+// squared-error boosting with shrinkage, quantile-binned histogram splits,
+// L2 leaf regularization, feature subsampling and early stopping.
+//
+// Everything is deterministic in GbdtOptions::seed.
+#ifndef DUET_ML_GBDT_H_
+#define DUET_ML_GBDT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace duet::ml {
+
+/// Dense row-major feature matrix.
+struct Matrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> data;  // rows * cols
+
+  float at(int64_t r, int64_t c) const {
+    return data[static_cast<size_t>(r * cols + c)];
+  }
+  /// Pointer to the first feature of row r.
+  const float* row(int64_t r) const { return data.data() + r * cols; }
+};
+
+/// Boosting configuration (defaults follow common XGBoost practice).
+struct GbdtOptions {
+  int num_trees = 100;
+  int max_depth = 6;
+  float learning_rate = 0.1f;
+  /// Minimum number of training rows in a leaf.
+  int64_t min_samples_leaf = 4;
+  /// Number of quantile histogram bins per feature.
+  int num_bins = 32;
+  /// Fraction of features considered at each split (1 = all).
+  double feature_fraction = 1.0;
+  /// L2 regularization on leaf values (XGBoost's lambda).
+  float l2_reg = 1.0f;
+  /// Stop adding trees once the training RMSE improvement over the last
+  /// `early_stopping_rounds` trees falls below `early_stopping_tol`
+  /// (0 rounds disables).
+  int early_stopping_rounds = 0;
+  double early_stopping_tol = 1e-7;
+  uint64_t seed = 42;
+};
+
+/// A single regression tree stored as flat arrays (negative child index
+/// marks a leaf; leaf payloads live in `values`).
+struct Tree {
+  struct Node {
+    int feature = -1;       // split feature; -1 for leaf
+    float threshold = 0.0f; // go left if x[feature] <= threshold
+    int left = -1;          // child indices; leaves use value_index
+    int right = -1;
+    int value_index = -1;   // into values for leaves
+  };
+  std::vector<Node> nodes;
+  std::vector<float> values;
+
+  float Predict(const float* row) const;
+  int num_leaves() const { return static_cast<int>(values.size()); }
+};
+
+/// Gradient-boosted regression ensemble with squared loss.
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(GbdtOptions options = {});
+
+  /// Fits on x (rows x cols) with targets y (size rows). Retraining resets
+  /// the ensemble.
+  void Fit(const Matrix& x, const std::vector<float>& y);
+
+  /// Prediction for one feature row (x must have num_features() floats).
+  float Predict(const float* row) const;
+
+  /// Batch prediction.
+  std::vector<float> PredictBatch(const Matrix& x) const;
+
+  /// Training RMSE after each boosting round (for convergence tests).
+  const std::vector<double>& train_rmse_history() const { return rmse_history_; }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  int64_t num_features() const { return num_features_; }
+  const GbdtOptions& options() const { return options_; }
+
+  /// Total split-gain credited to each feature (a simple importance score).
+  const std::vector<double>& feature_gain() const { return feature_gain_; }
+
+  /// Serialized size in MiB (paper Table II reports model sizes).
+  double SizeMB() const;
+
+  void Save(BinaryWriter& w) const;
+  void Load(BinaryReader& r);
+
+ private:
+  GbdtOptions options_;
+  int64_t num_features_ = 0;
+  float base_score_ = 0.0f;
+  std::vector<Tree> trees_;
+  std::vector<double> rmse_history_;
+  std::vector<double> feature_gain_;
+};
+
+}  // namespace duet::ml
+
+#endif  // DUET_ML_GBDT_H_

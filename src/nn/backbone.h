@@ -1,0 +1,46 @@
+// Backbone: the autoregressive network interface shared by MADE and the
+// Transformer.
+//
+// Duet's estimator (core/duet_model.h) only needs four things from its
+// network: a [B, input_dim] -> [B, output_dim] forward pass, the per-column
+// block layout on both sides, and the autoregressive guarantee that output
+// block i depends solely on input blocks < i. MADE provides this via
+// connectivity masks; nn::BlockTransformer provides it via causal
+// self-attention over column tokens (the paper's Sec. V-A4 anticipated
+// variant). Both implement this interface so the estimator, trainer and
+// benches are backbone-agnostic.
+#ifndef DUET_NN_BACKBONE_H_
+#define DUET_NN_BACKBONE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace duet::nn {
+
+/// Column-blocked autoregressive network: output block i is a function of
+/// input blocks strictly before i.
+class Backbone : public Module {
+ public:
+  ~Backbone() override = default;
+
+  /// x: [B, input_dim()] -> logits [B, output_dim()].
+  virtual tensor::Tensor Forward(const tensor::Tensor& x) const = 0;
+
+  /// Output logit block layout, one block per column.
+  virtual const std::vector<tensor::BlockSpec>& output_blocks() const = 0;
+
+  /// Input block layout, one block per column.
+  virtual const std::vector<tensor::BlockSpec>& input_blocks() const = 0;
+
+  virtual int64_t input_dim() const = 0;
+  virtual int64_t output_dim() const = 0;
+  virtual int num_columns() const = 0;
+};
+
+}  // namespace duet::nn
+
+#endif  // DUET_NN_BACKBONE_H_

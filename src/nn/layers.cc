@@ -1,0 +1,102 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace duet::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+Tensor UniformInit(std::vector<int64_t> shape, float bound, Rng& rng) {
+  Tensor t = Tensor::Zeros(std::move(shape));
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = (rng.UniformFloat() * 2.0f - 1.0f) * bound;
+  return t;
+}
+
+}  // namespace
+
+Linear::Linear(int64_t in, int64_t out, Rng& rng) : in_(in), out_(out) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in));
+  w_ = RegisterParam(UniformInit({in, out}, bound, rng));
+  b_ = RegisterParam(UniformInit({out}, bound, rng));
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return tensor::AddBias(tensor::MatMul(x, w_), b_);
+}
+
+MaskedLinear::MaskedLinear(int64_t in, int64_t out, Tensor mask, Rng& rng)
+    : in_(in), out_(out), mask_(std::move(mask)) {
+  DUET_CHECK_EQ(mask_.ndim(), 2);
+  DUET_CHECK_EQ(mask_.dim(0), in);
+  DUET_CHECK_EQ(mask_.dim(1), out);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in));
+  w_ = RegisterParam(UniformInit({in, out}, bound, rng));
+  b_ = RegisterParam(UniformInit({out}, bound, rng));
+}
+
+Tensor MaskedLinear::Forward(const Tensor& x) const {
+  return tensor::AddBias(tensor::MatMul(x, tensor::Mul(w_, mask_)), b_);
+}
+
+Mlp::Mlp(const std::vector<int64_t>& sizes, Rng& rng) {
+  DUET_CHECK_GE(sizes.size(), 2u);
+  layers_.reserve(sizes.size() - 1);
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.emplace_back(sizes[i], sizes[i + 1], rng);
+  }
+  for (auto& l : layers_) RegisterChild(l);
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = tensor::Relu(h);
+  }
+  return h;
+}
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng& rng) : dim_(dim) {
+  // Normal(0, 1) scaled down keeps embedding magnitudes comparable to the
+  // binary encodings they can replace.
+  Tensor t = Tensor::Zeros({num_embeddings, dim});
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(rng.Gaussian()) * 0.1f;
+  w_ = RegisterParam(t);
+}
+
+Tensor Embedding::Forward(const std::vector<int32_t>& idx) const {
+  return tensor::EmbeddingLookup(w_, idx);
+}
+
+LstmCell::LstmCell(int64_t input, int64_t hidden, Rng& rng) : hidden_(hidden) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden));
+  wx_ = RegisterParam(UniformInit({input, 4 * hidden}, bound, rng));
+  wh_ = RegisterParam(UniformInit({hidden, 4 * hidden}, bound, rng));
+  b_ = RegisterParam(UniformInit({4 * hidden}, bound, rng));
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  return {Tensor::Zeros({batch, hidden_}), Tensor::Zeros({batch, hidden_})};
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& x, const State& prev) const {
+  using namespace tensor;  // NOLINT
+  Tensor gates = AddBias(Add(MatMul(x, wx_), MatMul(prev.h, wh_)), b_);
+  Tensor i = Sigmoid(SliceCols(gates, 0, hidden_));
+  Tensor f = Sigmoid(SliceCols(gates, hidden_, hidden_));
+  Tensor g = Tanh(SliceCols(gates, 2 * hidden_, hidden_));
+  Tensor o = Sigmoid(SliceCols(gates, 3 * hidden_, hidden_));
+  Tensor c = Add(Mul(f, prev.c), Mul(i, g));
+  Tensor h = Mul(o, Tanh(c));
+  return {h, c};
+}
+
+}  // namespace duet::nn

@@ -1,0 +1,110 @@
+// Core layers: Linear, MaskedLinear (MADE building block), MLP, Embedding,
+// LSTMCell (used by the RNN variant of Duet's MPSN).
+#ifndef DUET_NN_LAYERS_H_
+#define DUET_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace duet::nn {
+
+/// Fully connected layer y = x W + b with PyTorch-style U(-1/sqrt(I), ..)
+/// initialization. W is stored [in, out] to match tensor::MatMul.
+class Linear : public Module {
+ public:
+  Linear(int64_t in, int64_t out, Rng& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+  const tensor::Tensor& weight() const { return w_; }
+  const tensor::Tensor& bias() const { return b_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  tensor::Tensor w_;
+  tensor::Tensor b_;
+};
+
+/// Linear layer whose weight is elementwise-gated by a constant binary mask
+/// (the MADE connectivity constraint): y = x (W o M) + b.
+class MaskedLinear : public Module {
+ public:
+  /// `mask` must be an [in, out] tensor of 0/1 floats.
+  MaskedLinear(int64_t in, int64_t out, tensor::Tensor mask, Rng& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  const tensor::Tensor& mask() const { return mask_; }
+  const tensor::Tensor& weight() const { return w_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  tensor::Tensor w_;
+  tensor::Tensor b_;
+  tensor::Tensor mask_;  // constant
+};
+
+/// Plain ReLU MLP; `sizes` = {in, h1, ..., out}. No activation after the
+/// final layer.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& sizes, Rng& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+/// Embedding table: rows of a [num_embeddings, dim] matrix.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng& rng);
+
+  tensor::Tensor Forward(const std::vector<int32_t>& idx) const;
+
+  int64_t dim() const { return dim_; }
+  const tensor::Tensor& weight() const { return w_; }
+
+ private:
+  int64_t dim_;
+  tensor::Tensor w_;
+};
+
+/// Single LSTM cell; state is carried explicitly by the caller.
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input, int64_t hidden, Rng& rng);
+
+  struct State {
+    tensor::Tensor h;
+    tensor::Tensor c;
+  };
+
+  /// Zero state for a batch.
+  State InitialState(int64_t batch) const;
+
+  /// One step: returns the new state.
+  State Forward(const tensor::Tensor& x, const State& prev) const;
+
+  int64_t hidden() const { return hidden_; }
+
+ private:
+  int64_t hidden_;
+  tensor::Tensor wx_;  // [input, 4H]
+  tensor::Tensor wh_;  // [hidden, 4H]
+  tensor::Tensor b_;   // [4H]
+};
+
+}  // namespace duet::nn
+
+#endif  // DUET_NN_LAYERS_H_

@@ -1,0 +1,50 @@
+// Module base class: parameter registration, counting, checkpoint I/O.
+#ifndef DUET_NN_MODULE_H_
+#define DUET_NN_MODULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "tensor/tensor.h"
+
+namespace duet::nn {
+
+/// Base class for neural network building blocks. Parameters registered via
+/// RegisterParam (or pulled in from child modules via RegisterChild) are
+/// exposed to optimizers and serialized in registration order.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters (this module + registered children).
+  const std::vector<tensor::Tensor>& parameters() const { return params_; }
+
+  /// Total number of scalar parameters.
+  int64_t NumParams() const;
+
+  /// Model size in MiB assuming float32 storage (paper Table II "Size(MB)").
+  double SizeMB() const;
+
+  /// Writes all parameters (values only) in registration order.
+  void Save(BinaryWriter& w) const;
+
+  /// Reads parameters written by Save into the existing tensors; shapes must
+  /// match the current architecture.
+  void Load(BinaryReader& r);
+
+ protected:
+  /// Registers a tensor as trainable and returns it.
+  tensor::Tensor RegisterParam(tensor::Tensor t);
+
+  /// Adopts all parameters of a child module (child must outlive the parent's
+  /// optimizer usage; typically children are data members).
+  void RegisterChild(Module& child);
+
+ private:
+  std::vector<tensor::Tensor> params_;
+};
+
+}  // namespace duet::nn
+
+#endif  // DUET_NN_MODULE_H_

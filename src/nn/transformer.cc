@@ -1,0 +1,142 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/attention_ops.h"
+
+namespace duet::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+/// Small gaussian init for embedding-like parameters (GPT-2's 0.02 scale).
+Tensor GaussianParam(std::vector<int64_t> shape, Rng& rng, float scale = 0.02f) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  std::vector<float> data(static_cast<size_t>(n));
+  for (float& v : data) v = scale * static_cast<float>(rng.Gaussian());
+  return Tensor::FromVector(std::move(shape), std::move(data), /*requires_grad=*/true);
+}
+
+Tensor ConstantParam(int64_t n, float fill) {
+  return Tensor::Full({n}, fill, /*requires_grad=*/true);
+}
+
+}  // namespace
+
+BlockTransformer::BlockTransformer(TransformerOptions options, Rng& rng)
+    : options_(std::move(options)) {
+  const int n = static_cast<int>(options_.input_widths.size());
+  DUET_CHECK_GT(n, 0);
+  DUET_CHECK_EQ(options_.output_widths.size(), options_.input_widths.size());
+  TransformerConfig& cfg = options_.config;
+  if (cfg.ffn_hidden == 0) cfg.ffn_hidden = 4 * cfg.d_model;
+  DUET_CHECK_GT(cfg.d_model, 0);
+  DUET_CHECK_GT(cfg.num_heads, 0);
+  DUET_CHECK_EQ(cfg.d_model % cfg.num_heads, 0);
+
+  for (int i = 0; i < n; ++i) {
+    in_blocks_.push_back({input_dim_, options_.input_widths[static_cast<size_t>(i)]});
+    input_dim_ += options_.input_widths[static_cast<size_t>(i)];
+    out_blocks_.push_back({output_dim_, options_.output_widths[static_cast<size_t>(i)]});
+    output_dim_ += options_.output_widths[static_cast<size_t>(i)];
+  }
+
+  bos_ = RegisterParam(GaussianParam({1, cfg.d_model}, rng));
+  pos_table_ = RegisterParam(GaussianParam({n, cfg.d_model}, rng));
+
+  // Token i >= 1 embeds input block i-1; block n-1 is never attended (no
+  // output conditions on it), matching MADE's degree assignment.
+  for (int i = 0; i + 1 < n; ++i) {
+    in_proj_.push_back(std::make_unique<Linear>(
+        options_.input_widths[static_cast<size_t>(i)], cfg.d_model, rng));
+    RegisterChild(*in_proj_.back());
+  }
+
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    Layer layer;
+    layer.wq = std::make_unique<Linear>(cfg.d_model, cfg.d_model, rng);
+    layer.wk = std::make_unique<Linear>(cfg.d_model, cfg.d_model, rng);
+    layer.wv = std::make_unique<Linear>(cfg.d_model, cfg.d_model, rng);
+    layer.wo = std::make_unique<Linear>(cfg.d_model, cfg.d_model, rng);
+    layer.ffn1 = std::make_unique<Linear>(cfg.d_model, cfg.ffn_hidden, rng);
+    layer.ffn2 = std::make_unique<Linear>(cfg.ffn_hidden, cfg.d_model, rng);
+    layer.ln1_gamma = RegisterParam(ConstantParam(cfg.d_model, 1.0f));
+    layer.ln1_beta = RegisterParam(ConstantParam(cfg.d_model, 0.0f));
+    layer.ln2_gamma = RegisterParam(ConstantParam(cfg.d_model, 1.0f));
+    layer.ln2_beta = RegisterParam(ConstantParam(cfg.d_model, 0.0f));
+    RegisterChild(*layer.wq);
+    RegisterChild(*layer.wk);
+    RegisterChild(*layer.wv);
+    RegisterChild(*layer.wo);
+    RegisterChild(*layer.ffn1);
+    RegisterChild(*layer.ffn2);
+    layers_.push_back(std::move(layer));
+  }
+
+  final_gamma_ = RegisterParam(ConstantParam(cfg.d_model, 1.0f));
+  final_beta_ = RegisterParam(ConstantParam(cfg.d_model, 0.0f));
+
+  for (int i = 0; i < n; ++i) {
+    heads_.push_back(std::make_unique<Linear>(
+        cfg.d_model, options_.output_widths[static_cast<size_t>(i)], rng));
+    RegisterChild(*heads_.back());
+  }
+}
+
+Tensor BlockTransformer::Forward(const Tensor& x) const {
+  DUET_CHECK_EQ(x.ndim(), 2);
+  DUET_CHECK_EQ(x.dim(1), input_dim_);
+  const int64_t b = x.dim(0);
+  const int64_t n = num_columns();
+  const TransformerConfig& cfg = options_.config;
+  const int64_t d = cfg.d_model;
+  const int64_t heads = cfg.num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d / heads));
+
+  // Assemble the token sequence [B*N, d]: BOS, then projected blocks 0..n-2.
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<size_t>(n));
+  parts.push_back(tensor::MatMul(Tensor::Full({b, 1}, 1.0f), bos_));
+  for (int64_t i = 1; i < n; ++i) {
+    const tensor::BlockSpec& blk = in_blocks_[static_cast<size_t>(i - 1)];
+    const Tensor block = tensor::SliceCols(x, blk.offset, blk.len);
+    parts.push_back(in_proj_[static_cast<size_t>(i - 1)]->Forward(block));
+  }
+  // ConcatCols yields [B, N*d]; row-major reshape interleaves to [B*N, d]
+  // with token t of batch r at row r*N + t.
+  Tensor seq = tensor::Reshape(tensor::ConcatCols(parts), {b * n, d});
+  seq = tensor::AddRowBroadcast(seq, pos_table_);
+
+  for (const Layer& layer : layers_) {
+    const Tensor h = tensor::LayerNorm(seq, layer.ln1_gamma, layer.ln1_beta);
+    const Tensor qh = tensor::SplitHeads(layer.wq->Forward(h), b, n, heads);
+    const Tensor kh = tensor::SplitHeads(layer.wk->Forward(h), b, n, heads);
+    const Tensor vh = tensor::SplitHeads(layer.wv->Forward(h), b, n, heads);
+    const Tensor scores = tensor::BatchedScores(qh, kh, b * heads, n, scale);
+    const Tensor attn = tensor::CausalSoftmaxRows(scores, n);
+    const Tensor ctx = tensor::BatchedAttend(attn, vh, b * heads, n);
+    const Tensor merged = tensor::MergeHeads(ctx, b, n, heads);
+    seq = tensor::Add(seq, layer.wo->Forward(merged));
+
+    const Tensor h2 = tensor::LayerNorm(seq, layer.ln2_gamma, layer.ln2_beta);
+    const Tensor ffn = layer.ffn2->Forward(tensor::Gelu(layer.ffn1->Forward(h2)));
+    seq = tensor::Add(seq, ffn);
+  }
+
+  seq = tensor::LayerNorm(seq, final_gamma_, final_beta_);
+
+  // Head i reads position i: regroup to [B, N*d] and slice per column.
+  const Tensor grid = tensor::Reshape(seq, {b, n * d});
+  std::vector<Tensor> outs;
+  outs.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor hidden = tensor::SliceCols(grid, i * d, d);
+    outs.push_back(heads_[static_cast<size_t>(i)]->Forward(hidden));
+  }
+  return tensor::ConcatCols(outs);
+}
+
+}  // namespace duet::nn

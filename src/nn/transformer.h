@@ -1,0 +1,92 @@
+// BlockTransformer: a decoder-only Transformer over column tokens.
+//
+// The paper evaluates Duet on MADE/ResMADE but explicitly anticipates a
+// Transformer backbone (Sec. V-A4). This implementation treats each table
+// column as one token: position 0 is a learned BOS vector, position i >= 1
+// embeds input block i-1 through a per-column linear projection, and output
+// head i reads the hidden state at position i. Causal self-attention
+// (token i attends positions <= i) therefore gives output block i access to
+// exactly input blocks < i — the same autoregressive contract MADE enforces
+// with connectivity masks, checked by the shared Backbone property tests.
+//
+// Blocks are pre-LN ("GPT-2 style"): x += MHA(LN(x)); x += FFN(LN(x)), with
+// a final LayerNorm before the per-column output heads.
+#ifndef DUET_NN_TRANSFORMER_H_
+#define DUET_NN_TRANSFORMER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/backbone.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace duet::nn {
+
+/// Architecture knobs for BlockTransformer (widths come from the encoder).
+struct TransformerConfig {
+  int64_t d_model = 64;
+  int num_heads = 4;
+  int num_layers = 2;
+  /// Feed-forward hidden width; 0 selects the conventional 4 * d_model.
+  int64_t ffn_hidden = 0;
+};
+
+/// Full options: per-column block widths plus the architecture config.
+struct TransformerOptions {
+  std::vector<int64_t> input_widths;
+  std::vector<int64_t> output_widths;
+  TransformerConfig config;
+};
+
+/// Decoder-only Transformer implementing the column-blocked Backbone
+/// contract.
+class BlockTransformer : public Backbone {
+ public:
+  BlockTransformer(TransformerOptions options, Rng& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const override;
+
+  const std::vector<tensor::BlockSpec>& output_blocks() const override {
+    return out_blocks_;
+  }
+  const std::vector<tensor::BlockSpec>& input_blocks() const override {
+    return in_blocks_;
+  }
+  int64_t input_dim() const override { return input_dim_; }
+  int64_t output_dim() const override { return output_dim_; }
+  int num_columns() const override {
+    return static_cast<int>(options_.input_widths.size());
+  }
+
+  const TransformerOptions& options() const { return options_; }
+
+ private:
+  /// One pre-LN decoder block's parameters.
+  struct Layer {
+    std::unique_ptr<Linear> wq, wk, wv, wo;
+    std::unique_ptr<Linear> ffn1, ffn2;
+    tensor::Tensor ln1_gamma, ln1_beta;
+    tensor::Tensor ln2_gamma, ln2_beta;
+  };
+
+  TransformerOptions options_;
+  int64_t input_dim_ = 0;
+  int64_t output_dim_ = 0;
+  std::vector<tensor::BlockSpec> in_blocks_;
+  std::vector<tensor::BlockSpec> out_blocks_;
+
+  tensor::Tensor bos_;        // [1, d_model] learned start token
+  tensor::Tensor pos_table_;  // [N, d_model] learned positional embeddings
+  std::vector<std::unique_ptr<Linear>> in_proj_;  // N-1 projections (blocks 0..N-2)
+  std::vector<Layer> layers_;
+  tensor::Tensor final_gamma_, final_beta_;
+  std::vector<std::unique_ptr<Linear>> heads_;  // N output heads
+};
+
+}  // namespace duet::nn
+
+#endif  // DUET_NN_TRANSFORMER_H_

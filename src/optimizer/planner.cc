@@ -1,0 +1,281 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace duet::optimizer {
+
+// ---------------------------------------------------------------------------
+// Access-path selection
+// ---------------------------------------------------------------------------
+
+std::string AccessPath::DebugString() const {
+  std::ostringstream os;
+  if (is_seq_scan()) {
+    os << "SeqScan";
+  } else {
+    os << "IndexScan(col=" << index_col << ")";
+  }
+  os << " cost=" << estimated_cost;
+  return os.str();
+}
+
+AccessPathSelector::AccessPathSelector(const data::Table& table,
+                                       std::vector<int> indexed_columns, CostModel cost)
+    : table_(table), indexed_columns_(std::move(indexed_columns)), cost_(cost) {
+  for (int c : indexed_columns_) {
+    DUET_CHECK_GE(c, 0);
+    DUET_CHECK_LT(c, table.num_columns());
+  }
+}
+
+double AccessPathSelector::IndexCost(double selectivity) const {
+  return cost_.index_lookup +
+         selectivity * static_cast<double>(table_.num_rows()) * cost_.index_tuple;
+}
+
+double AccessPathSelector::TrueColumnSelectivity(const query::Query& query, int col) const {
+  const std::vector<query::CodeRange> ranges = query.PerColumnRanges(table_);
+  const query::CodeRange& r = ranges[static_cast<size_t>(col)];
+  if (r.empty()) return 0.0;
+  const data::Column& column = table_.column(col);
+  int64_t hits = 0;
+  for (int64_t row = 0; row < table_.num_rows(); ++row) {
+    const int32_t code = column.code(row);
+    if (code >= r.lo && code < r.hi) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(table_.num_rows());
+}
+
+AccessPath AccessPathSelector::Choose(const query::Query& query,
+                                      query::CardinalityEstimator& estimator) const {
+  AccessPath best;
+  best.index_col = -1;
+  best.estimated_cost = static_cast<double>(table_.num_rows()) * cost_.seq_tuple;
+  for (int col : indexed_columns_) {
+    // Only an index whose column carries a predicate is useful.
+    query::Query sub;
+    for (const query::Predicate& p : query.predicates) {
+      if (p.col == col) sub.predicates.push_back(p);
+    }
+    if (sub.predicates.empty()) continue;
+    const double sel = estimator.EstimateSelectivity(sub);
+    const double cost = IndexCost(sel);
+    if (cost < best.estimated_cost) {
+      best.index_col = col;
+      best.estimated_cost = cost;
+    }
+  }
+  return best;
+}
+
+double AccessPathSelector::TrueCost(const query::Query& query, const AccessPath& path) const {
+  if (path.is_seq_scan()) {
+    return static_cast<double>(table_.num_rows()) * cost_.seq_tuple;
+  }
+  return IndexCost(TrueColumnSelectivity(query, path.index_col));
+}
+
+AccessPath AccessPathSelector::OptimalPath(const query::Query& query) const {
+  AccessPath best;
+  best.index_col = -1;
+  best.estimated_cost = static_cast<double>(table_.num_rows()) * cost_.seq_tuple;
+  for (int col : indexed_columns_) {
+    bool has_pred = false;
+    for (const query::Predicate& p : query.predicates) has_pred |= p.col == col;
+    if (!has_pred) continue;
+    const double cost = IndexCost(TrueColumnSelectivity(query, col));
+    if (cost < best.estimated_cost) {
+      best.index_col = col;
+      best.estimated_cost = cost;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Star-join ordering
+// ---------------------------------------------------------------------------
+
+StarJoinPlanner::StarJoinPlanner(StarJoinQuery query) : query_(std::move(query)) {
+  const int k = num_tables();
+  DUET_CHECK_GE(k, 2);
+  DUET_CHECK_LE(k, 16) << "subset DP is exponential in the table count";
+  DUET_CHECK_EQ(query_.filters.size(), query_.tables.size());
+  key_domain_ = 0;
+  for (const data::Table* t : query_.tables) {
+    DUET_CHECK(t != nullptr);
+    DUET_CHECK_LT(query_.join_col, t->num_columns());
+    key_domain_ = std::max(key_domain_, t->column(query_.join_col).ndv());
+  }
+  key_counts_.resize(static_cast<size_t>(k));
+  true_cards_.resize(static_cast<size_t>(k));
+  for (int t = 0; t < k; ++t) {
+    key_counts_[static_cast<size_t>(t)] = FilteredKeyCounts(t);
+    double total = 0.0;
+    for (int64_t c : key_counts_[static_cast<size_t>(t)]) total += static_cast<double>(c);
+    true_cards_[static_cast<size_t>(t)] = total;
+  }
+}
+
+std::vector<int64_t> StarJoinPlanner::FilteredKeyCounts(int t) const {
+  const data::Table& table = *query_.tables[static_cast<size_t>(t)];
+  const query::Query& filter = query_.filters[static_cast<size_t>(t)];
+  const std::vector<query::CodeRange> ranges = filter.PerColumnRanges(table);
+  std::vector<int64_t> counts(static_cast<size_t>(key_domain_), 0);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    bool ok = true;
+    for (int c = 0; c < table.num_columns() && ok; ++c) {
+      const int32_t code = table.code(r, c);
+      const query::CodeRange& range = ranges[static_cast<size_t>(c)];
+      ok = code >= range.lo && code < range.hi;
+    }
+    if (ok) counts[static_cast<size_t>(table.code(r, query_.join_col))]++;
+  }
+  return counts;
+}
+
+double StarJoinPlanner::TrueCOut(const std::vector<int>& order) {
+  DUET_CHECK_EQ(static_cast<int>(order.size()), num_tables());
+  // Running per-key product of the joined prefix.
+  std::vector<double> acc(static_cast<size_t>(key_domain_), 1.0);
+  const std::vector<int64_t>& first = key_counts_[static_cast<size_t>(order[0])];
+  for (int32_t key = 0; key < key_domain_; ++key) {
+    acc[static_cast<size_t>(key)] = static_cast<double>(first[static_cast<size_t>(key)]);
+  }
+  double total = 0.0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const std::vector<int64_t>& next = key_counts_[static_cast<size_t>(order[i])];
+    double card = 0.0;
+    for (int32_t key = 0; key < key_domain_; ++key) {
+      acc[static_cast<size_t>(key)] *= static_cast<double>(next[static_cast<size_t>(key)]);
+      card += acc[static_cast<size_t>(key)];
+    }
+    total += card;
+  }
+  return total;
+}
+
+JoinPlan StarJoinPlanner::BestOrderForCards(const std::vector<double>& cards) {
+  const int k = num_tables();
+  const uint32_t full = (1u << k) - 1u;
+  // Estimated cardinality of a joined subset under the uniform-key formula:
+  //   card(S) = prod cards / domain^(|S|-1).
+  std::vector<double> subset_card(full + 1, 0.0);
+  for (uint32_t s = 1; s <= full; ++s) {
+    double prod = 1.0;
+    int bits = 0;
+    for (int t = 0; t < k; ++t) {
+      if (s & (1u << t)) {
+        prod *= std::max(cards[static_cast<size_t>(t)], 1.0);
+        ++bits;
+      }
+    }
+    subset_card[s] = prod / std::pow(static_cast<double>(key_domain_),
+                                     static_cast<double>(bits - 1));
+  }
+  // DP: cost(S) = subset_card(S) + min over last-joined t of cost(S \ t).
+  std::vector<double> best_cost(full + 1, std::numeric_limits<double>::infinity());
+  std::vector<int> best_last(full + 1, -1);
+  for (int t = 0; t < k; ++t) best_cost[1u << t] = 0.0;
+  for (uint32_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton
+    for (int t = 0; t < k; ++t) {
+      if (!(s & (1u << t))) continue;
+      const double c = best_cost[s ^ (1u << t)];
+      if (c < best_cost[s]) {
+        best_cost[s] = c;
+        best_last[s] = t;
+      }
+    }
+    best_cost[s] += subset_card[s];
+  }
+  JoinPlan plan;
+  plan.estimated_cost = best_cost[full];
+  uint32_t s = full;
+  while (s && (s & (s - 1)) != 0) {
+    plan.order.push_back(best_last[s]);
+    s ^= 1u << best_last[s];
+  }
+  for (int t = 0; t < k; ++t) {
+    if (s & (1u << t)) plan.order.push_back(t);
+  }
+  std::reverse(plan.order.begin(), plan.order.end());
+  return plan;
+}
+
+JoinPlan StarJoinPlanner::PlanWithEstimators(
+    const std::vector<query::CardinalityEstimator*>& estimators) {
+  DUET_CHECK_EQ(estimators.size(), query_.tables.size());
+  std::vector<double> cards(query_.tables.size());
+  for (size_t t = 0; t < query_.tables.size(); ++t) {
+    DUET_CHECK(estimators[t] != nullptr);
+    cards[t] = estimators[t]->EstimateCardinality(query_.filters[t],
+                                                  query_.tables[t]->num_rows());
+  }
+  JoinPlan plan = BestOrderForCards(cards);
+  plan.true_cost = TrueCOut(plan.order);
+  return plan;
+}
+
+JoinPlan StarJoinPlanner::OptimalPlan() {
+  // True subset cardinalities differ from the uniform-key formula, so run
+  // the DP directly on exact per-subset C_out via per-key products.
+  const int k = num_tables();
+  const uint32_t full = (1u << k) - 1u;
+  std::vector<double> subset_card(full + 1, 0.0);
+  for (uint32_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;
+    double card = 0.0;
+    for (int32_t key = 0; key < key_domain_; ++key) {
+      double prod = 1.0;
+      for (int t = 0; t < k; ++t) {
+        if (s & (1u << t)) {
+          prod *= static_cast<double>(
+              key_counts_[static_cast<size_t>(t)][static_cast<size_t>(key)]);
+        }
+      }
+      card += prod;
+    }
+    subset_card[s] = card;
+  }
+  std::vector<double> best_cost(full + 1, std::numeric_limits<double>::infinity());
+  std::vector<int> best_last(full + 1, -1);
+  for (int t = 0; t < k; ++t) best_cost[1u << t] = 0.0;
+  for (uint32_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;
+    for (int t = 0; t < k; ++t) {
+      if (!(s & (1u << t))) continue;
+      const double c = best_cost[s ^ (1u << t)];
+      if (c < best_cost[s]) {
+        best_cost[s] = c;
+        best_last[s] = t;
+      }
+    }
+    best_cost[s] += subset_card[s];
+  }
+  JoinPlan plan;
+  uint32_t s = full;
+  while (s && (s & (s - 1)) != 0) {
+    plan.order.push_back(best_last[s]);
+    s ^= 1u << best_last[s];
+  }
+  for (int t = 0; t < k; ++t) {
+    if (s & (1u << t)) plan.order.push_back(t);
+  }
+  std::reverse(plan.order.begin(), plan.order.end());
+  plan.estimated_cost = best_cost[full];
+  plan.true_cost = TrueCOut(plan.order);
+  return plan;
+}
+
+double StarJoinPlanner::PlanCostRatio(const JoinPlan& plan) {
+  const double opt = OptimalPlan().true_cost;
+  return (plan.true_cost + 1.0) / (opt + 1.0);  // +1 guards empty joins
+}
+
+}  // namespace duet::optimizer

@@ -1,0 +1,143 @@
+// Query-optimizer integration: the consumer the paper's introduction
+// motivates ("most RDBMS's query optimizers evaluate the query plan
+// according to the cardinality, so the query optimizer's effectiveness
+// depends on accurate cardinality estimation").
+//
+// Two classic optimizer decisions are modeled, both driven by a pluggable
+// query::CardinalityEstimator:
+//
+//  * Access-path selection on one table: sequential scan vs a simulated
+//    unclustered secondary index, the textbook crossover that flips on the
+//    predicate's selectivity.
+//  * Left-deep join ordering for star joins over a shared key, chosen by
+//    dynamic programming over subsets with the C_out cost metric (sum of
+//    intermediate result sizes) — System-R-style enumeration. Intermediate
+//    cardinalities are *estimated* through per-table selectivities plus the
+//    uniform-key join formula, while *true* costs come from exact per-key
+//    counting, so the gap between the plan chosen and the optimal plan
+//    quantifies what an estimator's Q-error costs in plan quality
+//    (the "plan-cost ratio", P-error of Han et al., paper ref [46]).
+#ifndef DUET_OPTIMIZER_PLANNER_H_
+#define DUET_OPTIMIZER_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "query/estimator.h"
+#include "query/query.h"
+
+namespace duet::optimizer {
+
+// ---------------------------------------------------------------------------
+// Access-path selection
+// ---------------------------------------------------------------------------
+
+/// Cost constants (arbitrary units; ratios are what matter).
+struct CostModel {
+  /// Cost of touching one tuple in a sequential scan.
+  double seq_tuple = 1.0;
+  /// Random-access penalty per fetched tuple through an unclustered index.
+  double index_tuple = 4.0;
+  /// Index traversal overhead (B-tree descent).
+  double index_lookup = 10.0;
+};
+
+/// One access-path decision.
+struct AccessPath {
+  /// -1 = sequential scan, otherwise the index column used.
+  int index_col = -1;
+  double estimated_cost = 0.0;
+  bool is_seq_scan() const { return index_col < 0; }
+  std::string DebugString() const;
+};
+
+/// Chooses scan vs index for a conjunctive query using the estimator's
+/// per-column selectivities.
+class AccessPathSelector {
+ public:
+  /// `indexed_columns` lists the columns carrying a secondary index.
+  AccessPathSelector(const data::Table& table, std::vector<int> indexed_columns,
+                     CostModel cost = {});
+
+  /// The cheapest path under the estimator's selectivities.
+  AccessPath Choose(const query::Query& query,
+                    query::CardinalityEstimator& estimator) const;
+
+  /// The cost a path actually incurs given the query's *true* per-column
+  /// selectivities (computed exactly).
+  double TrueCost(const query::Query& query, const AccessPath& path) const;
+
+  /// The truly optimal path (Choose with an oracle).
+  AccessPath OptimalPath(const query::Query& query) const;
+
+ private:
+  /// Cost of scanning through index `col` when the predicate on it selects
+  /// `selectivity` of the table.
+  double IndexCost(double selectivity) const;
+
+  /// Exact selectivity of the query's predicates on one column.
+  double TrueColumnSelectivity(const query::Query& query, int col) const;
+
+  const data::Table& table_;
+  std::vector<int> indexed_columns_;
+  CostModel cost_;
+};
+
+// ---------------------------------------------------------------------------
+// Star-join ordering
+// ---------------------------------------------------------------------------
+
+/// A star join: every table joins on `join_col` (shared dictionary domain),
+/// each with a local conjunctive filter.
+struct StarJoinQuery {
+  std::vector<const data::Table*> tables;
+  std::vector<query::Query> filters;  // one per table
+  int join_col = 0;
+};
+
+/// A left-deep join order with its costs.
+struct JoinPlan {
+  std::vector<int> order;      // table indices, join sequence
+  double estimated_cost = 0.0; // C_out under the estimator
+  double true_cost = 0.0;      // C_out under exact cardinalities
+};
+
+/// System-R style DP planner over left-deep orders, C_out metric.
+class StarJoinPlanner {
+ public:
+  explicit StarJoinPlanner(StarJoinQuery query);
+
+  /// Best order under the estimator's cardinalities; true_cost is filled in
+  /// by exact evaluation of the chosen order.
+  JoinPlan PlanWithEstimators(const std::vector<query::CardinalityEstimator*>& estimators);
+
+  /// Best order under exact cardinalities (the oracle plan).
+  JoinPlan OptimalPlan();
+
+  /// true_cost(plan) / true_cost(optimal) >= 1; the plan-quality metric.
+  double PlanCostRatio(const JoinPlan& plan);
+
+  /// Exact C_out of a concrete order (exposed for tests).
+  double TrueCOut(const std::vector<int>& order);
+
+  int num_tables() const { return static_cast<int>(query_.tables.size()); }
+
+ private:
+  /// Exact per-key counts of table t's rows passing its local filter.
+  std::vector<int64_t> FilteredKeyCounts(int t) const;
+
+  /// DP over subsets minimizing sum-of-intermediates for left-deep orders,
+  /// given per-table cardinalities and key NDVs.
+  JoinPlan BestOrderForCards(const std::vector<double>& cards);
+
+  StarJoinQuery query_;
+  int32_t key_domain_ = 0;                       // shared key dictionary size
+  std::vector<std::vector<int64_t>> key_counts_; // exact filtered key counts
+  std::vector<double> true_cards_;               // exact filtered cardinalities
+};
+
+}  // namespace duet::optimizer
+
+#endif  // DUET_OPTIMIZER_PLANNER_H_

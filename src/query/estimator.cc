@@ -1,0 +1,32 @@
+#include "query/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace duet::query {
+
+double CardinalityEstimator::EstimateCardinality(const Query& query, int64_t num_rows) {
+  const double sel = EstimateSelectivity(query);
+  return std::max(1.0, std::round(sel * static_cast<double>(num_rows)));
+}
+
+double QError(double estimated_cardinality, double true_cardinality) {
+  const double est = std::max(1.0, estimated_cardinality);
+  const double act = std::max(1.0, true_cardinality);
+  return std::max(est, act) / std::min(est, act);
+}
+
+std::vector<double> EvaluateQErrors(CardinalityEstimator& estimator, const Workload& workload,
+                                    int64_t num_rows) {
+  std::vector<double> errors;
+  errors.reserve(workload.size());
+  for (const LabeledQuery& lq : workload) {
+    const double est = estimator.EstimateCardinality(lq.query, num_rows);
+    errors.push_back(QError(est, static_cast<double>(lq.cardinality)));
+  }
+  return errors;
+}
+
+}  // namespace duet::query

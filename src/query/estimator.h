@@ -1,0 +1,42 @@
+// Estimator interface and the Q-error metric (paper Eq. 4).
+#ifndef DUET_QUERY_ESTIMATOR_H_
+#define DUET_QUERY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace duet::query {
+
+/// Common interface of every cardinality estimator in the repository
+/// (traditional, query-driven, data-driven and hybrid).
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated selectivity in [0, 1].
+  virtual double EstimateSelectivity(const Query& query) = 0;
+
+  /// Display name for bench tables.
+  virtual std::string name() const = 0;
+
+  /// In-memory model size in MiB (0 for model-free estimators).
+  virtual double SizeMB() const { return 0.0; }
+
+  /// Convenience: selectivity * |T|, floored at 1 tuple (the standard
+  /// Q-error convention so empty estimates are comparable).
+  double EstimateCardinality(const Query& query, int64_t num_rows);
+};
+
+/// Q-Error = max(est, actual) / min(est, actual) with both floored at 1.
+double QError(double estimated_cardinality, double true_cardinality);
+
+/// Evaluates an estimator over a labeled workload; returns per-query q-errors.
+std::vector<double> EvaluateQErrors(CardinalityEstimator& estimator, const Workload& workload,
+                                    int64_t num_rows);
+
+}  // namespace duet::query
+
+#endif  // DUET_QUERY_ESTIMATOR_H_

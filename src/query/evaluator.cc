@@ -1,0 +1,63 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace duet::query {
+
+namespace {
+
+/// Compiled predicate: contiguous code interval per constrained column,
+/// ordered most-selective-first so row scans exit early.
+struct CompiledRange {
+  const int32_t* codes;
+  int32_t lo;
+  int32_t hi;  // half-open
+};
+
+uint64_t CountCompiled(const std::vector<CompiledRange>& ranges, int64_t rows) {
+  uint64_t count = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    bool ok = true;
+    for (const CompiledRange& cr : ranges) {
+      const int32_t code = cr.codes[r];
+      if (code < cr.lo || code >= cr.hi) {
+        ok = false;
+        break;
+      }
+    }
+    count += ok ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace
+
+uint64_t ExactEvaluator::Count(const Query& query) const {
+  const std::vector<CodeRange> ranges = query.PerColumnRanges(table_);
+  std::vector<CompiledRange> compiled;
+  for (int c = 0; c < table_.num_columns(); ++c) {
+    const CodeRange& cr = ranges[static_cast<size_t>(c)];
+    if (cr.empty()) return 0;
+    if (cr.lo == 0 && cr.hi == table_.column(c).ndv()) continue;  // wildcard
+    compiled.push_back({table_.column(c).codes().data(), cr.lo, cr.hi});
+  }
+  if (compiled.empty()) return static_cast<uint64_t>(table_.num_rows());
+  // Most selective range first: cheap heuristic by relative code coverage.
+  std::sort(compiled.begin(), compiled.end(), [](const CompiledRange& a, const CompiledRange& b) {
+    return (a.hi - a.lo) < (b.hi - b.lo);
+  });
+  return CountCompiled(compiled, table_.num_rows());
+}
+
+std::vector<uint64_t> ExactEvaluator::CountBatch(const std::vector<Query>& queries) const {
+  std::vector<uint64_t> counts(queries.size());
+  ParallelFor(
+      0, static_cast<int64_t>(queries.size()),
+      [&](int64_t i) { counts[static_cast<size_t>(i)] = Count(queries[static_cast<size_t>(i)]); },
+      /*parallel=*/queries.size() > 4, /*grain=*/1);
+  return counts;
+}
+
+}  // namespace duet::query

@@ -1,0 +1,34 @@
+// Exact cardinality evaluation (ground truth for training labels, test
+// workloads and the Q-error metric).
+#ifndef DUET_QUERY_EVALUATOR_H_
+#define DUET_QUERY_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+
+namespace duet::query {
+
+/// Scans the table with per-column code-range tests. Queries are evaluated
+/// independently, so batches parallelize across a thread pool.
+class ExactEvaluator {
+ public:
+  explicit ExactEvaluator(const data::Table& table) : table_(table) {}
+
+  /// True cardinality of one query.
+  uint64_t Count(const Query& query) const;
+
+  /// True cardinalities for a batch (parallel across queries).
+  std::vector<uint64_t> CountBatch(const std::vector<Query>& queries) const;
+
+  const data::Table& table() const { return table_; }
+
+ private:
+  const data::Table& table_;
+};
+
+}  // namespace duet::query
+
+#endif  // DUET_QUERY_EVALUATOR_H_

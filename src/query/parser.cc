@@ -1,0 +1,209 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace duet::query {
+
+namespace {
+
+/// Token kinds of the WHERE fragment.
+enum class TokenKind { kIdent, kNumber, kOp, kAnd, kOr, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t pos = 0;
+};
+
+/// Case-insensitive keyword comparison.
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  /// Scans the next token; reports lexical errors through *error.
+  bool Next(Token* token, std::string* error) {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    token->pos = pos_;
+    if (pos_ >= text_.size()) {
+      token->kind = TokenKind::kEnd;
+      token->text.clear();
+      return true;
+    }
+    const char c = text_[pos_];
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      size_t len = 1;
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') len = 2;
+      token->text = text_.substr(pos_, len);
+      if (token->text == "!" || token->text == "!=") {
+        *error = Describe(pos_, "operator '!=' is not supported (paper ops: = < > <= >=)");
+        return false;
+      }
+      token->kind = TokenKind::kOp;
+      pos_ += len;
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' || c == '.') {
+      size_t end = pos_ + 1;
+      while (end < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '.' ||
+              text_[end] == 'e' || text_[end] == 'E' || text_[end] == '-' ||
+              text_[end] == '+')) {
+        // Sign characters only continue a number right after an exponent.
+        if ((text_[end] == '-' || text_[end] == '+') &&
+            !(text_[end - 1] == 'e' || text_[end - 1] == 'E')) {
+          break;
+        }
+        ++end;
+      }
+      token->kind = TokenKind::kNumber;
+      token->text = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      return true;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_ + 1;
+      while (end < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                                    text_[end] == '_')) {
+        ++end;
+      }
+      token->text = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      if (EqualsIgnoreCase(token->text, "and")) {
+        token->kind = TokenKind::kAnd;
+      } else if (EqualsIgnoreCase(token->text, "or")) {
+        token->kind = TokenKind::kOr;
+      } else {
+        token->kind = TokenKind::kIdent;
+      }
+      return true;
+    }
+    *error = Describe(pos_, std::string("unexpected character '") + c + "'");
+    return false;
+  }
+
+  std::string Describe(size_t pos, const std::string& cause) const {
+    std::ostringstream os;
+    os << "parse error at position " << pos << ": " << cause;
+    return os.str();
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Maps an operator token to PredOp.
+bool OpFromText(const std::string& text, PredOp* op) {
+  if (text == "=" || text == "==") {
+    *op = PredOp::kEq;
+  } else if (text == ">") {
+    *op = PredOp::kGt;
+  } else if (text == "<") {
+    *op = PredOp::kLt;
+  } else if (text == ">=") {
+    *op = PredOp::kGe;
+  } else if (text == "<=") {
+    *op = PredOp::kLe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Resolves a column name against the schema (-1 if unknown).
+int ColumnIndex(const data::Table& table, const std::string& name) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).name() == name) return c;
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool ParseWhere(const std::string& text, const data::Table& table, ParsedWhere* out,
+                std::string* error) {
+  Lexer lexer(text);
+  Token token;
+  if (!lexer.Next(&token, error)) return false;
+
+  ParsedWhere result;
+  result.clauses.emplace_back();
+  bool expect_predicate = true;
+  while (true) {
+    if (token.kind == TokenKind::kEnd) {
+      if (expect_predicate) {
+        *error = lexer.Describe(token.pos, result.clauses.size() == 1 &&
+                                               result.clauses[0].predicates.empty()
+                                           ? "empty expression"
+                                           : "dangling AND/OR");
+        return false;
+      }
+      break;
+    }
+    if (expect_predicate) {
+      // pred := ident op number
+      if (token.kind != TokenKind::kIdent) {
+        *error = lexer.Describe(token.pos, "expected a column name, got '" + token.text + "'");
+        return false;
+      }
+      const int col = ColumnIndex(table, token.text);
+      if (col < 0) {
+        *error = lexer.Describe(token.pos, "unknown column '" + token.text + "'");
+        return false;
+      }
+      if (!lexer.Next(&token, error)) return false;
+      PredOp op;
+      if (token.kind != TokenKind::kOp || !OpFromText(token.text, &op)) {
+        *error = lexer.Describe(token.pos, "expected an operator (= < > <= >=), got '" +
+                                               token.text + "'");
+        return false;
+      }
+      if (!lexer.Next(&token, error)) return false;
+      if (token.kind != TokenKind::kNumber) {
+        *error = lexer.Describe(token.pos, "expected a numeric constant, got '" +
+                                               token.text + "'");
+        return false;
+      }
+      char* end = nullptr;
+      const double value = std::strtod(token.text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        *error = lexer.Describe(token.pos, "malformed number '" + token.text + "'");
+        return false;
+      }
+      result.clauses.back().predicates.push_back({col, op, value});
+      expect_predicate = false;
+    } else {
+      // connective := AND | OR
+      if (token.kind == TokenKind::kAnd) {
+        expect_predicate = true;
+      } else if (token.kind == TokenKind::kOr) {
+        result.clauses.emplace_back();
+        expect_predicate = true;
+      } else {
+        *error =
+            lexer.Describe(token.pos, "expected AND/OR, got '" + token.text + "'");
+        return false;
+      }
+    }
+    if (!lexer.Next(&token, error)) return false;
+  }
+  *out = std::move(result);
+  return true;
+}
+
+}  // namespace duet::query

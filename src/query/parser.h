@@ -1,0 +1,44 @@
+// A small WHERE-clause parser: text predicates -> query::Query DNF.
+//
+// The estimators consume structured predicates; tools and examples (the CSV
+// estimator, ad-hoc exploration) want text. The grammar is the fragment the
+// paper's query model supports (Sec. III): conjunctions of
+// column-op-constant predicates, with OR producing DNF clauses that
+// core::EstimateDisjunction evaluates by inclusion-exclusion:
+//
+//   expr := conj ('OR' conj)*
+//   conj := pred ('AND' pred)*
+//   pred := column op number
+//   op   := '=' | '==' | '<' | '>' | '<=' | '>='
+//
+// AND binds tighter than OR (so the parse *is* the DNF); keywords are
+// case-insensitive; column names resolve against the table schema. Parsing
+// user text must not abort the process, so errors are reported through a
+// message out-parameter instead of DUET_CHECK.
+#ifndef DUET_QUERY_PARSER_H_
+#define DUET_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+
+namespace duet::query {
+
+/// Parse result: a disjunction of conjunctive clauses (size 1 = plain
+/// conjunction).
+struct ParsedWhere {
+  std::vector<Query> clauses;
+  bool is_conjunction() const { return clauses.size() == 1; }
+};
+
+/// Parses `text` against `table`'s schema. Returns true on success; on
+/// failure returns false and describes the problem in *error (position and
+/// cause), leaving *out untouched.
+bool ParseWhere(const std::string& text, const data::Table& table, ParsedWhere* out,
+                std::string* error);
+
+}  // namespace duet::query
+
+#endif  // DUET_QUERY_PARSER_H_

@@ -1,0 +1,90 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace duet::query {
+
+const char* PredOpName(PredOp op) {
+  switch (op) {
+    case PredOp::kEq:
+      return "=";
+    case PredOp::kGt:
+      return ">";
+    case PredOp::kLt:
+      return "<";
+    case PredOp::kGe:
+      return ">=";
+    case PredOp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+
+CodeRange RangeForPredicate(const data::Column& column, PredOp op, double value) {
+  const int32_t ndv = column.ndv();
+  switch (op) {
+    case PredOp::kEq: {
+      const int32_t c = column.CodeOf(value);
+      if (c < 0) return {0, 0};
+      return {c, c + 1};
+    }
+    case PredOp::kGt:
+      return {column.UpperBound(value), ndv};
+    case PredOp::kGe:
+      return {column.LowerBound(value), ndv};
+    case PredOp::kLt:
+      return {0, column.LowerBound(value)};
+    case PredOp::kLe:
+      return {0, column.UpperBound(value)};
+  }
+  return {0, 0};
+}
+
+CodeRange IntersectRanges(CodeRange a, CodeRange b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+bool Query::HasMultiPredicateColumn() const {
+  std::set<int> seen;
+  for (const Predicate& p : predicates) {
+    if (!seen.insert(p.col).second) return true;
+  }
+  return false;
+}
+
+int Query::NumConstrainedColumns() const {
+  std::set<int> seen;
+  for (const Predicate& p : predicates) seen.insert(p.col);
+  return static_cast<int>(seen.size());
+}
+
+std::vector<CodeRange> Query::PerColumnRanges(const data::Table& table) const {
+  std::vector<CodeRange> ranges(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ranges[static_cast<size_t>(c)] = {0, table.column(c).ndv()};
+  }
+  for (const Predicate& p : predicates) {
+    DUET_CHECK_GE(p.col, 0);
+    DUET_CHECK_LT(p.col, table.num_columns());
+    const CodeRange r = RangeForPredicate(table.column(p.col), p.op, p.value);
+    auto& dst = ranges[static_cast<size_t>(p.col)];
+    dst = IntersectRanges(dst, r);
+  }
+  return ranges;
+}
+
+std::string Query::DebugString(const data::Table& table) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) os << " AND ";
+    const Predicate& p = predicates[i];
+    os << table.column(p.col).name() << " " << PredOpName(p.op) << " " << p.value;
+  }
+  return os.str();
+}
+
+}  // namespace duet::query

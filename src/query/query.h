@@ -1,0 +1,81 @@
+// Query model: conjunctions of single-column predicates (paper Sec. III).
+//
+// Operators are {=, >, <, >=, <=}; a column may carry multiple predicates
+// (Duet's MPSN extension, Sec. IV-F). Predicates are translated to
+// half-open code intervals against the column's sorted dictionary, which is
+// what both the exact evaluator and every estimator consume.
+#ifndef DUET_QUERY_QUERY_H_
+#define DUET_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace duet::query {
+
+/// Predicate operator. Numbering matches the paper's Algorithm 1 comment
+/// ("=, >, <, >=, <= are numbered"); kNumPredOps is the one-hot width.
+enum class PredOp : int32_t {
+  kEq = 0,
+  kGt = 1,
+  kLt = 2,
+  kGe = 3,
+  kLe = 4,
+};
+inline constexpr int kNumPredOps = 5;
+
+/// Human-readable operator symbol.
+const char* PredOpName(PredOp op);
+
+/// One predicate: column `col` compared against raw value `value`.
+struct Predicate {
+  int col = 0;
+  PredOp op = PredOp::kEq;
+  double value = 0.0;
+};
+
+/// Half-open code interval [lo, hi); empty iff lo >= hi.
+struct CodeRange {
+  int32_t lo = 0;
+  int32_t hi = 0;
+  bool empty() const { return lo >= hi; }
+  int32_t size() const { return hi > lo ? hi - lo : 0; }
+};
+
+/// Translates one predicate into the matching code interval of `column`.
+CodeRange RangeForPredicate(const data::Column& column, PredOp op, double value);
+
+/// Intersection of two code ranges.
+CodeRange IntersectRanges(CodeRange a, CodeRange b);
+
+/// Conjunctive query.
+struct Query {
+  std::vector<Predicate> predicates;
+
+  /// True if some column carries more than one predicate.
+  bool HasMultiPredicateColumn() const;
+
+  /// Number of distinct constrained columns.
+  int NumConstrainedColumns() const;
+
+  /// Per-column intersected code range; columns without predicates get the
+  /// full range [0, ndv). Size == table.num_columns().
+  std::vector<CodeRange> PerColumnRanges(const data::Table& table) const;
+
+  std::string DebugString(const data::Table& table) const;
+};
+
+/// A query labeled with its true cardinality.
+struct LabeledQuery {
+  Query query;
+  uint64_t cardinality = 0;
+};
+
+/// A set of labeled queries.
+using Workload = std::vector<LabeledQuery>;
+
+}  // namespace duet::query
+
+#endif  // DUET_QUERY_QUERY_H_

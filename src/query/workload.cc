@@ -1,0 +1,129 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "query/evaluator.h"
+
+namespace duet::query {
+
+WorkloadGenerator::WorkloadGenerator(const data::Table& table, WorkloadSpec spec)
+    : table_(table), spec_(spec) {
+  if (spec_.max_columns < 0 || spec_.max_columns > table_.num_columns()) {
+    spec_.max_columns = table_.num_columns();
+  }
+  DUET_CHECK_GT(spec_.max_columns, 0);
+  if (spec_.bounded_column >= 0) {
+    DUET_CHECK_LT(spec_.bounded_column, table_.num_columns());
+    const data::Column& col = table_.column(spec_.bounded_column);
+    const int32_t take = std::max<int32_t>(
+        1, static_cast<int32_t>(std::ceil(col.ndv() * spec_.bounded_fraction)));
+    // The subset is part of the workload's identity: derive it from the seed.
+    Rng rng(spec_.seed ^ 0xb01dfacecafeULL);
+    std::vector<uint32_t> perm = rng.Permutation(static_cast<uint32_t>(col.ndv()));
+    bounded_values_.reserve(static_cast<size_t>(take));
+    for (int32_t i = 0; i < take; ++i) {
+      bounded_values_.push_back(col.Value(static_cast<int32_t>(perm[static_cast<size_t>(i)])));
+    }
+    std::sort(bounded_values_.begin(), bounded_values_.end());
+  }
+}
+
+Query WorkloadGenerator::GenerateQuery(Rng& rng) const {
+  const int ncols = spec_.max_columns;
+  // Number of constrained columns.
+  int k;
+  if (spec_.gamma_num_predicates) {
+    k = 1 + static_cast<int>(rng.Gamma(spec_.gamma_shape, spec_.gamma_scale));
+  } else {
+    k = static_cast<int>(rng.UniformRange(1, ncols));
+  }
+  k = std::clamp(k, 1, ncols);
+
+  // Pick k distinct columns.
+  std::vector<uint32_t> perm = rng.Permutation(static_cast<uint32_t>(ncols));
+  perm.resize(static_cast<size_t>(k));
+  std::sort(perm.begin(), perm.end());
+
+  // Anchor tuple.
+  const int64_t anchor = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(table_.num_rows())));
+
+  Query q;
+  for (uint32_t col_idx : perm) {
+    const int col = static_cast<int>(col_idx);
+    const data::Column& column = table_.column(col);
+    const double value = column.Value(table_.code(anchor, col));
+    if (spec_.two_sided_prob > 0.0 && column.ndv() > 2 && rng.Bernoulli(spec_.two_sided_prob)) {
+      // Two-sided range containing the anchor: lo <= value <= hi with lo/hi
+      // sampled uniformly from the codes on each side.
+      const int32_t code = table_.code(anchor, col);
+      const int32_t lo_code = static_cast<int32_t>(rng.UniformRange(0, code));
+      const int32_t hi_code =
+          static_cast<int32_t>(rng.UniformRange(code, column.ndv() - 1));
+      q.predicates.push_back({col, PredOp::kGe, column.Value(lo_code)});
+      q.predicates.push_back({col, PredOp::kLe, column.Value(hi_code)});
+      continue;
+    }
+    PredOp op = static_cast<PredOp>(rng.UniformInt(kNumPredOps));
+    if (col == spec_.bounded_column && !bounded_values_.empty()) {
+      // Training predicates on the bounded column only ever use the sampled
+      // 1% value subset (paper Sec. V-A2).
+      const double v = bounded_values_[rng.UniformInt(bounded_values_.size())];
+      q.predicates.push_back({col, op, v});
+      continue;
+    }
+    // Draw the predicate value uniformly from the range that keeps the
+    // anchor satisfying (the same rule as Algorithm 1), so every generated
+    // query selects at least the anchor tuple.
+    const int32_t anchor_code = table_.code(anchor, col);
+    int32_t lo = 0, hi = -1;  // inclusive code bounds for the value
+    switch (op) {
+      case PredOp::kEq:
+        lo = hi = anchor_code;
+        break;
+      case PredOp::kGt:
+        lo = 0;
+        hi = anchor_code - 1;
+        break;
+      case PredOp::kLt:
+        lo = anchor_code + 1;
+        hi = column.ndv() - 1;
+        break;
+      case PredOp::kGe:
+        lo = 0;
+        hi = anchor_code;
+        break;
+      case PredOp::kLe:
+        lo = anchor_code;
+        hi = column.ndv() - 1;
+        break;
+    }
+    if (lo > hi) {  // infeasible op for this anchor: degrade to equality
+      op = PredOp::kEq;
+      q.predicates.push_back({col, op, value});
+      continue;
+    }
+    const int32_t code =
+        lo + static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+    q.predicates.push_back({col, op, column.Value(code)});
+  }
+  return q;
+}
+
+Workload WorkloadGenerator::Generate() const {
+  Rng rng(spec_.seed);
+  std::vector<Query> queries;
+  queries.reserve(static_cast<size_t>(spec_.num_queries));
+  for (int i = 0; i < spec_.num_queries; ++i) queries.push_back(GenerateQuery(rng));
+  ExactEvaluator evaluator(table_);
+  const std::vector<uint64_t> counts = evaluator.CountBatch(queries);
+  Workload workload(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    workload[i].query = std::move(queries[i]);
+    workload[i].cardinality = counts[i];
+  }
+  return workload;
+}
+
+}  // namespace duet::query

@@ -1,0 +1,68 @@
+// Workload generation following the paper's Sec. V-A2 protocol.
+//
+// Queries are anchored on a sampled tuple: pick k columns, give each a
+// random operator from {=, >, <, >=, <=} and a value drawn uniformly from
+// the range the anchor satisfies (the Algorithm 1 rule), so the anchor
+// always satisfies the query and selectivities span many orders of
+// magnitude. Three workload flavours are reproduced:
+//   * training / In-Q: gamma-distributed predicate count (skewed like real
+//     workloads), optional bounded column (only 1% of a large column's
+//     distinct values ever appear in training predicates), seed 42;
+//   * Rand-Q: uniform predicate count, no bounded column, seed 1234 —
+//     deliberately drifted from the training distribution;
+//   * MPSN workloads: optional two-sided ranges (two predicates on one
+//     column) to exercise multi-predicate support (Sec. IV-F).
+#ifndef DUET_QUERY_WORKLOAD_H_
+#define DUET_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/table.h"
+#include "query/query.h"
+
+namespace duet::query {
+
+/// Knobs for one workload.
+struct WorkloadSpec {
+  int num_queries = 1000;
+  uint64_t seed = 42;
+  /// Gamma-skewed predicate count (training / In-Q) vs uniform (Rand-Q).
+  bool gamma_num_predicates = false;
+  double gamma_shape = 2.0;
+  double gamma_scale = 1.2;
+  /// Bounded column (paper: "sample 1% of its distinct values"); -1 = none.
+  int bounded_column = -1;
+  double bounded_fraction = 0.01;
+  /// Probability that a constrained column becomes a two-sided range
+  /// (>= lo AND <= hi). 0 reproduces the single-predicate main workloads.
+  double two_sided_prob = 0.0;
+  /// Restrict predicates to the first `max_columns` columns (used by the
+  /// Fig. 6 scalability sweep); -1 = all columns.
+  int max_columns = -1;
+};
+
+/// Deterministic generator over one table.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const data::Table& table, WorkloadSpec spec);
+
+  /// Draws one query (no label).
+  Query GenerateQuery(Rng& rng) const;
+
+  /// Generates spec.num_queries queries and labels them with exact counts.
+  Workload Generate() const;
+
+  /// The restricted value set of the bounded column (empty if unbounded).
+  const std::vector<double>& bounded_values() const { return bounded_values_; }
+
+ private:
+  const data::Table& table_;
+  WorkloadSpec spec_;
+  std::vector<double> bounded_values_;
+};
+
+}  // namespace duet::query
+
+#endif  // DUET_QUERY_WORKLOAD_H_

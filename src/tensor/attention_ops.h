@@ -1,0 +1,57 @@
+// Differentiable operations for block-causal self-attention.
+//
+// The paper (Sec. V-A4) anticipates running Duet on a Transformer backbone
+// ("it is reasonable to expect that Duet can achieve much higher speed and
+// scalability improvement on Transformer since its cost is higher for a
+// single forward pass"). These ops are the minimal attention vocabulary
+// needed by nn::BlockTransformer: layer normalization, GELU, head
+// splitting/merging, batched score/attend contractions, and a causal
+// row-softmax. Everything operates on the engine's 2-D [rows, features]
+// layout: a batch of token sequences [B, N, D] is stored as [B*N, D] with
+// token t of batch b at row b*N + t.
+#ifndef DUET_TENSOR_ATTENTION_OPS_H_
+#define DUET_TENSOR_ATTENTION_OPS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace duet::tensor {
+
+/// Row-wise layer normalization: y = gamma * (x - mean) / sqrt(var + eps) +
+/// beta, statistics taken over the feature (last) dimension of x:[R,C];
+/// gamma/beta:[C].
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+/// GELU activation (tanh approximation, as used by GPT-style blocks).
+Tensor Gelu(const Tensor& x);
+
+/// Splits attention heads: x:[B*N, H*Dh] -> [B*H*N, Dh], where the output
+/// row of (batch b, head h, token t) is (b*H + h)*N + t. Pure permutation.
+Tensor SplitHeads(const Tensor& x, int64_t batch, int64_t n, int64_t heads);
+
+/// Inverse of SplitHeads: x:[B*H*N, Dh] -> [B*N, H*Dh].
+Tensor MergeHeads(const Tensor& x, int64_t batch, int64_t n, int64_t heads);
+
+/// Batched attention scores: q,k:[B*N, D] -> [B*N, N] with
+///   out[b*N + i, j] = scale * dot(q[b*N + i], k[b*N + j]).
+Tensor BatchedScores(const Tensor& q, const Tensor& k, int64_t batch, int64_t n,
+                     float scale);
+
+/// Causal row softmax for scores:[B*N, N]: row r (token t = r mod N) is a
+/// softmax over columns [0, t]; columns > t are exactly 0. This is the
+/// strictly-lower-triangular-plus-diagonal mask of a decoder block.
+Tensor CausalSoftmaxRows(const Tensor& scores, int64_t n);
+
+/// Batched value aggregation: attn:[B*N, N], v:[B*N, D] -> [B*N, D] with
+///   out[b*N + i] = sum_j attn[b*N + i, j] * v[b*N + j].
+Tensor BatchedAttend(const Tensor& attn, const Tensor& v, int64_t batch, int64_t n);
+
+/// Adds a per-token row table (positional embeddings): x:[B*N, D],
+/// table:[N, D] -> out[r] = x[r] + table[r mod N].
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& table);
+
+}  // namespace duet::tensor
+
+#endif  // DUET_TENSOR_ATTENTION_OPS_H_

@@ -1,0 +1,70 @@
+// First-order optimizers over parameter tensors (Adam and SGD).
+//
+// The paper trains MADE/ResMADE models with Adam; SGD is kept for tests and
+// ablations.
+#ifndef DUET_TENSOR_OPTIMIZER_H_
+#define DUET_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace duet::tensor {
+
+/// Common optimizer interface: call ZeroGrad(), build loss, loss.Backward(),
+/// then Step().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients of all managed parameters.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Adam (Kingma & Ba) with optional weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace duet::tensor
+
+#endif  // DUET_TENSOR_OPTIMIZER_H_

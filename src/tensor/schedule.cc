@@ -1,0 +1,63 @@
+#include "tensor/schedule.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace duet::tensor {
+
+StepDecayLr::StepDecayLr(float base_lr, int64_t step_size, float gamma)
+    : base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {
+  DUET_CHECK_GT(step_size, 0);
+}
+
+float StepDecayLr::LrAt(int64_t step) const {
+  const int64_t k = step / step_size_;
+  return base_lr_ * std::pow(gamma_, static_cast<float>(k));
+}
+
+WarmupCosineLr::WarmupCosineLr(float base_lr, int64_t warmup_steps, int64_t total_steps,
+                               float min_lr)
+    : base_lr_(base_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps),
+      min_lr_(min_lr) {
+  DUET_CHECK_GE(warmup_steps, 0);
+  DUET_CHECK_GT(total_steps, warmup_steps);
+}
+
+float WarmupCosineLr::LrAt(int64_t step) const {
+  if (step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) / static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return min_lr_;
+  const double progress = static_cast<double>(step - warmup_steps_) /
+                          static_cast<double>(total_steps_ - warmup_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(progress * 3.14159265358979323846));
+  return static_cast<float>(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm) {
+  DUET_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (const Tensor& p : params) {
+    if (!p.defined()) continue;
+    const std::vector<float>& g = p.grad_vector();
+    for (float v : g) sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const Tensor& p : params) {
+      if (!p.defined()) continue;
+      // Tensor is a shared handle; a copy aliases the same storage.
+      Tensor alias = p;
+      float* g = alias.grad_data();
+      const int64_t n = p.numel();
+      for (int64_t i = 0; i < n; ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace duet::tensor

@@ -1,0 +1,70 @@
+// Learning-rate schedules and gradient clipping.
+//
+// The reproduction's training loops (Duet, Naru, UAE, MSCN, LW-NN and the
+// Transformer-backbone ablation) share these utilities: schedules map a step
+// counter to a learning rate (applied via Optimizer::set_lr), and
+// ClipGradNorm bounds the global gradient norm, which is what keeps the
+// unmapped-Q-error comparison of Fig. 3 trainable at all.
+#ifndef DUET_TENSOR_SCHEDULE_H_
+#define DUET_TENSOR_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace duet::tensor {
+
+/// Maps a 0-based step index to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+
+  /// Learning rate to use for step `step`.
+  virtual float LrAt(int64_t step) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LrAt(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Multiplies the base rate by `gamma` every `step_size` steps.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base_lr, int64_t step_size, float gamma);
+  float LrAt(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Linear warmup for `warmup_steps`, then cosine decay to `min_lr` at
+/// `total_steps` (and `min_lr` beyond).
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float base_lr, int64_t warmup_steps, int64_t total_steps,
+                 float min_lr = 0.0f);
+  float LrAt(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+  float min_lr_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm (callers can log or assert on it).
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
+
+}  // namespace duet::tensor
+
+#endif  // DUET_TENSOR_SCHEDULE_H_

@@ -1,0 +1,175 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace duet::tensor {
+
+namespace {
+thread_local bool t_grad_enabled = true;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : prev_(t_grad_enabled) { t_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { t_grad_enabled = prev_; }
+bool NoGradGuard::GradEnabled() { return t_grad_enabled; }
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
+  return Full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float fill, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  int64_t n = 1;
+  for (int64_t d : impl->shape) {
+    DUET_CHECK_GE(d, 0);
+    n *= d;
+  }
+  impl->value.assign(static_cast<size_t>(n), fill);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> data,
+                          bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  int64_t n = 1;
+  for (int64_t d : impl->shape) n *= d;
+  DUET_CHECK_EQ(static_cast<size_t>(n), data.size());
+  impl->value = std::move(data);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float v, bool requires_grad) {
+  return FromVector({1}, {v}, requires_grad);
+}
+
+const std::vector<int64_t>& Tensor::shape() const {
+  DUET_CHECK(impl_ != nullptr);
+  return impl_->shape;
+}
+
+int64_t Tensor::dim(int i) const {
+  DUET_CHECK(impl_ != nullptr);
+  DUET_CHECK_GE(i, 0);
+  DUET_CHECK_LT(static_cast<size_t>(i), impl_->shape.size());
+  return impl_->shape[static_cast<size_t>(i)];
+}
+
+int Tensor::ndim() const {
+  DUET_CHECK(impl_ != nullptr);
+  return static_cast<int>(impl_->shape.size());
+}
+
+int64_t Tensor::numel() const {
+  DUET_CHECK(impl_ != nullptr);
+  return impl_->numel();
+}
+
+bool Tensor::requires_grad() const {
+  DUET_CHECK(impl_ != nullptr);
+  return impl_->requires_grad;
+}
+
+float* Tensor::data() {
+  DUET_CHECK(impl_ != nullptr);
+  return impl_->value.data();
+}
+
+const float* Tensor::data() const {
+  DUET_CHECK(impl_ != nullptr);
+  return impl_->value.data();
+}
+
+float* Tensor::grad_data() {
+  DUET_CHECK(impl_ != nullptr);
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+const std::vector<float>& Tensor::grad_vector() const {
+  DUET_CHECK(impl_ != nullptr);
+  return impl_->grad;
+}
+
+const std::vector<float>& Tensor::value_vector() const {
+  DUET_CHECK(impl_ != nullptr);
+  return impl_->value;
+}
+
+float Tensor::item() const {
+  DUET_CHECK(impl_ != nullptr);
+  DUET_CHECK_EQ(impl_->numel(), 1);
+  return impl_->value[0];
+}
+
+void Tensor::ZeroGrad() {
+  DUET_CHECK(impl_ != nullptr);
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::Backward() {
+  DUET_CHECK(impl_ != nullptr);
+  // Iterative post-order DFS to get a topological order of the graph.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      TensorImpl* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  // Fresh gradient buffers for the whole graph, then seed the root with 1s.
+  for (TensorImpl* node : order) {
+    node->grad.assign(node->value.size(), 0.0f);
+  }
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 1.0f);
+  // Reverse topological order: root last in `order`.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward) (*it)->backward();
+  }
+}
+
+Tensor Tensor::Clone() const {
+  DUET_CHECK(impl_ != nullptr);
+  return FromVector(impl_->shape, impl_->value, false);
+}
+
+Tensor Tensor::Detach() const {
+  DUET_CHECK(impl_ != nullptr);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->value = impl_->value;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+std::string Tensor::DebugString() const {
+  if (!defined()) return "Tensor[undefined]";
+  std::ostringstream os;
+  os << "Tensor[";
+  for (size_t i = 0; i < impl_->shape.size(); ++i) {
+    if (i > 0) os << "x";
+    os << impl_->shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace duet::tensor

@@ -1,0 +1,125 @@
+// A small reverse-mode automatic-differentiation tensor engine.
+//
+// This is the substrate the paper gets from PyTorch/LibTorch: dense float32
+// tensors, a dynamically built computation graph, and backpropagation. The
+// reproduction implements it from scratch (see DESIGN.md Sec. 1) so that the
+// MADE models, the Duet estimator, the Gumbel-Softmax progressive sampler of
+// UAE, and the hybrid Q-error loss all run on one deterministic CPU engine.
+//
+// Design notes:
+//  * A Tensor is a shared handle to an Impl node holding value, grad, and an
+//    optional backward closure plus parent links (the graph is embedded in
+//    the nodes; releasing the loss tensor frees the graph).
+//  * Shapes are 1-D to 3-D; almost everything in the library is [batch, dim].
+//  * Gradient tracking is opt-in per-leaf (requires_grad) and can be
+//    suppressed globally with NoGradGuard for inference paths, which is how
+//    the latency benches measure pure forward cost.
+#ifndef DUET_TENSOR_TENSOR_H_
+#define DUET_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace duet::tensor {
+
+class Tensor;
+
+/// Reference-counted tensor storage + autograd node.
+struct TensorImpl {
+  std::vector<int64_t> shape;
+  std::vector<float> value;
+  std::vector<float> grad;  // lazily sized to value.size()
+  bool requires_grad = false;
+  std::function<void()> backward;  // accumulates into parents' grads
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+  void EnsureGrad() {
+    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  }
+};
+
+/// RAII guard disabling graph construction (inference mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  /// True when graph construction is currently enabled.
+  static bool GradEnabled();
+
+ private:
+  bool prev_;
+};
+
+/// Value-semantics handle over TensorImpl.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  /// Allocates a zero-filled tensor.
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+
+  /// Allocates a constant-filled tensor.
+  static Tensor Full(std::vector<int64_t> shape, float fill, bool requires_grad = false);
+
+  /// Wraps existing data (copied).
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> data,
+                           bool requires_grad = false);
+
+  /// A scalar (shape [1]).
+  static Tensor Scalar(float v, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int64_t>& shape() const;
+  int64_t dim(int i) const;
+  int ndim() const;
+  int64_t numel() const;
+  bool requires_grad() const;
+
+  float* data();
+  const float* data() const;
+  /// Grad buffer (allocated on first use).
+  float* grad_data();
+  const std::vector<float>& grad_vector() const;
+  const std::vector<float>& value_vector() const;
+
+  /// Scalar value accessor (requires numel()==1).
+  float item() const;
+
+  /// Zeroes this tensor's grad buffer.
+  void ZeroGrad();
+
+  /// Runs reverse-mode autodiff from this tensor. The seed gradient is 1 for
+  /// every element (callers typically invoke this on a scalar loss).
+  void Backward();
+
+  /// Deep copy of values only (no graph, no grad).
+  Tensor Clone() const;
+
+  /// Same storage, detached from the graph (no parents / backward).
+  Tensor Detach() const;
+
+  std::shared_ptr<TensorImpl>& impl() { return impl_; }
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+  /// Human-readable short description ("Tensor[2x3]").
+  std::string DebugString() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+}  // namespace duet::tensor
+
+#endif  // DUET_TENSOR_TENSOR_H_

@@ -1,0 +1,44 @@
+// Numeric gradient checking helper for the autograd engine tests.
+#ifndef DUET_TESTS_GRADCHECK_H_
+#define DUET_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace duet::testing {
+
+/// Checks d(scalar fn)/d(input) against central finite differences for every
+/// element of `input`. `fn` must rebuild the graph from the current input
+/// values and return a scalar tensor. Tolerances are float32-appropriate.
+inline void ExpectGradMatchesNumeric(tensor::Tensor input,
+                                     const std::function<tensor::Tensor()>& fn,
+                                     float eps = 1e-2f, float rtol = 6e-2f,
+                                     float atol = 2e-2f) {
+  // Analytic gradient.
+  tensor::Tensor loss = fn();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+  std::vector<float> analytic = input.grad_vector();
+  ASSERT_EQ(analytic.size(), static_cast<size_t>(input.numel()));
+
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const float saved = input.data()[i];
+    input.data()[i] = saved + eps;
+    const double up = static_cast<double>(fn().item());
+    input.data()[i] = saved - eps;
+    const double down = static_cast<double>(fn().item());
+    input.data()[i] = saved;
+    const double numeric = (up - down) / (2.0 * static_cast<double>(eps));
+    const double got = static_cast<double>(analytic[static_cast<size_t>(i)]);
+    const double tol = atol + rtol * std::abs(numeric);
+    EXPECT_NEAR(got, numeric, tol) << "element " << i;
+  }
+}
+
+}  // namespace duet::testing
+
+#endif  // DUET_TESTS_GRADCHECK_H_

@@ -1,0 +1,477 @@
+// Tests for every baseline estimator: traditional (Sampling / Indep /
+// MHist), Naru progressive sampling (exactness on single columns,
+// unbiasedness across seeds, instability vs Duet's determinism), UAE
+// (differentiable sampler, OOM memory model), MSCN (training improves
+// accuracy, drift sensitivity), and the DeepDB-style SPN (normalization,
+// structure, single-column exactness).
+#include <cmath>
+
+#include "baselines/mscn/mscn_model.h"
+#include "baselines/naru/naru_model.h"
+#include "baselines/spn/spn.h"
+#include "baselines/traditional/independence.h"
+#include "baselines/traditional/mhist.h"
+#include "baselines/traditional/sampling.h"
+#include "baselines/uae/uae_model.h"
+#include "common/stats.h"
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace duet::baselines {
+namespace {
+
+using query::PredOp;
+using query::Query;
+
+data::Table SmallTable(int64_t rows = 1000, uint64_t seed = 5) {
+  return data::CensusLike(rows, seed);
+}
+
+// ---------- traditional ----------
+
+TEST(SamplingTest, FullSampleIsExact) {
+  data::Table t = SmallTable(400, 1);
+  SamplingEstimator est(t, /*fraction=*/1.0);
+  query::ExactEvaluator ev(t);
+  query::WorkloadSpec spec;
+  spec.num_queries = 50;
+  spec.seed = 2;
+  query::WorkloadGenerator gen(t, spec);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Query q = gen.GenerateQuery(rng);
+    const double est_card = est.EstimateSelectivity(q) * static_cast<double>(t.num_rows());
+    EXPECT_NEAR(est_card, static_cast<double>(ev.Count(q)), 0.5);
+  }
+}
+
+TEST(SamplingTest, PartialSampleApproximates) {
+  data::Table t = SmallTable(5000, 3);
+  SamplingEstimator est(t, 0.2);
+  EXPECT_EQ(est.sample_size(), 1000);
+  Query q;  // unconstrained
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(q), 1.0);
+}
+
+TEST(IndependenceTest, ExactOnSingleColumnQueries) {
+  data::Table t = SmallTable(800, 4);
+  IndependenceEstimator est(t);
+  query::ExactEvaluator ev(t);
+  for (int c = 0; c < t.num_columns(); c += 3) {
+    Query q;
+    q.predicates.push_back({c, PredOp::kLe, t.column(c).Value(t.column(c).ndv() / 2)});
+    const double sel = est.EstimateSelectivity(q);
+    EXPECT_NEAR(sel * static_cast<double>(t.num_rows()),
+                static_cast<double>(ev.Count(q)), 0.5);
+  }
+}
+
+TEST(IndependenceTest, MultiColumnIsProductOfMarginals) {
+  // Perfectly correlated pair: AVI must underestimate the joint.
+  data::Column a = data::Column::FromValues("a", {1, 1, 2, 2});
+  data::Column b = data::Column::FromValues("b", {1, 1, 2, 2});
+  data::Table t("t", {a, b});
+  IndependenceEstimator est(t);
+  Query q;
+  q.predicates.push_back({0, PredOp::kEq, 1});
+  q.predicates.push_back({1, PredOp::kEq, 1});
+  EXPECT_NEAR(est.EstimateSelectivity(q), 0.25, 1e-9);  // true sel is 0.5
+}
+
+TEST(MHistTest, SingleBucketDegradesToUniform) {
+  data::Table t = SmallTable(500, 6);
+  MHistEstimator est(t, 1);
+  EXPECT_EQ(est.num_buckets(), 1);
+  Query q;
+  EXPECT_NEAR(est.EstimateSelectivity(q), 1.0, 1e-9);
+}
+
+TEST(MHistTest, MoreBucketsImproveAccuracy) {
+  data::Table t = SmallTable(3000, 7);
+  query::WorkloadSpec spec;
+  spec.num_queries = 100;
+  spec.seed = 8;
+  const query::Workload wl = query::WorkloadGenerator(t, spec).Generate();
+  MHistEstimator coarse(t, 4);
+  MHistEstimator fine(t, 512);
+  const auto err_coarse = query::EvaluateQErrors(coarse, wl, t.num_rows());
+  const auto err_fine = query::EvaluateQErrors(fine, wl, t.num_rows());
+  EXPECT_LT(Mean(err_fine), Mean(err_coarse));
+}
+
+TEST(MHistTest, BucketsPartitionRows) {
+  data::Table t = SmallTable(2000, 9);
+  MHistEstimator est(t, 64);
+  // Unconstrained query must see every row exactly once.
+  EXPECT_NEAR(est.EstimateSelectivity(Query{}), 1.0, 1e-9);
+}
+
+// ---------- Naru ----------
+
+core::TrainOptions QuickTrain(int epochs, int64_t bs = 128) {
+  core::TrainOptions topt;
+  topt.epochs = epochs;
+  topt.batch_size = bs;
+  return topt;
+}
+
+TEST(NaruTest, DataLossDecreases) {
+  data::Table t = SmallTable(800, 11);
+  NaruOptions nopt;
+  nopt.hidden_sizes = {32, 32};
+  NaruModel model(t, nopt);
+  NaruTrainer trainer(model, QuickTrain(6));
+  const auto history = trainer.Train();
+  EXPECT_LT(history.back().data_loss, history.front().data_loss);
+}
+
+TEST(NaruTest, UnconstrainedQueryIsOne) {
+  data::Table t = SmallTable(300, 12);
+  NaruOptions nopt;
+  nopt.hidden_sizes = {16};
+  NaruModel model(t, nopt);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.EstimateSelectivity(Query{}, rng), 1.0);
+}
+
+TEST(NaruTest, EmptyRangeIsZero) {
+  data::Table t = SmallTable(300, 12);
+  NaruOptions nopt;
+  nopt.hidden_sizes = {16};
+  NaruModel model(t, nopt);
+  Query q;
+  q.predicates.push_back({0, PredOp::kLt, t.column(0).Value(0)});
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.EstimateSelectivity(q, rng), 0.0);
+}
+
+TEST(NaruTest, SingleColumnQueryNeedsNoSamplingVariance) {
+  // With only the first AR column constrained, the masked mass comes from
+  // the unconditional head, so every seed gives the same estimate.
+  data::Table t = SmallTable(500, 13);
+  NaruOptions nopt;
+  nopt.hidden_sizes = {32};
+  nopt.num_samples = 50;
+  NaruModel model(t, nopt);
+  Query q;
+  q.predicates.push_back({0, PredOp::kLe, t.column(0).Value(t.column(0).ndv() / 2)});
+  const double a = model.EstimateSelectivitySeeded(q, 1);
+  const double b = model.EstimateSelectivitySeeded(q, 2);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(NaruTest, ProgressiveSamplingIsUnstableAcrossSeeds) {
+  // Paper Problem 4: multi-column range queries give seed-dependent results.
+  data::Table t = SmallTable(1500, 14);
+  NaruOptions nopt;
+  nopt.hidden_sizes = {32, 32};
+  nopt.num_samples = 8;  // few samples -> visible variance
+  NaruModel model(t, nopt);
+  NaruTrainer trainer(model, QuickTrain(2));
+  trainer.Train();
+  Query q;
+  q.predicates.push_back({3, PredOp::kGe, t.column(3).Value(1)});
+  q.predicates.push_back({9, PredOp::kLe, t.column(9).Value(t.column(9).ndv() / 2)});
+  q.predicates.push_back({10, PredOp::kGe, t.column(10).Value(1)});
+  bool varies = false;
+  const double first = model.EstimateSelectivitySeeded(q, 100);
+  for (uint64_t seed = 101; seed < 110 && !varies; ++seed) {
+    varies = model.EstimateSelectivitySeeded(q, seed) != first;
+  }
+  EXPECT_TRUE(varies) << "progressive sampling should be seed-dependent";
+}
+
+TEST(NaruTest, MoreSamplesReduceVariance) {
+  data::Table t = SmallTable(1500, 15);
+  NaruOptions few;
+  few.hidden_sizes = {32, 32};
+  few.num_samples = 4;
+  NaruOptions many = few;
+  many.num_samples = 256;
+  NaruModel model_few(t, few);
+  NaruModel model_many(t, many);
+  // Copy weights so both models are identical apart from sample count.
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  model_few.Save(w);
+  BinaryReader r(buf);
+  model_many.Load(r);
+
+  Query q;
+  q.predicates.push_back({2, PredOp::kGe, t.column(2).Value(1)});
+  q.predicates.push_back({7, PredOp::kLe, t.column(7).Value(t.column(7).ndv() / 2)});
+  auto variance = [&](const NaruModel& m) {
+    std::vector<double> vals;
+    for (uint64_t s = 0; s < 12; ++s) vals.push_back(m.EstimateSelectivitySeeded(q, 50 + s));
+    const double mean = Mean(vals);
+    double var = 0.0;
+    for (double v : vals) var += (v - mean) * (v - mean);
+    return var / static_cast<double>(vals.size());
+  };
+  EXPECT_LE(variance(model_many), variance(model_few));
+}
+
+TEST(NaruTest, ProgressiveSamplingApproachesLargeSampleMean) {
+  // Unbiasedness check: the mean over many small-sample runs converges to
+  // the single large-sample estimate.
+  data::Table t = SmallTable(1200, 16);
+  NaruOptions nopt;
+  nopt.hidden_sizes = {32, 32};
+  nopt.num_samples = 16;
+  NaruModel model(t, nopt);
+  NaruTrainer trainer(model, QuickTrain(3));
+  trainer.Train();
+  Query q;
+  q.predicates.push_back({4, PredOp::kGe, t.column(4).Value(1)});
+  q.predicates.push_back({8, PredOp::kLe, t.column(8).Value(t.column(8).ndv() / 2)});
+
+  double small_mean = 0.0;
+  const int reps = 60;
+  for (int i = 0; i < reps; ++i) {
+    small_mean += model.EstimateSelectivitySeeded(q, 1000 + static_cast<uint64_t>(i));
+  }
+  small_mean /= reps;
+
+  NaruOptions big = nopt;
+  big.num_samples = 2000;
+  NaruModel big_model(t, big);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  model.Save(w);
+  BinaryReader r(buf);
+  big_model.Load(r);
+  const double big_est = big_model.EstimateSelectivitySeeded(q, 7);
+  EXPECT_NEAR(small_mean, big_est, std::max(0.25 * big_est, 0.02));
+}
+
+// ---------- UAE ----------
+
+TEST(UaeTest, DifferentiableSelectivityMatchesMagnitude) {
+  data::Table t = SmallTable(600, 17);
+  UaeOptions uopt;
+  uopt.naru.hidden_sizes = {32, 32};
+  uopt.train_samples = 32;
+  UaeModel uae(t, uopt);
+  Query q;
+  q.predicates.push_back({1, PredOp::kLe, t.column(1).Value(t.column(1).ndv() / 2)});
+  Rng rng(3);
+  tensor::Tensor sel = uae.SelectivityBatchDifferentiable({q}, rng);
+  ASSERT_EQ(sel.numel(), 1);
+  Rng rng2(4);
+  const double hard = uae.naru().EstimateSelectivity(q, rng2);
+  // Soft (Gumbel) and hard sampling agree within Monte-Carlo slack.
+  EXPECT_NEAR(static_cast<double>(sel.data()[0]), hard, std::max(0.5 * hard, 0.05));
+}
+
+TEST(UaeTest, GradientFlowsThroughGumbelSampling) {
+  data::Table t = SmallTable(400, 18);
+  UaeOptions uopt;
+  uopt.naru.hidden_sizes = {16};
+  uopt.train_samples = 4;
+  UaeModel uae(t, uopt);
+  Query q;
+  q.predicates.push_back({2, PredOp::kGe, t.column(2).Value(1)});
+  q.predicates.push_back({6, PredOp::kLe, t.column(6).Value(1)});
+  Rng rng(5);
+  tensor::Tensor sel = uae.SelectivityBatchDifferentiable({q}, rng);
+  tensor::Tensor loss = tensor::SumAll(sel);
+  loss.Backward();
+  bool any = false;
+  for (const auto& p : uae.naru().parameters()) {
+    for (float g : p.grad_vector()) any |= g != 0.0f;
+  }
+  EXPECT_TRUE(any) << "query loss must reach the autoregressive weights";
+}
+
+TEST(UaeTest, MemoryModelScalesWithSamplesAndColumns) {
+  data::Table census = SmallTable(500, 19);
+  data::Table kdd = data::KddLike(500, 60, 19);
+  UaeOptions uopt;
+  uopt.naru.hidden_sizes = {32, 32};
+  uopt.train_samples = 100;
+  UaeModel small(census, uopt);
+  UaeModel big(kdd, uopt);
+  EXPECT_GT(big.EstimatedTrainMemoryMB(256), small.EstimatedTrainMemoryMB(256));
+  EXPECT_GT(small.EstimatedTrainMemoryMB(512), small.EstimatedTrainMemoryMB(256));
+}
+
+TEST(UaeTest, OomIsReportedNotExecuted) {
+  data::Table t = data::KddLike(600, 50, 20);
+  query::WorkloadSpec wspec;
+  wspec.num_queries = 50;
+  wspec.seed = 42;
+  const query::Workload wl = query::WorkloadGenerator(t, wspec).Generate();
+  UaeOptions uopt;
+  uopt.naru.hidden_sizes = {64, 64};
+  uopt.train_samples = 2000;     // paper-scale sampling
+  uopt.memory_budget_mb = 1024;  // modest accelerator
+  UaeModel uae(t, uopt);
+  core::TrainOptions topt = QuickTrain(1, 256);
+  topt.train_workload = &wl;
+  UaeTrainer trainer(uae, topt);
+  const auto history = trainer.Train();
+  EXPECT_TRUE(trainer.oom());
+}
+
+TEST(UaeTest, HybridTrainingRunsWithinBudget) {
+  data::Table t = SmallTable(400, 21);
+  query::WorkloadSpec wspec;
+  wspec.num_queries = 40;
+  wspec.seed = 42;
+  const query::Workload wl = query::WorkloadGenerator(t, wspec).Generate();
+  UaeOptions uopt;
+  uopt.naru.hidden_sizes = {16};
+  uopt.train_samples = 4;
+  UaeModel uae(t, uopt);
+  core::TrainOptions topt = QuickTrain(1, 100);
+  topt.train_workload = &wl;
+  UaeTrainer trainer(uae, topt);
+  const auto history = trainer.Train();
+  ASSERT_FALSE(trainer.oom());
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_GT(history[0].query_loss, 0.0);
+  EXPECT_TRUE(std::isfinite(history[0].query_loss));
+}
+
+// ---------- MSCN ----------
+
+TEST(MscnTest, TrainingReducesLossAndError) {
+  data::Table t = SmallTable(1500, 22);
+  query::WorkloadSpec wspec;
+  wspec.num_queries = 400;
+  wspec.seed = 42;
+  wspec.gamma_num_predicates = true;
+  const query::Workload train = query::WorkloadGenerator(t, wspec).Generate();
+  MscnOptions mopt;
+  mopt.epochs = 30;
+  mopt.bitmap_size = 200;
+  MscnModel model(t, mopt);
+
+  // Error of the untrained net on the training distribution...
+  const auto before = query::EvaluateQErrors(model, train, t.num_rows());
+  const auto losses = model.Train(train);
+  EXPECT_LT(losses.back(), losses.front());
+  const auto after = query::EvaluateQErrors(model, train, t.num_rows());
+  EXPECT_LT(Percentile(after, 50), Percentile(before, 50));
+  EXPECT_LT(Percentile(after, 50), 5.0);
+}
+
+TEST(MscnTest, SuffersUnderWorkloadDrift) {
+  // Train on a bounded, gamma-skewed workload; evaluate on Rand-Q: the
+  // in-workload error must be visibly better than the drifted error
+  // (paper Problem 5). A data-driven method would not show this gap.
+  data::Table t = SmallTable(2000, 23);
+  query::WorkloadSpec train_spec;
+  train_spec.num_queries = 500;
+  train_spec.seed = 42;
+  train_spec.gamma_num_predicates = true;
+  train_spec.bounded_column = t.LargestNdvColumn();
+  const query::Workload train = query::WorkloadGenerator(t, train_spec).Generate();
+
+  query::WorkloadSpec in_spec = train_spec;
+  in_spec.seed = 42;
+  in_spec.num_queries = 150;
+  const query::Workload in_q = query::WorkloadGenerator(t, in_spec).Generate();
+  query::WorkloadSpec rand_spec;
+  rand_spec.num_queries = 150;
+  rand_spec.seed = 1234;
+  const query::Workload rand_q = query::WorkloadGenerator(t, rand_spec).Generate();
+
+  MscnOptions mopt;
+  mopt.epochs = 30;
+  mopt.bitmap_size = 200;
+  MscnModel model(t, mopt);
+  model.Train(train);
+  const auto in_err = query::EvaluateQErrors(model, in_q, t.num_rows());
+  const auto rand_err = query::EvaluateQErrors(model, rand_q, t.num_rows());
+  EXPECT_GT(Percentile(rand_err, 95), Percentile(in_err, 95));
+}
+
+// ---------- SPN ----------
+
+TEST(SpnTest, UnconstrainedQueryIsOne) {
+  data::Table t = SmallTable(1000, 24);
+  SpnEstimator spn(t);
+  EXPECT_NEAR(spn.EstimateSelectivity(Query{}), 1.0, 1e-6);
+}
+
+TEST(SpnTest, SingleColumnQueriesAreNearExact) {
+  data::Table t = SmallTable(2000, 25);
+  SpnEstimator spn(t);
+  query::ExactEvaluator ev(t);
+  for (int c = 0; c < t.num_columns(); c += 4) {
+    Query q;
+    q.predicates.push_back({c, PredOp::kLe, t.column(c).Value(t.column(c).ndv() / 3)});
+    const double est = spn.EstimateSelectivity(q) * static_cast<double>(t.num_rows());
+    const double truth = static_cast<double>(ev.Count(q));
+    EXPECT_NEAR(est, truth, std::max(1.0, 0.02 * static_cast<double>(t.num_rows())));
+  }
+}
+
+TEST(SpnTest, IndependentColumnsYieldProductNode) {
+  data::SyntheticSpec spec;
+  spec.name = "indep";
+  spec.rows = 4000;
+  spec.seed = 26;
+  spec.num_latent = 2;
+  for (int i = 0; i < 4; ++i) {
+    data::ColumnSpec cs;
+    cs.ndv = 20;
+    cs.zipf_s = 0.8;
+    cs.correlation = 0.0;  // fully independent columns
+    cs.latent = i % 2;
+    spec.columns.push_back(cs);
+  }
+  data::Table t = data::GenerateSynthetic(spec);
+  SpnEstimator spn(t);
+  const auto counts = spn.CountNodes();
+  EXPECT_GT(counts.product, 0);
+}
+
+TEST(SpnTest, BeatsIndependenceOnCorrelatedData) {
+  data::SyntheticSpec spec;
+  spec.name = "corr";
+  spec.rows = 6000;
+  spec.seed = 27;
+  spec.num_latent = 1;
+  spec.latent_cardinality = 10;
+  for (int i = 0; i < 2; ++i) {
+    data::ColumnSpec cs;
+    cs.ndv = 10;
+    cs.zipf_s = 0.4;
+    cs.correlation = 0.95;
+    cs.latent = 0;
+    spec.columns.push_back(cs);
+  }
+  data::Table t = data::GenerateSynthetic(spec);
+  SpnEstimator spn(t);
+  IndependenceEstimator indep(t);
+  query::ExactEvaluator ev(t);
+  Rng rng(1234);
+  query::Workload wl;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t row = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(t.num_rows())));
+    Query q;
+    q.predicates.push_back({0, PredOp::kEq, t.column(0).Value(t.code(row, 0))});
+    q.predicates.push_back({1, PredOp::kEq, t.column(1).Value(t.code(row, 1))});
+    wl.push_back({q, ev.Count(q)});
+  }
+  const auto spn_err = query::EvaluateQErrors(spn, wl, t.num_rows());
+  const auto indep_err = query::EvaluateQErrors(indep, wl, t.num_rows());
+  EXPECT_LT(Percentile(spn_err, 75), Percentile(indep_err, 75));
+}
+
+TEST(SpnTest, SizeAndNodeCountsReported) {
+  data::Table t = SmallTable(1500, 28);
+  SpnEstimator spn(t);
+  EXPECT_GT(spn.SizeMB(), 0.0);
+  const auto counts = spn.CountNodes();
+  EXPECT_GT(counts.leaf, 0);
+}
+
+}  // namespace
+}  // namespace duet::baselines

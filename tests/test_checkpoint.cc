@@ -1,0 +1,177 @@
+// Tests for versioned model checkpoints: round trips for every model class
+// that persists, plus failure injection (corrupt files, wrong kind, wrong
+// architecture) which must fail loudly rather than load garbage.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "baselines/mscn/mscn_model.h"
+#include "baselines/naru/naru_model.h"
+#include "core/checkpoint.h"
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "query/workload.h"
+
+namespace duet::core {
+namespace {
+
+/// Unique temp path per test.
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "/duet_ckpt_" + tag + ".bin";
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { table_ = data::CensusLike(1200, 42); }
+
+  DuetModelOptions SmallOptions() const {
+    DuetModelOptions o;
+    o.hidden_sizes = {32, 32};
+    o.residual = true;
+    return o;
+  }
+
+  data::Table table_;
+};
+
+TEST_F(CheckpointTest, DuetRoundTripReproducesEstimates) {
+  DuetModel model(table_, SmallOptions());
+  TrainOptions topt;
+  topt.epochs = 2;
+  topt.batch_size = 128;
+  DuetTrainer(model, topt).Train();
+
+  const std::string path = TempPath("duet_roundtrip");
+  SaveModuleFile(path, "duet", model);
+
+  DuetModel reloaded(table_, SmallOptions());
+  LoadModuleFile(path, "duet", &reloaded);
+
+  query::WorkloadSpec spec;
+  spec.num_queries = 60;
+  spec.seed = 5;
+  for (const auto& lq : query::WorkloadGenerator(table_, spec).Generate()) {
+    EXPECT_DOUBLE_EQ(model.EstimateSelectivity(lq.query),
+                     reloaded.EstimateSelectivity(lq.query));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TransformerBackboneRoundTrip) {
+  DuetModelOptions opt = SmallOptions();
+  opt.backbone = DuetBackbone::kTransformer;
+  opt.transformer.d_model = 16;
+  opt.transformer.num_heads = 2;
+  opt.transformer.num_layers = 1;
+  DuetModel model(table_, opt);
+
+  const std::string path = TempPath("duet_transformer");
+  SaveModuleFile(path, "duet", model);
+  DuetModel reloaded(table_, opt);
+  LoadModuleFile(path, "duet", &reloaded);
+
+  query::Query q;
+  q.predicates.push_back({0, query::PredOp::kLe, 3.0});
+  EXPECT_DOUBLE_EQ(model.EstimateSelectivity(q), reloaded.EstimateSelectivity(q));
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, NaruRoundTrip) {
+  baselines::NaruOptions nopt;
+  nopt.hidden_sizes = {32, 32};
+  nopt.residual = true;
+  nopt.num_samples = 20;
+  baselines::NaruModel model(table_, nopt);
+
+  const std::string path = TempPath("naru");
+  SaveModuleFile(path, "naru", model);
+  baselines::NaruModel reloaded(table_, nopt);
+  LoadModuleFile(path, "naru", &reloaded);
+  for (int64_t i = 0; i < model.parameters()[0].numel(); ++i) {
+    EXPECT_FLOAT_EQ(model.parameters()[0].data()[i], reloaded.parameters()[0].data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, MscnRoundTrip) {
+  baselines::MscnOptions mopt;
+  mopt.bitmap_size = 100;
+  baselines::MscnModel model(table_, mopt);
+
+  const std::string path = TempPath("mscn");
+  SaveModuleFile(path, "mscn", model);
+  baselines::MscnModel reloaded(table_, mopt);
+  LoadModuleFile(path, "mscn", &reloaded);
+  query::Query q;
+  q.predicates.push_back({1, query::PredOp::kGe, 1.0});
+  EXPECT_DOUBLE_EQ(model.EstimateSelectivity(q), reloaded.EstimateSelectivity(q));
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, FingerprintDistinguishesArchitectures) {
+  DuetModel a(table_, SmallOptions());
+  DuetModelOptions other = SmallOptions();
+  other.hidden_sizes = {48, 48};
+  DuetModel b(table_, other);
+  EXPECT_NE(ModuleFingerprint(a), ModuleFingerprint(b));
+  // Same architecture -> same fingerprint (weights don't matter).
+  DuetModel c(table_, SmallOptions());
+  EXPECT_EQ(ModuleFingerprint(a), ModuleFingerprint(c));
+}
+
+using CheckpointDeathTest = CheckpointTest;
+
+TEST_F(CheckpointDeathTest, MissingFileFailsLoudly) {
+  DuetModel model(table_, SmallOptions());
+  EXPECT_DEATH(LoadModuleFile("/nonexistent/dir/ckpt.bin", "duet", &model),
+               "cannot open checkpoint");
+}
+
+TEST_F(CheckpointDeathTest, GarbageFileFailsLoudly) {
+  const std::string path = TempPath("garbage");
+  std::ofstream(path) << "this is not a checkpoint at all";
+  DuetModel model(table_, SmallOptions());
+  EXPECT_DEATH(LoadModuleFile(path, "duet", &model), "not a duet checkpoint");
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointDeathTest, WrongKindFailsLoudly) {
+  DuetModel model(table_, SmallOptions());
+  const std::string path = TempPath("kind");
+  SaveModuleFile(path, "duet", model);
+  EXPECT_DEATH(LoadModuleFile(path, "naru", &model), "expected 'naru'");
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointDeathTest, ArchitectureMismatchFailsLoudly) {
+  DuetModel model(table_, SmallOptions());
+  const std::string path = TempPath("arch");
+  SaveModuleFile(path, "duet", model);
+  DuetModelOptions other = SmallOptions();
+  other.hidden_sizes = {48, 48};
+  DuetModel different(table_, other);
+  EXPECT_DEATH(LoadModuleFile(path, "duet", &different), "fingerprint mismatch");
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointDeathTest, TruncatedFileFailsLoudly) {
+  DuetModel model(table_, SmallOptions());
+  const std::string path = TempPath("truncated");
+  SaveModuleFile(path, "duet", model);
+  // Truncate to the first 64 bytes (header survives, parameters don't).
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string head(64, '\0');
+    in.read(head.data(), 64);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(head.data(), 64);
+  }
+  DuetModel reloaded(table_, SmallOptions());
+  EXPECT_DEATH(LoadModuleFile(path, "duet", &reloaded), "");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace duet::core

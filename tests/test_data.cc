@@ -1,0 +1,238 @@
+// Unit tests for the data substrate: dictionary encoding, tables, the
+// synthetic generators, CSV import/export.
+#include <sstream>
+
+#include "data/csv.h"
+#include "data/generator.h"
+#include "gtest/gtest.h"
+
+namespace duet::data {
+namespace {
+
+TEST(ColumnTest, DictionaryIsSortedAndCodesRoundTrip) {
+  Column col = Column::FromValues("c", {3.0, 1.0, 2.0, 3.0, 1.0});
+  EXPECT_EQ(col.ndv(), 3);
+  EXPECT_EQ(col.num_rows(), 5);
+  EXPECT_DOUBLE_EQ(col.Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(col.Value(2), 3.0);
+  // Row values survive encode->decode.
+  const double original[] = {3.0, 1.0, 2.0, 3.0, 1.0};
+  for (int64_t r = 0; r < 5; ++r) EXPECT_DOUBLE_EQ(col.Value(col.code(r)), original[r]);
+}
+
+TEST(ColumnTest, BoundsAndCodeOf) {
+  Column col = Column::FromValues("c", {10.0, 20.0, 30.0});
+  EXPECT_EQ(col.LowerBound(15.0), 1);
+  EXPECT_EQ(col.LowerBound(20.0), 1);
+  EXPECT_EQ(col.UpperBound(20.0), 2);
+  EXPECT_EQ(col.LowerBound(35.0), 3);
+  EXPECT_EQ(col.CodeOf(20.0), 1);
+  EXPECT_EQ(col.CodeOf(25.0), -1);
+}
+
+TEST(ColumnTest, FromCodesValidates) {
+  EXPECT_DEATH(Column::FromCodes("c", {0, 1}, {2.0, 1.0}), "increasing");
+  EXPECT_DEATH(Column::FromCodes("c", {5}, {1.0, 2.0}), "CHECK");
+}
+
+TEST(TableTest, RejectsRaggedColumns) {
+  Column a = Column::FromValues("a", {1.0, 2.0});
+  Column b = Column::FromValues("b", {1.0});
+  EXPECT_DEATH(Table("t", {a, b}), "ragged");
+}
+
+TEST(TableTest, NdvsAndLargestColumn) {
+  Column a = Column::FromValues("a", {1.0, 2.0, 2.0});
+  Column b = Column::FromValues("b", {1.0, 2.0, 3.0});
+  Table t("t", {a, b});
+  EXPECT_EQ(t.ColumnNdvs(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(t.LargestNdvColumn(), 1);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  Table a = CensusLike(500, 7);
+  Table b = CensusLike(500, 7);
+  Table c = CensusLike(500, 8);
+  ASSERT_EQ(a.num_rows(), 500);
+  for (int col = 0; col < a.num_columns(); ++col) {
+    EXPECT_EQ(a.column(col).codes(), b.column(col).codes());
+  }
+  bool any_diff = false;
+  for (int col = 0; col < a.num_columns(); ++col) {
+    any_diff |= a.column(col).codes() != c.column(col).codes();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, CensusProfile) {
+  Table t = CensusLike(5000, 42);
+  EXPECT_EQ(t.num_columns(), 14);
+  EXPECT_EQ(t.num_rows(), 5000);
+  for (int c = 0; c < t.num_columns(); ++c) {
+    EXPECT_GE(t.column(c).ndv(), 2);
+    EXPECT_LE(t.column(c).ndv(), 123);
+  }
+}
+
+TEST(GeneratorTest, KddProfileIsHighDimensional) {
+  Table t = KddLike(2000, 100, 42);
+  EXPECT_EQ(t.num_columns(), 100);
+  for (int c = 0; c < t.num_columns(); ++c) {
+    EXPECT_GE(t.column(c).ndv(), 2);
+    EXPECT_LE(t.column(c).ndv(), 57);
+  }
+}
+
+TEST(GeneratorTest, DmvProfileHasLargeNdvColumn) {
+  Table t = DmvLike(20000, 42);
+  EXPECT_EQ(t.num_columns(), 11);
+  EXPECT_GE(t.column(t.LargestNdvColumn()).ndv(), 150);
+}
+
+TEST(GeneratorTest, LatentFactorsInduceCorrelation) {
+  // Two columns driven by the same latent factor with high correlation
+  // should have strongly dependent codes: the most common pair should be
+  // far more frequent than independence predicts.
+  SyntheticSpec spec;
+  spec.name = "corr";
+  spec.rows = 8000;
+  spec.num_latent = 1;
+  spec.latent_cardinality = 16;
+  spec.latent_zipf_s = 1.0;
+  spec.seed = 3;
+  for (int i = 0; i < 2; ++i) {
+    ColumnSpec cs;
+    cs.ndv = 16;
+    cs.zipf_s = 0.5;
+    cs.correlation = 0.95;
+    cs.latent = 0;
+    spec.columns.push_back(cs);
+  }
+  Table t = GenerateSynthetic(spec);
+  // chi-square-flavoured dependence check on the contingency table.
+  const int na = t.column(0).ndv(), nb = t.column(1).ndv();
+  std::vector<double> joint(static_cast<size_t>(na * nb), 0.0);
+  std::vector<double> pa(static_cast<size_t>(na), 0.0), pb(static_cast<size_t>(nb), 0.0);
+  const double inv = 1.0 / static_cast<double>(t.num_rows());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    joint[static_cast<size_t>(t.code(r, 0) * nb + t.code(r, 1))] += inv;
+    pa[static_cast<size_t>(t.code(r, 0))] += inv;
+    pb[static_cast<size_t>(t.code(r, 1))] += inv;
+  }
+  double max_ratio = 0.0;
+  for (int a = 0; a < na; ++a) {
+    for (int b = 0; b < nb; ++b) {
+      const double expected = pa[static_cast<size_t>(a)] * pb[static_cast<size_t>(b)];
+      const double observed = joint[static_cast<size_t>(a * nb + b)];
+      if (expected > 1e-4) max_ratio = std::max(max_ratio, observed / expected);
+    }
+  }
+  EXPECT_GT(max_ratio, 3.0);  // strong positive association somewhere
+}
+
+TEST(GeneratorTest, ZipfSkewShowsInMarginals) {
+  SyntheticSpec spec;
+  spec.name = "skew";
+  spec.rows = 10000;
+  spec.seed = 4;
+  ColumnSpec cs;
+  cs.ndv = 50;
+  cs.zipf_s = 1.5;
+  cs.correlation = 0.0;
+  spec.columns.push_back(cs);
+  Table t = GenerateSynthetic(spec);
+  std::vector<int64_t> counts(static_cast<size_t>(t.column(0).ndv()), 0);
+  for (int64_t r = 0; r < t.num_rows(); ++r) counts[static_cast<size_t>(t.code(r, 0))]++;
+  std::sort(counts.rbegin(), counts.rend());
+  EXPECT_GT(counts[0], 5 * counts[10]);  // heavy head
+}
+
+TEST(CsvTest, RoundTripNumeric) {
+  std::stringstream in("a,b\n1,2.5\n3,2.5\n1,4.5\n");
+  Table t = LoadCsv(in, "t");
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.column(0).ndv(), 2);
+  EXPECT_EQ(t.column(1).ndv(), 2);
+  EXPECT_EQ(t.column(0).name(), "a");
+  std::stringstream out;
+  SaveCsv(t, out);
+  std::stringstream in2(out.str());
+  Table t2 = LoadCsv(in2, "t2");
+  for (int c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(t.column(c).codes(), t2.column(c).codes());
+  }
+}
+
+TEST(CsvTest, StringColumnsBecomeLexicographicCodes) {
+  std::stringstream in("name,x\nbob,1\nalice,2\ncarol,1\n");
+  Table t = LoadCsv(in, "t");
+  EXPECT_EQ(t.column(0).ndv(), 3);
+  // alice < bob < carol lexicographically -> codes 0,1,2 in that order.
+  EXPECT_EQ(t.code(0, 0), 1);  // bob
+  EXPECT_EQ(t.code(1, 0), 0);  // alice
+  EXPECT_EQ(t.code(2, 0), 2);  // carol
+}
+
+TEST(CsvTest, RaggedRowDies) {
+  std::stringstream in("a,b\n1,2\n3\n");
+  EXPECT_DEATH(LoadCsv(in, "t"), "ragged");
+}
+
+TEST(CsvTest, QuotedCommaStaysInCell) {
+  std::stringstream in("a,b\n\"x,y\",1\nz,2\n");
+  Table t = LoadCsv(in, "t");
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.column(0).ndv(), 2);
+}
+
+}  // namespace
+}  // namespace duet::data
+
+// ---------------------------------------------------------------------------
+// Binary table cache (data/table_io)
+// ---------------------------------------------------------------------------
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/table_io.h"
+
+namespace duet::data {
+namespace {
+
+TEST(TableIoTest, RoundTripPreservesEverything) {
+  Table original = CensusLike(700, 42);
+  const std::string path = ::testing::TempDir() + "/duet_table_cache.bin";
+  SaveTableFile(path, original);
+  Table loaded = LoadTableFile(path);
+
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.num_columns(), original.num_columns());
+  ASSERT_EQ(loaded.num_rows(), original.num_rows());
+  for (int c = 0; c < original.num_columns(); ++c) {
+    EXPECT_EQ(loaded.column(c).name(), original.column(c).name());
+    ASSERT_EQ(loaded.column(c).ndv(), original.column(c).ndv());
+    for (int32_t v = 0; v < original.column(c).ndv(); ++v) {
+      EXPECT_DOUBLE_EQ(loaded.column(c).Value(v), original.column(c).Value(v));
+    }
+    for (int64_t r = 0; r < original.num_rows(); ++r) {
+      ASSERT_EQ(loaded.column(c).code(r), original.column(c).code(r));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, GarbageFileFailsLoudly) {
+  const std::string path = ::testing::TempDir() + "/duet_table_garbage.bin";
+  std::ofstream(path) << "not a table";
+  EXPECT_DEATH(LoadTableFile(path), "not a duet table cache");
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, MissingFileFailsLoudly) {
+  EXPECT_DEATH(LoadTableFile("/nonexistent/table.bin"), "cannot open table cache");
+}
+
+}  // namespace
+}  // namespace duet::data

@@ -1,0 +1,213 @@
+// Tests for the Sec. IV-C importance-sampling extension of the virtual
+// tuple sampler and the Sec. IV-A long-tail fine-tuning flow.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/duet_model.h"
+#include "core/finetune.h"
+#include "core/sampler.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "query/estimator.h"
+#include "query/workload.h"
+
+namespace duet::core {
+namespace {
+
+query::Workload SingleValueHistory(int col, double value, query::PredOp op,
+                                   int copies) {
+  query::Workload wl;
+  for (int i = 0; i < copies; ++i) {
+    query::LabeledQuery lq;
+    lq.query.predicates.push_back({col, op, value});
+    lq.cardinality = 1;
+    wl.push_back(lq);
+  }
+  return wl;
+}
+
+TEST(ValueWeightsTest, CountsPredicateValuesPerColumn) {
+  data::Table t = data::CensusLike(500, 42);
+  query::Workload history = SingleValueHistory(0, 1.0, query::PredOp::kEq, 10);
+  const auto weights = ValueWeightsFromWorkload(t, history, /*smoothing=*/0.5);
+  ASSERT_EQ(weights.size(), static_cast<size_t>(t.num_columns()));
+  const data::Column& col = t.column(0);
+  const int32_t code = std::clamp(col.LowerBound(1.0), 0, col.ndv() - 1);
+  // The referenced code accumulated all 10 hits; every other code has only
+  // the smoothing mass.
+  EXPECT_DOUBLE_EQ(weights[0][static_cast<size_t>(code)], 10.5);
+  for (int32_t v = 0; v < col.ndv(); ++v) {
+    if (v != code) {
+      EXPECT_DOUBLE_EQ(weights[0][static_cast<size_t>(v)], 0.5);
+    }
+  }
+}
+
+TEST(ValueWeightsTest, SamplerSkewsTowardHistoricalValues) {
+  // One uniform column with 16 values; history hits only value 3. With <=
+  // predicates anchored at high codes, the feasible range usually contains
+  // code 3, and the importance sampler should pick it far more often than
+  // 1/16 of the time.
+  const int32_t ndv = 16;
+  const int64_t rows = 2000;
+  Rng rng(7);
+  std::vector<double> distinct;
+  for (int32_t v = 0; v < ndv; ++v) distinct.push_back(v);
+  std::vector<int32_t> codes(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    codes[static_cast<size_t>(r)] = static_cast<int32_t>(rng.UniformInt(ndv));
+  }
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromCodes("a", std::move(codes), distinct));
+  data::Table t("one", std::move(cols));
+
+  SamplerOptions opt;
+  opt.expand = 1;
+  opt.wildcard_prob = 0.0;
+  opt.parallel = false;
+  opt.value_weights = {std::vector<double>(static_cast<size_t>(ndv), 0.01)};
+  opt.value_weights[0][3] = 100.0;
+  VirtualTupleSampler sampler(t, opt);
+
+  std::vector<int64_t> anchors(256);
+  std::iota(anchors.begin(), anchors.end(), 0);
+  const VirtualBatch batch = sampler.Sample(anchors, 123);
+  int64_t hits = 0, preds = 0;
+  for (int64_t r = 0; r < batch.batch; ++r) {
+    if (batch.op_at(r, 0) < 0) continue;
+    ++preds;
+    if (batch.code_at(r, 0) == 3) ++hits;
+  }
+  ASSERT_GT(preds, 100);
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(preds), 0.4)
+      << "importance sampling should concentrate on the historical value";
+}
+
+TEST(ValueWeightsTest, SampledPredicatesStillSatisfiedByAnchor) {
+  // Importance sampling must preserve Algorithm 1's invariant: the anchor
+  // tuple satisfies every sampled predicate.
+  data::Table t = data::CensusLike(800, 42);
+  query::WorkloadSpec wspec;
+  wspec.num_queries = 60;
+  wspec.seed = 21;
+  const query::Workload history = query::WorkloadGenerator(t, wspec).Generate();
+
+  SamplerOptions opt;
+  opt.expand = 2;
+  opt.wildcard_prob = 0.2;
+  opt.parallel = false;
+  opt.op_weights = OpWeightsFromWorkload(history);
+  opt.value_weights = ValueWeightsFromWorkload(t, history);
+  VirtualTupleSampler sampler(t, opt);
+
+  std::vector<int64_t> anchors(128);
+  std::iota(anchors.begin(), anchors.end(), 17);
+  const VirtualBatch batch = sampler.Sample(anchors, 9);
+  for (int64_t r = 0; r < batch.batch; ++r) {
+    for (int c = 0; c < batch.num_columns; ++c) {
+      const int8_t op = batch.op_at(r, c);
+      if (op < 0) continue;
+      const int32_t code = batch.code_at(r, c);
+      const int32_t anchor = batch.label_at(r, c);
+      switch (static_cast<query::PredOp>(op)) {
+        case query::PredOp::kEq: EXPECT_EQ(anchor, code); break;
+        case query::PredOp::kGt: EXPECT_GT(anchor, code); break;
+        case query::PredOp::kLt: EXPECT_LT(anchor, code); break;
+        case query::PredOp::kGe: EXPECT_GE(anchor, code); break;
+        case query::PredOp::kLe: EXPECT_LE(anchor, code); break;
+      }
+    }
+  }
+}
+
+TEST(ValueWeightsTest, RejectsWrongShapes) {
+  data::Table t = data::CensusLike(200, 42);
+  SamplerOptions opt;
+  opt.value_weights = {{1.0, 2.0}};  // wrong column count
+  EXPECT_DEATH(VirtualTupleSampler(t, opt), "");
+}
+
+// ---------------------------------------------------------------------------
+// Fine-tuning
+// ---------------------------------------------------------------------------
+
+class FineTuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = data::CensusLike(2000, 42);
+    query::WorkloadSpec spec;
+    spec.num_queries = 200;
+    spec.seed = 1234;
+    served_ = query::WorkloadGenerator(table_, spec).Generate();
+  }
+
+  /// A lightly trained model (tail not yet converged).
+  DuetModel MakeModel(int epochs) {
+    DuetModelOptions mopt;
+    mopt.hidden_sizes = {64, 64};
+    mopt.residual = true;
+    DuetModel model(table_, mopt);
+    TrainOptions topt;
+    topt.epochs = epochs;
+    topt.batch_size = 128;
+    topt.lambda = 0.0f;
+    DuetTrainer(model, topt).Train();
+    return model;
+  }
+
+  data::Table table_;
+  query::Workload served_;
+};
+
+TEST_F(FineTuneTest, CollectRespectsThresholdAndOrdering) {
+  DuetModel model = MakeModel(2);
+  FineTuneOptions opt;
+  opt.qerror_threshold = 2.0;
+  const query::Workload collected = CollectHighErrorQueries(model, served_, opt);
+  const int64_t rows = table_.num_rows();
+  double prev = 1e300;
+  for (const query::LabeledQuery& lq : collected) {
+    const double est =
+        std::max(1.0, model.EstimateSelectivity(lq.query) * static_cast<double>(rows));
+    const double err = query::QError(est, static_cast<double>(lq.cardinality));
+    EXPECT_GT(err, opt.qerror_threshold);
+    EXPECT_LE(err, prev + 1e-9) << "collected queries must be worst-first";
+    prev = err;
+  }
+}
+
+TEST_F(FineTuneTest, CollectCapsAtMaxQueries) {
+  DuetModel model = MakeModel(1);
+  FineTuneOptions opt;
+  opt.qerror_threshold = 1.01;  // nearly everything qualifies
+  opt.max_queries = 7;
+  const query::Workload collected = CollectHighErrorQueries(model, served_, opt);
+  EXPECT_LE(collected.size(), 7u);
+  EXPECT_GT(collected.size(), 0u);
+}
+
+TEST_F(FineTuneTest, ImprovesCollectedTail) {
+  DuetModel model = MakeModel(2);
+  FineTuneOptions opt;
+  opt.qerror_threshold = 2.5;
+  opt.epochs = 4;
+  const FineTuneReport report = FineTune(model, served_, opt);
+  ASSERT_FALSE(report.collected.empty());
+  EXPECT_LT(report.after_mean, report.before_mean);
+  EXPECT_LE(report.after_max, report.before_max * 1.05);
+}
+
+TEST_F(FineTuneTest, NoOpWhenModelAlreadyAccurate) {
+  DuetModel model = MakeModel(2);
+  FineTuneOptions opt;
+  opt.qerror_threshold = 1e9;  // nothing qualifies
+  const FineTuneReport report = FineTune(model, served_, opt);
+  EXPECT_TRUE(report.collected.empty());
+  EXPECT_TRUE(report.epochs.empty());
+}
+
+}  // namespace
+}  // namespace duet::core

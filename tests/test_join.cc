@@ -1,0 +1,144 @@
+// Tests for join support: EquiJoin correctness against a nested-loop
+// reference, outer-join semantics, and the NeuroCard-style end-to-end flow
+// (train Duet on the materialized join, estimate join-query cardinalities).
+#include "common/stats.h"
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/join.h"
+#include "gtest/gtest.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace duet::data {
+namespace {
+
+using query::PredOp;
+using query::Query;
+
+/// A dimension table (unique keys) and a fact table with a foreign key into
+/// it, plus payload columns on both sides.
+struct StarPair {
+  Table dim;
+  Table fact;
+};
+
+StarPair MakeStar(int64_t dim_rows, int64_t fact_rows, uint64_t seed) {
+  Rng rng(seed);
+  // dim: key 0..dim_rows-1, payload correlated with key parity.
+  std::vector<double> dkey, dpayload;
+  for (int64_t i = 0; i < dim_rows; ++i) {
+    dkey.push_back(static_cast<double>(i));
+    dpayload.push_back(static_cast<double>((i % 7) * 10));
+  }
+  Table dim("dim", {Column::FromValues("key", dkey), Column::FromValues("payload", dpayload)});
+  // fact: fk skewed toward low keys, measure correlated with fk.
+  ZipfDistribution fk_dist(static_cast<uint32_t>(dim_rows), 1.1);
+  std::vector<double> fk, measure;
+  for (int64_t i = 0; i < fact_rows; ++i) {
+    const uint32_t k = fk_dist.Sample(rng);
+    fk.push_back(static_cast<double>(k));
+    measure.push_back(static_cast<double>((k % 5) + static_cast<double>(rng.UniformInt(3))));
+  }
+  Table fact("fact",
+             {Column::FromValues("fk", fk), Column::FromValues("measure", measure)});
+  return {std::move(dim), std::move(fact)};
+}
+
+/// Nested-loop reference join size.
+int64_t ReferenceJoinSize(const Table& l, int lk, const Table& r, int rk) {
+  int64_t n = 0;
+  for (int64_t i = 0; i < l.num_rows(); ++i) {
+    const double lv = l.column(lk).Value(l.code(i, lk));
+    for (int64_t j = 0; j < r.num_rows(); ++j) {
+      if (r.column(rk).Value(r.code(j, rk)) == lv) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(JoinTest, InnerJoinSizeMatchesNestedLoop) {
+  StarPair star = MakeStar(20, 150, 1);
+  EXPECT_EQ(EquiJoinSize(star.fact, 0, star.dim, 0),
+            ReferenceJoinSize(star.fact, 0, star.dim, 0));
+}
+
+TEST(JoinTest, FkJoinPreservesFactRowCount) {
+  // Every fact row matches exactly one dim row -> |join| == |fact|.
+  StarPair star = MakeStar(30, 400, 2);
+  EXPECT_EQ(EquiJoinSize(star.fact, 0, star.dim, 0), star.fact.num_rows());
+  Table joined = EquiJoin(star.fact, 0, star.dim, 0, "j");
+  EXPECT_EQ(joined.num_rows(), star.fact.num_rows());
+  // fact(2 cols) + dim(2 cols) - shared key = 3 columns.
+  EXPECT_EQ(joined.num_columns(), 3);
+  EXPECT_EQ(joined.column(0).name(), "l_fk");
+  EXPECT_EQ(joined.column(2).name(), "r_payload");
+}
+
+TEST(JoinTest, JoinedRowsCarryMatchingValues) {
+  StarPair star = MakeStar(15, 100, 3);
+  Table joined = EquiJoin(star.fact, 0, star.dim, 0, "j");
+  // r_payload must equal the dim payload of the row's l_fk key.
+  for (int64_t r = 0; r < joined.num_rows(); ++r) {
+    const double fk = joined.column(0).Value(joined.code(r, 0));
+    const double payload = joined.column(2).Value(joined.code(r, 2));
+    EXPECT_DOUBLE_EQ(payload, static_cast<double>((static_cast<int64_t>(fk) % 7) * 10));
+  }
+}
+
+TEST(JoinTest, LeftOuterKeepsUnmatchedRows) {
+  // dim covers keys 0..9 only; facts reference 0..19.
+  std::vector<double> dkey;
+  for (int64_t i = 0; i < 10; ++i) dkey.push_back(static_cast<double>(i));
+  Table dim("dim", {Column::FromValues("key", dkey)});
+  std::vector<double> fk;
+  for (int64_t i = 0; i < 20; ++i) fk.push_back(static_cast<double>(i));
+  Table fact("fact", {Column::FromValues("fk", fk)});
+  EXPECT_EQ(EquiJoinSize(fact, 0, dim, 0, JoinKind::kInner), 10);
+  EXPECT_EQ(EquiJoinSize(fact, 0, dim, 0, JoinKind::kLeftOuter), 20);
+  Table joined = EquiJoin(fact, 0, dim, 0, "j", JoinKind::kLeftOuter);
+  EXPECT_EQ(joined.num_rows(), 20);
+}
+
+TEST(JoinTest, ManyToManyMultiplies) {
+  // 3 left rows with value 1, 2 right rows with value 1 -> 6 pairs.
+  Table l("l", {Column::FromValues("k", {1, 1, 1, 2})});
+  Table r("r", {Column::FromValues("k", {1, 1, 3})});
+  EXPECT_EQ(EquiJoinSize(l, 0, r, 0), 6);
+}
+
+TEST(JoinTest, DuetEstimatesJoinQueriesOnMaterializedJoin) {
+  // NeuroCard-style end-to-end: train Duet on the materialized FK join and
+  // estimate join queries with predicates on both sides.
+  StarPair star = MakeStar(25, 3000, 4);
+  Table joined = EquiJoin(star.fact, 0, star.dim, 0, "fact_join_dim");
+
+  core::DuetModelOptions mopt;
+  mopt.hidden_sizes = {64, 64};
+  core::DuetModel model(joined, mopt);
+  core::TrainOptions topt;
+  topt.epochs = 12;
+  topt.batch_size = 256;
+  core::DuetTrainer(model, topt).Train();
+
+  // Join queries: predicate on the fact measure AND on the dim payload.
+  query::ExactEvaluator ev(joined);
+  core::DuetEstimator est(model);
+  std::vector<double> errors;
+  Rng rng(1234);
+  for (int i = 0; i < 40; ++i) {
+    const int64_t row = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(joined.num_rows())));
+    Query q;
+    q.predicates.push_back(
+        {1, PredOp::kLe, joined.column(1).Value(joined.code(row, 1))});  // l_measure
+    q.predicates.push_back(
+        {2, PredOp::kEq, joined.column(2).Value(joined.code(row, 2))});  // r_payload
+    const double est_card = est.EstimateCardinality(q, joined.num_rows());
+    errors.push_back(query::QError(est_card, static_cast<double>(ev.Count(q))));
+  }
+  EXPECT_LT(Percentile(errors, 50), 2.5);
+  EXPECT_LT(Percentile(errors, 90), 12.0);
+}
+
+}  // namespace
+}  // namespace duet::data

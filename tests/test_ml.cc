@@ -1,0 +1,280 @@
+// Unit and property tests for the gradient-boosted regression trees
+// (src/ml/gbdt), the substrate of the LW-XGB baseline.
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ml/gbdt.h"
+
+namespace duet::ml {
+namespace {
+
+Matrix MakeMatrix(int64_t rows, int64_t cols, const std::vector<float>& data) {
+  Matrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.data = data;
+  return m;
+}
+
+/// 1-D regression dataset y = fn(x) for x uniform in [0, 1].
+template <typename Fn>
+void MakeDataset(int64_t n, uint64_t seed, Fn fn, Matrix* x, std::vector<float>* y) {
+  Rng rng(seed);
+  x->rows = n;
+  x->cols = 1;
+  x->data.resize(static_cast<size_t>(n));
+  y->resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = rng.UniformFloat();
+    x->data[static_cast<size_t>(i)] = v;
+    (*y)[static_cast<size_t>(i)] = fn(v);
+  }
+}
+
+TEST(GbdtTest, ConstantTargetIsBaseScore) {
+  Matrix x = MakeMatrix(8, 1, {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f, 0.7f, 0.8f});
+  std::vector<float> y(8, 3.25f);
+  GbdtOptions opt;
+  opt.num_trees = 5;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  for (int64_t r = 0; r < 8; ++r) EXPECT_NEAR(g.Predict(x.row(r)), 3.25f, 1e-4);
+}
+
+TEST(GbdtTest, LearnsStepFunction) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(400, 7, [](float v) { return v > 0.5f ? 1.0f : 0.0f; }, &x, &y);
+  GbdtOptions opt;
+  opt.num_trees = 40;
+  opt.max_depth = 2;
+  opt.learning_rate = 0.3f;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  float lo = 0.25f, hi = 0.75f;
+  EXPECT_NEAR(g.Predict(&lo), 0.0f, 0.05f);
+  EXPECT_NEAR(g.Predict(&hi), 1.0f, 0.05f);
+}
+
+TEST(GbdtTest, TrainRmseMonotonicallyImproves) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(300, 8, [](float v) { return v * v; }, &x, &y);
+  GbdtOptions opt;
+  opt.num_trees = 30;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  const auto& hist = g.train_rmse_history();
+  ASSERT_GE(hist.size(), 2u);
+  for (size_t i = 1; i < hist.size(); ++i) {
+    EXPECT_LE(hist[i], hist[i - 1] + 1e-9) << "round " << i;
+  }
+}
+
+TEST(GbdtTest, QuadraticBeatsMeanBaseline) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(500, 9, [](float v) { return v * v; }, &x, &y);
+  double mean = 0.0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double baseline_se = 0.0;
+  for (float v : y) baseline_se += (v - mean) * (v - mean);
+  const double baseline_rmse = std::sqrt(baseline_se / static_cast<double>(y.size()));
+
+  GbdtOptions opt;
+  opt.num_trees = 50;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  EXPECT_LT(g.train_rmse_history().back(), 0.1 * baseline_rmse);
+}
+
+TEST(GbdtTest, MinSamplesLeafBlocksAllSplits) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(50, 10, [](float v) { return v; }, &x, &y);
+  GbdtOptions opt;
+  opt.num_trees = 3;
+  opt.min_samples_leaf = 50;  // no split can satisfy both children
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  // Every prediction equals the base score: no structure was learnable.
+  const float p0 = g.Predict(x.row(0));
+  for (int64_t r = 1; r < x.rows; ++r) EXPECT_FLOAT_EQ(g.Predict(x.row(r)), p0);
+}
+
+TEST(GbdtTest, DeterministicAcrossRuns) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(200, 11, [](float v) { return std::sin(6.28f * v); }, &x, &y);
+  GbdtOptions opt;
+  opt.num_trees = 20;
+  opt.feature_fraction = 1.0;
+  GbdtRegressor a(opt), b(opt);
+  a.Fit(x, y);
+  b.Fit(x, y);
+  for (int64_t r = 0; r < x.rows; ++r) {
+    EXPECT_FLOAT_EQ(a.Predict(x.row(r)), b.Predict(x.row(r)));
+  }
+}
+
+TEST(GbdtTest, EarlyStoppingTruncatesEnsemble) {
+  // A target learnable in a handful of trees: the RMSE flatlines and early
+  // stopping should halt well before the full budget.
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(300, 12, [](float v) { return v > 0.3f ? 2.0f : -1.0f; }, &x, &y);
+  GbdtOptions opt;
+  opt.num_trees = 200;
+  opt.learning_rate = 0.5f;
+  opt.early_stopping_rounds = 5;
+  opt.early_stopping_tol = 1e-6;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  EXPECT_LT(g.num_trees(), 200);
+}
+
+TEST(GbdtTest, FeatureGainConcentratesOnInformativeFeature) {
+  // Feature 0 is noise, feature 1 drives the target.
+  Rng rng(13);
+  const int64_t n = 400;
+  Matrix x;
+  x.rows = n;
+  x.cols = 2;
+  x.data.resize(static_cast<size_t>(2 * n));
+  std::vector<float> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x.data[static_cast<size_t>(2 * i)] = rng.UniformFloat();
+    const float v = rng.UniformFloat();
+    x.data[static_cast<size_t>(2 * i + 1)] = v;
+    y[static_cast<size_t>(i)] = 3.0f * v;
+  }
+  GbdtOptions opt;
+  opt.num_trees = 20;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  EXPECT_GT(g.feature_gain()[1], 10.0 * (g.feature_gain()[0] + 1e-12));
+}
+
+TEST(GbdtTest, LearnsXorInteractionWithDepth2) {
+  // XOR of two thresholds needs depth >= 2: single-feature splits are
+  // useless in isolation but their composition is exact.
+  Rng rng(14);
+  const int64_t n = 800;
+  Matrix x;
+  x.rows = n;
+  x.cols = 2;
+  x.data.resize(static_cast<size_t>(2 * n));
+  std::vector<float> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = rng.UniformFloat(), b = rng.UniformFloat();
+    x.data[static_cast<size_t>(2 * i)] = a;
+    x.data[static_cast<size_t>(2 * i + 1)] = b;
+    y[static_cast<size_t>(i)] = ((a > 0.5f) != (b > 0.5f)) ? 1.0f : 0.0f;
+  }
+  GbdtOptions opt;
+  opt.num_trees = 60;
+  opt.max_depth = 3;
+  opt.learning_rate = 0.3f;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  EXPECT_LT(g.train_rmse_history().back(), 0.1);
+}
+
+TEST(GbdtTest, SaveLoadRoundTrip) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(200, 15, [](float v) { return v * (1.0f - v); }, &x, &y);
+  GbdtOptions opt;
+  opt.num_trees = 15;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  g.Save(w);
+  GbdtRegressor loaded;
+  BinaryReader r(buf);
+  loaded.Load(r);
+
+  EXPECT_EQ(loaded.num_trees(), g.num_trees());
+  EXPECT_EQ(loaded.num_features(), g.num_features());
+  for (int64_t i = 0; i < x.rows; ++i) {
+    EXPECT_FLOAT_EQ(loaded.Predict(x.row(i)), g.Predict(x.row(i)));
+  }
+}
+
+TEST(GbdtTest, PredictBatchMatchesSingle) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(100, 16, [](float v) { return 2.0f * v - 1.0f; }, &x, &y);
+  GbdtOptions opt;
+  opt.num_trees = 10;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  const std::vector<float> batch = g.PredictBatch(x);
+  for (int64_t i = 0; i < x.rows; ++i) {
+    EXPECT_FLOAT_EQ(batch[static_cast<size_t>(i)], g.Predict(x.row(i)));
+  }
+}
+
+TEST(GbdtTest, FeatureSubsamplingStillLearns) {
+  Rng rng(17);
+  const int64_t n = 400;
+  Matrix x;
+  x.rows = n;
+  x.cols = 4;
+  x.data.resize(static_cast<size_t>(4 * n));
+  std::vector<float> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 4; ++c) {
+      const float v = rng.UniformFloat();
+      x.data[static_cast<size_t>(4 * i + c)] = v;
+      sum += v;
+    }
+    y[static_cast<size_t>(i)] = sum;
+  }
+  GbdtOptions opt;
+  opt.num_trees = 60;
+  opt.feature_fraction = 0.5;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  EXPECT_LT(g.train_rmse_history().back(), 0.4 * g.train_rmse_history().front());
+}
+
+/// Parameterized sweep: boosting must improve over the stump baseline for a
+/// family of target shapes and depths.
+class GbdtShapeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GbdtShapeTest, ImprovesOverFirstRound) {
+  const int shape = std::get<0>(GetParam());
+  const int depth = std::get<1>(GetParam());
+  Matrix x;
+  std::vector<float> y;
+  auto fn = [shape](float v) -> float {
+    switch (shape) {
+      case 0: return v;
+      case 1: return v * v;
+      case 2: return std::sin(6.28318f * v);
+      default: return v > 0.5f ? 1.0f : -1.0f;
+    }
+  };
+  MakeDataset(300, 100 + static_cast<uint64_t>(shape), fn, &x, &y);
+  GbdtOptions opt;
+  opt.num_trees = 40;
+  opt.max_depth = depth;
+  GbdtRegressor g(opt);
+  g.Fit(x, y);
+  EXPECT_LT(g.train_rmse_history().back(), g.train_rmse_history().front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GbdtShapeTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(1, 3, 6)));
+
+}  // namespace
+}  // namespace duet::ml

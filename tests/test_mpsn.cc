@@ -1,0 +1,203 @@
+// Tests for the MPSN multi-predicate extension: batch merging, the three
+// embedder variants, the merged (block-diagonal) acceleration, estimation
+// semantics on two-sided queries, and trainer smoke coverage.
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/mpsn.h"
+#include "core/mpsn_model.h"
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace duet::core {
+namespace {
+
+using query::PredOp;
+using query::Query;
+
+data::Table SmallTable(int64_t rows = 800, uint64_t seed = 3) {
+  return data::CensusLike(rows, seed);
+}
+
+DuetMpsnOptions SmallOptions(MpsnKind kind, bool merged = true) {
+  DuetMpsnOptions opt;
+  opt.base.hidden_sizes = {32, 32};
+  opt.mpsn.kind = kind;
+  opt.mpsn.hidden = 16;
+  opt.mpsn.embed_dim = 8;
+  opt.mpsn.max_preds = 2;
+  opt.mpsn.merged = merged;
+  return opt;
+}
+
+TEST(MultiPredBatchTest, MergesDrawsWithSharedAnchors) {
+  data::Table t = SmallTable();
+  SamplerOptions sopt;
+  sopt.expand = 1;
+  sopt.wildcard_prob = 0.3;
+  VirtualTupleSampler sampler(t, sopt);
+  std::vector<int64_t> anchors = {1, 2, 3, 4};
+  std::vector<VirtualBatch> draws = {sampler.Sample(anchors, 1), sampler.Sample(anchors, 2)};
+  const MultiPredBatch mb = MultiPredBatch::FromVirtualBatches(draws);
+  EXPECT_EQ(mb.batch, 4);
+  EXPECT_EQ(mb.max_preds, 2);
+  EXPECT_EQ(mb.labels, draws[0].labels);
+  for (int64_t r = 0; r < mb.batch; ++r) {
+    for (int c = 0; c < mb.num_columns; ++c) {
+      EXPECT_EQ(mb.codes[mb.SlotIndex(r, c, 0)], draws[0].code_at(r, c));
+      EXPECT_EQ(mb.codes[mb.SlotIndex(r, c, 1)], draws[1].code_at(r, c));
+    }
+  }
+}
+
+TEST(MultiPredBatchTest, MismatchedAnchorsDie) {
+  data::Table t = SmallTable();
+  VirtualTupleSampler sampler(t, SamplerOptions{});
+  std::vector<VirtualBatch> draws = {sampler.Sample({0, 1}, 1), sampler.Sample({2, 3}, 2)};
+  EXPECT_DEATH(MultiPredBatch::FromVirtualBatches(draws), "share anchors");
+}
+
+struct KindCase {
+  const char* name;
+  MpsnKind kind;
+  bool merged;
+};
+
+class MpsnKindTest : public ::testing::TestWithParam<KindCase> {};
+
+TEST_P(MpsnKindTest, EmbedShapeAndFiniteness) {
+  data::Table t = SmallTable();
+  DuetMpsnOptions opt = SmallOptions(GetParam().kind, GetParam().merged);
+  DuetMpsnModel model(t, opt);
+  query::WorkloadSpec spec;
+  spec.num_queries = 8;
+  spec.seed = 4;
+  spec.two_sided_prob = 0.5;
+  query::WorkloadGenerator gen(t, spec);
+  Rng rng(4);
+  std::vector<Query> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(gen.GenerateQuery(rng));
+  const MultiPredBatch mb = model.EncodeQueries(queries);
+  tensor::Tensor emb = model.embedder().Embed(mb, model.encoder());
+  EXPECT_EQ(emb.dim(0), 8);
+  EXPECT_EQ(emb.dim(1), t.num_columns() * opt.mpsn.embed_dim);
+  for (int64_t i = 0; i < emb.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(emb.data()[i]));
+  }
+}
+
+TEST_P(MpsnKindTest, SelectivityIsInUnitIntervalAndDeterministic) {
+  data::Table t = SmallTable();
+  DuetMpsnModel model(t, SmallOptions(GetParam().kind, GetParam().merged));
+  Query q;
+  q.predicates.push_back({2, PredOp::kGe, t.column(2).Value(0)});
+  q.predicates.push_back({2, PredOp::kLe, t.column(2).Value(t.column(2).ndv() - 1)});
+  q.predicates.push_back({5, PredOp::kEq, t.column(5).Value(1)});
+  const double a = model.EstimateSelectivity(q);
+  const double b = model.EstimateSelectivity(q);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 1.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, MpsnKindTest,
+    ::testing::Values(KindCase{"MlpMerged", MpsnKind::kMlp, true},
+                      KindCase{"MlpPerColumn", MpsnKind::kMlp, false},
+                      KindCase{"Recursive", MpsnKind::kRecursive, true},
+                      KindCase{"Rnn", MpsnKind::kRnn, true}),
+    [](const ::testing::TestParamInfo<KindCase>& info) { return info.param.name; });
+
+TEST(MpsnModelTest, WildcardColumnsGiveZeroEmbedding) {
+  // With no predicates at all, every column embedding is a zero vector for
+  // the sum-style MLP embedder (empty sum).
+  data::Table t = SmallTable();
+  DuetMpsnModel model(t, SmallOptions(MpsnKind::kMlp));
+  const MultiPredBatch mb = model.EncodeQueries({Query{}});
+  tensor::Tensor emb = model.embedder().Embed(mb, model.encoder());
+  for (int64_t i = 0; i < emb.numel(); ++i) EXPECT_FLOAT_EQ(emb.data()[i], 0.0f);
+}
+
+TEST(MpsnModelTest, NoPredicateQueryEstimatesFullSelectivity) {
+  data::Table t = SmallTable();
+  DuetMpsnModel model(t, SmallOptions(MpsnKind::kMlp));
+  EXPECT_NEAR(model.EstimateSelectivity(Query{}), 1.0, 1e-5);
+}
+
+TEST(MpsnModelTest, TooManyPredicatesDie) {
+  data::Table t = SmallTable();
+  DuetMpsnModel model(t, SmallOptions(MpsnKind::kMlp));
+  Query q;
+  q.predicates.push_back({0, PredOp::kGe, t.column(0).Value(0)});
+  q.predicates.push_back({0, PredOp::kLe, t.column(0).Value(1)});
+  q.predicates.push_back({0, PredOp::kEq, t.column(0).Value(0)});
+  EXPECT_DEATH(model.EncodeQueries({q}), "max_preds");
+}
+
+TEST(MpsnModelTest, ContradictoryRangeGivesZero) {
+  data::Table t = SmallTable();
+  DuetMpsnModel model(t, SmallOptions(MpsnKind::kMlp));
+  Query q;
+  q.predicates.push_back({0, PredOp::kGe, t.column(0).Value(t.column(0).ndv() - 1)});
+  q.predicates.push_back({0, PredOp::kLe, t.column(0).Value(0)});
+  if (t.column(0).ndv() > 1) {
+    EXPECT_DOUBLE_EQ(model.EstimateSelectivity(q), 0.0);
+  }
+}
+
+TEST(MpsnTrainerTest, LossDecreasesOnTwoSidedWorkload) {
+  data::Table t = SmallTable(600, 6);
+  DuetMpsnModel model(t, SmallOptions(MpsnKind::kMlp));
+  TrainOptions topt;
+  topt.epochs = 6;
+  topt.batch_size = 128;
+  topt.expand = 2;
+  MpsnTrainer trainer(model, topt);
+  const auto history = trainer.Train();
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_LT(history.back().data_loss, history.front().data_loss);
+}
+
+TEST(MpsnTrainerTest, HybridWithTwoSidedQueriesRuns) {
+  data::Table t = SmallTable(500, 7);
+  query::WorkloadSpec wspec;
+  wspec.num_queries = 100;
+  wspec.seed = 42;
+  wspec.two_sided_prob = 0.5;
+  const query::Workload wl = query::WorkloadGenerator(t, wspec).Generate();
+  DuetMpsnModel model(t, SmallOptions(MpsnKind::kMlp));
+  TrainOptions topt;
+  topt.epochs = 2;
+  topt.batch_size = 64;
+  topt.train_workload = &wl;
+  MpsnTrainer trainer(model, topt);
+  const auto history = trainer.Train();
+  for (const auto& e : history) {
+    EXPECT_TRUE(std::isfinite(e.query_loss));
+    EXPECT_GT(e.query_loss, 0.0);
+  }
+}
+
+TEST(MpsnTrainerTest, TrainedModelEstimatesTwoSidedRangesSanely) {
+  data::Table t = SmallTable(900, 8);
+  DuetMpsnModel model(t, SmallOptions(MpsnKind::kMlp));
+  TrainOptions topt;
+  topt.epochs = 10;
+  topt.batch_size = 128;
+  MpsnTrainer trainer(model, topt);
+  trainer.Train();
+
+  query::WorkloadSpec wspec;
+  wspec.num_queries = 60;
+  wspec.seed = 1234;
+  wspec.two_sided_prob = 0.7;
+  const query::Workload wl = query::WorkloadGenerator(t, wspec).Generate();
+  DuetMpsnEstimator est(model);
+  const auto errs = query::EvaluateQErrors(est, wl, t.num_rows());
+  EXPECT_LT(duet::Percentile(errs, 50), 6.0);
+}
+
+}  // namespace
+}  // namespace duet::core

@@ -1,0 +1,322 @@
+// Tests for the extension baselines: LW-XGB / LW-NN (lightweight
+// query-driven models, paper ref [11]), the Chow-Liu tree PGM (ref [40]),
+// and RobustMSCN's query masking (ref [45]).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/lw/lw_models.h"
+#include "baselines/mscn/mscn_model.h"
+#include "baselines/pgm/chow_liu.h"
+#include "data/generator.h"
+#include "data/table.h"
+#include "gtest/gtest.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace duet {
+namespace {
+
+using baselines::ChowLiuEstimator;
+using baselines::ChowLiuOptions;
+using baselines::LwFeaturizer;
+using baselines::LwNnEstimator;
+using baselines::LwXgbEstimator;
+
+/// A two-column table with perfect dependence (col b == col a).
+data::Table PerfectlyCorrelatedTable(int64_t rows, int32_t ndv) {
+  Rng rng(3);
+  std::vector<int32_t> codes(static_cast<size_t>(rows));
+  std::vector<double> distinct;
+  for (int32_t v = 0; v < ndv; ++v) distinct.push_back(v);
+  for (int64_t r = 0; r < rows; ++r) {
+    codes[static_cast<size_t>(r)] = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(ndv)));
+  }
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromCodes("a", codes, distinct));
+  cols.push_back(data::Column::FromCodes("b", codes, distinct));
+  return data::Table("corr", std::move(cols));
+}
+
+/// A two-column table with independent uniform columns.
+data::Table IndependentTable(int64_t rows, int32_t ndv, uint64_t seed = 4) {
+  Rng rng(seed);
+  std::vector<double> distinct;
+  for (int32_t v = 0; v < ndv; ++v) distinct.push_back(v);
+  std::vector<int32_t> a(static_cast<size_t>(rows)), b(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    a[static_cast<size_t>(r)] = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(ndv)));
+    b[static_cast<size_t>(r)] = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(ndv)));
+  }
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromCodes("a", std::move(a), distinct));
+  cols.push_back(data::Column::FromCodes("b", std::move(b), distinct));
+  return data::Table("indep", std::move(cols));
+}
+
+query::Query EqQuery(int col_a, double va, int col_b, double vb) {
+  query::Query q;
+  q.predicates.push_back({col_a, query::PredOp::kEq, va});
+  q.predicates.push_back({col_b, query::PredOp::kEq, vb});
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// LW featurization
+// ---------------------------------------------------------------------------
+
+TEST(LwFeaturizerTest, WidthAndWildcardEncoding) {
+  data::Table t = IndependentTable(100, 10);
+  LwFeaturizer f(t);
+  EXPECT_EQ(f.width(), 6);
+  query::Query q;  // no predicates
+  std::vector<float> row(6, -1.0f);
+  f.Encode(q, row.data());
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_FLOAT_EQ(row[3 * c + 0], 0.0f);  // lo
+    EXPECT_FLOAT_EQ(row[3 * c + 1], 1.0f);  // hi
+    EXPECT_FLOAT_EQ(row[3 * c + 2], 0.0f);  // unconstrained
+  }
+}
+
+TEST(LwFeaturizerTest, RangePredicateNormalizedBounds) {
+  data::Table t = IndependentTable(100, 10);
+  LwFeaturizer f(t);
+  query::Query q;
+  q.predicates.push_back({0, query::PredOp::kGe, 5.0});
+  std::vector<float> row(6, -1.0f);
+  f.Encode(q, row.data());
+  EXPECT_FLOAT_EQ(row[0], 0.5f);  // lo = code 5 of 10
+  EXPECT_FLOAT_EQ(row[1], 1.0f);
+  EXPECT_FLOAT_EQ(row[2], 1.0f);
+}
+
+TEST(LwLogSelectivityTest, KnownValues) {
+  EXPECT_FLOAT_EQ(baselines::LwLogSelectivity(1024, 1024), 0.0f);
+  EXPECT_FLOAT_EQ(baselines::LwLogSelectivity(512, 1024), -1.0f);
+  // Zero cardinality is floored at one tuple.
+  EXPECT_FLOAT_EQ(baselines::LwLogSelectivity(0, 1024), -10.0f);
+}
+
+// ---------------------------------------------------------------------------
+// LW-XGB / LW-NN end-to-end
+// ---------------------------------------------------------------------------
+
+class LwEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = data::CensusLike(3000, 42);
+    query::WorkloadSpec spec;
+    spec.num_queries = 400;
+    spec.seed = 42;
+    spec.gamma_num_predicates = true;
+    train_ = query::WorkloadGenerator(table_, spec).Generate();
+    spec.seed = 43;
+    in_q_ = query::WorkloadGenerator(table_, spec).Generate();
+  }
+
+  data::Table table_;
+  query::Workload train_, in_q_;
+};
+
+TEST_F(LwEndToEndTest, XgbLearnsInWorkloadQueries) {
+  baselines::LwXgbOptions opt;
+  opt.gbdt.num_trees = 60;
+  LwXgbEstimator est(table_, opt);
+  est.Train(train_);
+  const auto errs = query::EvaluateQErrors(est, in_q_, table_.num_rows());
+  std::vector<double> sorted = errs;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_LT(median, 4.0) << "LW-XGB should fit in-workload queries";
+  EXPECT_GT(est.SizeMB(), 0.0);
+}
+
+TEST_F(LwEndToEndTest, NnLossDecreasesAndEstimatesBounded) {
+  baselines::LwNnOptions opt;
+  opt.epochs = 15;
+  LwNnEstimator est(table_, opt);
+  const std::vector<double> mse = est.Train(train_);
+  ASSERT_GE(mse.size(), 2u);
+  EXPECT_LT(mse.back(), mse.front());
+  for (const auto& lq : in_q_) {
+    const double s = est.EstimateSelectivity(lq.query);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(LwEndToEndTest, QueryDrivenModelsSufferWorkloadDrift) {
+  // The paper's Problem (5): regression estimators degrade when the test
+  // workload departs from the training distribution. Train with a bounded
+  // column and compare In-Q vs Rand-Q medians.
+  query::WorkloadSpec bounded;
+  bounded.num_queries = 400;
+  bounded.seed = 42;
+  bounded.gamma_num_predicates = true;
+  bounded.bounded_column = table_.LargestNdvColumn();
+  const query::Workload train = query::WorkloadGenerator(table_, bounded).Generate();
+  bounded.seed = 43;
+  const query::Workload in_q = query::WorkloadGenerator(table_, bounded).Generate();
+  query::WorkloadSpec rand_spec;
+  rand_spec.num_queries = 400;
+  rand_spec.seed = 1234;
+  const query::Workload rand_q = query::WorkloadGenerator(table_, rand_spec).Generate();
+
+  baselines::LwXgbOptions opt;
+  opt.gbdt.num_trees = 60;
+  LwXgbEstimator est(table_, opt);
+  est.Train(train);
+
+  auto median_err = [&](const query::Workload& wl) {
+    auto errs = query::EvaluateQErrors(est, wl, table_.num_rows());
+    std::sort(errs.begin(), errs.end());
+    return errs[errs.size() / 2];
+  };
+  EXPECT_GT(median_err(rand_q), median_err(in_q));
+}
+
+// ---------------------------------------------------------------------------
+// Chow-Liu PGM
+// ---------------------------------------------------------------------------
+
+TEST(ChowLiuTest, IndependentColumnsHaveNearZeroMi) {
+  data::Table t = IndependentTable(8000, 8);
+  ChowLiuEstimator est(t);
+  EXPECT_LT(est.EdgeMutualInformation(0, 1), 0.02);
+}
+
+TEST(ChowLiuTest, IndependentColumnsEstimateNearProduct) {
+  data::Table t = IndependentTable(8000, 8);
+  ChowLiuEstimator est(t);
+  const query::Query q = EqQuery(0, 3.0, 1, 5.0);
+  const double sel = est.EstimateSelectivity(q);
+  EXPECT_NEAR(sel, 1.0 / 64.0, 0.01);
+}
+
+TEST(ChowLiuTest, CapturesPerfectDependence) {
+  data::Table t = PerfectlyCorrelatedTable(5000, 8);
+  ChowLiuEstimator est(t);
+  // P(a=3, b=3) = P(a=3) ~ 1/8 — independence would square it to 1/64.
+  const double consistent = est.EstimateSelectivity(EqQuery(0, 3.0, 1, 3.0));
+  EXPECT_NEAR(consistent, 1.0 / 8.0, 0.03);
+  // Contradictory pair (a=3, b=4) is impossible; smoothing allows a sliver.
+  const double contradictory = est.EstimateSelectivity(EqQuery(0, 3.0, 1, 4.0));
+  EXPECT_LT(contradictory, 0.01);
+}
+
+TEST(ChowLiuTest, TreeEdgeConnectsDependentColumns) {
+  // Three columns: a and b identical, c independent. The MI-maximizing tree
+  // must place the a-b edge.
+  Rng rng(5);
+  const int64_t rows = 4000;
+  std::vector<double> distinct;
+  for (int v = 0; v < 6; ++v) distinct.push_back(v);
+  std::vector<int32_t> ab(static_cast<size_t>(rows)), c(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    ab[static_cast<size_t>(r)] = static_cast<int32_t>(rng.UniformInt(6));
+    c[static_cast<size_t>(r)] = static_cast<int32_t>(rng.UniformInt(6));
+  }
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromCodes("a", ab, distinct));
+  cols.push_back(data::Column::FromCodes("b", ab, distinct));
+  cols.push_back(data::Column::FromCodes("c", std::move(c), distinct));
+  data::Table t("chain", std::move(cols));
+
+  ChowLiuEstimator est(t);
+  // Column 1 (b) must hang off column 0 (a) — their MI dominates.
+  EXPECT_EQ(est.parent(1), 0);
+  EXPECT_GT(est.EdgeMutualInformation(0, 1), 10.0 * est.EdgeMutualInformation(0, 2));
+}
+
+TEST(ChowLiuTest, EmptyRangeGivesZeroFullRangeGivesOne) {
+  data::Table t = IndependentTable(1000, 10);
+  ChowLiuEstimator est(t);
+  query::Query empty;
+  empty.predicates.push_back({0, query::PredOp::kGt, 20.0});  // beyond the domain
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(empty), 0.0);
+  query::Query full;  // no predicates
+  EXPECT_NEAR(est.EstimateSelectivity(full), 1.0, 1e-9);
+}
+
+TEST(ChowLiuTest, BucketizedLargeNdvColumnStillRangeAccurate) {
+  // ndv 500 >> max_buckets 32: range evidence uses exact per-bucket overlap,
+  // so a plain range query on a single uniform column stays accurate.
+  Rng rng(6);
+  const int64_t rows = 20000;
+  const int32_t ndv = 500;
+  std::vector<double> distinct;
+  for (int32_t v = 0; v < ndv; ++v) distinct.push_back(v);
+  std::vector<int32_t> a(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    a[static_cast<size_t>(r)] = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(ndv)));
+  }
+  std::vector<int32_t> b = a;  // second column so the tree has an edge
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromCodes("a", std::move(a), distinct));
+  cols.push_back(data::Column::FromCodes("b", std::move(b), distinct));
+  data::Table t("bigndv", std::move(cols));
+
+  ChowLiuOptions opt;
+  opt.max_buckets = 32;
+  ChowLiuEstimator est(t, opt);
+  query::Query q;
+  q.predicates.push_back({0, query::PredOp::kLt, 125.0});  // ~25% selectivity
+  EXPECT_NEAR(est.EstimateSelectivity(q), 0.25, 0.02);
+}
+
+TEST(ChowLiuTest, MatchesBruteForceOnTinyTable) {
+  data::Table t = IndependentTable(400, 4, /*seed=*/9);
+  ChowLiuOptions opt;
+  opt.laplace_alpha = 1e-6;  // near-ML parameters for tightness
+  ChowLiuEstimator est(t, opt);
+  query::ExactEvaluator exact(t);
+  for (int32_t va = 0; va < 4; ++va) {
+    for (int32_t vb = 0; vb < 4; ++vb) {
+      const query::Query q = EqQuery(0, va, 1, vb);
+      const double truth =
+          static_cast<double>(exact.Count(q)) / static_cast<double>(t.num_rows());
+      EXPECT_NEAR(est.EstimateSelectivity(q), truth, 0.01)
+          << "a=" << va << " b=" << vb;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RobustMSCN query masking
+// ---------------------------------------------------------------------------
+
+TEST(RobustMscnTest, TrainsAndEstimatesInBounds) {
+  data::Table t = data::CensusLike(2000, 42);
+  query::WorkloadSpec spec;
+  spec.num_queries = 200;
+  spec.seed = 42;
+  spec.gamma_num_predicates = true;
+  const query::Workload train = query::WorkloadGenerator(t, spec).Generate();
+
+  baselines::MscnOptions opt;
+  opt.epochs = 10;
+  opt.mask_prob = 0.2;
+  opt.bitmap_size = 200;
+  baselines::MscnModel robust(t, opt);
+  EXPECT_EQ(robust.name(), "RobustMSCN");
+  const auto hist = robust.Train(train);
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_LT(hist.back(), hist.front());
+  for (size_t i = 0; i < 50; ++i) {
+    const double s = robust.EstimateSelectivity(train[i].query);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(RobustMscnTest, PlainMscnKeepsName) {
+  data::Table t = data::CensusLike(500, 42);
+  baselines::MscnOptions opt;
+  opt.bitmap_size = 100;
+  baselines::MscnModel plain(t, opt);
+  EXPECT_EQ(plain.name(), "MSCN");
+}
+
+}  // namespace
+}  // namespace duet

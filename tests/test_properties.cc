@@ -1,0 +1,346 @@
+// Cross-estimator contract tests: every CardinalityEstimator in the
+// repository — traditional, query-driven, data-driven, hybrid, PGM — must
+// satisfy the same basic properties (bounded selectivity, determinism,
+// zero on contradictory predicates), and the substrate must behave on
+// degenerate tables (single row, single column, constant columns).
+// Parameterized over the estimator factory so each property runs against
+// the whole zoo.
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/lw/lw_models.h"
+#include "baselines/mscn/mscn_model.h"
+#include "baselines/pgm/chow_liu.h"
+#include "baselines/spn/spn.h"
+#include "baselines/traditional/independence.h"
+#include "baselines/traditional/mhist.h"
+#include "baselines/traditional/sampling.h"
+#include "core/duet_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace duet {
+namespace {
+
+/// Shared fixture data: one small table + workloads, built once.
+struct Shared {
+  data::Table table;
+  query::Workload train;
+  std::vector<query::Query> probes;
+
+  static const Shared& Get() {
+    static Shared* shared = [] {
+      auto* s = new Shared();
+      s->table = data::CensusLike(1500, 42);
+      query::WorkloadSpec spec;
+      spec.num_queries = 150;
+      spec.seed = 42;
+      spec.gamma_num_predicates = true;
+      s->train = query::WorkloadGenerator(s->table, spec).Generate();
+      spec.seed = 7;
+      spec.num_queries = 40;
+      for (const auto& lq : query::WorkloadGenerator(s->table, spec).Generate()) {
+        s->probes.push_back(lq.query);
+      }
+      return s;
+    }();
+    return *shared;
+  }
+};
+
+/// Factory: builds (and trains, where applicable) one estimator kind.
+struct EstimatorSpec {
+  std::string name;
+  /// 2 = wildcard query must estimate exactly 1; 1 = approximately 1
+  /// (learned joint models); 0 = only bounded (pure regressors like MSCN,
+  /// which rarely see empty queries in training).
+  int wildcard_strictness;
+  std::function<std::unique_ptr<query::CardinalityEstimator>()> make;
+};
+
+std::vector<EstimatorSpec> AllEstimators() {
+  const Shared& s = Shared::Get();
+  std::vector<EstimatorSpec> specs;
+  specs.push_back({"Sampling", 2, [&s] {
+                     return std::make_unique<baselines::SamplingEstimator>(s.table, 0.05);
+                   }});
+  specs.push_back({"Indep", 2, [&s] {
+                     return std::make_unique<baselines::IndependenceEstimator>(s.table);
+                   }});
+  specs.push_back({"MHist", 2, [&s] {
+                     return std::make_unique<baselines::MHistEstimator>(s.table, 256);
+                   }});
+  specs.push_back({"PGM", 1, [&s] {
+                     return std::make_unique<baselines::ChowLiuEstimator>(s.table);
+                   }});
+  specs.push_back({"DeepDB", 1, [&s] {
+                     return std::make_unique<baselines::SpnEstimator>(s.table);
+                   }});
+  specs.push_back({"LW-XGB", 0, [&s] {
+                     baselines::LwXgbOptions opt;
+                     opt.gbdt.num_trees = 20;
+                     auto est = std::make_unique<baselines::LwXgbEstimator>(s.table, opt);
+                     est->Train(s.train);
+                     return est;
+                   }});
+  specs.push_back({"LW-NN", 0, [&s] {
+                     baselines::LwNnOptions opt;
+                     opt.epochs = 5;
+                     auto est = std::make_unique<baselines::LwNnEstimator>(s.table, opt);
+                     est->Train(s.train);
+                     return est;
+                   }});
+  specs.push_back({"MSCN", 0, [&s] {
+                     baselines::MscnOptions opt;
+                     opt.epochs = 5;
+                     opt.bitmap_size = 100;
+                     auto est = std::make_unique<baselines::MscnModel>(s.table, opt);
+                     est->Train(s.train);
+                     return est;
+                   }});
+  specs.push_back({"DuetD", 2, [&s] {
+                     core::DuetModelOptions mopt;
+                     mopt.hidden_sizes = {32, 32};
+                     mopt.residual = true;
+                     auto model = std::make_unique<core::DuetModel>(s.table, mopt);
+                     core::TrainOptions topt;
+                     topt.epochs = 1;
+                     topt.batch_size = 256;
+                     core::DuetTrainer(*model, topt).Train();
+                     // The estimator keeps the model alive via a shared_ptr
+                     // custom deleter trick: wrap both in one object.
+                     struct Owner : query::CardinalityEstimator {
+                       std::unique_ptr<core::DuetModel> model;
+                       std::unique_ptr<core::DuetEstimator> est;
+                       double EstimateSelectivity(const query::Query& q) override {
+                         return est->EstimateSelectivity(q);
+                       }
+                       std::string name() const override { return est->name(); }
+                       double SizeMB() const override { return est->SizeMB(); }
+                     };
+                     auto owner = std::make_unique<Owner>();
+                     owner->model = std::move(model);
+                     owner->est = std::make_unique<core::DuetEstimator>(*owner->model);
+                     return std::unique_ptr<query::CardinalityEstimator>(std::move(owner));
+                   }});
+  return specs;
+}
+
+class EstimatorContractTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    if (specs_ == nullptr) specs_ = new std::vector<EstimatorSpec>(AllEstimators());
+    if (instances_ == nullptr) {
+      instances_ =
+          new std::vector<std::unique_ptr<query::CardinalityEstimator>>(specs_->size());
+    }
+  }
+
+  query::CardinalityEstimator& estimator() {
+    auto& slot = (*instances_)[GetParam()];
+    if (!slot) slot = (*specs_)[GetParam()].make();
+    return *slot;
+  }
+  const EstimatorSpec& spec() const { return (*specs_)[GetParam()]; }
+
+  static std::vector<EstimatorSpec>* specs_;
+  static std::vector<std::unique_ptr<query::CardinalityEstimator>>* instances_;
+};
+
+std::vector<EstimatorSpec>* EstimatorContractTest::specs_ = nullptr;
+std::vector<std::unique_ptr<query::CardinalityEstimator>>* EstimatorContractTest::instances_ =
+    nullptr;
+
+TEST_P(EstimatorContractTest, SelectivityBounded) {
+  auto& est = estimator();
+  for (const query::Query& q : Shared::Get().probes) {
+    const double s = est.EstimateSelectivity(q);
+    EXPECT_GE(s, 0.0) << est.name();
+    EXPECT_LE(s, 1.0) << est.name();
+    EXPECT_FALSE(std::isnan(s)) << est.name();
+  }
+}
+
+TEST_P(EstimatorContractTest, Deterministic) {
+  auto& est = estimator();
+  for (const query::Query& q : Shared::Get().probes) {
+    EXPECT_DOUBLE_EQ(est.EstimateSelectivity(q), est.EstimateSelectivity(q))
+        << est.name() << " must give deterministic results (paper Problem 4)";
+  }
+}
+
+TEST_P(EstimatorContractTest, WildcardQueryNearOne) {
+  auto& est = estimator();
+  query::Query q;  // no predicates: selects everything
+  const double s = est.EstimateSelectivity(q);
+  EXPECT_LE(s, 1.0) << est.name();
+  switch (spec().wildcard_strictness) {
+    case 2: EXPECT_DOUBLE_EQ(s, 1.0) << est.name(); break;
+    case 1: EXPECT_GT(s, 0.2) << est.name(); break;
+    default: EXPECT_GE(s, 0.0) << est.name(); break;
+  }
+}
+
+TEST_P(EstimatorContractTest, CardinalityFlooredAtOneTuple) {
+  auto& est = estimator();
+  const Shared& s = Shared::Get();
+  for (const query::Query& q : s.probes) {
+    EXPECT_GE(est.EstimateCardinality(q, s.table.num_rows()), 1.0) << est.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimators, EstimatorContractTest, ::testing::Range<size_t>(0, 9),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           static const auto specs = AllEstimators();
+                           std::string n = specs[info.param].name;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Exact evaluator reference properties
+// ---------------------------------------------------------------------------
+
+TEST(ExactPropertyTest, WideningARangeNeverShrinksCardinality) {
+  const Shared& s = Shared::Get();
+  query::ExactEvaluator exact(s.table);
+  const data::Column& col = s.table.column(2);
+  uint64_t prev = 0;
+  for (int32_t code = col.ndv() - 1; code >= 0; --code) {
+    query::Query q;
+    q.predicates.push_back({2, query::PredOp::kGe, col.Value(code)});
+    const uint64_t card = exact.Count(q);
+    EXPECT_GE(card, prev);
+    prev = card;
+  }
+}
+
+TEST(ExactPropertyTest, ConjunctionNeverExceedsEitherSide) {
+  const Shared& s = Shared::Get();
+  query::ExactEvaluator exact(s.table);
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const int col_a = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(s.table.num_columns())));
+    int col_b = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(s.table.num_columns())));
+    if (col_b == col_a) col_b = (col_b + 1) % s.table.num_columns();
+    query::Query qa, qb, qab;
+    const data::Column& ca = s.table.column(col_a);
+    const data::Column& cb = s.table.column(col_b);
+    const double va = ca.Value(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(ca.ndv()))));
+    const double vb = cb.Value(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(cb.ndv()))));
+    qa.predicates.push_back({col_a, query::PredOp::kLe, va});
+    qb.predicates.push_back({col_b, query::PredOp::kGe, vb});
+    qab.predicates = {qa.predicates[0], qb.predicates[0]};
+    const uint64_t a = exact.Count(qa), b = exact.Count(qb), ab = exact.Count(qab);
+    EXPECT_LE(ab, a);
+    EXPECT_LE(ab, b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate tables
+// ---------------------------------------------------------------------------
+
+data::Table TinyTable(int64_t rows, int32_t ndv) {
+  std::vector<double> dict;
+  for (int32_t v = 0; v < ndv; ++v) dict.push_back(v * 2.5);
+  std::vector<int32_t> a(static_cast<size_t>(rows)), b(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    a[static_cast<size_t>(r)] = static_cast<int32_t>(r % ndv);
+    b[static_cast<size_t>(r)] = static_cast<int32_t>((r / 2) % ndv);
+  }
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromCodes("a", std::move(a), dict));
+  cols.push_back(data::Column::FromCodes("b", std::move(b), dict));
+  return data::Table("tiny", std::move(cols));
+}
+
+TEST(DegenerateTableTest, SingleRowTableTrainsAndEstimates) {
+  data::Table t = TinyTable(1, 1);
+  core::DuetModelOptions mopt;
+  mopt.hidden_sizes = {8};
+  core::DuetModel model(t, mopt);
+  core::TrainOptions topt;
+  topt.epochs = 2;
+  topt.batch_size = 4;
+  core::DuetTrainer(model, topt).Train();
+  query::Query q;
+  q.predicates.push_back({0, query::PredOp::kEq, 0.0});
+  const double s = model.EstimateSelectivity(q);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(DegenerateTableTest, ConstantColumnHandledByAllTraditional) {
+  data::Table t = TinyTable(64, 1);  // both columns constant
+  baselines::IndependenceEstimator indep(t);
+  baselines::SamplingEstimator sampling(t, 0.5);
+  baselines::MHistEstimator mhist(t, 16);
+  query::Query hit, miss;
+  hit.predicates.push_back({0, query::PredOp::kEq, 0.0});
+  miss.predicates.push_back({0, query::PredOp::kGt, 0.0});
+  for (query::CardinalityEstimator* est :
+       std::initializer_list<query::CardinalityEstimator*>{&indep, &sampling, &mhist}) {
+    EXPECT_NEAR(est->EstimateSelectivity(hit), 1.0, 1e-9) << est->name();
+    EXPECT_NEAR(est->EstimateSelectivity(miss), 0.0, 1e-9) << est->name();
+  }
+}
+
+TEST(DegenerateTableTest, ChowLiuOnTwoRowTable) {
+  data::Table t = TinyTable(2, 2);
+  baselines::ChowLiuEstimator est(t);
+  query::Query q;
+  q.predicates.push_back({0, query::PredOp::kEq, 0.0});
+  const double s = est.EstimateSelectivity(q);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(DegenerateTableTest, SamplerDegradesInfeasibleOpsToWildcards) {
+  // On a constant column, > and < can never be satisfied by the anchor;
+  // every such draw must become a wildcard, never an invalid predicate.
+  data::Table t = TinyTable(32, 1);
+  core::SamplerOptions opt;
+  opt.expand = 4;
+  opt.wildcard_prob = 0.0;
+  opt.parallel = false;
+  core::VirtualTupleSampler sampler(t, opt);
+  std::vector<int64_t> anchors(32);
+  for (int64_t i = 0; i < 32; ++i) anchors[static_cast<size_t>(i)] = i;
+  const core::VirtualBatch batch = sampler.Sample(anchors, 3);
+  for (int64_t r = 0; r < batch.batch; ++r) {
+    for (int c = 0; c < batch.num_columns; ++c) {
+      const int8_t op = batch.op_at(r, c);
+      if (op < 0) continue;
+      // Any surviving predicate must be satisfiable: on a 1-NDV column only
+      // =, >=, <= are.
+      EXPECT_NE(static_cast<query::PredOp>(op), query::PredOp::kGt);
+      EXPECT_NE(static_cast<query::PredOp>(op), query::PredOp::kLt);
+      EXPECT_EQ(batch.code_at(r, c), 0);
+    }
+  }
+}
+
+TEST(DegenerateTableTest, WorkloadGeneratorOnTinyDomain) {
+  data::Table t = TinyTable(8, 2);
+  query::WorkloadSpec spec;
+  spec.num_queries = 50;
+  spec.seed = 3;
+  const query::Workload wl = query::WorkloadGenerator(t, spec).Generate();
+  query::ExactEvaluator exact(t);
+  for (const query::LabeledQuery& lq : wl) {
+    EXPECT_EQ(exact.Count(lq.query), lq.cardinality);
+    EXPECT_GE(lq.cardinality, 1u) << "anchored generation guarantees >= 1 match";
+  }
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,286 @@
+// Unit + property tests for the query substrate: predicate semantics, the
+// exact evaluator against brute force, workload generation invariants, and
+// the Q-error metric.
+#include <set>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "query/estimator.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace duet::query {
+namespace {
+
+data::Table TinyTable() {
+  // col a: values 10,20,30 ; col b: values 1,2
+  data::Column a = data::Column::FromValues("a", {10, 20, 30, 10, 20, 30});
+  data::Column b = data::Column::FromValues("b", {1, 1, 1, 2, 2, 2});
+  return data::Table("tiny", {a, b});
+}
+
+struct OpCase {
+  PredOp op;
+  double value;
+  int32_t lo;
+  int32_t hi;
+};
+
+class RangeForPredicateTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(RangeForPredicateTest, CodeRangeMatches) {
+  const data::Table t = TinyTable();
+  const OpCase& c = GetParam();
+  const CodeRange r = RangeForPredicate(t.column(0), c.op, c.value);
+  EXPECT_EQ(r.lo, c.lo);
+  EXPECT_EQ(r.hi, c.hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RangeForPredicateTest,
+    ::testing::Values(OpCase{PredOp::kEq, 20, 1, 2},      // = existing value
+                      OpCase{PredOp::kEq, 25, 0, 0},      // = missing value -> empty
+                      OpCase{PredOp::kGt, 10, 1, 3},      // > 10 -> {20,30}
+                      OpCase{PredOp::kGt, 15, 1, 3},      // between values
+                      OpCase{PredOp::kGt, 30, 3, 3},      // empty
+                      OpCase{PredOp::kGe, 20, 1, 3},      // >= 20
+                      OpCase{PredOp::kGe, 31, 3, 3},      // empty
+                      OpCase{PredOp::kLt, 20, 0, 1},      // < 20 -> {10}
+                      OpCase{PredOp::kLt, 10, 0, 0},      // empty
+                      OpCase{PredOp::kLe, 20, 0, 2},      // <= 20
+                      OpCase{PredOp::kLe, 5, 0, 0}));     // empty
+
+TEST(QueryTest, IntersectRanges) {
+  const CodeRange r = IntersectRanges({0, 5}, {3, 9});
+  EXPECT_EQ(r.lo, 3);
+  EXPECT_EQ(r.hi, 5);
+  EXPECT_TRUE(IntersectRanges({0, 2}, {3, 4}).empty());
+}
+
+TEST(QueryTest, PerColumnRangesIntersectsMultiPredicates) {
+  const data::Table t = TinyTable();
+  Query q;
+  q.predicates.push_back({0, PredOp::kGe, 20});
+  q.predicates.push_back({0, PredOp::kLe, 20});
+  q.predicates.push_back({1, PredOp::kEq, 2});
+  EXPECT_TRUE(q.HasMultiPredicateColumn());
+  EXPECT_EQ(q.NumConstrainedColumns(), 2);
+  const auto ranges = q.PerColumnRanges(t);
+  EXPECT_EQ(ranges[0].lo, 1);
+  EXPECT_EQ(ranges[0].hi, 2);
+  EXPECT_EQ(ranges[1].lo, 1);
+  EXPECT_EQ(ranges[1].hi, 2);
+}
+
+TEST(EvaluatorTest, CountsTinyTable) {
+  const data::Table t = TinyTable();
+  ExactEvaluator ev(t);
+  Query q;
+  q.predicates.push_back({0, PredOp::kGe, 20});  // 4 rows
+  EXPECT_EQ(ev.Count(q), 4u);
+  q.predicates.push_back({1, PredOp::kEq, 2});  // rows (20,2),(30,2)
+  EXPECT_EQ(ev.Count(q), 2u);
+  Query empty_q;
+  empty_q.predicates.push_back({0, PredOp::kEq, 25});
+  EXPECT_EQ(ev.Count(empty_q), 0u);
+  EXPECT_EQ(ev.Count(Query{}), 6u);  // no predicates -> all rows
+}
+
+/// Brute-force reference: re-evaluates predicates directly on raw values.
+uint64_t BruteForceCount(const data::Table& t, const Query& q) {
+  uint64_t count = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    bool ok = true;
+    for (const Predicate& p : q.predicates) {
+      const double v = t.column(p.col).Value(t.code(r, p.col));
+      switch (p.op) {
+        case PredOp::kEq: ok = v == p.value; break;
+        case PredOp::kGt: ok = v > p.value; break;
+        case PredOp::kLt: ok = v < p.value; break;
+        case PredOp::kGe: ok = v >= p.value; break;
+        case PredOp::kLe: ok = v <= p.value; break;
+      }
+      if (!ok) break;
+    }
+    count += ok ? 1 : 0;
+  }
+  return count;
+}
+
+class EvaluatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvaluatorPropertyTest, MatchesBruteForceOnRandomQueries) {
+  const data::Table t = data::CensusLike(1500, 11);
+  ExactEvaluator ev(t);
+  WorkloadSpec spec;
+  spec.num_queries = 40;
+  spec.seed = GetParam();
+  spec.two_sided_prob = 0.3;  // exercise multi-predicate columns too
+  WorkloadGenerator gen(t, spec);
+  Rng rng(GetParam());
+  for (int i = 0; i < spec.num_queries; ++i) {
+    const Query q = gen.GenerateQuery(rng);
+    EXPECT_EQ(ev.Count(q), BruteForceCount(t, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(EvaluatorTest, BatchMatchesSingle) {
+  const data::Table t = data::CensusLike(800, 3);
+  ExactEvaluator ev(t);
+  WorkloadSpec spec;
+  spec.num_queries = 64;
+  spec.seed = 99;
+  WorkloadGenerator gen(t, spec);
+  Rng rng(99);
+  std::vector<Query> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(gen.GenerateQuery(rng));
+  const auto batch = ev.CountBatch(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], ev.Count(queries[i]));
+  }
+}
+
+TEST(WorkloadTest, AnchoredQueriesAreNonEmpty) {
+  const data::Table t = data::CensusLike(1000, 5);
+  WorkloadSpec spec;
+  spec.num_queries = 200;
+  spec.seed = 7;
+  WorkloadGenerator gen(t, spec);
+  const Workload wl = gen.Generate();
+  ASSERT_EQ(wl.size(), 200u);
+  for (const LabeledQuery& lq : wl) {
+    // The anchor tuple satisfies every predicate, so cardinality >= 1.
+    EXPECT_GE(lq.cardinality, 1u);
+    EXPECT_GE(lq.query.predicates.size(), 1u);
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const data::Table t = data::CensusLike(500, 5);
+  WorkloadSpec spec;
+  spec.num_queries = 20;
+  spec.seed = 13;
+  const Workload a = WorkloadGenerator(t, spec).Generate();
+  const Workload b = WorkloadGenerator(t, spec).Generate();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cardinality, b[i].cardinality);
+    ASSERT_EQ(a[i].query.predicates.size(), b[i].query.predicates.size());
+    for (size_t p = 0; p < a[i].query.predicates.size(); ++p) {
+      EXPECT_EQ(a[i].query.predicates[p].col, b[i].query.predicates[p].col);
+      EXPECT_EQ(static_cast<int>(a[i].query.predicates[p].op),
+                static_cast<int>(b[i].query.predicates[p].op));
+      EXPECT_DOUBLE_EQ(a[i].query.predicates[p].value, b[i].query.predicates[p].value);
+    }
+  }
+}
+
+TEST(WorkloadTest, BoundedColumnOnlyUsesSubsetValues) {
+  const data::Table t = data::CensusLike(2000, 21);
+  WorkloadSpec spec;
+  spec.num_queries = 300;
+  spec.seed = 42;
+  spec.bounded_column = t.LargestNdvColumn();
+  spec.bounded_fraction = 0.05;
+  WorkloadGenerator gen(t, spec);
+  const std::set<double> allowed(gen.bounded_values().begin(), gen.bounded_values().end());
+  EXPECT_FALSE(allowed.empty());
+  EXPECT_LT(static_cast<int>(allowed.size()), t.column(spec.bounded_column).ndv());
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const Query q = gen.GenerateQuery(rng);
+    for (const Predicate& p : q.predicates) {
+      if (p.col == spec.bounded_column) {
+        EXPECT_TRUE(allowed.count(p.value) > 0) << "predicate uses out-of-subset value";
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, GammaPredicateCountsAreSkewed) {
+  const data::Table t = data::KddLike(500, 30, 3);
+  WorkloadSpec uniform_spec;
+  uniform_spec.num_queries = 400;
+  uniform_spec.seed = 5;
+  WorkloadSpec gamma_spec = uniform_spec;
+  gamma_spec.gamma_num_predicates = true;
+  Rng rng_u(5), rng_g(5);
+  WorkloadGenerator gu(t, uniform_spec), gg(t, gamma_spec);
+  double mean_u = 0.0, mean_g = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    mean_u += static_cast<double>(gu.GenerateQuery(rng_u).predicates.size());
+    mean_g += static_cast<double>(gg.GenerateQuery(rng_g).predicates.size());
+  }
+  mean_u /= 400;
+  mean_g /= 400;
+  // Uniform over [1,30] has mean ~15.5; gamma(2, 1.2)+1 has mean ~3.4.
+  EXPECT_GT(mean_u, 10.0);
+  EXPECT_LT(mean_g, 8.0);
+}
+
+TEST(WorkloadTest, MaxColumnsRestriction) {
+  const data::Table t = data::KddLike(300, 20, 2);
+  WorkloadSpec spec;
+  spec.num_queries = 100;
+  spec.seed = 8;
+  spec.max_columns = 5;
+  WorkloadGenerator gen(t, spec);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    for (const Predicate& p : gen.GenerateQuery(rng).predicates) {
+      EXPECT_LT(p.col, 5);
+    }
+  }
+}
+
+TEST(WorkloadTest, TwoSidedRangesContainAnchor) {
+  const data::Table t = data::CensusLike(500, 6);
+  WorkloadSpec spec;
+  spec.num_queries = 150;
+  spec.seed = 44;
+  spec.two_sided_prob = 1.0;
+  WorkloadGenerator gen(t, spec);
+  const Workload wl = gen.Generate();
+  bool saw_multi = false;
+  for (const LabeledQuery& lq : wl) {
+    EXPECT_GE(lq.cardinality, 1u);  // anchor still satisfies
+    saw_multi |= lq.query.HasMultiPredicateColumn();
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(QErrorTest, Definition) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(5, 5), 1.0);
+  // Floors both sides at 1.
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0.2, 4), 4.0);
+}
+
+class ConstantEstimator : public CardinalityEstimator {
+ public:
+  explicit ConstantEstimator(double sel) : sel_(sel) {}
+  double EstimateSelectivity(const Query&) override { return sel_; }
+  std::string name() const override { return "Const"; }
+
+ private:
+  double sel_;
+};
+
+TEST(QErrorTest, EvaluateQErrorsUsesCardinalityFloor) {
+  const data::Table t = TinyTable();
+  Workload wl;
+  Query q;
+  q.predicates.push_back({0, PredOp::kGe, 20});
+  wl.push_back({q, 4});
+  ConstantEstimator est(0.0);  // estimates 0 -> floored to 1 tuple
+  const auto errs = EvaluateQErrors(est, wl, t.num_rows());
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_DOUBLE_EQ(errs[0], 4.0);
+}
+
+}  // namespace
+}  // namespace duet::query
