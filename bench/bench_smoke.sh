@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary at a tiny scale so the bench suite cannot
+# silently bit-rot: each binary must exit 0. Wired into CTest as the
+# `bench_smoke` label (ctest -L bench_smoke); also runnable by hand:
+#
+#   bench/bench_smoke.sh <build_dir>
+#
+# DUET_BENCH_SCALE shrinks datasets/workloads/training budgets; 0.05 keeps
+# the whole sweep in CI-friendly time.
+set -u
+BUILD_DIR="${1:-build}"
+export DUET_BENCH_SCALE="${DUET_BENCH_SCALE:-0.05}"
+
+status=0
+ran=0
+for bin in "$BUILD_DIR"/bench_*; do
+  [ -x "$bin" ] && [ -f "$bin" ] || continue
+  name="$(basename "$bin")"
+  extra=""
+  case "$name" in
+    # Keep the inference sweep short; coverage, not measurement.
+    bench_table3_throughput) extra="--sweep_queries=64 --sweep_min_seconds=0.05" ;;
+  esac
+  start=$(date +%s)
+  if "$bin" $extra >/dev/null 2>&1; then
+    echo "ok   $name ($(($(date +%s) - start))s)"
+  else
+    echo "FAIL $name (exit $?)"
+    status=1
+  fi
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "no bench binaries found under $BUILD_DIR" >&2
+  exit 1
+fi
+exit $status

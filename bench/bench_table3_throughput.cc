@@ -3,10 +3,18 @@
 // Naru > DuetD > Duet >> UAE, with UAE OOM on the high-dimensional dataset
 // at its paper-scale sampling configuration.
 //
-// Flags: --datasets=census,kdd,dmv --batch=N
+// Also measures serving-side inference throughput of the Duet estimator
+// through the batch-first API (EstimateSelectivityBatch) with a single
+// thread across batch sizes 1/8/64/512, and emits the sweep as one JSON
+// line for tooling.
+//
+// Flags: --datasets=census,kdd,dmv --batch=N --sweep_queries=N
+//        --sweep_min_seconds=S --sweep=0|1
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 
 namespace duet::bench {
 namespace {
@@ -65,6 +73,92 @@ Row RunDataset(const data::Table& t, int64_t batch, int uae_samples) {
   return row;
 }
 
+/// Single-thread queries/sec of `est` at one batch size: the query stream is
+/// processed in chunks of `batch` through the batch-first API, repeated
+/// until `min_seconds` of wall time accumulate.
+double MeasureBatchedQps(query::CardinalityEstimator& est,
+                         const std::vector<query::Query>& queries, int64_t batch,
+                         double min_seconds) {
+  // Pre-slice the stream so chunk construction is not charged to the
+  // estimator.
+  std::vector<std::vector<query::Query>> chunks;
+  for (size_t begin = 0; begin < queries.size(); begin += static_cast<size_t>(batch)) {
+    const size_t end = std::min(queries.size(), begin + static_cast<size_t>(batch));
+    chunks.emplace_back(queries.begin() + static_cast<int64_t>(begin),
+                        queries.begin() + static_cast<int64_t>(end));
+  }
+  // Warm-up pass: populates the inference arena so the measured steady
+  // state performs no activation allocations.
+  for (const auto& chunk : chunks) est.EstimateSelectivityBatch(chunk);
+  Timer timer;
+  int64_t done = 0;
+  do {
+    for (const auto& chunk : chunks) {
+      est.EstimateSelectivityBatch(chunk);
+      done += static_cast<int64_t>(chunk.size());
+    }
+  } while (timer.Seconds() < min_seconds);
+  return static_cast<double>(done) / timer.Seconds();
+}
+
+/// Batch-size sweep of the Duet estimator; prints a table and emits the
+/// results as a single JSON line (parsed by tooling / CI).
+void RunInferenceSweep(const Flags& flags, double scale) {
+  const data::Table t = MakeCensus(scale);
+  // Serving-scale architecture (paper-scale nets reach {512,...,1024} on
+  // DMV): large enough that per-query weight traffic dominates at batch 1,
+  // which is exactly what batching amortizes. --sweep_hidden overrides.
+  core::DuetModelOptions opt;
+  const int64_t hidden = flags.GetInt("sweep_hidden", 256);
+  opt.hidden_sizes = {hidden, hidden};
+  opt.residual = true;
+  core::DuetModel model(t, opt);
+  core::DuetEstimator est(model);
+
+  const int64_t num_queries = flags.GetInt("sweep_queries", 512);
+  const double min_seconds = flags.GetDouble("sweep_min_seconds", 0.4);
+  query::WorkloadSpec spec;
+  spec.seed = 1234;
+  query::WorkloadGenerator gen(t, spec);
+  Rng rng(1234);
+  std::vector<query::Query> queries;
+  queries.reserve(static_cast<size_t>(num_queries));
+  for (int64_t i = 0; i < num_queries; ++i) queries.push_back(gen.GenerateQuery(rng));
+
+  // Single-thread measurement: the speedup below is pure batching
+  // (amortized weight traffic, fused kernels, arena reuse), not parallelism.
+  // --sweep_scalar=1 reruns the sweep on the scalar reference kernels,
+  // isolating the tiled-GEMM contribution.
+  const bool scalar = flags.GetBool("sweep_scalar", false);
+  tensor::SetUseScalarKernels(scalar);
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<int64_t> batch_sizes = {1, 8, 64, 512};
+  std::vector<double> qps(batch_sizes.size(), 0.0);
+  std::printf("\nInference throughput sweep (Duet estimator, 1 thread, %lld queries%s)\n",
+              static_cast<long long>(num_queries), scalar ? ", scalar kernels" : "");
+  std::printf("%-8s %14s %10s\n", "batch", "queries/s", "speedup");
+  for (size_t i = 0; i < batch_sizes.size(); ++i) {
+    qps[i] = MeasureBatchedQps(est, queries, batch_sizes[i], min_seconds);
+    std::printf("%-8lld %14.1f %9.2fx\n", static_cast<long long>(batch_sizes[i]), qps[i],
+                qps[i] / qps[0]);
+  }
+  ThreadPool::SetGlobalThreads(0);
+  tensor::SetUseScalarKernels(false);
+
+  std::string json = "{\"bench\":\"table3_throughput\",\"inference_sweep\":{"
+                     "\"estimator\":\"Duet\",\"threads\":1,\"results\":[";
+  for (size_t i = 0; i < batch_sizes.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s{\"batch\":%lld,\"qps\":%.1f}", i == 0 ? "" : ",",
+                  static_cast<long long>(batch_sizes[i]), qps[i]);
+    json += buf;
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), "],\"speedup_batch64_vs_1\":%.2f}}", qps[2] / qps[0]);
+  json += tail;
+  std::printf("%s\n", json.c_str());
+}
+
 }  // namespace
 }  // namespace duet::bench
 
@@ -106,5 +200,7 @@ int main(int argc, char** argv) {
   print_line("UAE", [](const Row& r) { return r.uae; }, [](const Row& r) { return r.uae_oom; });
   print_line("DuetD", [](const Row& r) { return r.duetd; }, [](const Row&) { return false; });
   print_line("Duet", [](const Row& r) { return r.duet; }, [](const Row&) { return false; });
+
+  if (flags.GetBool("sweep", true)) RunInferenceSweep(flags, scale);
   return 0;
 }

@@ -37,6 +37,11 @@ struct NaruOptions {
   double wildcard_prob = 0.3;
 };
 
+/// Mixes a query's structure (columns, operators, value bits) into `base`;
+/// the estimator adapters seed each query's progressive-sampling Rng with
+/// this, which keeps single-query and batched estimation bit-identical.
+uint64_t DeterministicQuerySeed(const query::Query& query, uint64_t base);
+
 /// Naru model + progressive-sampling estimator.
 class NaruModel : public nn::Module {
  public:
@@ -57,6 +62,16 @@ class NaruModel : public nn::Module {
   /// Deterministic wrapper: fresh Rng seeded from the query contents (the
   /// variance across seeds is measured by the stability experiment).
   double EstimateSelectivitySeeded(const query::Query& query, uint64_t seed) const;
+
+  /// Batched progressive sampling. Queries share per-column rounds: all
+  /// still-active queries constraining column c have their sample sets
+  /// encoded into one forward pass, so a batch of B queries costs at most
+  /// `num_columns` forwards instead of sum_q(constrained_q). Each query
+  /// draws from its own Rng seeded with DeterministicQuerySeed(q, seed_base)
+  /// in the same order as the scalar path, so results match per-query
+  /// estimation exactly.
+  std::vector<double> EstimateSelectivityBatch(const std::vector<query::Query>& queries,
+                                               uint64_t seed_base) const;
 
   // ----- shared internals (UAE reuses these) -----
 
@@ -96,14 +111,19 @@ class NaruTrainer {
   Rng rng_;
 };
 
-/// CardinalityEstimator adapter (deterministic per-query seeding).
+/// CardinalityEstimator adapter (deterministic per-query seeding, so the
+/// same query always gets the same estimate and batching is order-free).
 class NaruEstimator : public query::CardinalityEstimator {
  public:
   NaruEstimator(const NaruModel& model, std::string name = "Naru", uint64_t seed = 17)
-      : model_(model), name_(std::move(name)), rng_(seed) {}
+      : model_(model), name_(std::move(name)), seed_(seed) {}
 
   double EstimateSelectivity(const query::Query& query) override {
-    return model_.EstimateSelectivity(query, rng_);
+    return model_.EstimateSelectivitySeeded(query, DeterministicQuerySeed(query, seed_));
+  }
+  std::vector<double> EstimateSelectivityBatch(
+      const std::vector<query::Query>& queries) override {
+    return model_.EstimateSelectivityBatch(queries, seed_);
   }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.SizeMB(); }
@@ -111,7 +131,7 @@ class NaruEstimator : public query::CardinalityEstimator {
  private:
   const NaruModel& model_;
   std::string name_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 }  // namespace duet::baselines

@@ -86,14 +86,20 @@ class UaeTrainer {
   bool oom_ = false;
 };
 
-/// Estimator adapter: UAE inference is Naru's progressive sampling.
+/// Estimator adapter: UAE inference is Naru's progressive sampling, with
+/// the same deterministic per-query seeding (batch == loop).
 class UaeEstimator : public query::CardinalityEstimator {
  public:
   UaeEstimator(const UaeModel& model, std::string name = "UAE", uint64_t seed = 19)
-      : model_(model), name_(std::move(name)), rng_(seed) {}
+      : model_(model), name_(std::move(name)), seed_(seed) {}
 
   double EstimateSelectivity(const query::Query& query) override {
-    return model_.naru().EstimateSelectivity(query, rng_);
+    return model_.naru().EstimateSelectivitySeeded(query,
+                                                  DeterministicQuerySeed(query, seed_));
+  }
+  std::vector<double> EstimateSelectivityBatch(
+      const std::vector<query::Query>& queries) override {
+    return model_.naru().EstimateSelectivityBatch(queries, seed_);
   }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.naru().SizeMB(); }
@@ -101,7 +107,7 @@ class UaeEstimator : public query::CardinalityEstimator {
  private:
   const UaeModel& model_;
   std::string name_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 }  // namespace duet::baselines

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace duet::core {
@@ -14,6 +15,41 @@ namespace {
 /// Selectivity factors are floored at this value before the log-space
 /// product so hybrid-training gradients stay finite.
 constexpr float kSelEps = 1e-12f;
+
+/// Queries per batched forward pass; bounds peak activation memory when a
+/// caller (e.g. EvaluateQErrors) hands over a whole workload. Chunking never
+/// changes results — rows are batch-size independent.
+constexpr int64_t kMaxQueriesPerForward = 4096;
+
+/// Algorithm 3 tail for one query row: per constrained block, the masked
+/// softmax mass of that query's code range, accumulated as a log-space
+/// product. Shared by the scalar and batched inference paths — the batch
+/// API contract requires them to return exactly the same value, so there is
+/// deliberately only one copy of this loop. Returns false for a
+/// contradictory query (some range empty).
+bool MaskedLogSelectivity(const float* logits_row, const std::vector<tensor::BlockSpec>& blocks,
+                          const std::vector<query::CodeRange>& ranges, int num_columns,
+                          double* log_sel_out) {
+  double log_sel = 0.0;
+  for (int c = 0; c < num_columns; ++c) {
+    const query::CodeRange& r = ranges[static_cast<size_t>(c)];
+    if (r.empty()) return false;
+    const tensor::BlockSpec& blk = blocks[static_cast<size_t>(c)];
+    if (r.lo == 0 && r.hi == static_cast<int32_t>(blk.len)) continue;  // wildcard: factor 1
+    const float* ls = logits_row + blk.offset;
+    float mx = ls[0];
+    for (int64_t j = 1; j < blk.len; ++j) mx = std::max(mx, ls[j]);
+    double denom = 0.0, num = 0.0;
+    for (int64_t j = 0; j < blk.len; ++j) {
+      const double e = std::exp(static_cast<double>(ls[j] - mx));
+      denom += e;
+      if (j >= r.lo && j < r.hi) num += e;
+    }
+    log_sel += std::log(std::max(num / denom, static_cast<double>(kSelEps)));
+  }
+  *log_sel_out = log_sel;
+  return true;
+}
 }  // namespace
 
 DuetModel::DuetModel(const data::Table& table, DuetModelOptions options)
@@ -63,38 +99,6 @@ Tensor DuetModel::DataLoss(const VirtualBatch& batch) const {
   return tensor::NllLossBlocks(logp, net_->output_blocks(), batch.labels);
 }
 
-void DuetModel::EncodeQueryRow(const query::Query& query, float* dst) const {
-  // Group predicates per column. Single predicates encode directly; a
-  // column with several predicates (e.g. a closed interval, or clause
-  // intersections from disjunction support) is condensed to one
-  // representative predicate over the intersected code range — the input
-  // only *conditions* the network, exact containment is always enforced by
-  // the zero-out mask. The MPSN model (core/mpsn_model.h) embeds the full
-  // predicate list instead.
-  std::vector<int> count(static_cast<size_t>(table_.num_columns()), 0);
-  for (const query::Predicate& p : query.predicates) count[static_cast<size_t>(p.col)]++;
-  std::vector<bool> done(static_cast<size_t>(table_.num_columns()), false);
-  std::vector<query::CodeRange> ranges;  // lazily computed for condensation
-  for (const query::Predicate& p : query.predicates) {
-    const size_t ci = static_cast<size_t>(p.col);
-    if (done[ci]) continue;
-    done[ci] = true;
-    const data::Column& col = table_.column(p.col);
-    if (count[ci] == 1) {
-      // The predicate value maps to its boundary code; exact containment is
-      // enforced by the zero-out mask, the input only conditions the net.
-      int32_t code = std::clamp(col.LowerBound(p.value), 0, col.ndv() - 1);
-      encoder_.EncodePredicate(p.col, p.op, code, dst + encoder_.block_offset(p.col));
-      continue;
-    }
-    if (ranges.empty()) ranges = query.PerColumnRanges(table_);
-    const query::CodeRange& r = ranges[ci];
-    if (r.empty()) continue;  // estimator returns 0 before the forward pass
-    const int32_t lo = std::clamp(r.lo, 0, col.ndv() - 1);
-    const query::PredOp op = r.size() == 1 ? query::PredOp::kEq : query::PredOp::kGe;
-    encoder_.EncodePredicate(p.col, op, lo, dst + encoder_.block_offset(p.col));
-  }
-}
 
 void DuetModel::FillMaskRow(const std::vector<query::CodeRange>& ranges, float* dst) const {
   const auto& blocks = net_->output_blocks();
@@ -112,9 +116,9 @@ Tensor DuetModel::SelectivityBatch(const std::vector<query::Query>& queries) con
   const int64_t out_dim = net_->output_dim();
   Tensor x = Tensor::Zeros({b, d});
   Tensor mask = Tensor::Zeros({b, out_dim});
+  encoder_.EncodeQueryBatch(table_, queries, x.data());
   for (int64_t r = 0; r < b; ++r) {
     const query::Query& q = queries[static_cast<size_t>(r)];
-    EncodeQueryRow(q, x.data() + r * d);
     FillMaskRow(q.PerColumnRanges(table_), mask.data() + r * out_dim);
   }
   const Tensor logits = ForwardLogits(x);
@@ -126,13 +130,13 @@ Tensor DuetModel::SelectivityBatch(const std::vector<query::Query>& queries) con
 }
 
 double DuetModel::EstimateSelectivity(const query::Query& query) const {
-  tensor::NoGradGuard no_grad;
+  tensor::NoGradScope no_grad;
   Timer timer;
 
   // Phase 1: encode.
   const int64_t d = encoder_.total_width();
   Tensor x = Tensor::Zeros({1, d});
-  EncodeQueryRow(query, x.data());
+  encoder_.EncodeQueryRow(table_, query, x.data());
   const std::vector<query::CodeRange> ranges = query.PerColumnRanges(table_);
   for (const query::CodeRange& r : ranges) {
     if (r.empty()) return 0.0;  // contradictory predicates select nothing
@@ -147,69 +151,65 @@ double DuetModel::EstimateSelectivity(const query::Query& query) const {
   // Phase 3: per-block softmax restricted to the mask (Algorithm 3 lines
   // 3-4), done with raw loops - no tensors needed for a single row.
   timer.Reset();
-  const float* lp = logits.data();
-  const auto& blocks = net_->output_blocks();
   double log_sel = 0.0;
-  for (int c = 0; c < table_.num_columns(); ++c) {
-    const query::CodeRange& r = ranges[static_cast<size_t>(c)];
-    const tensor::BlockSpec& blk = blocks[static_cast<size_t>(c)];
-    if (r.lo == 0 && r.hi == static_cast<int32_t>(blk.len)) continue;  // wildcard: factor 1
-    const float* ls = lp + blk.offset;
-    float mx = ls[0];
-    for (int64_t j = 1; j < blk.len; ++j) mx = std::max(mx, ls[j]);
-    double denom = 0.0, num = 0.0;
-    for (int64_t j = 0; j < blk.len; ++j) {
-      const double e = std::exp(static_cast<double>(ls[j] - mx));
-      denom += e;
-      if (j >= r.lo && j < r.hi) num += e;
-    }
-    const double factor = std::max(num / denom, static_cast<double>(kSelEps));
-    log_sel += std::log(factor);
-  }
+  MaskedLogSelectivity(logits.data(), net_->output_blocks(), ranges, table_.num_columns(),
+                       &log_sel);
   phase_times_.post_ms += timer.Millis();
   return std::exp(log_sel);
 }
 
 std::vector<double> DuetModel::EstimateSelectivityBatch(
     const std::vector<query::Query>& queries) const {
-  tensor::NoGradGuard no_grad;
+  tensor::NoGradScope no_grad;
   if (queries.empty()) return {};
-  const int64_t b = static_cast<int64_t>(queries.size());
+  const int64_t total = static_cast<int64_t>(queries.size());
   const int64_t d = encoder_.total_width();
-  Tensor x = Tensor::Zeros({b, d});
-  std::vector<std::vector<query::CodeRange>> all_ranges(static_cast<size_t>(b));
-  for (int64_t r = 0; r < b; ++r) {
-    EncodeQueryRow(queries[static_cast<size_t>(r)], x.data() + r * d);
-    all_ranges[static_cast<size_t>(r)] = queries[static_cast<size_t>(r)].PerColumnRanges(table_);
-  }
-  const Tensor logits = ForwardLogits(x);
   const auto& blocks = net_->output_blocks();
   const int64_t out_dim = net_->output_dim();
-  std::vector<double> sels(static_cast<size_t>(b));
-  for (int64_t r = 0; r < b; ++r) {
-    const float* lp = logits.data() + r * out_dim;
-    double log_sel = 0.0;
-    bool empty = false;
-    for (int c = 0; c < table_.num_columns() && !empty; ++c) {
-      const query::CodeRange& cr = all_ranges[static_cast<size_t>(r)][static_cast<size_t>(c)];
-      const tensor::BlockSpec& blk = blocks[static_cast<size_t>(c)];
-      if (cr.empty()) {
-        empty = true;
-        break;
-      }
-      if (cr.lo == 0 && cr.hi == static_cast<int32_t>(blk.len)) continue;
-      const float* ls = lp + blk.offset;
-      float mx = ls[0];
-      for (int64_t j = 1; j < blk.len; ++j) mx = std::max(mx, ls[j]);
-      double denom = 0.0, num = 0.0;
-      for (int64_t j = 0; j < blk.len; ++j) {
-        const double e = std::exp(static_cast<double>(ls[j] - mx));
-        denom += e;
-        if (j >= cr.lo && j < cr.hi) num += e;
-      }
-      log_sel += std::log(std::max(num / denom, static_cast<double>(kSelEps)));
-    }
-    sels[static_cast<size_t>(r)] = empty ? 0.0 : std::exp(log_sel);
+  const int num_columns = table_.num_columns();
+  std::vector<double> sels(static_cast<size_t>(total));
+
+  for (int64_t begin = 0; begin < total; begin += kMaxQueriesPerForward) {
+    const int64_t b = std::min(kMaxQueriesPerForward, total - begin);
+    const query::Query* chunk = queries.data() + begin;
+
+    Timer timer;
+    Tensor x = Tensor::Zeros({b, d});
+    std::vector<std::vector<query::CodeRange>> all_ranges(static_cast<size_t>(b));
+    ParallelForChunked(
+        0, b,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            encoder_.EncodeQueryRow(table_, chunk[r], x.data() + r * d);
+            all_ranges[static_cast<size_t>(r)] = chunk[r].PerColumnRanges(table_);
+          }
+        },
+        /*parallel=*/b >= 64, /*grain=*/16);
+    phase_times_.encode_ms += timer.Millis();
+
+    timer.Reset();
+    const Tensor logits = ForwardLogits(x);
+    phase_times_.forward_ms += timer.Millis();
+
+    timer.Reset();
+    const float* logit_base = logits.data();
+    double* sel_base = sels.data() + begin;
+    // Per-row masked softmax + log-space product; rows are independent, so
+    // this parallelizes without affecting per-query numerics.
+    ParallelForChunked(
+        0, b,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            double log_sel = 0.0;
+            const bool ok =
+                MaskedLogSelectivity(logit_base + r * out_dim, blocks,
+                                     all_ranges[static_cast<size_t>(r)], num_columns,
+                                     &log_sel);
+            sel_base[r] = ok ? std::exp(log_sel) : 0.0;
+          }
+        },
+        /*parallel=*/b >= 64, /*grain=*/16);
+    phase_times_.post_ms += timer.Millis();
   }
   return sels;
 }

@@ -104,10 +104,6 @@ class DuetModel : public nn::Module {
   PhaseTimes& phase_times() const { return phase_times_; }
 
  private:
-  /// Fills a pre-zeroed input row for a query; uses at most one predicate
-  /// per column (checked).
-  void EncodeQueryRow(const query::Query& query, float* dst) const;
-
   /// Builds the zero-out mask row (out_dim floats) from per-column ranges.
   void FillMaskRow(const std::vector<query::CodeRange>& ranges, float* dst) const;
 
@@ -126,6 +122,10 @@ class DuetEstimator : public query::CardinalityEstimator {
 
   double EstimateSelectivity(const query::Query& query) override {
     return model_.EstimateSelectivity(query);
+  }
+  std::vector<double> EstimateSelectivityBatch(
+      const std::vector<query::Query>& queries) override {
+    return model_.EstimateSelectivityBatch(queries);
   }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.SizeMB(); }

@@ -1,6 +1,9 @@
 #include "core/encoding.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace duet::core {
 
@@ -100,6 +103,48 @@ void DuetInputEncoder::EncodePredicate(int col, query::PredOp op, int32_t code,
 
 void DuetInputEncoder::EncodeWildcard(int /*col*/, float* /*dst*/) const {
   // All-zero block: no op bit set <=> no predicate (paper Sec. IV-C).
+}
+
+void DuetInputEncoder::EncodeQueryRow(const data::Table& table, const query::Query& query,
+                                      float* dst) const {
+  std::vector<int> count(static_cast<size_t>(table.num_columns()), 0);
+  for (const query::Predicate& p : query.predicates) count[static_cast<size_t>(p.col)]++;
+  std::vector<bool> done(static_cast<size_t>(table.num_columns()), false);
+  std::vector<query::CodeRange> ranges;  // lazily computed for condensation
+  for (const query::Predicate& p : query.predicates) {
+    const size_t ci = static_cast<size_t>(p.col);
+    if (done[ci]) continue;
+    done[ci] = true;
+    const data::Column& col = table.column(p.col);
+    if (count[ci] == 1) {
+      // The predicate value maps to its boundary code; exact containment is
+      // enforced by the zero-out mask, the input only conditions the net.
+      int32_t code = std::clamp(col.LowerBound(p.value), 0, col.ndv() - 1);
+      EncodePredicate(p.col, p.op, code, dst + block_offset(p.col));
+      continue;
+    }
+    if (ranges.empty()) ranges = query.PerColumnRanges(table);
+    const query::CodeRange& r = ranges[ci];
+    if (r.empty()) continue;  // estimator returns 0 before the forward pass
+    const int32_t lo = std::clamp(r.lo, 0, col.ndv() - 1);
+    const query::PredOp op = r.size() == 1 ? query::PredOp::kEq : query::PredOp::kGe;
+    EncodePredicate(p.col, op, lo, dst + block_offset(p.col));
+  }
+}
+
+void DuetInputEncoder::EncodeQueryBatch(const data::Table& table,
+                                        const std::vector<query::Query>& queries,
+                                        float* dst) const {
+  const int64_t b = static_cast<int64_t>(queries.size());
+  const int64_t d = total_width_;
+  ParallelForChunked(
+      0, b,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          EncodeQueryRow(table, queries[static_cast<size_t>(r)], dst + r * d);
+        }
+      },
+      /*parallel=*/b >= 64, /*grain=*/16);
 }
 
 NaruInputEncoder::NaruInputEncoder(const data::Table& table, const EncodingOptions& options)

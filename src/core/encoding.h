@@ -92,6 +92,18 @@ class DuetInputEncoder {
   /// Wildcard: leaves dst all zeros (explicit for readability).
   void EncodeWildcard(int col, float* dst) const;
 
+  /// Encodes a whole query into one pre-zeroed input row of total_width()
+  /// floats. Single predicates encode directly; a column carrying several
+  /// predicates is condensed to one representative predicate over the
+  /// intersected code range — the input only *conditions* the network, exact
+  /// containment is always enforced by the zero-out mask.
+  void EncodeQueryRow(const data::Table& table, const query::Query& query, float* dst) const;
+
+  /// Batched EncodeQueryRow: fills `dst` as a row-major [queries.size(),
+  /// total_width()] buffer (pre-zeroed), parallelized over queries.
+  void EncodeQueryBatch(const data::Table& table, const std::vector<query::Query>& queries,
+                        float* dst) const;
+
   const ColumnValueEncoder& values() const { return values_; }
 
  private:

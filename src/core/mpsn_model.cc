@@ -13,6 +13,8 @@ using tensor::Tensor;
 
 namespace {
 constexpr float kSelEps = 1e-12f;
+/// Queries per batched inference forward; bounds peak activation memory.
+constexpr size_t kMaxQueriesPerForward = 4096;
 }  // namespace
 
 DuetMpsnModel::DuetMpsnModel(const data::Table& table, DuetMpsnOptions options)
@@ -62,6 +64,15 @@ Tensor DuetMpsnModel::DataLoss(const MultiPredBatch& batch) const {
 }
 
 Tensor DuetMpsnModel::SelectivityBatch(const std::vector<query::Query>& queries) const {
+  std::vector<std::vector<query::CodeRange>> all_ranges;
+  all_ranges.reserve(queries.size());
+  for (const query::Query& q : queries) all_ranges.push_back(q.PerColumnRanges(table_));
+  return SelectivityBatchFromRanges(queries, all_ranges);
+}
+
+Tensor DuetMpsnModel::SelectivityBatchFromRanges(
+    const std::vector<query::Query>& queries,
+    const std::vector<std::vector<query::CodeRange>>& all_ranges) const {
   DUET_CHECK(!queries.empty());
   const MultiPredBatch batch = EncodeQueries(queries);
   const Tensor emb = embedder_->Embed(batch, encoder_);
@@ -71,7 +82,7 @@ Tensor DuetMpsnModel::SelectivityBatch(const std::vector<query::Query>& queries)
   Tensor mask = Tensor::Zeros({batch.batch, out_dim});
   const auto& blocks = made_->output_blocks();
   for (int64_t r = 0; r < batch.batch; ++r) {
-    const auto ranges = queries[static_cast<size_t>(r)].PerColumnRanges(table_);
+    const auto& ranges = all_ranges[static_cast<size_t>(r)];
     float* row = mask.data() + r * out_dim;
     for (int c = 0; c < table_.num_columns(); ++c) {
       const query::CodeRange& cr = ranges[static_cast<size_t>(c)];
@@ -85,13 +96,38 @@ Tensor DuetMpsnModel::SelectivityBatch(const std::vector<query::Query>& queries)
 }
 
 double DuetMpsnModel::EstimateSelectivity(const query::Query& query) const {
-  tensor::NoGradGuard no_grad;
+  tensor::NoGradScope no_grad;
   const auto ranges = query.PerColumnRanges(table_);
   for (const query::CodeRange& r : ranges) {
     if (r.empty()) return 0.0;
   }
   const Tensor sel = SelectivityBatch({query});
   return static_cast<double>(sel.data()[0]);
+}
+
+std::vector<double> DuetMpsnModel::EstimateSelectivityBatch(
+    const std::vector<query::Query>& queries) const {
+  tensor::NoGradScope no_grad;
+  if (queries.empty()) return {};
+  std::vector<double> sels(queries.size());
+  for (size_t begin = 0; begin < queries.size(); begin += kMaxQueriesPerForward) {
+    const size_t end = std::min(queries.size(), begin + kMaxQueriesPerForward);
+    const std::vector<query::Query> chunk(queries.begin() + static_cast<int64_t>(begin),
+                                          queries.begin() + static_cast<int64_t>(end));
+    std::vector<std::vector<query::CodeRange>> all_ranges;
+    all_ranges.reserve(chunk.size());
+    for (const query::Query& q : chunk) all_ranges.push_back(q.PerColumnRanges(table_));
+    const Tensor sel = SelectivityBatchFromRanges(chunk, all_ranges);
+    const float* sp = sel.data();
+    for (size_t r = 0; r < chunk.size(); ++r) {
+      // Contradictory queries short-circuit to exactly 0 on the scalar path
+      // (before the forward pass); mirror that here.
+      bool empty = false;
+      for (const query::CodeRange& cr : all_ranges[r]) empty = empty || cr.empty();
+      sels[begin + r] = empty ? 0.0 : static_cast<double>(sp[r]);
+    }
+  }
+  return sels;
 }
 
 MpsnTrainer::MpsnTrainer(DuetMpsnModel& model, TrainOptions options)

@@ -43,6 +43,10 @@ class DuetMpsnModel : public nn::Module {
   /// Deterministic single-query estimation.
   double EstimateSelectivity(const query::Query& query) const;
 
+  /// Batched inference: one embed + forward pass for all queries; matches
+  /// the per-query path exactly (rows are batch-size independent).
+  std::vector<double> EstimateSelectivityBatch(const std::vector<query::Query>& queries) const;
+
   const data::Table& table() const { return table_; }
   const DuetInputEncoder& encoder() const { return encoder_; }
   const MpsnEmbedder& embedder() const { return *embedder_; }
@@ -50,6 +54,13 @@ class DuetMpsnModel : public nn::Module {
   const DuetMpsnOptions& options() const { return options_; }
 
  private:
+  /// SelectivityBatch body with the per-query ranges already derived (they
+  /// feed the zero-out mask); lets callers that also need the ranges avoid
+  /// deriving them twice.
+  tensor::Tensor SelectivityBatchFromRanges(
+      const std::vector<query::Query>& queries,
+      const std::vector<std::vector<query::CodeRange>>& all_ranges) const;
+
   const data::Table& table_;
   DuetMpsnOptions options_;
   DuetInputEncoder encoder_;
@@ -85,6 +96,10 @@ class DuetMpsnEstimator : public query::CardinalityEstimator {
 
   double EstimateSelectivity(const query::Query& query) override {
     return model_.EstimateSelectivity(query);
+  }
+  std::vector<double> EstimateSelectivityBatch(
+      const std::vector<query::Query>& queries) override {
+    return model_.EstimateSelectivityBatch(queries);
   }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.SizeMB(); }

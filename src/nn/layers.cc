@@ -26,8 +26,8 @@ Linear::Linear(int64_t in, int64_t out, Rng& rng) : in_(in), out_(out) {
   b_ = RegisterParam(UniformInit({out}, bound, rng));
 }
 
-Tensor Linear::Forward(const Tensor& x) const {
-  return tensor::AddBias(tensor::MatMul(x, w_), b_);
+Tensor Linear::Forward(const Tensor& x, tensor::Activation act) const {
+  return tensor::MatMulBiasAct(x, w_, b_, act);
 }
 
 MaskedLinear::MaskedLinear(int64_t in, int64_t out, Tensor mask, Rng& rng)
@@ -40,8 +40,8 @@ MaskedLinear::MaskedLinear(int64_t in, int64_t out, Tensor mask, Rng& rng)
   b_ = RegisterParam(UniformInit({out}, bound, rng));
 }
 
-Tensor MaskedLinear::Forward(const Tensor& x) const {
-  return tensor::AddBias(tensor::MatMul(x, tensor::Mul(w_, mask_)), b_);
+Tensor MaskedLinear::Forward(const Tensor& x, tensor::Activation act) const {
+  return tensor::MatMulBiasAct(x, tensor::Mul(w_, mask_), b_, act);
 }
 
 Mlp::Mlp(const std::vector<int64_t>& sizes, Rng& rng) {
@@ -56,8 +56,8 @@ Mlp::Mlp(const std::vector<int64_t>& sizes, Rng& rng) {
 Tensor Mlp::Forward(const Tensor& x) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(h);
-    if (i + 1 < layers_.size()) h = tensor::Relu(h);
+    const bool last = i + 1 == layers_.size();
+    h = layers_[i].Forward(h, last ? tensor::Activation::kNone : tensor::Activation::kRelu);
   }
   return h;
 }

@@ -19,7 +19,9 @@ class Linear : public Module {
  public:
   Linear(int64_t in, int64_t out, Rng& rng);
 
-  tensor::Tensor Forward(const tensor::Tensor& x) const;
+  /// Fused act(x W + b); kNone gives the plain affine layer.
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         tensor::Activation act = tensor::Activation::kNone) const;
 
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
@@ -40,7 +42,9 @@ class MaskedLinear : public Module {
   /// `mask` must be an [in, out] tensor of 0/1 floats.
   MaskedLinear(int64_t in, int64_t out, tensor::Tensor mask, Rng& rng);
 
-  tensor::Tensor Forward(const tensor::Tensor& x) const;
+  /// Fused act(x (W o M) + b); kNone gives the plain affine layer.
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         tensor::Activation act = tensor::Activation::kNone) const;
 
   const tensor::Tensor& mask() const { return mask_; }
   const tensor::Tensor& weight() const { return w_; }

@@ -109,15 +109,17 @@ Tensor Made::Forward(const Tensor& x) const {
   if (!options_.residual) {
     Tensor h = x;
     for (size_t i = 0; i < layers_.size(); ++i) {
-      h = layers_[i].Forward(h);
-      if (i + 1 < layers_.size()) h = tensor::Relu(h);
+      const bool last = i + 1 == layers_.size();
+      h = layers_[i].Forward(h, last ? tensor::Activation::kNone : tensor::Activation::kRelu);
     }
     return h;
   }
+  // Pre-activation residual blocks: h itself feeds the skip connection, so
+  // only the inner ReLU (whose input is consumed exactly once) is fused.
   Tensor h = res_input_->Forward(x);
   for (size_t blk = 0; blk + 1 < res_layers_.size(); blk += 2) {
-    Tensor y = res_layers_[blk].Forward(tensor::Relu(h));
-    y = res_layers_[blk + 1].Forward(tensor::Relu(y));
+    Tensor y = res_layers_[blk].Forward(tensor::Relu(h), tensor::Activation::kRelu);
+    y = res_layers_[blk + 1].Forward(y);
     h = tensor::Add(h, y);
   }
   return res_output_->Forward(tensor::Relu(h));

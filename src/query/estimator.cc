@@ -7,9 +7,31 @@
 
 namespace duet::query {
 
+double CardinalityEstimator::ClampSelectivity(double sel) {
+  if (std::isnan(sel)) return 0.0;
+  return std::clamp(sel, 0.0, 1.0);
+}
+
 double CardinalityEstimator::EstimateCardinality(const Query& query, int64_t num_rows) {
-  const double sel = EstimateSelectivity(query);
+  const double sel = ClampSelectivity(EstimateSelectivity(query));
   return std::max(1.0, std::round(sel * static_cast<double>(num_rows)));
+}
+
+std::vector<double> CardinalityEstimator::EstimateSelectivityBatch(
+    const std::vector<Query>& queries) {
+  std::vector<double> sels;
+  sels.reserve(queries.size());
+  for (const Query& q : queries) sels.push_back(EstimateSelectivity(q));
+  return sels;
+}
+
+std::vector<double> CardinalityEstimator::EstimateCardinalityBatch(
+    const std::vector<Query>& queries, int64_t num_rows) {
+  std::vector<double> cards = EstimateSelectivityBatch(queries);
+  for (double& c : cards) {
+    c = std::max(1.0, std::round(ClampSelectivity(c) * static_cast<double>(num_rows)));
+  }
+  return cards;
 }
 
 double QError(double estimated_cardinality, double true_cardinality) {
@@ -20,11 +42,14 @@ double QError(double estimated_cardinality, double true_cardinality) {
 
 std::vector<double> EvaluateQErrors(CardinalityEstimator& estimator, const Workload& workload,
                                     int64_t num_rows) {
+  std::vector<Query> queries;
+  queries.reserve(workload.size());
+  for (const LabeledQuery& lq : workload) queries.push_back(lq.query);
+  const std::vector<double> cards = estimator.EstimateCardinalityBatch(queries, num_rows);
   std::vector<double> errors;
   errors.reserve(workload.size());
-  for (const LabeledQuery& lq : workload) {
-    const double est = estimator.EstimateCardinality(lq.query, num_rows);
-    errors.push_back(QError(est, static_cast<double>(lq.cardinality)));
+  for (size_t i = 0; i < workload.size(); ++i) {
+    errors.push_back(QError(cards[i], static_cast<double>(workload[i].cardinality)));
   }
   return errors;
 }

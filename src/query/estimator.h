@@ -19,6 +19,14 @@ class CardinalityEstimator {
   /// Estimated selectivity in [0, 1].
   virtual double EstimateSelectivity(const Query& query) = 0;
 
+  /// Batch-first entry point: estimates all queries at once. The default
+  /// implementation loops the scalar path; neural estimators override it
+  /// with a true batched forward (one GEMM for the whole batch, shared
+  /// sampling rounds), which is how serving-style throughput is reached.
+  /// Overrides must return exactly what the per-query path returns for each
+  /// query, in order.
+  virtual std::vector<double> EstimateSelectivityBatch(const std::vector<Query>& queries);
+
   /// Display name for bench tables.
   virtual std::string name() const = 0;
 
@@ -26,8 +34,17 @@ class CardinalityEstimator {
   virtual double SizeMB() const { return 0.0; }
 
   /// Convenience: selectivity * |T|, floored at 1 tuple (the standard
-  /// Q-error convention so empty estimates are comparable).
+  /// Q-error convention so empty estimates are comparable). The raw network
+  /// output is clamped into [0, 1] first — an untrained or diverged net can
+  /// emit NaN or out-of-range values, which must not poison Q-errors.
   double EstimateCardinality(const Query& query, int64_t num_rows);
+
+  /// Batched EstimateCardinality over EstimateSelectivityBatch.
+  std::vector<double> EstimateCardinalityBatch(const std::vector<Query>& queries,
+                                               int64_t num_rows);
+
+  /// Clamps a raw selectivity into [0, 1]; NaN maps to 0.
+  static double ClampSelectivity(double sel);
 };
 
 /// Q-Error = max(est, actual) / min(est, actual) with both floored at 1.

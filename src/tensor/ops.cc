@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/logging.h"
@@ -24,8 +25,8 @@ Tensor MakeResult(std::vector<int64_t> shape, bool track,
                   std::vector<Impl> parents) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->value.assign(static_cast<size_t>(impl->numel()), 0.0f);
   impl->requires_grad = track;
+  impl->AllocValue(static_cast<size_t>(impl->numel()), 0.0f);
   if (track) impl->parents = std::move(parents);
   return Tensor(std::move(impl));
 }
@@ -34,7 +35,218 @@ Tensor MakeResult(std::vector<int64_t> shape, bool track,
 int64_t Rows(const Tensor& t) { return t.ndim() == 1 ? 1 : t.dim(0); }
 int64_t Cols(const Tensor& t) { return t.ndim() == 1 ? t.dim(0) : t.dim(1); }
 
+// ----- GEMM kernels --------------------------------------------------------
+//
+// C += A x B with A:[M,K], B:[K,N], C:[M,N], all dense row-major. The tiled
+// kernel splits C into kMc x kNc task blocks (2-D parallel split), walks K in
+// kKc panels so the B panel and C block stay cache-resident, and bottoms out
+// in a 4x16 register-blocked micro-kernel. For every C element the
+// accumulation order is k-ascending regardless of tile placement, so results
+// do not depend on the batch size or thread count.
+
+std::atomic<bool> g_use_scalar_kernels{false};
+
+constexpr int64_t kMr = 4;    // micro-kernel rows
+constexpr int64_t kNr = 16;   // micro-kernel cols
+constexpr int64_t kKc = 256;  // k-panel depth
+constexpr int64_t kMc = 64;   // task block rows
+constexpr int64_t kNc = 256;  // task block cols
+
+/// Work threshold above which GEMM-shaped loops go to the thread pool.
+inline bool GemmParallel(int64_t m, int64_t k, int64_t n) {
+  return m * k * n > (1 << 18);
+}
+
+/// Full 4x16 tile over one k panel: C[0..4,0..16) += A_panel x B_panel.
+inline void Micro4x16(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+                      int64_t ldc, int64_t kc) {
+  float acc[kMr][kNr];
+  for (int64_t i = 0; i < kMr; ++i) {
+#pragma omp simd
+    for (int64_t j = 0; j < kNr; ++j) acc[i][j] = c[i * ldc + j];
+  }
+  for (int64_t k = 0; k < kc; ++k) {
+    const float a0 = a[0 * lda + k];
+    const float a1 = a[1 * lda + k];
+    const float a2 = a[2 * lda + k];
+    const float a3 = a[3 * lda + k];
+    // Skip all-zero quads: Duet inputs are one-hot-sparse, so on first-layer
+    // GEMMs most k steps contribute nothing. Skipping only adds +0.0f terms'
+    // omission, which leaves every accumulator value unchanged.
+    if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+    const float* brow = b + k * ldb;
+#pragma omp simd
+    for (int64_t j = 0; j < kNr; ++j) {
+      acc[0][j] += a0 * brow[j];
+      acc[1][j] += a1 * brow[j];
+      acc[2][j] += a2 * brow[j];
+      acc[3][j] += a3 * brow[j];
+    }
+  }
+  for (int64_t i = 0; i < kMr; ++i) {
+#pragma omp simd
+    for (int64_t j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i][j];
+  }
+}
+
+/// Ragged-edge tile (mr < 4 or nr < 16) over one k panel; same k order.
+inline void MicroTail(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+                      int64_t ldc, int64_t mr, int64_t nr, int64_t kc) {
+  for (int64_t i = 0; i < mr; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (int64_t k = 0; k < kc; ++k) {
+      const float av = arow[k];
+      const float* brow = b + k * ldb;
+#pragma omp simd
+      for (int64_t j = 0; j < nr; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Tiled C += A x B.
+void GemmTiled(const float* A, const float* B, float* C, int64_t M, int64_t K, int64_t N,
+               bool parallel) {
+  const int64_t row_blocks = (M + kMc - 1) / kMc;
+  const int64_t col_blocks = (N + kNc - 1) / kNc;
+  ParallelForChunked(
+      0, row_blocks * col_blocks,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+          const int64_t m0 = (t / col_blocks) * kMc, m1 = std::min(M, m0 + kMc);
+          const int64_t n0 = (t % col_blocks) * kNc, n1 = std::min(N, n0 + kNc);
+          for (int64_t k0 = 0; k0 < K; k0 += kKc) {
+            const int64_t kc = std::min(kKc, K - k0);
+            const float* bp = B + k0 * N;
+            int64_t i = m0;
+            for (; i + kMr <= m1; i += kMr) {
+              const float* ap = A + i * K + k0;
+              int64_t j = n0;
+              for (; j + kNr <= n1; j += kNr) {
+                Micro4x16(ap, K, bp + j, N, C + i * N + j, N, kc);
+              }
+              if (j < n1) MicroTail(ap, K, bp + j, N, C + i * N + j, N, kMr, n1 - j, kc);
+            }
+            if (i < m1) MicroTail(A + i * K + k0, K, bp + n0, N, C + i * N + n0, N, m1 - i,
+                                  n1 - n0, kc);
+          }
+        }
+      },
+      parallel, /*grain=*/1);
+}
+
+/// Scalar reference: the original triple loop with the zero-skip.
+void GemmScalarRef(const float* A, const float* B, float* C, int64_t M, int64_t K, int64_t N,
+                   bool parallel) {
+  ParallelForChunked(
+      0, M,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* arow = A + r * K;
+          float* crow = C + r * N;
+          for (int64_t k = 0; k < K; ++k) {
+            const float av = arow[k];
+            if (av == 0.0f) continue;
+            const float* brow = B + k * N;
+            for (int64_t c = 0; c < N; ++c) crow[c] += av * brow[c];
+          }
+        }
+      },
+      parallel, /*grain=*/8);
+}
+
+/// C += A x B for either kernel selection.
+inline void GemmAccum(const float* A, const float* B, float* C, int64_t M, int64_t K,
+                      int64_t N, bool parallel) {
+  if (g_use_scalar_kernels.load(std::memory_order_relaxed)) {
+    GemmScalarRef(A, B, C, M, K, N, parallel);
+  } else {
+    GemmTiled(A, B, C, M, K, N, parallel);
+  }
+}
+
+/// Dot-form accumulate: C[m,n] += dot(A_m, B_n) over the contiguous last
+/// axis; A:[M,L], B:[N,L], C:[M,N]. This is dX += dY x W^T with W:[N,L].
+void GemmDotAccum(const float* A, const float* B, float* C, int64_t M, int64_t N, int64_t L,
+                  bool parallel) {
+  ParallelForChunked(
+      0, M,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t m = lo; m < hi; ++m) {
+          const float* arow = A + m * L;
+          float* crow = C + m * N;
+          for (int64_t n = 0; n < N; ++n) {
+            const float* brow = B + n * L;
+            float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+            for (int64_t k = 0; k < L; ++k) acc += arow[k] * brow[k];
+            crow[n] += acc;
+          }
+        }
+      },
+      parallel, /*grain=*/8);
+}
+
+/// Weight-gradient accumulate: C[k,n] += sum_m A[m,k] * G[m,n]; parallel
+/// over k rows so accumulation is race-free. Keeps the zero-skip — A is a
+/// sparse one-hot-heavy input on the layers where this matters.
+void GemmAtBAccum(const float* A, const float* G, float* C, int64_t M, int64_t K, int64_t N,
+                  bool parallel) {
+  ParallelForChunked(
+      0, K,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t m = 0; m < M; ++m) {
+          const float* arow = A + m * K;
+          const float* grow = G + m * N;
+          for (int64_t k = lo; k < hi; ++k) {
+            const float av = arow[k];
+            if (av == 0.0f) continue;
+            float* crow = C + k * N;
+#pragma omp simd
+            for (int64_t n = 0; n < N; ++n) crow[n] += av * grow[n];
+          }
+        }
+      },
+      parallel, /*grain=*/8);
+}
+
+/// Scalar-reference dX: the original dot loop (no omp simd reduction), used
+/// when the scalar flag is set so backward is also a faithful reference.
+void GemmDotScalarRef(const float* A, const float* B, float* C, int64_t M, int64_t N,
+                      int64_t L, bool parallel) {
+  ParallelForChunked(
+      0, M,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t m = lo; m < hi; ++m) {
+          const float* arow = A + m * L;
+          float* crow = C + m * N;
+          for (int64_t n = 0; n < N; ++n) {
+            const float* brow = B + n * L;
+            float acc = 0.0f;
+            for (int64_t k = 0; k < L; ++k) acc += arow[k] * brow[k];
+            crow[n] += acc;
+          }
+        }
+      },
+      parallel, /*grain=*/8);
+}
+
+inline void GemmDot(const float* A, const float* B, float* C, int64_t M, int64_t N, int64_t L,
+                    bool parallel) {
+  if (g_use_scalar_kernels.load(std::memory_order_relaxed)) {
+    GemmDotScalarRef(A, B, C, M, N, L, parallel);
+  } else {
+    GemmDotAccum(A, B, C, M, N, L, parallel);
+  }
+}
+
 }  // namespace
+
+void SetUseScalarKernels(bool use) {
+  g_use_scalar_kernels.store(use, std::memory_order_relaxed);
+}
+
+bool UseScalarKernels() { return g_use_scalar_kernels.load(std::memory_order_relaxed); }
 
 Tensor MatMul(const Tensor& a, const Tensor& w) {
   DUET_CHECK_EQ(a.ndim(), 2);
@@ -43,69 +255,113 @@ Tensor MatMul(const Tensor& a, const Tensor& w) {
   DUET_CHECK_EQ(i_dim, w.dim(0));
   const bool track = TrackGrad({&a, &w});
   Tensor out = MakeResult({b, o}, track, {a.impl(), w.impl()});
-  const float* ap = a.data();
-  const float* wp = w.data();
-  float* cp = out.data();
-  ParallelForChunked(
-      0, b,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t r = lo; r < hi; ++r) {
-          const float* arow = ap + r * i_dim;
-          float* crow = cp + r * o;
-          for (int64_t k = 0; k < i_dim; ++k) {
-            const float av = arow[k];
-            if (av == 0.0f) continue;
-            const float* wrow = wp + k * o;
-            for (int64_t c = 0; c < o; ++c) crow[c] += av * wrow[c];
-          }
-        }
-      },
-      /*parallel=*/b * i_dim * o > (1 << 18), /*grain=*/8);
+  GemmAccum(a.data(), w.data(), out.data(), b, i_dim, o, GemmParallel(b, i_dim, o));
   if (track) {
     TensorImpl* ai = a.impl().get(); TensorImpl* wi = w.impl().get(); TensorImpl* oi = out.impl().get();
     out.impl()->backward = [ai, wi, oi, b, i_dim, o]() {
       const float* gout = oi->grad.data();
+      const bool par = GemmParallel(b, i_dim, o);
       if (ai->requires_grad || !ai->parents.empty() || ai->backward) {
         ai->EnsureGrad();
-        float* ga = ai->grad.data();
-        const float* wp = wi->value.data();
         // dA[r,k] = sum_c gout[r,c] * W[k,c]
-        ParallelForChunked(
-            0, b,
-            [&](int64_t lo, int64_t hi) {
-              for (int64_t r = lo; r < hi; ++r) {
-                const float* grow = gout + r * o;
-                float* garow = ga + r * i_dim;
-                for (int64_t k = 0; k < i_dim; ++k) {
-                  const float* wrow = wp + k * o;
-                  float acc = 0.0f;
-                  for (int64_t c = 0; c < o; ++c) acc += grow[c] * wrow[c];
-                  garow[k] += acc;
-                }
-              }
-            },
-            b * i_dim * o > (1 << 18), 8);
+        GemmDot(gout, wi->value.data(), ai->grad.data(), b, i_dim, o, par);
       }
       {
         wi->EnsureGrad();
-        float* gw = wi->grad.data();
-        const float* ap = ai->value.data();
-        // dW[k,c] = sum_r A[r,k] * gout[r,c]; parallel over k avoids races.
-        ParallelForChunked(
-            0, i_dim,
-            [&](int64_t lo, int64_t hi) {
-              for (int64_t r = 0; r < b; ++r) {
-                const float* arow = ap + r * i_dim;
-                const float* grow = gout + r * o;
-                for (int64_t k = lo; k < hi; ++k) {
-                  const float av = arow[k];
-                  if (av == 0.0f) continue;
-                  float* gwrow = gw + k * o;
-                  for (int64_t c = 0; c < o; ++c) gwrow[c] += av * grow[c];
-                }
+        // dW[k,c] = sum_r A[r,k] * gout[r,c]
+        GemmAtBAccum(ai->value.data(), gout, wi->grad.data(), b, i_dim, o, par);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MatMulBiasAct(const Tensor& a, const Tensor& w, const Tensor& bias, Activation act) {
+  DUET_CHECK_EQ(a.ndim(), 2);
+  DUET_CHECK_EQ(w.ndim(), 2);
+  DUET_CHECK_EQ(bias.ndim(), 1);
+  const int64_t b = a.dim(0), i_dim = a.dim(1), o = w.dim(1);
+  DUET_CHECK_EQ(i_dim, w.dim(0));
+  DUET_CHECK_EQ(o, bias.dim(0));
+  const bool track = TrackGrad({&a, &w, &bias});
+  Tensor out = MakeResult({b, o}, track, {a.impl(), w.impl(), bias.impl()});
+  float* cp = out.data();
+  const bool par = GemmParallel(b, i_dim, o);
+  GemmAccum(a.data(), w.data(), cp, b, i_dim, o, par);
+  // Fused epilogue: one pass adds the bias and applies the activation while
+  // the output rows are still cache-hot. Rows are independent, so it splits
+  // across the pool exactly like the GEMM without changing any numerics.
+  const float* bp = bias.data();
+  ParallelForChunked(
+      0, b,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          float* crow = cp + r * o;
+          switch (act) {
+            case Activation::kNone:
+#pragma omp simd
+              for (int64_t c = 0; c < o; ++c) crow[c] += bp[c];
+              break;
+            case Activation::kRelu:
+#pragma omp simd
+              for (int64_t c = 0; c < o; ++c) {
+                const float v = crow[c] + bp[c];
+                crow[c] = v > 0.0f ? v : 0.0f;
               }
-            },
-            b * i_dim * o > (1 << 18), 8);
+              break;
+            case Activation::kSigmoid:
+              for (int64_t c = 0; c < o; ++c) {
+                crow[c] = 1.0f / (1.0f + std::exp(-(crow[c] + bp[c])));
+              }
+              break;
+            case Activation::kTanh:
+              for (int64_t c = 0; c < o; ++c) crow[c] = std::tanh(crow[c] + bp[c]);
+              break;
+          }
+        }
+      },
+      par, /*grain=*/8);
+  if (track) {
+    TensorImpl* ai = a.impl().get(); TensorImpl* wi = w.impl().get();
+    TensorImpl* bi = bias.impl().get(); TensorImpl* oi = out.impl().get();
+    out.impl()->backward = [ai, wi, bi, oi, b, i_dim, o, act]() {
+      const int64_t n = b * o;
+      const float* g = oi->grad.data();
+      const float* y = oi->value.data();
+      // Gradient w.r.t. the pre-activation; every activation derivative here
+      // is expressible from the output y, so no pre-activation is retained.
+      std::vector<float> g_pre_buf;
+      const float* gp = g;
+      if (act != Activation::kNone) {
+        g_pre_buf.resize(static_cast<size_t>(n));
+        float* t = g_pre_buf.data();
+        switch (act) {
+          case Activation::kRelu:
+            for (int64_t i = 0; i < n; ++i) t[i] = y[i] > 0.0f ? g[i] : 0.0f;
+            break;
+          case Activation::kSigmoid:
+            for (int64_t i = 0; i < n; ++i) t[i] = g[i] * y[i] * (1.0f - y[i]);
+            break;
+          case Activation::kTanh:
+            for (int64_t i = 0; i < n; ++i) t[i] = g[i] * (1.0f - y[i] * y[i]);
+            break;
+          case Activation::kNone:
+            break;
+        }
+        gp = t;
+      }
+      const bool par = GemmParallel(b, i_dim, o);
+      if (ai->requires_grad || !ai->parents.empty() || ai->backward) {
+        ai->EnsureGrad();
+        GemmDot(gp, wi->value.data(), ai->grad.data(), b, i_dim, o, par);
+      }
+      wi->EnsureGrad();
+      GemmAtBAccum(ai->value.data(), gp, wi->grad.data(), b, i_dim, o, par);
+      bi->EnsureGrad();
+      float* gb = bi->grad.data();
+      for (int64_t r = 0; r < b; ++r) {
+        const float* grow = gp + r * o;
+        for (int64_t c = 0; c < o; ++c) gb[c] += grow[c];
       }
     };
   }

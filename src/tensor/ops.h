@@ -23,11 +23,33 @@ struct BlockSpec {
   int64_t len = 0;
 };
 
-/// C = A x W for A:[B,I], W:[I,O]. Parallelizes over batch rows.
+/// C = A x W for A:[B,I], W:[I,O]. Runs the register-blocked, cache-tiled
+/// SIMD kernel (2-D parallel split over row/column blocks); per-row results
+/// are bitwise independent of the batch size, which is what makes batched
+/// and per-query estimation agree exactly.
 Tensor MatMul(const Tensor& a, const Tensor& w);
 
 /// x + b broadcast over rows; x:[B,O], b:[O].
 Tensor AddBias(const Tensor& x, const Tensor& b);
+
+/// Epilogue activation fused into MatMulBiasAct's output pass.
+enum class Activation : int32_t {
+  kNone = 0,
+  kRelu = 1,
+  kSigmoid = 2,
+  kTanh = 3,
+};
+
+/// Fused dense layer: act(a x w + bias) computed with the tiled GEMM and a
+/// single cache-hot epilogue pass instead of three separate ops (and three
+/// activation buffers). a:[B,I], w:[I,O], bias:[O].
+Tensor MatMulBiasAct(const Tensor& a, const Tensor& w, const Tensor& bias, Activation act);
+
+/// Routes MatMul / MatMulBiasAct through the original scalar triple-loop
+/// kernels (forward and backward). Correctness reference for the tiled GEMM
+/// tests; never enabled on hot paths.
+void SetUseScalarKernels(bool use);
+bool UseScalarKernels();
 
 /// Elementwise ops over equal shapes.
 Tensor Add(const Tensor& a, const Tensor& b);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -9,12 +10,75 @@
 namespace duet::tensor {
 
 namespace {
+
 thread_local bool t_grad_enabled = true;
+
+/// Per-thread inference arena: free lists keyed by exact buffer size. Shapes
+/// repeat across batched forward calls, so exact-size buckets reach a 100%
+/// hit rate after one warm-up pass. Total pooled bytes are capped so a
+/// long-running server that sees many distinct shapes cannot accumulate
+/// unbounded per-thread memory; buffers past the cap are simply freed.
+constexpr size_t kMaxPooledBytes = size_t{256} << 20;  // 256 MiB per thread
+
+struct ArenaState {
+  bool active = false;
+  size_t pooled_bytes = 0;
+  std::unordered_map<size_t, std::vector<std::vector<float>>> pool;
+  InferenceArena::Stats stats;
+};
+thread_local ArenaState t_arena;
+
 }  // namespace
 
 NoGradGuard::NoGradGuard() : prev_(t_grad_enabled) { t_grad_enabled = false; }
 NoGradGuard::~NoGradGuard() { t_grad_enabled = prev_; }
 bool NoGradGuard::GradEnabled() { return t_grad_enabled; }
+
+NoGradScope::NoGradScope() : prev_active_(t_arena.active) { t_arena.active = true; }
+NoGradScope::~NoGradScope() { t_arena.active = prev_active_; }
+
+bool InferenceArena::Active() { return t_arena.active; }
+InferenceArena::Stats InferenceArena::stats() { return t_arena.stats; }
+void InferenceArena::ResetStats() { t_arena.stats = Stats{}; }
+void InferenceArena::Clear() {
+  t_arena.pool.clear();
+  t_arena.pooled_bytes = 0;
+}
+
+std::vector<float> InferenceArena::Acquire(size_t n) {
+  auto it = t_arena.pool.find(n);
+  if (it != t_arena.pool.end() && !it->second.empty()) {
+    std::vector<float> buf = std::move(it->second.back());
+    it->second.pop_back();
+    t_arena.pooled_bytes -= n * sizeof(float);
+    ++t_arena.stats.reuses;
+    return buf;
+  }
+  ++t_arena.stats.fresh_allocs;
+  return std::vector<float>(n);
+}
+
+void InferenceArena::Release(std::vector<float>&& buf) {
+  const size_t bytes = buf.size() * sizeof(float);
+  if (t_arena.pooled_bytes + bytes > kMaxPooledBytes) return;  // drop: cap reached
+  t_arena.pooled_bytes += bytes;
+  ++t_arena.stats.returns;
+  t_arena.pool[buf.size()].push_back(std::move(buf));
+}
+
+TensorImpl::~TensorImpl() {
+  if (pooled) InferenceArena::Release(std::move(value));
+}
+
+void TensorImpl::AllocValue(size_t n, float fill) {
+  if (InferenceArena::Active() && !requires_grad) {
+    value = InferenceArena::Acquire(n);
+    pooled = true;
+    std::fill(value.begin(), value.end(), fill);
+    return;
+  }
+  value.assign(n, fill);
+}
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
   return Full(std::move(shape), 0.0f, requires_grad);
@@ -28,8 +92,8 @@ Tensor Tensor::Full(std::vector<int64_t> shape, float fill, bool requires_grad) 
     DUET_CHECK_GE(d, 0);
     n *= d;
   }
-  impl->value.assign(static_cast<size_t>(n), fill);
   impl->requires_grad = requires_grad;
+  impl->AllocValue(static_cast<size_t>(n), fill);
   return Tensor(std::move(impl));
 }
 

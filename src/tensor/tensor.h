@@ -33,8 +33,19 @@ struct TensorImpl {
   std::vector<float> value;
   std::vector<float> grad;  // lazily sized to value.size()
   bool requires_grad = false;
+  /// Value buffer came from the inference arena; returned on destruction.
+  bool pooled = false;
   std::function<void()> backward;  // accumulates into parents' grads
   std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  TensorImpl() = default;
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
+  /// Sizes `value` to n floats filled with `fill`. Inside a NoGradScope the
+  /// buffer is recycled from the thread-local inference arena when possible.
+  void AllocValue(size_t n, float fill);
 
   int64_t numel() const {
     int64_t n = 1;
@@ -44,6 +55,33 @@ struct TensorImpl {
   void EnsureGrad() {
     if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
   }
+};
+
+/// Thread-local buffer pool for forward-only (inference) passes. While a
+/// NoGradScope is active, tensor value buffers are drawn from per-size free
+/// lists and recycled when their TensorImpl dies, so a steady-state batched
+/// forward performs zero heap allocations for activations. The counters
+/// below are the allocation hook benches/tests assert against.
+class InferenceArena {
+ public:
+  struct Stats {
+    uint64_t fresh_allocs = 0;  // pool miss: a new buffer was heap-allocated
+    uint64_t reuses = 0;        // pool hit: buffer served from a free list
+    uint64_t returns = 0;       // buffers recycled back into the pool
+  };
+
+  /// True while a NoGradScope is active on this thread.
+  static bool Active();
+  static Stats stats();
+  static void ResetStats();
+  /// Frees every pooled buffer on this thread.
+  static void Clear();
+
+ private:
+  friend struct TensorImpl;
+  friend class NoGradScope;
+  static std::vector<float> Acquire(size_t n);
+  static void Release(std::vector<float>&& buf);
 };
 
 /// RAII guard disabling graph construction (inference mode).
@@ -59,6 +97,22 @@ class NoGradGuard {
 
  private:
   bool prev_;
+};
+
+/// Explicit inference mode: disables graph construction like NoGradGuard and
+/// additionally activates the thread-local InferenceArena so activation
+/// buffers are recycled across forward passes. Numerics are identical to
+/// tracked mode — only allocation behaviour changes.
+class NoGradScope {
+ public:
+  NoGradScope();
+  ~NoGradScope();
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+
+ private:
+  NoGradGuard guard_;
+  bool prev_active_;
 };
 
 /// Value-semantics handle over TensorImpl.

@@ -1,6 +1,7 @@
 // Unit + property tests for the query substrate: predicate semantics, the
 // exact evaluator against brute force, workload generation invariants, and
 // the Q-error metric.
+#include <cmath>
 #include <set>
 
 #include "common/rng.h"
@@ -280,6 +281,46 @@ TEST(QErrorTest, EvaluateQErrorsUsesCardinalityFloor) {
   const auto errs = EvaluateQErrors(est, wl, t.num_rows());
   ASSERT_EQ(errs.size(), 1u);
   EXPECT_DOUBLE_EQ(errs[0], 4.0);
+}
+
+// Regression: an untrained or diverged net can emit NaN, negative, or > 1
+// selectivities; EstimateCardinality must clamp them into [0, 1] before
+// flooring instead of propagating garbage into Q-errors.
+TEST(QErrorTest, EstimateCardinalityClampsBadSelectivities) {
+  Query q;
+  q.predicates.push_back({0, PredOp::kGe, 20});
+  const int64_t rows = 100;
+
+  EXPECT_DOUBLE_EQ(ConstantEstimator(std::nan("")).EstimateCardinality(q, rows), 1.0);
+  EXPECT_DOUBLE_EQ(ConstantEstimator(-0.5).EstimateCardinality(q, rows), 1.0);
+  EXPECT_DOUBLE_EQ(ConstantEstimator(7.5).EstimateCardinality(q, rows), 100.0);
+  EXPECT_DOUBLE_EQ(ConstantEstimator(0.25).EstimateCardinality(q, rows), 25.0);
+
+  // The batched path applies the same clamp.
+  ConstantEstimator bad(std::nan(""));
+  const auto cards = bad.EstimateCardinalityBatch({q, q}, rows);
+  ASSERT_EQ(cards.size(), 2u);
+  EXPECT_DOUBLE_EQ(cards[0], 1.0);
+  EXPECT_DOUBLE_EQ(cards[1], 1.0);
+
+  // And a NaN-emitting estimator yields finite Q-errors end to end.
+  Workload wl;
+  wl.push_back({q, 4});
+  const auto errs = EvaluateQErrors(bad, wl, rows);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_DOUBLE_EQ(errs[0], 4.0);
+}
+
+// The base-class batch fallback must agree with the scalar path.
+TEST(EstimatorBatchTest, DefaultBatchMatchesLoop) {
+  Query q1;
+  q1.predicates.push_back({0, PredOp::kGe, 20});
+  Query q2;
+  ConstantEstimator est(0.125);
+  const auto sels = est.EstimateSelectivityBatch({q1, q2});
+  ASSERT_EQ(sels.size(), 2u);
+  EXPECT_DOUBLE_EQ(sels[0], est.EstimateSelectivity(q1));
+  EXPECT_DOUBLE_EQ(sels[1], est.EstimateSelectivity(q2));
 }
 
 }  // namespace
