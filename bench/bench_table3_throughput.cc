@@ -3,18 +3,25 @@
 // Naru > DuetD > Duet >> UAE, with UAE OOM on the high-dimensional dataset
 // at its paper-scale sampling configuration.
 //
-// Also measures serving-side inference throughput of the Duet estimator
-// through the batch-first API (EstimateSelectivityBatch) with a single
-// thread across batch sizes 1/8/64/512, and emits the sweep as one JSON
-// line for tooling.
+// Also measures serving-side inference throughput of the Duet estimator:
+//  * single-thread batch sweep through EstimateSelectivityBatch (batch
+//    1/8/64/512) with the batch-1 encode/forward/post phase split (the
+//    masked-weight cache's target metric), and
+//  * a multi-thread serving sweep through serve::ServingEngine (1/2/4/8
+//    workers x the same batch sizes), with a bitwise sharded-vs-single-
+//    thread equality check.
+// Both sweeps are emitted in one JSON line for tooling (schema documented
+// in docs/benchmarks.md).
 //
 // Flags: --datasets=census,kdd,dmv --batch=N --sweep_queries=N
-//        --sweep_min_seconds=S --sweep=0|1
+//        --sweep_min_seconds=S --sweep=0|1 --sweep_scalar=0|1
+//        --sweep_hidden=N
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
+#include "serve/serving_engine.h"
 
 namespace duet::bench {
 namespace {
@@ -101,6 +108,30 @@ double MeasureBatchedQps(query::CardinalityEstimator& est,
   return static_cast<double>(done) / timer.Seconds();
 }
 
+/// Queries/sec through the sharded serving engine at one batch size (same
+/// chunked protocol as MeasureBatchedQps so numbers are comparable).
+double MeasureServingQps(serve::ServingEngine& engine,
+                         const std::vector<query::Query>& queries, int64_t batch,
+                         double min_seconds) {
+  std::vector<std::vector<query::Query>> chunks;
+  for (size_t begin = 0; begin < queries.size(); begin += static_cast<size_t>(batch)) {
+    const size_t end = std::min(queries.size(), begin + static_cast<size_t>(batch));
+    chunks.emplace_back(queries.begin() + static_cast<int64_t>(begin),
+                        queries.begin() + static_cast<int64_t>(end));
+  }
+  // Warm-up: populates each worker thread's inference arena.
+  for (const auto& chunk : chunks) engine.EstimateBatch(chunk);
+  Timer timer;
+  int64_t done = 0;
+  do {
+    for (const auto& chunk : chunks) {
+      engine.EstimateBatch(chunk);
+      done += static_cast<int64_t>(chunk.size());
+    }
+  } while (timer.Seconds() < min_seconds);
+  return static_cast<double>(done) / timer.Seconds();
+}
+
 /// Batch-size sweep of the Duet estimator; prints a table and emits the
 /// results as a single JSON line (parsed by tooling / CI).
 void RunInferenceSweep(const Flags& flags, double scale) {
@@ -142,6 +173,53 @@ void RunInferenceSweep(const Flags& flags, double scale) {
     std::printf("%-8lld %14.1f %9.2fx\n", static_cast<long long>(batch_sizes[i]), qps[i],
                 qps[i] / qps[0]);
   }
+
+  // Batch-1 phase split: before the masked-weight cache the forward phase
+  // (dominated by per-call W o M materialization) was ~95% of latency; the
+  // cache is judged by how far this share drops.
+  model.phase_times().Clear();
+  const int64_t phase_reps = std::max<int64_t>(64, num_queries);
+  for (int64_t i = 0; i < phase_reps; ++i) {
+    est.EstimateSelectivity(queries[static_cast<size_t>(i) % queries.size()]);
+  }
+  const core::PhaseTimes phases = model.phase_times();
+  const double total_ms = phases.total_ms() > 0.0 ? phases.total_ms() : 1.0;
+  const double forward_share = phases.forward_ms / total_ms;
+  std::printf("batch-1 phase split: encode %.1f%%  forward %.1f%%  post %.1f%%\n",
+              100.0 * phases.encode_ms / total_ms, 100.0 * forward_share,
+              100.0 * phases.post_ms / total_ms);
+
+  // Multi-thread serving sweep: the same chunk protocol through the sharded
+  // ServingEngine. Worker threads run tensor ops serially (shard = unit of
+  // parallelism), so speedup here is pure cross-query parallelism.
+  const std::vector<unsigned> worker_counts = {1, 2, 4, 8};
+  // serving_qps[w][b]
+  std::vector<std::vector<double>> serving_qps(
+      worker_counts.size(), std::vector<double>(batch_sizes.size(), 0.0));
+  bool bitwise_equal = true;
+  std::printf("\nServing sweep (sharded ServingEngine, %lld queries)\n",
+              static_cast<long long>(num_queries));
+  std::printf("%-8s %-8s %14s %16s\n", "workers", "batch", "queries/s", "vs 1 worker");
+  for (size_t w = 0; w < worker_counts.size(); ++w) {
+    serve::ServingOptions sopt;
+    sopt.num_workers = worker_counts[w];
+    sopt.min_shard = 8;
+    serve::ServingEngine engine(est, sopt);
+    // Determinism check: sharded result must be bitwise equal to the
+    // single-thread batch path.
+    const std::vector<double> sharded = engine.EstimateBatch(queries);
+    const std::vector<double> reference = est.EstimateSelectivityBatch(queries);
+    if (sharded != reference) bitwise_equal = false;
+    for (size_t b = 0; b < batch_sizes.size(); ++b) {
+      serving_qps[w][b] = MeasureServingQps(engine, queries, batch_sizes[b], min_seconds);
+      std::printf("%-8u %-8lld %14.1f %15.2fx\n", worker_counts[w],
+                  static_cast<long long>(batch_sizes[b]), serving_qps[w][b],
+                  serving_qps[w][b] / serving_qps[0][b]);
+    }
+  }
+  std::printf("sharded vs single-thread batch: %s\n",
+              bitwise_equal ? "bitwise equal" : "MISMATCH");
+
   ThreadPool::SetGlobalThreads(0);
   tensor::SetUseScalarKernels(false);
 
@@ -153,9 +231,28 @@ void RunInferenceSweep(const Flags& flags, double scale) {
                   static_cast<long long>(batch_sizes[i]), qps[i]);
     json += buf;
   }
-  char tail[64];
-  std::snprintf(tail, sizeof(tail), "],\"speedup_batch64_vs_1\":%.2f}}", qps[2] / qps[0]);
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "],\"speedup_batch64_vs_1\":%.2f,\"forward_share_batch1\":%.3f}",
+                qps[2] / qps[0], forward_share);
   json += tail;
+  json += ",\"serving_sweep\":{\"estimator\":\"Duet\",\"results\":[";
+  bool first = true;
+  for (size_t w = 0; w < worker_counts.size(); ++w) {
+    for (size_t b = 0; b < batch_sizes.size(); ++b) {
+      char buf[112];
+      std::snprintf(buf, sizeof(buf), "%s{\"workers\":%u,\"batch\":%lld,\"qps\":%.1f}",
+                    first ? "" : ",", worker_counts[w],
+                    static_cast<long long>(batch_sizes[b]), serving_qps[w][b]);
+      json += buf;
+      first = false;
+    }
+  }
+  char tail2[128];
+  std::snprintf(tail2, sizeof(tail2),
+                "],\"speedup_w4_vs_w1_batch64\":%.2f,\"sharded_bitwise_equal\":%s}}",
+                serving_qps[2][2] / serving_qps[0][2], bitwise_equal ? "true" : "false");
+  json += tail2;
   std::printf("%s\n", json.c_str());
 }
 

@@ -8,7 +8,9 @@
 // numeric columns keep their natural order, so range predicates behave as
 // expected in both cases. --where accepts the paper's predicate fragment
 // (= < > <= >=, AND/OR with AND binding tighter); OR clauses are estimated
-// by inclusion-exclusion (paper Sec. III).
+// by inclusion-exclusion (paper Sec. III), with all intersection terms
+// going through the batch-first API (EstimateSelectivityBatch) as one
+// forward pass — the recommended way to drive any estimator in this repo.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -85,6 +87,9 @@ int main(int argc, char** argv) {
 
   query::ExactEvaluator exact(table);
   core::DuetEstimator estimator(model);
+  // EstimateDisjunction builds every inclusion-exclusion term and estimates
+  // them through one EstimateSelectivityBatch call (a single forward pass),
+  // not a per-term scalar loop.
   const double sel = core::EstimateDisjunction(estimator, parsed.clauses);
   double actual = 0.0;
   {

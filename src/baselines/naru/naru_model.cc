@@ -144,7 +144,7 @@ double NaruModel::EstimateSelectivity(const query::Query& query, Rng& rng) const
 
   std::vector<int32_t> samples(static_cast<size_t>(s * n), -1);
   std::vector<double> p(static_cast<size_t>(s), 1.0);
-  phase_times_.encode_ms += timer.Millis();
+  AddPhaseTime(&core::PhaseTimes::encode_ms, timer.Millis());
 
   const auto& blocks = made_->output_blocks();
   for (int c = 0; c < n; ++c) {
@@ -154,15 +154,15 @@ double NaruModel::EstimateSelectivity(const query::Query& query, Rng& rng) const
     // Encode current partial samples + one forward pass (the O(n) cost).
     timer.Reset();
     const Tensor x = EncodeCodes(samples, s);
-    phase_times_.encode_ms += timer.Millis();
+    AddPhaseTime(&core::PhaseTimes::encode_ms, timer.Millis());
     timer.Reset();
     const Tensor logits = made_->Forward(x);
-    phase_times_.forward_ms += timer.Millis();
+    AddPhaseTime(&core::PhaseTimes::forward_ms, timer.Millis());
 
     timer.Reset();
     ProgressiveRound(logits.data(), made_->output_dim(), blocks[static_cast<size_t>(c)], r, s,
                      n, c, p, samples, rng);
-    phase_times_.post_ms += timer.Millis();
+    AddPhaseTime(&core::PhaseTimes::post_ms, timer.Millis());
   }
 
   double total = 0.0;

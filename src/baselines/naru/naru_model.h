@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,13 +86,23 @@ class NaruModel : public nn::Module {
   const core::NaruInputEncoder& encoder() const { return encoder_; }
   const nn::Made& made() const { return *made_; }
   const NaruOptions& options() const { return options_; }
+  /// Profiling accumulators. Read/Clear only while no estimation is in
+  /// flight; accumulation is internally locked (serving-engine contract).
   core::PhaseTimes& phase_times() const { return phase_times_; }
 
  private:
+  /// Locked accumulation into one PhaseTimes field.
+  void AddPhaseTime(double core::PhaseTimes::*field, double ms) const {
+    std::lock_guard<std::mutex> lock(*phase_mu_);
+    phase_times_.*field += ms;
+  }
+
   const data::Table& table_;
   NaruOptions options_;
   core::NaruInputEncoder encoder_;
   std::unique_ptr<nn::Made> made_;
+  // Heap-held so the model stays movable.
+  mutable std::unique_ptr<std::mutex> phase_mu_ = std::make_unique<std::mutex>();
   mutable core::PhaseTimes phase_times_;
 };
 

@@ -21,17 +21,35 @@ double EstimateDisjunction(query::CardinalityEstimator& estimator,
   DUET_CHECK_GE(clauses.size(), 1u);
   DUET_CHECK_LE(clauses.size(), 20u) << "inclusion-exclusion is exponential in clauses";
   const size_t k = clauses.size();
+  // The intersection terms are independent conjunctions, so they go through
+  // the batch-first API (one forward pass per chunk for a neural estimator)
+  // instead of a per-term scalar loop; the batch contract guarantees
+  // value-for-value agreement with the scalar path. Enumeration is chunked
+  // so a 20-clause disjunction (2^20 - 1 terms) never materializes the full
+  // term list at once.
+  constexpr uint32_t kTermsPerBatch = 4096;
+  std::vector<query::Query> terms;
+  std::vector<double> signs;
+  terms.reserve(std::min<size_t>((size_t{1} << k) - 1, kTermsPerBatch));
+  signs.reserve(terms.capacity());
   double total = 0.0;
+  const auto flush = [&] {
+    const std::vector<double> sels = estimator.EstimateSelectivityBatch(terms);
+    for (size_t i = 0; i < sels.size(); ++i) total += signs[i] * sels[i];
+    terms.clear();
+    signs.clear();
+  };
   // Subsets are enumerated by bitmask; parity gives the sign.
   for (uint32_t mask = 1; mask < (1u << k); ++mask) {
     std::vector<const query::Query*> subset;
     for (size_t i = 0; i < k; ++i) {
       if (mask & (1u << i)) subset.push_back(&clauses[i]);
     }
-    const query::Query intersection = IntersectClauses(subset);
-    const double sel = estimator.EstimateSelectivity(intersection);
-    total += (subset.size() % 2 == 1 ? 1.0 : -1.0) * sel;
+    terms.push_back(IntersectClauses(subset));
+    signs.push_back(subset.size() % 2 == 1 ? 1.0 : -1.0);
+    if (terms.size() == kTermsPerBatch) flush();
   }
+  if (!terms.empty()) flush();
   return std::clamp(total, 0.0, 1.0);
 }
 

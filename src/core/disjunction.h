@@ -20,7 +20,10 @@ namespace duet::core {
 query::Query IntersectClauses(const std::vector<const query::Query*>& clauses);
 
 /// Selectivity of `clause_1 OR ... OR clause_k` via inclusion-exclusion
-/// against any conjunctive estimator. Requires 1 <= k <= 20.
+/// against any conjunctive estimator. Requires 1 <= k <= 20. All 2^k - 1
+/// intersection terms are estimated through one
+/// EstimateSelectivityBatch call (a single forward pass for the neural
+/// estimators), not a per-term scalar loop.
 double EstimateDisjunction(query::CardinalityEstimator& estimator,
                            const std::vector<query::Query>& clauses);
 

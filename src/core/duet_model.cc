@@ -141,12 +141,12 @@ double DuetModel::EstimateSelectivity(const query::Query& query) const {
   for (const query::CodeRange& r : ranges) {
     if (r.empty()) return 0.0;  // contradictory predicates select nothing
   }
-  phase_times_.encode_ms += timer.Millis();
+  AddPhaseTime(&PhaseTimes::encode_ms, timer.Millis());
 
   // Phase 2: one forward pass.
   timer.Reset();
   const Tensor logits = ForwardLogits(x);
-  phase_times_.forward_ms += timer.Millis();
+  AddPhaseTime(&PhaseTimes::forward_ms, timer.Millis());
 
   // Phase 3: per-block softmax restricted to the mask (Algorithm 3 lines
   // 3-4), done with raw loops - no tensors needed for a single row.
@@ -154,7 +154,7 @@ double DuetModel::EstimateSelectivity(const query::Query& query) const {
   double log_sel = 0.0;
   MaskedLogSelectivity(logits.data(), net_->output_blocks(), ranges, table_.num_columns(),
                        &log_sel);
-  phase_times_.post_ms += timer.Millis();
+  AddPhaseTime(&PhaseTimes::post_ms, timer.Millis());
   return std::exp(log_sel);
 }
 
@@ -185,11 +185,11 @@ std::vector<double> DuetModel::EstimateSelectivityBatch(
           }
         },
         /*parallel=*/b >= 64, /*grain=*/16);
-    phase_times_.encode_ms += timer.Millis();
+    AddPhaseTime(&PhaseTimes::encode_ms, timer.Millis());
 
     timer.Reset();
     const Tensor logits = ForwardLogits(x);
-    phase_times_.forward_ms += timer.Millis();
+    AddPhaseTime(&PhaseTimes::forward_ms, timer.Millis());
 
     timer.Reset();
     const float* logit_base = logits.data();
@@ -209,7 +209,7 @@ std::vector<double> DuetModel::EstimateSelectivityBatch(
           }
         },
         /*parallel=*/b >= 64, /*grain=*/16);
-    phase_times_.post_ms += timer.Millis();
+    AddPhaseTime(&PhaseTimes::post_ms, timer.Millis());
   }
   return sels;
 }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,14 @@ class DuetModel : public nn::Module {
   tensor::Tensor SelectivityBatch(const std::vector<query::Query>& queries) const;
 
   // ----- inference-side API (no autograd) -----
+  //
+  // Thread-safety: both estimation entry points below are safe to call
+  // concurrently from multiple threads while the parameters are frozen (the
+  // encoder is stateless, activations live in per-thread inference arenas,
+  // and the masked-weight cache publishes under its own lock). The
+  // PhaseTimes accumulators are guarded by an internal mutex. Training-side
+  // methods and optimizer steps must NOT run concurrently with estimation —
+  // quiesce serving first (this is the ServingEngine contract too).
 
   /// Algorithm 3 for a single query; deterministic. Returns selectivity in
   /// [0, 1]; queries with an empty predicate range return exactly 0.
@@ -101,16 +110,29 @@ class DuetModel : public nn::Module {
   const DuetInputEncoder& encoder() const { return encoder_; }
   /// The autoregressive network (MADE or BlockTransformer).
   const nn::Backbone& backbone() const { return *net_; }
+  /// Profiling accumulators. Read/Clear only while no estimation is in
+  /// flight; accumulation itself is internally locked so concurrent sharded
+  /// estimation stays race-free.
   PhaseTimes& phase_times() const { return phase_times_; }
 
  private:
   /// Builds the zero-out mask row (out_dim floats) from per-column ranges.
   void FillMaskRow(const std::vector<query::CodeRange>& ranges, float* dst) const;
 
+  /// Locked accumulation into one PhaseTimes field.
+  void AddPhaseTime(double PhaseTimes::*field, double ms) const {
+    std::lock_guard<std::mutex> lock(*phase_mu_);
+    phase_times_.*field += ms;
+  }
+
   const data::Table& table_;
   DuetModelOptions options_;
   DuetInputEncoder encoder_;
   std::unique_ptr<nn::Backbone> net_;
+  // Profiling accumulators; guarded so concurrent sharded estimation (the
+  // serving engine) does not race on them. The mutex is heap-held so the
+  // model stays movable (tests return models by value).
+  mutable std::unique_ptr<std::mutex> phase_mu_ = std::make_unique<std::mutex>();
   mutable PhaseTimes phase_times_;
 };
 

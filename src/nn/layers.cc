@@ -31,7 +31,8 @@ Tensor Linear::Forward(const Tensor& x, tensor::Activation act) const {
 }
 
 MaskedLinear::MaskedLinear(int64_t in, int64_t out, Tensor mask, Rng& rng)
-    : in_(in), out_(out), mask_(std::move(mask)) {
+    : in_(in), out_(out), mask_(std::move(mask)),
+      cache_(std::make_unique<MaskedWeightCache>()) {
   DUET_CHECK_EQ(mask_.ndim(), 2);
   DUET_CHECK_EQ(mask_.dim(0), in);
   DUET_CHECK_EQ(mask_.dim(1), out);
@@ -40,7 +41,31 @@ MaskedLinear::MaskedLinear(int64_t in, int64_t out, Tensor mask, Rng& rng)
   b_ = RegisterParam(UniformInit({out}, bound, rng));
 }
 
+Tensor MaskedLinear::CachedMaskedWeight() const {
+  const uint64_t version = tensor::ParameterVersion();
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  if (cache_->version != version) {
+    // Materialize W o M into a fresh non-pooled buffer: the cache outlives
+    // any NoGradScope and is read from many threads, so it must not borrow
+    // from a thread-local inference arena (see arena rules in tensor.h).
+    const float* w = w_.data();
+    const float* m = mask_.data();
+    std::vector<float> wm(static_cast<size_t>(w_.numel()));
+    for (size_t i = 0; i < wm.size(); ++i) wm[i] = w[i] * m[i];
+    cache_->masked_w = Tensor::FromVector(w_.shape(), std::move(wm));
+    cache_->version = version;
+  }
+  return cache_->masked_w;
+}
+
 Tensor MaskedLinear::Forward(const Tensor& x, tensor::Activation act) const {
+  if (!tensor::NoGradGuard::GradEnabled()) {
+    // Inference: the mask is constant and W is frozen between optimizer
+    // steps, so W o M is materialized once per parameter version. The
+    // elementwise product here and in the tracked path below are the same
+    // float multiplies, so cached and uncached forwards agree bitwise.
+    return tensor::MatMulBiasAct(x, CachedMaskedWeight(), b_, act);
+  }
   return tensor::MatMulBiasAct(x, tensor::Mul(w_, mask_), b_, act);
 }
 

@@ -4,6 +4,8 @@
 #define DUET_NN_LAYERS_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -37,12 +39,34 @@ class Linear : public Module {
 
 /// Linear layer whose weight is elementwise-gated by a constant binary mask
 /// (the MADE connectivity constraint): y = x (W o M) + b.
+///
+/// Inference-side masked-weight cache: when gradient tracking is off
+/// (NoGradGuard / NoGradScope — every estimator inference path), Forward
+/// reuses a cached materialization of W o M instead of recomputing the
+/// elementwise product on every call. At batch 1 that product dominates the
+/// forward pass (~95% of estimation latency, see docs/architecture.md), so
+/// the cache is what makes single-query serving latency flat.
+///
+/// Cache coherence: the cached product is stamped with
+/// tensor::ParameterVersion() and rebuilt whenever the global counter has
+/// moved — i.e. after any optimizer Step() or Module::Load(). Code mutating
+/// W through a raw data() pointer must call tensor::BumpParameterVersion().
+/// The cached tensor is allocated outside the inference arena, so it may
+/// outlive any NoGradScope and be shared across threads.
+///
+/// Thread-safety: Forward is safe to call concurrently from many threads
+/// while parameters are frozen (the cache is rebuilt under an internal
+/// mutex, and a rebuilt handle is published atomically). Concurrent
+/// parameter *updates* are not synchronized with in-flight forwards — the
+/// serving contract is to quiesce estimation around training steps.
 class MaskedLinear : public Module {
  public:
   /// `mask` must be an [in, out] tensor of 0/1 floats.
   MaskedLinear(int64_t in, int64_t out, tensor::Tensor mask, Rng& rng);
 
-  /// Fused act(x (W o M) + b); kNone gives the plain affine layer.
+  /// Fused act(x (W o M) + b); kNone gives the plain affine layer. With
+  /// gradients enabled the product W o M is part of the graph (so W trains);
+  /// with gradients disabled it is served from the masked-weight cache.
   tensor::Tensor Forward(const tensor::Tensor& x,
                          tensor::Activation act = tensor::Activation::kNone) const;
 
@@ -50,11 +74,25 @@ class MaskedLinear : public Module {
   const tensor::Tensor& weight() const { return w_; }
 
  private:
+  /// Masked-weight cache slot (inference only). `version` is the
+  /// ParameterVersion() stamp under which `masked_w` was built; 0 means
+  /// never built. Heap-allocated so the layer stays movable (std::mutex is
+  /// not) — MADE stores its layers in vectors.
+  struct MaskedWeightCache {
+    std::mutex mu;
+    tensor::Tensor masked_w;
+    uint64_t version = 0;
+  };
+
+  /// Returns the cached W o M, rebuilding it if the parameter version moved.
+  tensor::Tensor CachedMaskedWeight() const;
+
   int64_t in_;
   int64_t out_;
   tensor::Tensor w_;
   tensor::Tensor b_;
   tensor::Tensor mask_;  // constant
+  std::unique_ptr<MaskedWeightCache> cache_;
 };
 
 /// Plain ReLU MLP; `sizes` = {in, h1, ..., out}. No activation after the

@@ -7,6 +7,12 @@
 // one logit per distinct value. The binary connectivity masks enforce the
 // autoregressive property: output block i depends only on input blocks < i,
 // so column 0's head is input-independent (its marginal lives in the bias).
+//
+// Every masked layer (plain MADE and both ResMADE paths) routes through
+// MaskedLinear, so inference forwards inherit its masked-weight cache: with
+// gradients disabled, W o M is materialized once per parameter version
+// instead of per forward (see nn/layers.h for the invalidation rules).
+// Forward is safe to call concurrently while parameters are frozen.
 #ifndef DUET_NN_MADE_H_
 #define DUET_NN_MADE_H_
 

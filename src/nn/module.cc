@@ -32,6 +32,9 @@ void Module::Load(BinaryReader& r) {
     DUET_CHECK_EQ(static_cast<int64_t>(values.size()), p.numel());
     std::copy(values.begin(), values.end(), p.data());
   }
+  // Loaded weights replace the in-memory parameters wholesale; any cache
+  // derived from them (e.g. MaskedLinear's masked-weight cache) is stale.
+  tensor::BumpParameterVersion();
 }
 
 tensor::Tensor Module::RegisterParam(tensor::Tensor t) {

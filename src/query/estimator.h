@@ -12,6 +12,18 @@ namespace duet::query {
 
 /// Common interface of every cardinality estimator in the repository
 /// (traditional, query-driven, data-driven and hybrid).
+///
+/// Thread-safety contract (the serving engine relies on it): once a model
+/// is trained and its parameters are frozen, EstimateSelectivity and
+/// EstimateSelectivityBatch must be safe to call concurrently from multiple
+/// threads — estimation must not mutate shared state without internal
+/// synchronization. The in-tree neural estimators comply: activations live
+/// in per-thread inference arenas, sampling-based estimators (Naru/UAE)
+/// derive their randomness from per-query deterministic seeds rather than a
+/// shared RNG, and Duet/MPSN's masked-weight caches publish under internal
+/// locks. Training, fine-tuning and checkpoint loading are NOT safe
+/// concurrently with estimation; quiesce serving first (see
+/// serve/serving_engine.h).
 class CardinalityEstimator {
  public:
   virtual ~CardinalityEstimator() = default;
@@ -24,7 +36,10 @@ class CardinalityEstimator {
   /// with a true batched forward (one GEMM for the whole batch, shared
   /// sampling rounds), which is how serving-style throughput is reached.
   /// Overrides must return exactly what the per-query path returns for each
-  /// query, in order.
+  /// query, in order — and, for the neural estimators, independently of how
+  /// the caller groups queries into batches (per-row results are bitwise
+  /// batch-size-invariant; this is what lets the serving engine shard a
+  /// batch across threads without changing results).
   virtual std::vector<double> EstimateSelectivityBatch(const std::vector<Query>& queries);
 
   /// Display name for bench tables.

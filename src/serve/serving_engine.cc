@@ -1,0 +1,184 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace duet::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// One submitted query plus its result slot. The mutex/cv pair is per-query
+/// so a Future wait never contends with unrelated traffic.
+struct ServingEngine::Pending {
+  query::Query query;
+  Clock::time_point enqueued;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  double selectivity = 0.0;
+
+  void Fulfill(double value) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      selectivity = value;
+      ready = true;
+    }
+    cv.notify_all();
+  }
+};
+
+bool ServingEngine::Future::Ready() const {
+  DUET_CHECK(state_ != nullptr) << "Ready() on an empty Future";
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->ready;
+}
+
+double ServingEngine::Future::Wait() const {
+  DUET_CHECK(state_ != nullptr) << "Wait() on an empty Future";
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->ready; });
+  return state_->selectivity;
+}
+
+ServingEngine::ServingEngine(query::CardinalityEstimator& estimator, ServingOptions options)
+    : estimator_(estimator), options_(options), pool_(options.num_workers) {
+  DUET_CHECK_GE(options_.min_shard, 1);
+  DUET_CHECK_GE(options_.max_batch, 1);
+  DUET_CHECK_GE(options_.max_wait_us, 0);
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+ServingEngine::~ServingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  scheduler_.join();  // drains every pending query before returning
+}
+
+void ServingEngine::EstimateSharded(const std::vector<query::Query>& queries, double* out) {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  if (n == 0) return;
+  // Shards split on query boundaries; per-row results are batch-size
+  // invariant (kernel invariant + per-query deterministic sampling seeds),
+  // so any split yields bitwise the single-thread batch result.
+  const int64_t by_floor = std::max<int64_t>(1, n / options_.min_shard);
+  const int64_t num_shards =
+      std::min<int64_t>(static_cast<int64_t>(pool_.num_threads()), by_floor);
+  if (num_shards <= 1) {
+    const std::vector<double> sels = estimator_.EstimateSelectivityBatch(queries);
+    std::copy(sels.begin(), sels.end(), out);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shards;
+    return;
+  }
+
+  // Per-call completion latch (NOT pool_.Wait(): that is a pool-wide
+  // barrier, and concurrent client calls must not observe each other).
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t remaining;
+  } latch{{}, {}, num_shards};
+
+  const int64_t base = n / num_shards;
+  const int64_t extra = n % num_shards;  // first `extra` shards get +1
+  int64_t begin = 0;
+  for (int64_t s = 0; s < num_shards; ++s) {
+    const int64_t len = base + (s < extra ? 1 : 0);
+    const int64_t lo = begin;
+    begin += len;
+    pool_.Submit([this, &queries, &latch, out, lo, len] {
+      const std::vector<query::Query> shard(queries.begin() + lo,
+                                            queries.begin() + lo + len);
+      const std::vector<double> sels = estimator_.EstimateSelectivityBatch(shard);
+      std::copy(sels.begin(), sels.end(), out + lo);
+      // Notify while holding the mutex: the waiter owns the stack-allocated
+      // latch and may destroy it the moment it can observe remaining == 0,
+      // which it cannot do until this unlock.
+      std::lock_guard<std::mutex> lock(latch.mu);
+      --latch.remaining;
+      latch.cv.notify_one();
+    });
+  }
+  DUET_CHECK_EQ(begin, n);
+  {
+    std::unique_lock<std::mutex> lock(latch.mu);
+    latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.shards += static_cast<uint64_t>(num_shards);
+}
+
+std::vector<double> ServingEngine::EstimateBatch(const std::vector<query::Query>& queries) {
+  std::vector<double> sels(queries.size());
+  EstimateSharded(queries, sels.data());
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.sync_batches;
+  stats_.queries += static_cast<uint64_t>(queries.size());
+  return sels;
+}
+
+ServingEngine::Future ServingEngine::Submit(query::Query query) {
+  auto state = std::make_shared<Pending>();
+  state->query = std::move(query);
+  state->enqueued = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    DUET_CHECK(!stop_) << "Submit() after engine shutdown";
+    pending_.push_back(state);
+  }
+  queue_cv_.notify_one();
+  return Future(state);
+}
+
+void ServingEngine::SchedulerLoop() {
+  const auto max_wait = std::chrono::microseconds(options_.max_wait_us);
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Collect: dispatch when max_batch queries are pending, the oldest has
+    // aged out, or the engine is shutting down (drain everything then).
+    const auto deadline = pending_.front()->enqueued + max_wait;
+    while (!stop_ && static_cast<int64_t>(pending_.size()) < options_.max_batch) {
+      if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    std::vector<std::shared_ptr<Pending>> batch;
+    const size_t take =
+        std::min(pending_.size(), static_cast<size_t>(options_.max_batch));
+    batch.assign(pending_.begin(), pending_.begin() + static_cast<int64_t>(take));
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<int64_t>(take));
+    lock.unlock();
+    DispatchMicroBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void ServingEngine::DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> batch) {
+  std::vector<query::Query> queries;
+  queries.reserve(batch.size());
+  for (const auto& p : batch) queries.push_back(p->query);
+  std::vector<double> sels(queries.size());
+  EstimateSharded(queries, sels.data());
+  for (size_t i = 0; i < batch.size(); ++i) batch[i]->Fulfill(sels[i]);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.micro_batches;
+  stats_.queries += static_cast<uint64_t>(batch.size());
+  stats_.largest_micro_batch =
+      std::max(stats_.largest_micro_batch, static_cast<int64_t>(batch.size()));
+}
+
+ServingStats ServingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace duet::serve

@@ -1,0 +1,161 @@
+// Concurrent serving engine: multi-threaded batch sharding and async
+// micro-batching on top of the batch-first estimator API.
+//
+// The paper's headline serving claim (Fig. 6/7: Duet's estimation cost is
+// low enough for online use) needs two things beyond PR 1's single-thread
+// batch engine: parallelism across cores and a way to form batches from a
+// stream of individual queries. ServingEngine provides both:
+//
+//  * EstimateBatch(queries) shards a batch across a private worker pool.
+//    Shards split on query boundaries only, and the kernel invariant (per-
+//    row results are bitwise independent of batch size, see
+//    docs/architecture.md) makes the sharded result bitwise equal to the
+//    single-thread batch path — parallelism is free of numeric drift.
+//  * Submit(query) -> Future enqueues one query into a micro-batching
+//    scheduler: pending queries are collected until `max_batch` of them are
+//    waiting or the oldest has waited `max_wait_us`, then dispatched as one
+//    sharded batch. This converts high-QPS single-query traffic into the
+//    batch shapes the engine is fast at.
+//
+// Thread-safety contract:
+//  * The wrapped estimator must satisfy the CardinalityEstimator
+//    concurrency contract (estimation is const-thread-safe while parameters
+//    are frozen; all in-tree neural estimators comply — see
+//    query/estimator.h).
+//  * EstimateBatch and Submit may be called concurrently from any number of
+//    client threads. Completion is tracked per call, never with a global
+//    pool barrier, so concurrent callers cannot observe each other.
+//  * Training / fine-tuning / checkpoint loading must not run while
+//    estimates are in flight: quiesce (drain futures, stop issuing calls)
+//    first. Parameter updates invalidate the masked-weight caches via
+//    tensor::BumpParameterVersion(), so serving resumed after a training
+//    step sees the new weights (nn/layers.h documents the cache rules).
+#ifndef DUET_SERVE_SERVING_ENGINE_H_
+#define DUET_SERVE_SERVING_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "query/estimator.h"
+#include "query/query.h"
+
+namespace duet::serve {
+
+/// Serving engine knobs.
+struct ServingOptions {
+  /// Worker threads for sharded estimation (0 = hardware concurrency).
+  unsigned num_workers = 0;
+  /// Sync sharding floor: a batch is split into at most
+  /// ceil(batch / min_shard) shards so tiny batches are not scattered
+  /// across workers where per-shard overhead would dominate.
+  int64_t min_shard = 8;
+  /// Micro-batching: dispatch as soon as this many queries are pending...
+  int64_t max_batch = 64;
+  /// ...or when the oldest pending query has waited this long.
+  int64_t max_wait_us = 200;
+};
+
+/// Cumulative counters (monotone since construction).
+struct ServingStats {
+  uint64_t queries = 0;             ///< queries completed (sync + async)
+  uint64_t sync_batches = 0;        ///< EstimateBatch client calls
+  uint64_t micro_batches = 0;       ///< async scheduler dispatches
+  uint64_t shards = 0;              ///< shard tasks run on the pool
+  int64_t largest_micro_batch = 0;  ///< max async dispatch size observed
+};
+
+/// Shards batches across a private worker pool and micro-batches async
+/// single-query traffic. One engine owns its workers and scheduler thread;
+/// destruction drains all pending async queries before joining.
+class ServingEngine {
+  struct Pending;  // forward: shared slot between Future and scheduler
+
+ public:
+  /// Completion handle for one submitted query. Cheap to copy; all copies
+  /// refer to the same result slot. A default-constructed Future is empty
+  /// (valid() == false) and must not be waited on.
+  class Future {
+   public:
+    Future() = default;
+
+    bool valid() const { return state_ != nullptr; }
+
+    /// True once the result is available; never blocks.
+    bool Ready() const;
+
+    /// Blocks until the result is available and returns the selectivity
+    /// (exactly what EstimateSelectivityBatch would return for this query).
+    /// Safe to call from multiple threads and more than once.
+    double Wait() const;
+
+   private:
+    friend class ServingEngine;
+    explicit Future(std::shared_ptr<Pending> state) : state_(std::move(state)) {}
+    std::shared_ptr<Pending> state_;
+  };
+
+  /// The estimator must outlive the engine and obey the concurrency
+  /// contract in query/estimator.h.
+  explicit ServingEngine(query::CardinalityEstimator& estimator, ServingOptions options = {});
+
+  /// Drains the async queue (every issued Future still completes), then
+  /// stops the scheduler and joins the workers.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Synchronous sharded estimation: splits `queries` into per-worker
+  /// shards on query boundaries and runs them concurrently. Returns exactly
+  /// what `estimator.EstimateSelectivityBatch(queries)` returns (bitwise),
+  /// in order. Safe to call concurrently with other EstimateBatch / Submit
+  /// calls.
+  std::vector<double> EstimateBatch(const std::vector<query::Query>& queries);
+
+  /// Asynchronous single-query estimation through the micro-batching
+  /// scheduler. The returned Future completes after the query's micro-batch
+  /// is dispatched and estimated; its value is identical to what the query
+  /// would get from EstimateBatch.
+  Future Submit(query::Query query);
+
+  /// Snapshot of the cumulative counters.
+  ServingStats stats() const;
+
+  unsigned num_workers() const { return pool_.num_threads(); }
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  /// Runs `queries` sharded across the pool, writing into out[0..n).
+  void EstimateSharded(const std::vector<query::Query>& queries, double* out);
+
+  /// Scheduler loop: collects pending queries into micro-batches.
+  void SchedulerLoop();
+
+  /// Dispatches up to max_batch pending entries (caller holds no locks).
+  void DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> batch);
+
+  query::CardinalityEstimator& estimator_;
+  ServingOptions options_;
+  ThreadPool pool_;  // private: a shared/global pool would let concurrent
+                     // callers observe each other through pool-wide Wait()
+
+  // Async scheduler state.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Pending>> pending_;
+  bool stop_ = false;
+  std::thread scheduler_;
+
+  mutable std::mutex stats_mu_;
+  ServingStats stats_;
+};
+
+}  // namespace duet::serve
+
+#endif  // DUET_SERVE_SERVING_ENGINE_H_

@@ -104,9 +104,37 @@ inline void MicroTail(const float* a, int64_t lda, const float* b, int64_t ldb, 
   }
 }
 
+/// Single-row zero-skip GEMV: C[0,:] += A[0,:] x B. Batch-1 serving is
+/// weight-traffic-bound, and Duet's row is sparse (one-hot encodings,
+/// wildcard zero blocks, ReLU-zeroed hidden activations), so skipping
+/// k with A[k] == 0 avoids streaming most of B. Accumulation stays
+/// k-ascending per output element, and a skipped term would contribute
+/// exactly +-0.0f to an accumulator that is never -0.0 (C starts at +0 and
+/// IEEE sums of finite terms cannot produce -0), so results are bitwise
+/// identical to the tiled path — the batch-size-invariance contract holds.
+void GemvRowSparse(const float* A, const float* B, float* C, int64_t K, int64_t N,
+                   bool parallel) {
+  ParallelForChunked(
+      0, N,
+      [&](int64_t n0, int64_t n1) {
+        for (int64_t k = 0; k < K; ++k) {
+          const float av = A[k];
+          if (av == 0.0f) continue;
+          const float* brow = B + k * N;
+#pragma omp simd
+          for (int64_t j = n0; j < n1; ++j) C[j] += av * brow[j];
+        }
+      },
+      parallel, /*grain=*/512);
+}
+
 /// Tiled C += A x B.
 void GemmTiled(const float* A, const float* B, float* C, int64_t M, int64_t K, int64_t N,
                bool parallel) {
+  if (M == 1) {
+    GemvRowSparse(A, B, C, K, N, parallel);
+    return;
+  }
   const int64_t row_blocks = (M + kMc - 1) / kMc;
   const int64_t col_blocks = (N + kNc - 1) / kNc;
   ParallelForChunked(

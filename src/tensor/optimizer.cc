@@ -27,6 +27,7 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2, float
 }
 
 void Adam::Step() {
+  BumpParameterVersion();  // invalidates parameter-derived inference caches
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -58,6 +59,7 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  BumpParameterVersion();  // invalidates parameter-derived inference caches
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
     if (p.grad_vector().empty()) continue;

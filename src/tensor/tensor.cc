@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,6 +30,14 @@ struct ArenaState {
 thread_local ArenaState t_arena;
 
 }  // namespace
+
+namespace {
+// Starts at 1 so a zero-initialized cache stamp is always stale.
+std::atomic<uint64_t> g_parameter_version{1};
+}  // namespace
+
+uint64_t ParameterVersion() { return g_parameter_version.load(std::memory_order_acquire); }
+void BumpParameterVersion() { g_parameter_version.fetch_add(1, std::memory_order_acq_rel); }
 
 NoGradGuard::NoGradGuard() : prev_(t_grad_enabled) { t_grad_enabled = false; }
 NoGradGuard::~NoGradGuard() { t_grad_enabled = prev_; }

@@ -84,6 +84,23 @@ class InferenceArena {
   static void Release(std::vector<float>&& buf);
 };
 
+/// Monotonic counter identifying the current "version" of the model
+/// parameters in this process. Every optimizer step (`Adam::Step`,
+/// `Sgd::Step`) and every checkpoint load (`nn::Module::Load`) bumps it;
+/// inference-side caches derived from parameters (e.g. the masked-weight
+/// cache in `nn::MaskedLinear`) compare their stamp against this counter and
+/// rebuild when stale. Code that mutates parameter storage directly through
+/// raw `data()` pointers must call BumpParameterVersion() itself, otherwise
+/// such caches will serve stale derived values.
+///
+/// Thread-safety: both functions are atomic and safe to call from any
+/// thread. Note the counter orders cache invalidation only — a parameter
+/// update racing an in-flight forward pass still yields torn reads of the
+/// weights themselves, so serving must be quiesced around training steps
+/// (see docs/architecture.md "Serving engine").
+uint64_t ParameterVersion();
+void BumpParameterVersion();
+
 /// RAII guard disabling graph construction (inference mode).
 class NoGradGuard {
  public:

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Docs-link check (ctest label `docs`): the prose entry points must exist,
+# and every bench binary and example must be mentioned in the docs so the
+# documented surface cannot silently drift from the built one.
+#
+#   tools/check_docs.sh [repo_root]
+set -u
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+status=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  status=1
+}
+
+# 1. The prose entry points exist and are non-empty.
+for doc in README.md docs/architecture.md docs/benchmarks.md; do
+  if [ ! -s "$ROOT/$doc" ]; then
+    fail "$doc is missing or empty"
+  fi
+done
+
+# 2. Every bench binary is documented in docs/benchmarks.md.
+for src in "$ROOT"/bench/bench_*.cc; do
+  name="$(basename "$src" .cc)"
+  if ! grep -q "$name" "$ROOT/docs/benchmarks.md"; then
+    fail "bench/$name.cc is not mentioned in docs/benchmarks.md"
+  fi
+done
+
+# 3. Every example is documented (README.md or docs/*.md).
+for src in "$ROOT"/examples/*.cpp; do
+  name="$(basename "$src" .cpp)"
+  if ! grep -q "$name" "$ROOT/README.md" "$ROOT"/docs/*.md; then
+    fail "examples/$name.cpp is not mentioned in README.md or docs/"
+  fi
+done
+
+# 4. Docs must not reference source files that do not exist (catches
+# renames). Checks `src/...`, `bench/...`, `examples/...`, `tools/...`
+# paths with an extension.
+for doc in "$ROOT/README.md" "$ROOT"/docs/*.md; do
+  for ref in $(grep -oE '\b(src|bench|examples|tools)/[A-Za-z0-9_./-]+\.(h|cc|cpp|sh)\b' "$doc" | sort -u); do
+    # `src/nn/layers.*`-style globs are written without extension, so only
+    # explicit single-file references arrive here.
+    if [ ! -f "$ROOT/$ref" ]; then
+      fail "$(basename "$doc") references missing file $ref"
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs check passed"
+fi
+exit $status
