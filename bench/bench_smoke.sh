@@ -6,10 +6,13 @@
 #   bench/bench_smoke.sh <build_dir>
 #
 # DUET_BENCH_SCALE shrinks datasets/workloads/training budgets; 0.05 keeps
-# the whole sweep in CI-friendly time.
+# the whole sweep in CI-friendly time. DUET_BENCH_BACKENDS selects which
+# packed-weight backends the throughput sweep smoke-runs (default: all
+# three, so none of the backend code paths can silently bit-rot).
 set -u
 BUILD_DIR="${1:-build}"
 export DUET_BENCH_SCALE="${DUET_BENCH_SCALE:-0.05}"
+BACKENDS="${DUET_BENCH_BACKENDS:-dense,csr,int8}"
 
 status=0
 ran=0
@@ -18,8 +21,10 @@ for bin in "$BUILD_DIR"/bench_*; do
   name="$(basename "$bin")"
   extra=""
   case "$name" in
-    # Keep the inference sweep short; coverage, not measurement.
-    bench_table3_throughput) extra="--sweep_queries=64 --sweep_min_seconds=0.05" ;;
+    # Keep the inference sweep short; coverage, not measurement. --backend
+    # makes every packed-weight backend take the kernel + cache paths.
+    bench_table3_throughput)
+      extra="--sweep_queries=64 --sweep_min_seconds=0.05 --backend=$BACKENDS" ;;
   esac
   start=$(date +%s)
   if "$bin" $extra >/dev/null 2>&1; then

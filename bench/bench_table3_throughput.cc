@@ -6,22 +6,29 @@
 // Also measures serving-side inference throughput of the Duet estimator:
 //  * single-thread batch sweep through EstimateSelectivityBatch (batch
 //    1/8/64/512) with the batch-1 encode/forward/post phase split (the
-//    masked-weight cache's target metric), and
+//    masked-weight cache's target metric),
 //  * a multi-thread serving sweep through serve::ServingEngine (1/2/4/8
 //    workers x the same batch sizes), with a bitwise sharded-vs-single-
-//    thread equality check.
-// Both sweeps are emitted in one JSON line for tooling (schema documented
+//    thread equality check, and
+//  * a packed-weight backend sweep (dense fp32 / CSR sparse / int8): batch-1
+//    and batch-64 queries/sec per backend, the packed-cache footprint, and
+//    the median q-error delta vs the fp32 path on the seeded workload
+//    (exactly 0 for CSR, bounded for int8).
+// All sweeps are emitted in one JSON line for tooling (schema documented
 // in docs/benchmarks.md).
 //
 // Flags: --datasets=census,kdd,dmv --batch=N --sweep_queries=N
 //        --sweep_min_seconds=S --sweep=0|1 --sweep_scalar=0|1
-//        --sweep_hidden=N
+//        --sweep_hidden=N --backend=dense,csr,int8 --backend_hidden=N
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
 #include "serve/serving_engine.h"
+#include "tensor/packed_weights.h"
 
 namespace duet::bench {
 namespace {
@@ -220,6 +227,123 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   std::printf("sharded vs single-thread batch: %s\n",
               bitwise_equal ? "bitwise equal" : "MISMATCH");
 
+  // Packed-weight backend sweep (single thread, like the batch sweep):
+  // batch-1 is the weight-traffic-bound regime the backends target; batch
+  // 64 shows what the amortized GEMM path pays for each format. Accuracy is
+  // tracked as the median q-error on a seeded labeled workload, reported as
+  // a delta against the fp32 dense path (CSR must be exactly 0 — it is a
+  // bitwise backend; int8 is quantization-bounded).
+  struct BackendRow {
+    tensor::WeightBackend backend;
+    double qps_b1 = 0.0;
+    double qps_b64 = 0.0;
+    uint64_t packed_bytes = 0;
+    double median_qerror = 0.0;
+    double qerror_delta = 0.0;  // (median - dense median) / dense median
+  };
+  // The packed CSR/int8 kernels have no scalar-reference variant, so make
+  // sure the dense row is measured on the same SIMD kernels even when
+  // --sweep_scalar=1 reran the batch sweep on the scalar reference —
+  // otherwise the per-backend comparison would mostly measure scalar vs
+  // SIMD instead of the weight formats.
+  tensor::SetUseScalarKernels(false);
+
+  // --backend: comma-separated subset of dense,csr,int8, swept in the
+  // given order. Unknown names are a hard error — a typo must not let the
+  // smoke run silently skip every backend code path.
+  const std::string backend_list = flags.GetString("backend", "dense,csr,int8");
+  std::vector<tensor::WeightBackend> backends;
+  for (size_t pos = 0; pos <= backend_list.size();) {
+    size_t comma = backend_list.find(',', pos);
+    if (comma == std::string::npos) comma = backend_list.size();
+    const std::string token = backend_list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    tensor::WeightBackend parsed;
+    if (!tensor::ParseWeightBackend(token, &parsed)) {
+      std::fprintf(stderr, "unknown --backend entry '%s' (expected dense,csr,int8)\n",
+                   token.c_str());
+      std::exit(1);  // a typo must fail the run, not skip the sweep
+    }
+    backends.push_back(parsed);
+  }
+  if (backends.empty()) {
+    std::fprintf(stderr, "--backend selected no backends (got '%s')\n", backend_list.c_str());
+    std::exit(1);  // same policy as unknown tokens: no silent skip
+  }
+
+  query::WorkloadSpec lspec;
+  lspec.num_queries = static_cast<int>(num_queries);
+  lspec.seed = 1234;
+  const query::Workload labeled = query::WorkloadGenerator(t, lspec).Generate();
+  std::vector<query::Query> lqueries;
+  lqueries.reserve(labeled.size());
+  for (const auto& lq : labeled) lqueries.push_back(lq.query);
+  const double rows_n = static_cast<double>(t.num_rows());
+
+  // The backend sweep runs its own model at paper-serving width
+  // (--backend_hidden, default 512 — the DMV nets reach {512,...,1024}).
+  // At the batch sweep's default 2x256 the whole dense W o M fits in cache
+  // and batch-1 is compute-bound, which is not the regime the packed
+  // backends target: the weight-traffic levers only engage once the
+  // packed weights outgrow cache.
+  core::DuetModelOptions bopt;
+  const int64_t backend_hidden = flags.GetInt("backend_hidden", 512);
+  bopt.hidden_sizes = {backend_hidden, backend_hidden};
+  bopt.residual = true;
+  core::DuetModel bmodel(t, bopt);
+  core::DuetEstimator best(bmodel);
+
+  std::vector<BackendRow> brows;
+  for (tensor::WeightBackend backend : backends) {
+    BackendRow row;
+    row.backend = backend;
+    bmodel.SetInferenceBackend(backend);
+    row.qps_b1 = MeasureBatchedQps(best, queries, 1, min_seconds);
+    row.qps_b64 = MeasureBatchedQps(best, queries, 64, min_seconds);
+    row.packed_bytes = bmodel.CachedBytes();
+    const std::vector<double> sels = best.EstimateSelectivityBatch(lqueries);
+    std::vector<double> qerrs;
+    qerrs.reserve(sels.size());
+    for (size_t i = 0; i < sels.size(); ++i) {
+      const double card =
+          std::max(1.0, query::CardinalityEstimator::ClampSelectivity(sels[i]) * rows_n);
+      qerrs.push_back(query::QError(card, static_cast<double>(labeled[i].cardinality)));
+    }
+    std::sort(qerrs.begin(), qerrs.end());
+    row.median_qerror = qerrs.empty() ? 0.0 : qerrs[qerrs.size() / 2];
+    brows.push_back(row);
+  }
+
+  // Deltas are anchored on the dense (fp32) row wherever it ran in the
+  // sweep order; without a dense row there is no reference and the field
+  // is omitted from the JSON below.
+  bool have_dense = false;
+  double dense_median = 0.0;
+  for (const BackendRow& row : brows) {
+    if (row.backend == tensor::WeightBackend::kDenseF32) {
+      have_dense = true;
+      dense_median = row.median_qerror;
+      break;
+    }
+  }
+  std::printf("\nPacked-weight backend sweep (1 thread, %lld queries, 2x%lld ResMADE)\n",
+              static_cast<long long>(num_queries), static_cast<long long>(backend_hidden));
+  std::printf("%-8s %14s %14s %12s %14s\n", "backend", "batch-1 q/s", "batch-64 q/s",
+              "packed KiB", "qerr delta");
+  for (BackendRow& row : brows) {
+    row.qerror_delta = have_dense && dense_median > 0.0
+                           ? (row.median_qerror - dense_median) / dense_median
+                           : 0.0;
+    std::printf("%-8s %14.1f %14.1f %12.1f ", tensor::WeightBackendName(row.backend),
+                row.qps_b1, row.qps_b64, static_cast<double>(row.packed_bytes) / 1024.0);
+    if (have_dense) {
+      std::printf("%+13.4f%%\n", 100.0 * row.qerror_delta);
+    } else {
+      std::printf("%14s\n", "n/a");
+    }
+  }
+
   ThreadPool::SetGlobalThreads(0);
   tensor::SetUseScalarKernels(false);
 
@@ -250,9 +374,40 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   }
   char tail2[128];
   std::snprintf(tail2, sizeof(tail2),
-                "],\"speedup_w4_vs_w1_batch64\":%.2f,\"sharded_bitwise_equal\":%s}}",
+                "],\"speedup_w4_vs_w1_batch64\":%.2f,\"sharded_bitwise_equal\":%s}",
                 serving_qps[2][2] / serving_qps[0][2], bitwise_equal ? "true" : "false");
   json += tail2;
+  // Backend sweep: one row per packed-weight backend. qerror_delta is
+  // relative to the dense (fp32) median q-error; best_nondense_b1_speedup
+  // is the best non-dense batch-1 throughput over dense (the ROADMAP's
+  // weight-traffic lever, expected > 1 from CSR/int8).
+  json += ",\"backend_sweep\":{\"results\":[";
+  double dense_b1 = 0.0, best_nondense_b1 = 0.0;
+  for (size_t i = 0; i < brows.size(); ++i) {
+    const BackendRow& row = brows[i];
+    if (row.backend == tensor::WeightBackend::kDenseF32) {
+      dense_b1 = row.qps_b1;
+    } else {
+      best_nondense_b1 = std::max(best_nondense_b1, row.qps_b1);
+    }
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"backend\":\"%s\",\"qps_batch1\":%.1f,\"qps_batch64\":%.1f,"
+                  "\"packed_weight_bytes\":%llu,\"median_qerror\":%.4f",
+                  i == 0 ? "" : ",", tensor::WeightBackendName(row.backend), row.qps_b1,
+                  row.qps_b64, static_cast<unsigned long long>(row.packed_bytes),
+                  row.median_qerror);
+    json += buf;
+    if (have_dense) {  // no dense row in the sweep -> no delta reference
+      std::snprintf(buf, sizeof(buf), ",\"qerror_delta_vs_dense\":%.6f", row.qerror_delta);
+      json += buf;
+    }
+    json += "}";
+  }
+  char tail3[64];
+  std::snprintf(tail3, sizeof(tail3), "],\"best_nondense_b1_speedup\":%.2f}}",
+                dense_b1 > 0.0 ? best_nondense_b1 / dense_b1 : 0.0);
+  json += tail3;
   std::printf("%s\n", json.c_str());
 }
 

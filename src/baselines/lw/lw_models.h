@@ -93,6 +93,17 @@ class LwNnEstimator : public nn::Module, public query::CardinalityEstimator {
   std::string name() const override { return "LW-NN"; }
   double SizeMB() const override { return Module::SizeMB(); }
 
+  /// Packed-weight backend for the regression MLP (both hierarchies'
+  /// virtuals, see MscnModel).
+  void SetInferenceBackend(tensor::WeightBackend backend) const override {
+    mlp_->SetInferenceBackend(backend);
+  }
+  void SetInferenceBackend(tensor::WeightBackend backend) override {
+    static_cast<const LwNnEstimator&>(*this).SetInferenceBackend(backend);
+  }
+  uint64_t CachedBytes() const override { return mlp_->CachedBytes(); }
+  uint64_t PackedWeightBytes() const override { return CachedBytes(); }
+
  private:
   const data::Table& table_;
   LwFeaturizer featurizer_;

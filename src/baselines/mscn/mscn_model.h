@@ -54,6 +54,22 @@ class MscnModel : public nn::Module, public query::CardinalityEstimator {
   std::string name() const override { return options_.mask_prob > 0 ? "RobustMSCN" : "MSCN"; }
   double SizeMB() const override { return nn::Module::SizeMB(); }
 
+  /// Packed-weight backend for the set/bitmap/output MLPs. The class sits
+  /// in both hierarchies, so both virtuals (Module's const, the
+  /// estimator's non-const) forward to the same place.
+  void SetInferenceBackend(tensor::WeightBackend backend) const override {
+    pred_mlp_->SetInferenceBackend(backend);
+    bitmap_mlp_->SetInferenceBackend(backend);
+    out_mlp_->SetInferenceBackend(backend);
+  }
+  void SetInferenceBackend(tensor::WeightBackend backend) override {
+    static_cast<const MscnModel&>(*this).SetInferenceBackend(backend);
+  }
+  uint64_t CachedBytes() const override {
+    return pred_mlp_->CachedBytes() + bitmap_mlp_->CachedBytes() + out_mlp_->CachedBytes();
+  }
+  uint64_t PackedWeightBytes() const override { return CachedBytes(); }
+
  private:
   /// Featurizes queries into predicate-set tensors + bitmap tensor.
   struct Features {

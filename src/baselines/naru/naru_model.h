@@ -85,6 +85,13 @@ class NaruModel : public nn::Module {
   const data::Table& table() const { return table_; }
   const core::NaruInputEncoder& encoder() const { return encoder_; }
   const nn::Made& made() const { return *made_; }
+
+  /// Packed-weight backend for the no-grad sampling forwards (see
+  /// tensor/packed_weights.h); forwarded to the MADE core.
+  void SetInferenceBackend(tensor::WeightBackend backend) const override {
+    made_->SetInferenceBackend(backend);
+  }
+  uint64_t CachedBytes() const override { return made_->CachedBytes(); }
   const NaruOptions& options() const { return options_; }
   /// Profiling accumulators. Read/Clear only while no estimation is in
   /// flight; accumulation is internally locked (serving-engine contract).
@@ -136,6 +143,10 @@ class NaruEstimator : public query::CardinalityEstimator {
       const std::vector<query::Query>& queries) override {
     return model_.EstimateSelectivityBatch(queries, seed_);
   }
+  void SetInferenceBackend(tensor::WeightBackend backend) override {
+    model_.SetInferenceBackend(backend);
+  }
+  uint64_t PackedWeightBytes() const override { return model_.CachedBytes(); }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.SizeMB(); }
 

@@ -101,6 +101,10 @@ class UaeEstimator : public query::CardinalityEstimator {
       const std::vector<query::Query>& queries) override {
     return model_.naru().EstimateSelectivityBatch(queries, seed_);
   }
+  void SetInferenceBackend(tensor::WeightBackend backend) override {
+    model_.naru().SetInferenceBackend(backend);
+  }
+  uint64_t PackedWeightBytes() const override { return model_.naru().CachedBytes(); }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.naru().SizeMB(); }
 

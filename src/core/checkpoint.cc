@@ -49,6 +49,12 @@ void SaveModuleFile(const std::string& path, const std::string& kind,
 
 void LoadModuleFile(const std::string& path, const std::string& kind, nn::Module* module) {
   DUET_CHECK(module != nullptr);
+  // A checkpoint restore rewrites parameter storage through raw data()
+  // pointers; the RAII guard bumps tensor::ParameterVersion() when this
+  // scope exits so packed-weight caches can never serve pre-restore packs
+  // (Module::Load guards its own scope too — the counter is monotone, an
+  // extra bump is free).
+  tensor::ParameterMutationGuard mutation;
   std::ifstream in(path, std::ios::binary);
   DUET_CHECK(in.good()) << "cannot open checkpoint: " << path;
   BinaryReader r(in);

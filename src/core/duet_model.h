@@ -104,6 +104,23 @@ class DuetModel : public nn::Module {
   /// benches): one forward pass for all queries.
   std::vector<double> EstimateSelectivityBatch(const std::vector<query::Query>& queries) const;
 
+  // ----- inference configuration -----
+
+  /// Selects the packed-weight backend used by all masked layers on the
+  /// no-grad estimation paths (tensor/packed_weights.h): kDenseF32 keeps
+  /// today's bitwise-exact behavior, kCsrF32 streams only nonzero masked
+  /// weights (also bitwise-exact), kInt8 quarters weight traffic at bounded
+  /// accuracy cost. Layers repack lazily on their next forward. Const
+  /// because only inference caches are reconfigured — but like training, the
+  /// switch must be quiesced: do not call with estimates in flight.
+  void SetInferenceBackend(tensor::WeightBackend backend) const override {
+    net_->SetInferenceBackend(backend);
+  }
+
+  /// Bytes currently held by the packed-weight caches (0 until the first
+  /// no-grad forward populates them).
+  uint64_t CachedBytes() const override { return net_->CachedBytes(); }
+
   // ----- introspection -----
 
   const data::Table& table() const { return table_; }
@@ -149,6 +166,10 @@ class DuetEstimator : public query::CardinalityEstimator {
       const std::vector<query::Query>& queries) override {
     return model_.EstimateSelectivityBatch(queries);
   }
+  void SetInferenceBackend(tensor::WeightBackend backend) override {
+    model_.SetInferenceBackend(backend);
+  }
+  uint64_t PackedWeightBytes() const override { return model_.CachedBytes(); }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.SizeMB(); }
 

@@ -57,6 +57,12 @@ FineTuneReport FineTune(DuetModel& model, const query::Workload& served,
 
   std::tie(report.before_mean, report.before_max) = Score(model, report.collected);
 
+  // The whole fine-tuning round mutates model parameters; the RAII guard
+  // bumps tensor::ParameterVersion() when it ends (even on an early abort),
+  // so post-tune estimation can never serve packs of the pre-tune weights —
+  // without relying on every inner code path remembering the ad-hoc bump.
+  tensor::ParameterMutationGuard mutation;
+
   TrainOptions topt;
   topt.epochs = options.epochs;
   topt.batch_size = options.batch_size;

@@ -53,6 +53,14 @@ class DuetMpsnModel : public nn::Module {
   const nn::Made& made() const { return *made_; }
   const DuetMpsnOptions& options() const { return options_; }
 
+  /// Packed-weight backend for the no-grad MADE forwards (the MPSN
+  /// embedder's merged per-column layers are raw tensors, untouched by
+  /// backend selection); see tensor/packed_weights.h.
+  void SetInferenceBackend(tensor::WeightBackend backend) const override {
+    made_->SetInferenceBackend(backend);
+  }
+  uint64_t CachedBytes() const override { return made_->CachedBytes(); }
+
  private:
   /// SelectivityBatch body with the per-query ranges already derived (they
   /// feed the zero-out mask); lets callers that also need the ranges avoid
@@ -101,6 +109,10 @@ class DuetMpsnEstimator : public query::CardinalityEstimator {
       const std::vector<query::Query>& queries) override {
     return model_.EstimateSelectivityBatch(queries);
   }
+  void SetInferenceBackend(tensor::WeightBackend backend) override {
+    model_.SetInferenceBackend(backend);
+  }
+  uint64_t PackedWeightBytes() const override { return model_.CachedBytes(); }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.SizeMB(); }
 

@@ -20,19 +20,58 @@ Tensor UniformInit(std::vector<int64_t> shape, float bound, Rng& rng) {
 
 }  // namespace
 
-Linear::Linear(int64_t in, int64_t out, Rng& rng) : in_(in), out_(out) {
+Linear::Linear(int64_t in, int64_t out, Rng& rng)
+    : in_(in), out_(out), cache_(std::make_unique<PackedWeightsCache>()) {
   const float bound = 1.0f / std::sqrt(static_cast<float>(in));
   w_ = RegisterParam(UniformInit({in, out}, bound, rng));
   b_ = RegisterParam(UniformInit({out}, bound, rng));
 }
 
+std::shared_ptr<const tensor::PackedWeights> Linear::PackedWeight() const {
+  const uint64_t version = tensor::ParameterVersion();
+  const tensor::WeightBackend backend = cache_->requested.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  if (cache_->version != version || !cache_->packed || cache_->packed->backend != backend) {
+    // Pack from a non-pooled copy of W: the pack outlives any NoGradScope
+    // and is read from many threads, so it must not borrow from a
+    // thread-local inference arena or alias the mutable parameter storage.
+    cache_->packed = tensor::PackWeights(
+        Tensor::FromVector(w_.shape(), w_.value_vector()), backend);
+    cache_->version = version;
+  }
+  return cache_->packed;
+}
+
+void Linear::SetInferenceBackend(tensor::WeightBackend backend) const {
+  cache_->requested.store(backend, std::memory_order_relaxed);
+  if (backend == tensor::WeightBackend::kDenseF32) {
+    // The dense path multiplies by W directly and never reads the cache, so
+    // a pack left over from a csr/int8 configuration would sit allocated
+    // forever and keep counting toward CachedBytes(); drop it now.
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    cache_->packed.reset();
+    cache_->version = 0;
+  }
+}
+
+uint64_t Linear::CachedBytes() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->packed ? cache_->packed->bytes() : 0;
+}
+
 Tensor Linear::Forward(const Tensor& x, tensor::Activation act) const {
+  if (!tensor::NoGradGuard::GradEnabled() &&
+      cache_->requested.load(std::memory_order_relaxed) != tensor::WeightBackend::kDenseF32) {
+    return tensor::PackedMatMulBiasAct(x, *PackedWeight(), b_, act);
+  }
+  // Dense inference multiplies by W directly — the unpacked weight IS the
+  // dense packed form, so no cache copy is ever built on this path.
   return tensor::MatMulBiasAct(x, w_, b_, act);
 }
 
 MaskedLinear::MaskedLinear(int64_t in, int64_t out, Tensor mask, Rng& rng)
     : in_(in), out_(out), mask_(std::move(mask)),
-      cache_(std::make_unique<MaskedWeightCache>()) {
+      cache_(std::make_unique<PackedWeightsCache>()) {
   DUET_CHECK_EQ(mask_.ndim(), 2);
   DUET_CHECK_EQ(mask_.dim(0), in);
   DUET_CHECK_EQ(mask_.dim(1), out);
@@ -41,30 +80,45 @@ MaskedLinear::MaskedLinear(int64_t in, int64_t out, Tensor mask, Rng& rng)
   b_ = RegisterParam(UniformInit({out}, bound, rng));
 }
 
-Tensor MaskedLinear::CachedMaskedWeight() const {
+std::shared_ptr<const tensor::PackedWeights> MaskedLinear::PackedEffectiveWeight() const {
   const uint64_t version = tensor::ParameterVersion();
+  const tensor::WeightBackend backend = cache_->requested.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(cache_->mu);
-  if (cache_->version != version) {
-    // Materialize W o M into a fresh non-pooled buffer: the cache outlives
-    // any NoGradScope and is read from many threads, so it must not borrow
-    // from a thread-local inference arena (see arena rules in tensor.h).
+  if (cache_->version != version || !cache_->packed || cache_->packed->backend != backend) {
+    // Materialize W o M into a fresh non-pooled buffer, then pack: the cache
+    // outlives any NoGradScope and is read from many threads, so it must not
+    // borrow from a thread-local inference arena (see arena rules in
+    // tensor.h). For kDenseF32 the pack adopts this buffer as-is — exactly
+    // the PR-2 masked-weight cache; for CSR/int8 the buffer is a pack-time
+    // temporary.
     const float* w = w_.data();
     const float* m = mask_.data();
     std::vector<float> wm(static_cast<size_t>(w_.numel()));
     for (size_t i = 0; i < wm.size(); ++i) wm[i] = w[i] * m[i];
-    cache_->masked_w = Tensor::FromVector(w_.shape(), std::move(wm));
+    cache_->packed =
+        tensor::PackWeights(Tensor::FromVector(w_.shape(), std::move(wm)), backend);
     cache_->version = version;
   }
-  return cache_->masked_w;
+  return cache_->packed;
+}
+
+void MaskedLinear::SetInferenceBackend(tensor::WeightBackend backend) const {
+  cache_->requested.store(backend, std::memory_order_relaxed);
+}
+
+uint64_t MaskedLinear::CachedBytes() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->packed ? cache_->packed->bytes() : 0;
 }
 
 Tensor MaskedLinear::Forward(const Tensor& x, tensor::Activation act) const {
   if (!tensor::NoGradGuard::GradEnabled()) {
     // Inference: the mask is constant and W is frozen between optimizer
-    // steps, so W o M is materialized once per parameter version. The
-    // elementwise product here and in the tracked path below are the same
-    // float multiplies, so cached and uncached forwards agree bitwise.
-    return tensor::MatMulBiasAct(x, CachedMaskedWeight(), b_, act);
+    // steps, so W o M is packed once per parameter version. The dense
+    // backend performs the same float multiplies as the tracked path below
+    // and dispatches through the same GEMM, so cached and uncached forwards
+    // agree bitwise; CSR skips only exact zeros and agrees bitwise too.
+    return tensor::PackedMatMulBiasAct(x, *PackedEffectiveWeight(), b_, act);
   }
   return tensor::MatMulBiasAct(x, tensor::Mul(w_, mask_), b_, act);
 }
@@ -85,6 +139,16 @@ Tensor Mlp::Forward(const Tensor& x) const {
     h = layers_[i].Forward(h, last ? tensor::Activation::kNone : tensor::Activation::kRelu);
   }
   return h;
+}
+
+void Mlp::SetInferenceBackend(tensor::WeightBackend backend) const {
+  for (const Linear& l : layers_) l.SetInferenceBackend(backend);
+}
+
+uint64_t Mlp::CachedBytes() const {
+  uint64_t bytes = 0;
+  for (const Linear& l : layers_) bytes += l.CachedBytes();
+  return bytes;
 }
 
 Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng& rng) : dim_(dim) {

@@ -3,6 +3,7 @@
 #ifndef DUET_NN_LAYERS_H_
 #define DUET_NN_LAYERS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -11,12 +12,38 @@
 #include "common/rng.h"
 #include "nn/module.h"
 #include "tensor/ops.h"
+#include "tensor/packed_weights.h"
 #include "tensor/tensor.h"
 
 namespace duet::nn {
 
+/// Packed-weights cache slot shared by Linear and MaskedLinear (inference
+/// only). `version` is the tensor::ParameterVersion() stamp under which
+/// `packed` was built; 0 means never built. The slot is rebuilt whenever the
+/// global counter moves (optimizer step, checkpoint load, any
+/// ParameterMutationGuard) or the requested backend changes, under `mu`; a
+/// rebuilt pack is published as a fresh shared_ptr, so readers holding the
+/// previous pack are never invalidated mid-forward. Heap-allocated so
+/// layers stay movable (std::mutex is not) — MADE stores layers in vectors.
+struct PackedWeightsCache {
+  std::mutex mu;
+  std::shared_ptr<const tensor::PackedWeights> packed;
+  uint64_t version = 0;
+  /// Backend selected by SetInferenceBackend; read on every no-grad forward
+  /// (relaxed atomic — selection must be quiesced like parameter updates).
+  std::atomic<tensor::WeightBackend> requested{tensor::WeightBackend::kDenseF32};
+};
+
 /// Fully connected layer y = x W + b with PyTorch-style U(-1/sqrt(I), ..)
 /// initialization. W is stored [in, out] to match tensor::MatMul.
+///
+/// Inference backends: with gradients disabled, Forward dispatches on the
+/// backend chosen via SetInferenceBackend. kDenseF32 (default) multiplies
+/// by W directly — no cache, no extra memory, bitwise-identical to the
+/// tracked math. kCsrF32 / kInt8 serve a packed form of W from the
+/// packed-weights cache (same coherence rules as MaskedLinear below); CSR
+/// on an unmasked dense weight stores every entry and is only useful for
+/// uniformity, int8 quarters the streamed weight bytes.
 class Linear : public Module {
  public:
   Linear(int64_t in, int64_t out, Rng& rng);
@@ -25,40 +52,57 @@ class Linear : public Module {
   tensor::Tensor Forward(const tensor::Tensor& x,
                          tensor::Activation act = tensor::Activation::kNone) const;
 
+  void SetInferenceBackend(tensor::WeightBackend backend) const override;
+  /// Bytes held by the packed cache (0 until a non-dense no-grad forward).
+  uint64_t CachedBytes() const override;
+
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
   const tensor::Tensor& weight() const { return w_; }
   const tensor::Tensor& bias() const { return b_; }
 
  private:
+  /// Returns the packed W for the requested backend, repacking if the
+  /// parameter version moved or the backend changed.
+  std::shared_ptr<const tensor::PackedWeights> PackedWeight() const;
+
   int64_t in_;
   int64_t out_;
   tensor::Tensor w_;
   tensor::Tensor b_;
+  std::unique_ptr<PackedWeightsCache> cache_;
 };
 
 /// Linear layer whose weight is elementwise-gated by a constant binary mask
 /// (the MADE connectivity constraint): y = x (W o M) + b.
 ///
-/// Inference-side masked-weight cache: when gradient tracking is off
+/// Inference-side packed-weights cache: when gradient tracking is off
 /// (NoGradGuard / NoGradScope — every estimator inference path), Forward
-/// reuses a cached materialization of W o M instead of recomputing the
-/// elementwise product on every call. At batch 1 that product dominates the
-/// forward pass (~95% of estimation latency, see docs/architecture.md), so
-/// the cache is what makes single-query serving latency flat.
+/// serves a cached pack of the effective weight W o M instead of recomputing
+/// the elementwise product on every call. At batch 1 that product dominates
+/// the forward pass (~95% of estimation latency, see docs/architecture.md),
+/// so the cache is what makes single-query serving latency flat. The pack
+/// format follows SetInferenceBackend: kDenseF32 (default) materializes
+/// W o M exactly as the PR-2 masked-weight cache did — bitwise-identical
+/// forwards; kCsrF32 stores only the ~50% nonzero entries and is also
+/// bitwise-identical (k-ascending accumulation, only zeros skipped); kInt8
+/// quantizes per output channel and is accuracy-bounded, not exact.
 ///
-/// Cache coherence: the cached product is stamped with
+/// Cache coherence: the cached pack is stamped with
 /// tensor::ParameterVersion() and rebuilt whenever the global counter has
-/// moved — i.e. after any optimizer Step() or Module::Load(). Code mutating
-/// W through a raw data() pointer must call tensor::BumpParameterVersion().
-/// The cached tensor is allocated outside the inference arena, so it may
+/// moved — i.e. after any optimizer Step(), Module::Load(), or scope holding
+/// a tensor::ParameterMutationGuard. Code mutating W through a raw data()
+/// pointer must hold such a guard (or call tensor::BumpParameterVersion()).
+/// A backend change likewise triggers a lazy repack on the next forward.
+/// The cached pack is allocated outside the inference arena, so it may
 /// outlive any NoGradScope and be shared across threads.
 ///
 /// Thread-safety: Forward is safe to call concurrently from many threads
 /// while parameters are frozen (the cache is rebuilt under an internal
-/// mutex, and a rebuilt handle is published atomically). Concurrent
-/// parameter *updates* are not synchronized with in-flight forwards — the
-/// serving contract is to quiesce estimation around training steps.
+/// mutex, and a rebuilt pack is published atomically as a fresh immutable
+/// shared_ptr). Concurrent parameter *updates* — and backend switches — are
+/// not synchronized with in-flight forwards; the serving contract is to
+/// quiesce estimation around training steps and reconfiguration.
 class MaskedLinear : public Module {
  public:
   /// `mask` must be an [in, out] tensor of 0/1 floats.
@@ -66,33 +110,31 @@ class MaskedLinear : public Module {
 
   /// Fused act(x (W o M) + b); kNone gives the plain affine layer. With
   /// gradients enabled the product W o M is part of the graph (so W trains);
-  /// with gradients disabled it is served from the masked-weight cache.
+  /// with gradients disabled it is served from the packed-weights cache.
   tensor::Tensor Forward(const tensor::Tensor& x,
                          tensor::Activation act = tensor::Activation::kNone) const;
+
+  void SetInferenceBackend(tensor::WeightBackend backend) const override;
+  /// Bytes held by the packed cache (0 until the first no-grad forward).
+  /// This is the cache's memory cost on top of the fp32 parameters: the
+  /// dense backend doubles a layer's weight memory, CSR halves the extra
+  /// copy (~50% structural zeros), int8 quarters it.
+  uint64_t CachedBytes() const override;
 
   const tensor::Tensor& mask() const { return mask_; }
   const tensor::Tensor& weight() const { return w_; }
 
  private:
-  /// Masked-weight cache slot (inference only). `version` is the
-  /// ParameterVersion() stamp under which `masked_w` was built; 0 means
-  /// never built. Heap-allocated so the layer stays movable (std::mutex is
-  /// not) — MADE stores its layers in vectors.
-  struct MaskedWeightCache {
-    std::mutex mu;
-    tensor::Tensor masked_w;
-    uint64_t version = 0;
-  };
-
-  /// Returns the cached W o M, rebuilding it if the parameter version moved.
-  tensor::Tensor CachedMaskedWeight() const;
+  /// Returns the packed W o M for the requested backend, rebuilding it if
+  /// the parameter version moved or the backend changed.
+  std::shared_ptr<const tensor::PackedWeights> PackedEffectiveWeight() const;
 
   int64_t in_;
   int64_t out_;
   tensor::Tensor w_;
   tensor::Tensor b_;
   tensor::Tensor mask_;  // constant
-  std::unique_ptr<MaskedWeightCache> cache_;
+  std::unique_ptr<PackedWeightsCache> cache_;
 };
 
 /// Plain ReLU MLP; `sizes` = {in, h1, ..., out}. No activation after the
@@ -102,6 +144,9 @@ class Mlp : public Module {
   Mlp(const std::vector<int64_t>& sizes, Rng& rng);
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  void SetInferenceBackend(tensor::WeightBackend backend) const override;
+  uint64_t CachedBytes() const override;
 
  private:
   std::vector<Linear> layers_;

@@ -103,6 +103,22 @@ Made::Made(MadeOptions options, Rng& rng) : options_(std::move(options)) {
   }
 }
 
+void Made::SetInferenceBackend(tensor::WeightBackend backend) const {
+  for (const MaskedLinear& l : layers_) l.SetInferenceBackend(backend);
+  if (res_input_) res_input_->SetInferenceBackend(backend);
+  for (const MaskedLinear& l : res_layers_) l.SetInferenceBackend(backend);
+  if (res_output_) res_output_->SetInferenceBackend(backend);
+}
+
+uint64_t Made::CachedBytes() const {
+  uint64_t bytes = 0;
+  for (const MaskedLinear& l : layers_) bytes += l.CachedBytes();
+  if (res_input_) bytes += res_input_->CachedBytes();
+  for (const MaskedLinear& l : res_layers_) bytes += l.CachedBytes();
+  if (res_output_) bytes += res_output_->CachedBytes();
+  return bytes;
+}
+
 Tensor Made::Forward(const Tensor& x) const {
   DUET_CHECK_EQ(x.ndim(), 2);
   DUET_CHECK_EQ(x.dim(1), input_dim_);

@@ -9,9 +9,11 @@
 // so column 0's head is input-independent (its marginal lives in the bias).
 //
 // Every masked layer (plain MADE and both ResMADE paths) routes through
-// MaskedLinear, so inference forwards inherit its masked-weight cache: with
-// gradients disabled, W o M is materialized once per parameter version
-// instead of per forward (see nn/layers.h for the invalidation rules).
+// MaskedLinear, so inference forwards inherit its packed-weights cache: with
+// gradients disabled, W o M is packed once per parameter version instead of
+// materialized per forward, in the backend chosen via SetInferenceBackend
+// (dense fp32 / CSR sparse / int8 — see nn/layers.h and
+// tensor/packed_weights.h for the formats and invalidation rules).
 // Forward is safe to call concurrently while parameters are frozen.
 #ifndef DUET_NN_MADE_H_
 #define DUET_NN_MADE_H_
@@ -61,6 +63,13 @@ class Made : public Backbone {
   int num_columns() const override {
     return static_cast<int>(options_.input_widths.size());
   }
+
+  /// Forwards the backend selection to every masked layer (both the plain
+  /// and the ResMADE path); each repacks lazily on its next no-grad forward.
+  void SetInferenceBackend(tensor::WeightBackend backend) const override;
+
+  /// Total packed-cache bytes across all masked layers.
+  uint64_t CachedBytes() const override;
 
   const MadeOptions& options() const { return options_; }
 

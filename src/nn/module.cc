@@ -23,6 +23,10 @@ void Module::Save(BinaryWriter& w) const {
 }
 
 void Module::Load(BinaryReader& r) {
+  // Loaded weights replace the in-memory parameters wholesale through raw
+  // data() pointers; any cache derived from them (e.g. the packed-weight
+  // caches in nn::Linear / nn::MaskedLinear) is stale once this returns.
+  tensor::ParameterMutationGuard mutation;
   const uint64_t n = r.ReadU64();
   DUET_CHECK_EQ(n, params_.size()) << "checkpoint does not match architecture";
   for (auto& p : params_) {
@@ -32,9 +36,6 @@ void Module::Load(BinaryReader& r) {
     DUET_CHECK_EQ(static_cast<int64_t>(values.size()), p.numel());
     std::copy(values.begin(), values.end(), p.data());
   }
-  // Loaded weights replace the in-memory parameters wholesale; any cache
-  // derived from them (e.g. MaskedLinear's masked-weight cache) is stale.
-  tensor::BumpParameterVersion();
 }
 
 tensor::Tensor Module::RegisterParam(tensor::Tensor t) {

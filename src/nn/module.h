@@ -8,6 +8,12 @@
 #include "common/serialize.h"
 #include "tensor/tensor.h"
 
+namespace duet::tensor {
+// Opaque declaration (definition: tensor/packed_weights.h); layers with a
+// packed cache include the full header, plain modules do not need it.
+enum class WeightBackend : int32_t;
+}  // namespace duet::tensor
+
 namespace duet::nn {
 
 /// Base class for neural network building blocks. Parameters registered via
@@ -15,7 +21,34 @@ namespace duet::nn {
 /// exposed to optimizers and serialized in registration order.
 class Module {
  public:
+  Module() = default;
   virtual ~Module() = default;
+  // Explicit noexcept moves: the virtual destructor would otherwise
+  // suppress them, and containers of move-only layers (packed caches hold a
+  // mutex behind a unique_ptr) need nothrow moves so vector reallocation
+  // never falls back to the deleted copy path.
+  Module(Module&&) noexcept = default;
+  Module& operator=(Module&&) noexcept = default;
+  Module(const Module&) = default;
+  Module& operator=(const Module&) = default;
+
+  /// Selects the inference-side packed-weight backend (see
+  /// tensor/packed_weights.h). Layers with a packed cache repack lazily on
+  /// their next no-grad forward; container modules forward the call to their
+  /// children; leaves without packed weights ignore it (default). Const
+  /// because it only reconfigures inference caches, never the trainable
+  /// parameters — but it does invalidate packed caches, so call it only
+  /// while no estimation is in flight (the ServingEngine quiesce contract).
+  virtual void SetInferenceBackend(tensor::WeightBackend backend) const {
+    (void)backend;
+  }
+
+  /// Bytes currently held by inference-side packed-weight caches (0 when no
+  /// cache has been built). Container modules sum over their children. This
+  /// is the observability hook for the cache's memory cost: a dense packed
+  /// cache doubles a masked layer's weight memory, CSR roughly halves the
+  /// extra copy, int8 quarters it.
+  virtual uint64_t CachedBytes() const { return 0; }
 
   /// All trainable parameters (this module + registered children).
   const std::vector<tensor::Tensor>& parameters() const { return params_; }

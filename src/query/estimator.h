@@ -8,6 +8,13 @@
 
 #include "query/query.h"
 
+namespace duet::tensor {
+// Opaque declaration (definition: tensor/packed_weights.h) so every
+// estimator TU does not pull in the packed-kernel headers for one enum
+// passed by value.
+enum class WeightBackend : int32_t;
+}  // namespace duet::tensor
+
 namespace duet::query {
 
 /// Common interface of every cardinality estimator in the repository
@@ -41,6 +48,16 @@ class CardinalityEstimator {
   /// batch-size-invariant; this is what lets the serving engine shard a
   /// batch across threads without changing results).
   virtual std::vector<double> EstimateSelectivityBatch(const std::vector<Query>& queries);
+
+  /// Selects the inference-side packed-weight backend (dense fp32 / CSR
+  /// sparse / int8 — see tensor/packed_weights.h). Estimators without a
+  /// packed weight path ignore it (default). Like training, a backend
+  /// switch must be quiesced: no estimates in flight.
+  virtual void SetInferenceBackend(tensor::WeightBackend backend) { (void)backend; }
+
+  /// Bytes currently held by packed-weight inference caches (0 for
+  /// estimators without one, or before the first estimate populates them).
+  virtual uint64_t PackedWeightBytes() const { return 0; }
 
   /// Display name for bench tables.
   virtual std::string name() const = 0;

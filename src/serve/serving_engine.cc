@@ -48,6 +48,9 @@ ServingEngine::ServingEngine(query::CardinalityEstimator& estimator, ServingOpti
   DUET_CHECK_GE(options_.min_shard, 1);
   DUET_CHECK_GE(options_.max_batch, 1);
   DUET_CHECK_GE(options_.max_wait_us, 0);
+  // Applied before any worker can estimate: layers repack lazily on their
+  // first forward under the new backend.
+  estimator_.SetInferenceBackend(options_.backend);
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
@@ -168,17 +171,28 @@ void ServingEngine::DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> bat
   for (const auto& p : batch) queries.push_back(p->query);
   std::vector<double> sels(queries.size());
   EstimateSharded(queries, sels.data());
+  // Count before fulfilling: a client that has observed every Future ready
+  // must also observe the counters covering those queries.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.micro_batches;
+    stats_.queries += static_cast<uint64_t>(batch.size());
+    stats_.largest_micro_batch =
+        std::max(stats_.largest_micro_batch, static_cast<int64_t>(batch.size()));
+  }
   for (size_t i = 0; i < batch.size(); ++i) batch[i]->Fulfill(sels[i]);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.micro_batches;
-  stats_.queries += static_cast<uint64_t>(batch.size());
-  stats_.largest_micro_batch =
-      std::max(stats_.largest_micro_batch, static_cast<int64_t>(batch.size()));
 }
 
 ServingStats ServingEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServingStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  // Point-in-time gauge, not a counter: reads the estimator's packed-cache
+  // footprint outside stats_mu_ (the caches have their own locks).
+  snapshot.packed_weight_bytes = estimator_.PackedWeightBytes();
+  return snapshot;
 }
 
 }  // namespace duet::serve

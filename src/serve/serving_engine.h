@@ -44,6 +44,7 @@
 #include "common/thread_pool.h"
 #include "query/estimator.h"
 #include "query/query.h"
+#include "tensor/packed_weights.h"
 
 namespace duet::serve {
 
@@ -59,15 +60,28 @@ struct ServingOptions {
   int64_t max_batch = 64;
   /// ...or when the oldest pending query has waited this long.
   int64_t max_wait_us = 200;
+  /// Packed-weight backend applied to the estimator at engine construction
+  /// (tensor/packed_weights.h). kDenseF32 keeps the bitwise-exact fp32
+  /// path; kCsrF32 streams only nonzero masked weights (also bitwise-
+  /// exact); kInt8 quarters batch-1 weight traffic at bounded accuracy
+  /// cost. The engine owns the choice for its lifetime — reconfiguring the
+  /// estimator elsewhere while an engine serves it violates the quiesce
+  /// contract.
+  tensor::WeightBackend backend = tensor::WeightBackend::kDenseF32;
 };
 
-/// Cumulative counters (monotone since construction).
+/// Cumulative counters (monotone since construction), plus a point-in-time
+/// gauge of the packed-weight cache footprint.
 struct ServingStats {
   uint64_t queries = 0;             ///< queries completed (sync + async)
   uint64_t sync_batches = 0;        ///< EstimateBatch client calls
   uint64_t micro_batches = 0;       ///< async scheduler dispatches
   uint64_t shards = 0;              ///< shard tasks run on the pool
   int64_t largest_micro_batch = 0;  ///< max async dispatch size observed
+  /// Bytes held by the estimator's packed-weight caches when stats() was
+  /// taken (0 until first estimate): the weight-memory cost of the serving
+  /// configuration's backend, on top of the fp32 parameters.
+  uint64_t packed_weight_bytes = 0;
 };
 
 /// Shards batches across a private worker pool and micro-batches async

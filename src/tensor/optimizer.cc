@@ -27,7 +27,10 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2, float
 }
 
 void Adam::Step() {
-  BumpParameterVersion();  // invalidates parameter-derived inference caches
+  // Bumps ParameterVersion() on scope exit — i.e. after the weights moved —
+  // so a concurrent cache rebuild can never stamp half-updated weights with
+  // the new version (serving is quiesced around steps regardless).
+  ParameterMutationGuard mutation;
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -59,7 +62,7 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
-  BumpParameterVersion();  // invalidates parameter-derived inference caches
+  ParameterMutationGuard mutation;  // bumps ParameterVersion() on scope exit
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
     if (p.grad_vector().empty()) continue;

@@ -1,0 +1,294 @@
+#include "tensor/packed_weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace duet::tensor {
+
+namespace {
+
+/// Same work threshold as the dense GEMM: parallelize only when the dense
+/// equivalent would (CSR does strictly less work, so this is conservative).
+inline bool PackedParallel(int64_t m, int64_t k, int64_t n) {
+  return m * k * n > (1 << 18);
+}
+
+/// CSR row sweep for one input row of `a`: for k ascending, add
+/// av * W[k, :]'s nonzero runs into the output row with contiguous SIMD
+/// inner loops. Per output element the nonzero terms arrive k-ascending —
+/// the same order as the dense kernels — and the skipped terms are exact
+/// zeros, so this is bitwise-equal to the dense accumulation (a skipped
+/// +-0.0f term never changes a finite accumulator that is never -0.0).
+/// Templated over the run-bound width.
+template <typename Idx>
+inline void CsrRowAccumT(const PackedWeights& w, const Idx* run_start, const Idx* run_len,
+                         const float* arow, float* crow) {
+  for (int64_t k = 0; k < w.in; ++k) {
+    const float av = arow[k];
+    if (av == 0.0f) continue;  // input sparsity: one-hot / wildcard zeros
+    const float* vals = w.values.data() + w.val_ptr[static_cast<size_t>(k)];
+    const int32_t r0 = w.row_ptr[static_cast<size_t>(k)];
+    const int32_t r1 = w.row_ptr[static_cast<size_t>(k) + 1];
+    for (int32_t r = r0; r < r1; ++r) {
+      float* dst = crow + run_start[r];
+      const int64_t len = run_len[r];
+#pragma omp simd
+      for (int64_t i = 0; i < len; ++i) dst[i] += av * vals[i];
+      vals += len;
+    }
+  }
+}
+
+inline void CsrRowAccum(const PackedWeights& w, const float* arow, float* crow) {
+  if (w.run_start32.empty()) {
+    CsrRowAccumT(w, w.run_start16.data(), w.run_len16.data(), arow, crow);
+  } else {
+    CsrRowAccumT(w, w.run_start32.data(), w.run_len32.data(), arow, crow);
+  }
+}
+
+/// Int8 row sweep for one input row: fp32 accumulation of av * q[k, :]. The
+/// dequantization scale is applied once per output in the epilogue, not per
+/// term, so the accumulator stays a plain fp32 dot product.
+inline void Int8RowAccum(const PackedWeights& w, const float* arow, float* crow) {
+  for (int64_t k = 0; k < w.in; ++k) {
+    const float av = arow[k];
+    if (av == 0.0f) continue;
+    const int8_t* qrow = w.quantized.data() + k * w.out;
+#pragma omp simd
+    for (int64_t j = 0; j < w.out; ++j) crow[j] += av * static_cast<float>(qrow[j]);
+  }
+}
+
+/// Fused bias + activation epilogue over [B, O] rows; the expressions match
+/// MatMulBiasAct's epilogue exactly so the CSR path stays bitwise-equal to
+/// dense. `scales` (int8 only) folds the per-channel dequantization into the
+/// same pass: y = act(acc * scale + bias).
+void BiasActEpilogue(float* c, int64_t b, int64_t o, const float* bias, const float* scales,
+                     Activation act, bool parallel) {
+  ParallelForChunked(
+      0, b,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          float* crow = c + r * o;
+          if (scales != nullptr) {
+#pragma omp simd
+            for (int64_t j = 0; j < o; ++j) crow[j] = crow[j] * scales[j] + bias[j];
+          } else {
+#pragma omp simd
+            for (int64_t j = 0; j < o; ++j) crow[j] += bias[j];
+          }
+          switch (act) {
+            case Activation::kNone:
+              break;
+            case Activation::kRelu:
+#pragma omp simd
+              for (int64_t j = 0; j < o; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+              break;
+            case Activation::kSigmoid:
+              for (int64_t j = 0; j < o; ++j) crow[j] = 1.0f / (1.0f + std::exp(-crow[j]));
+              break;
+            case Activation::kTanh:
+              for (int64_t j = 0; j < o; ++j) crow[j] = std::tanh(crow[j]);
+              break;
+          }
+        }
+      },
+      parallel, /*grain=*/8);
+}
+
+}  // namespace
+
+const char* WeightBackendName(WeightBackend backend) {
+  switch (backend) {
+    case WeightBackend::kDenseF32: return "dense";
+    case WeightBackend::kCsrF32: return "csr";
+    case WeightBackend::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+bool ParseWeightBackend(const std::string& name, WeightBackend* out) {
+  if (name == "dense") { *out = WeightBackend::kDenseF32; return true; }
+  if (name == "csr") { *out = WeightBackend::kCsrF32; return true; }
+  if (name == "int8") { *out = WeightBackend::kInt8; return true; }
+  return false;
+}
+
+uint64_t PackedWeights::bytes() const {
+  switch (backend) {
+    case WeightBackend::kDenseF32:
+      return static_cast<uint64_t>(in) * static_cast<uint64_t>(out) * sizeof(float);
+    case WeightBackend::kCsrF32:
+      return (row_ptr.size() + val_ptr.size()) * sizeof(int32_t) +
+             (run_start16.size() + run_len16.size()) * sizeof(uint16_t) +
+             (run_start32.size() + run_len32.size()) * sizeof(int32_t) +
+             values.size() * sizeof(float);
+    case WeightBackend::kInt8:
+      return quantized.size() * sizeof(int8_t) + scales.size() * sizeof(float);
+  }
+  return 0;
+}
+
+int64_t PackedWeights::nnz() const {
+  if (backend == WeightBackend::kCsrF32) return static_cast<int64_t>(values.size());
+  return in * out;
+}
+
+std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend) {
+  DUET_CHECK_EQ(w.ndim(), 2);
+  auto packed = std::make_shared<PackedWeights>();
+  packed->backend = backend;
+  packed->in = w.dim(0);
+  packed->out = w.dim(1);
+  const float* wp = w.data();
+
+  switch (backend) {
+    case WeightBackend::kDenseF32:
+      // Shares the input handle: the caller hands over an immutable,
+      // non-pooled materialization (layers pass a fresh W o M copy), so no
+      // second dense buffer is allocated.
+      packed->dense = w;
+      break;
+
+    case WeightBackend::kCsrF32: {
+      const bool narrow = packed->out <= 65535;
+      packed->row_ptr.reserve(static_cast<size_t>(packed->in) + 1);
+      packed->val_ptr.reserve(static_cast<size_t>(packed->in) + 1);
+      packed->row_ptr.push_back(0);
+      packed->val_ptr.push_back(0);
+      for (int64_t k = 0; k < packed->in; ++k) {
+        const float* row = wp + k * packed->out;
+        int64_t j = 0;
+        while (j < packed->out) {
+          // -0.0f == 0.0f, so masked-out entries (w * 0.0f may be -0.0f for
+          // negative w) are dropped along with exact zeros.
+          if (row[j] == 0.0f) {
+            ++j;
+            continue;
+          }
+          const int64_t start = j;
+          while (j < packed->out && row[j] != 0.0f) {
+            packed->values.push_back(row[j]);
+            ++j;
+          }
+          if (narrow) {
+            packed->run_start16.push_back(static_cast<uint16_t>(start));
+            packed->run_len16.push_back(static_cast<uint16_t>(j - start));
+          } else {
+            packed->run_start32.push_back(static_cast<int32_t>(start));
+            packed->run_len32.push_back(static_cast<int32_t>(j - start));
+          }
+        }
+        packed->row_ptr.push_back(static_cast<int32_t>(
+            narrow ? packed->run_start16.size() : packed->run_start32.size()));
+        packed->val_ptr.push_back(static_cast<int32_t>(packed->values.size()));
+      }
+      break;
+    }
+
+    case WeightBackend::kInt8: {
+      packed->scales.assign(static_cast<size_t>(packed->out), 0.0f);
+      for (int64_t k = 0; k < packed->in; ++k) {
+        const float* row = wp + k * packed->out;
+        for (int64_t j = 0; j < packed->out; ++j) {
+          packed->scales[static_cast<size_t>(j)] =
+              std::max(packed->scales[static_cast<size_t>(j)], std::fabs(row[j]));
+        }
+      }
+      std::vector<float> inv(static_cast<size_t>(packed->out), 0.0f);
+      for (int64_t j = 0; j < packed->out; ++j) {
+        float& s = packed->scales[static_cast<size_t>(j)];
+        s /= 127.0f;  // symmetric: q in [-127, 127], 0.0 maps to q == 0
+        if (s > 0.0f) inv[static_cast<size_t>(j)] = 1.0f / s;
+      }
+      packed->quantized.resize(static_cast<size_t>(packed->in * packed->out));
+      for (int64_t k = 0; k < packed->in; ++k) {
+        const float* row = wp + k * packed->out;
+        int8_t* qrow = packed->quantized.data() + k * packed->out;
+        for (int64_t j = 0; j < packed->out; ++j) {
+          const float q = std::nearbyint(row[j] * inv[static_cast<size_t>(j)]);
+          qrow[j] = static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
+        }
+      }
+      break;
+    }
+  }
+  return packed;
+}
+
+void PackedGemv(const PackedWeights& w, const float* x, float* y) {
+  switch (w.backend) {
+    case WeightBackend::kDenseF32: {
+      // Same k-ascending zero-skip loop as the dense GEMV fast path.
+      const float* wp = w.dense.data();
+      for (int64_t k = 0; k < w.in; ++k) {
+        const float av = x[k];
+        if (av == 0.0f) continue;
+        const float* wrow = wp + k * w.out;
+#pragma omp simd
+        for (int64_t j = 0; j < w.out; ++j) y[j] += av * wrow[j];
+      }
+      break;
+    }
+    case WeightBackend::kCsrF32:
+      CsrRowAccum(w, x, y);
+      break;
+    case WeightBackend::kInt8:
+      Int8RowAccum(w, x, y);
+      break;
+  }
+}
+
+Tensor PackedMatMulBiasAct(const Tensor& a, const PackedWeights& w, const Tensor& bias,
+                           Activation act) {
+  DUET_CHECK(!NoGradGuard::GradEnabled())
+      << "PackedMatMulBiasAct is inference-only (no autograd graph)";
+  DUET_CHECK_EQ(a.ndim(), 2);
+  DUET_CHECK_EQ(a.dim(1), w.in);
+  DUET_CHECK_EQ(bias.ndim(), 1);
+  DUET_CHECK_EQ(bias.dim(0), w.out);
+
+  if (w.backend == WeightBackend::kDenseF32) {
+    // Identical code path to the unpacked layer (tiled GEMM / zero-skip
+    // GEMV + fused epilogue), so dense packing is bitwise-invisible.
+    return MatMulBiasAct(a, w.dense, bias, act);
+  }
+
+  const int64_t b = a.dim(0);
+  Tensor out = Tensor::Zeros({b, w.out});
+  const float* ap = a.data();
+  float* cp = out.data();
+  const bool parallel = PackedParallel(b, w.in, w.out);
+  if (b == 1) {
+    PackedGemv(w, ap, cp);
+  } else {
+    // Row-parallel sweep: rows are independent and each output element
+    // still accumulates k-ascending, so neither the thread count nor the
+    // batch size changes any per-row result (the batch-invariance contract
+    // holds for every backend).
+    ParallelForChunked(
+        0, b,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            const float* arow = ap + r * w.in;
+            float* crow = cp + r * w.out;
+            if (w.backend == WeightBackend::kCsrF32) {
+              CsrRowAccum(w, arow, crow);
+            } else {
+              Int8RowAccum(w, arow, crow);
+            }
+          }
+        },
+        parallel, /*grain=*/8);
+  }
+  BiasActEpilogue(cp, b, w.out, bias.data(),
+                  w.backend == WeightBackend::kInt8 ? w.scales.data() : nullptr, act,
+                  parallel);
+  return out;
+}
+
+}  // namespace duet::tensor

@@ -1,0 +1,117 @@
+// Pluggable packed-weight backends for the inference-side weight path.
+//
+// Batch-1 estimation is pure weight traffic: every masked GEMV streams a
+// dense fp32 `W o M` whose entries are ~50% structural zeros (the MADE
+// connectivity masks). PackedWeights is an immutable, inference-only packed
+// form of a layer's effective weight that lets layers trade that traffic
+// against numeric fidelity:
+//
+//  * kDenseF32 — the dense [in, out] fp32 matrix, dispatched through the
+//    exact same tiled GEMM / zero-skip GEMV as the unpacked path, so it is
+//    bitwise identical to pre-packing behavior.
+//  * kCsrF32  — compressed sparse rows over the masked zeros. Only nonzero
+//    weights are stored and streamed. Per output element the nonzero terms
+//    accumulate in the same k-ascending order as the dense kernels and the
+//    skipped terms are exact zeros, so CSR results are bitwise equal to
+//    dense (see the -0.0 note on the kernels in ops.cc).
+//  * kInt8    — per-output-channel symmetric int8 quantization (scale_j =
+//    max_k |W[k,j]| / 127) with fp32 accumulation and a fused
+//    dequantize+bias+activation epilogue. 4x less weight traffic;
+//    accuracy-bounded rather than exact: |y_q - y| <= 0.5 * scale_j *
+//    sum_k |x_k| per output channel.
+//
+// PackedWeights values are immutable after PackWeights returns and hold no
+// autograd state; they are safe to share across threads and to outlive any
+// NoGradScope (all storage is plain heap, never the inference arena).
+// Layers cache one per parameter version (see nn/layers.h for the
+// coherence/publication rules).
+#ifndef DUET_TENSOR_PACKED_WEIGHTS_H_
+#define DUET_TENSOR_PACKED_WEIGHTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace duet::tensor {
+
+/// Inference weight-storage backend selection.
+enum class WeightBackend : int32_t {
+  kDenseF32 = 0,  ///< dense fp32 (bitwise-identical to the unpacked path)
+  kCsrF32 = 1,    ///< sparse fp32 rows (bitwise-identical, zeros skipped)
+  kInt8 = 2,      ///< per-output-channel symmetric int8 (accuracy-bounded)
+};
+
+/// Human-readable backend name ("dense" / "csr" / "int8"), for bench output.
+const char* WeightBackendName(WeightBackend backend);
+
+/// Parses "dense" / "csr" / "int8" (returns false on anything else).
+bool ParseWeightBackend(const std::string& name, WeightBackend* out);
+
+/// One layer's effective weight, packed for inference. Immutable; produced
+/// by PackWeights and consumed by PackedMatMulBiasAct / PackedGemv.
+struct PackedWeights {
+  WeightBackend backend = WeightBackend::kDenseF32;
+  int64_t in = 0;
+  int64_t out = 0;
+
+  /// kDenseF32: the dense [in, out] matrix (no grad, non-pooled storage).
+  Tensor dense;
+
+  /// kCsrF32: rows are the in-dimension k; row k holds its nonzeros as
+  /// maximal contiguous column *runs* (start, len) plus the run values in
+  /// column order. Run compression instead of per-element column indices
+  /// because MADE masks are periodic in the output degree: every row's
+  /// allowed columns form a handful of contiguous stretches (the strict
+  /// output layer is a single suffix run per row), so the sparse kernel
+  /// keeps dense contiguous SIMD inner loops — a per-element index gather
+  /// would forfeit vectorization and lose to dense outright. Run bounds are
+  /// 16-bit whenever out <= 65535 (every in-tree layer); the *32 pair is
+  /// the fallback for very wide layers. Exactly one pair is populated.
+  std::vector<int32_t> row_ptr;      ///< size in+1: run range of row k
+  std::vector<int32_t> val_ptr;      ///< size in+1: value offset of row k
+  std::vector<uint16_t> run_start16;  ///< per run: first column
+  std::vector<uint16_t> run_len16;    ///< per run: contiguous nonzero count
+  std::vector<int32_t> run_start32;   ///< wide-layer fallback
+  std::vector<int32_t> run_len32;     ///< wide-layer fallback
+  std::vector<float> values;          ///< size nnz, row-major column order
+
+  /// kInt8: row-major [in, out] quantized weights and per-output-channel
+  /// dequantization scales (scale 0 for all-zero channels).
+  std::vector<int8_t> quantized;
+  std::vector<float> scales;  ///< size out
+
+  /// Packed footprint in bytes (weight payload + indexing/scale metadata;
+  /// excludes bias, which the layer owns either way).
+  uint64_t bytes() const;
+
+  /// Nonzero count (CSR only; in*out otherwise).
+  int64_t nnz() const;
+};
+
+/// Packs a dense [in, out] fp32 weight (already masked — i.e. the effective
+/// weight the layer multiplies by) into the chosen backend. The input tensor
+/// is only read; for kDenseF32 the returned pack shares its handle.
+std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend);
+
+/// Fused packed dense layer: act(a x W_packed + bias) for a:[B,I], bias:[O].
+/// Inference-only — must run with gradient tracking disabled (the packed
+/// form has no autograd graph). kDenseF32 dispatches to the standard tiled
+/// GEMM / zero-skip GEMV (bitwise-identical to MatMulBiasAct on the dense
+/// matrix); kCsrF32 runs the sparse kernels (bitwise-identical, see header
+/// comment); kInt8 accumulates in fp32 and fuses dequant+bias+activation.
+Tensor PackedMatMulBiasAct(const Tensor& a, const PackedWeights& w, const Tensor& bias,
+                           Activation act);
+
+/// Single-row packed kernel: y[0..out) += x[0..in) x W_packed, with x rows
+/// skipped at x[k] == 0 (Duet inputs are one-hot-sparse). No bias, no
+/// activation, no dequantization for kInt8 — the caller applies the fused
+/// epilogue. Exposed for kernel tests; PackedMatMulBiasAct uses it for M=1.
+void PackedGemv(const PackedWeights& w, const float* x, float* y);
+
+}  // namespace duet::tensor
+
+#endif  // DUET_TENSOR_PACKED_WEIGHTS_H_

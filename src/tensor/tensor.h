@@ -101,6 +101,21 @@ class InferenceArena {
 uint64_t ParameterVersion();
 void BumpParameterVersion();
 
+/// RAII form of the invalidation contract above: construct one in any scope
+/// that mutates parameter storage through raw `data()` pointers (checkpoint
+/// restores, fine-tuning drivers, optimizer steps); its destructor bumps
+/// ParameterVersion() exactly once, after the mutation — including on early
+/// returns and exceptions — so parameter-derived caches can never observe a
+/// completed mutation under a stale version. Prefer this over calling
+/// BumpParameterVersion() by hand, which is easy to forget on one exit path.
+class ParameterMutationGuard {
+ public:
+  ParameterMutationGuard() = default;
+  ~ParameterMutationGuard() { BumpParameterVersion(); }
+  ParameterMutationGuard(const ParameterMutationGuard&) = delete;
+  ParameterMutationGuard& operator=(const ParameterMutationGuard&) = delete;
+};
+
 /// RAII guard disabling graph construction (inference mode).
 class NoGradGuard {
  public:
