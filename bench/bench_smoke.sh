@@ -8,11 +8,14 @@
 # DUET_BENCH_SCALE shrinks datasets/workloads/training budgets; 0.05 keeps
 # the whole sweep in CI-friendly time. DUET_BENCH_BACKENDS selects which
 # packed-weight backends the throughput sweep smoke-runs (default: all
-# three, so none of the backend code paths can silently bit-rot).
+# four, so none of the backend code paths can silently bit-rot), and
+# DUET_BENCH_PLAN which compiled-plan modes (default both, so the plan and
+# per-layer execution paths are both exercised).
 set -u
 BUILD_DIR="${1:-build}"
 export DUET_BENCH_SCALE="${DUET_BENCH_SCALE:-0.05}"
-BACKENDS="${DUET_BENCH_BACKENDS:-dense,csr,int8}"
+BACKENDS="${DUET_BENCH_BACKENDS:-dense,csr,int8,f16}"
+PLAN_MODES="${DUET_BENCH_PLAN:-on,off}"
 
 status=0
 ran=0
@@ -24,7 +27,7 @@ for bin in "$BUILD_DIR"/bench_*; do
     # Keep the inference sweep short; coverage, not measurement. --backend
     # makes every packed-weight backend take the kernel + cache paths.
     bench_table3_throughput)
-      extra="--sweep_queries=64 --sweep_min_seconds=0.05 --backend=$BACKENDS" ;;
+      extra="--sweep_queries=64 --sweep_min_seconds=0.05 --backend=$BACKENDS --plan=$PLAN_MODES" ;;
   esac
   start=$(date +%s)
   if "$bin" $extra >/dev/null 2>&1; then

@@ -10,16 +10,20 @@
 //  * a multi-thread serving sweep through serve::ServingEngine (1/2/4/8
 //    workers x the same batch sizes), with a bitwise sharded-vs-single-
 //    thread equality check, and
-//  * a packed-weight backend sweep (dense fp32 / CSR sparse / int8): batch-1
-//    and batch-64 queries/sec per backend, the packed-cache footprint, and
-//    the median q-error delta vs the fp32 path on the seeded workload
-//    (exactly 0 for CSR, bounded for int8).
+//  * a packed-weight backend sweep (dense fp32 / CSR sparse / int8 / f16),
+//    A/B'd over compiled-plan execution (--plan=on,off): batch-1 and
+//    batch-64 queries/sec per (plan, backend) row, the packed-cache and
+//    plan footprints, plan compile time / cache hits, and the median
+//    q-error delta vs the fp32 path on the seeded workload (exactly 0 for
+//    CSR, bounded for int8/f16) — so the plan win is measured, not
+//    asserted.
 // All sweeps are emitted in one JSON line for tooling (schema documented
 // in docs/benchmarks.md).
 //
 // Flags: --datasets=census,kdd,dmv --batch=N --sweep_queries=N
 //        --sweep_min_seconds=S --sweep=0|1 --sweep_scalar=0|1
-//        --sweep_hidden=N --backend=dense,csr,int8 --backend_hidden=N
+//        --sweep_hidden=N --backend=dense,csr,int8,f16 --backend_hidden=N
+//        --plan=on,off
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -235,9 +239,11 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   // bitwise backend; int8 is quantization-bounded).
   struct BackendRow {
     tensor::WeightBackend backend;
+    bool plan = true;  // compiled-plan execution on/off for this row
     double qps_b1 = 0.0;
     double qps_b64 = 0.0;
     uint64_t packed_bytes = 0;
+    uint64_t plan_bytes = 0;
     double median_qerror = 0.0;
     double qerror_delta = 0.0;  // (median - dense median) / dense median
   };
@@ -248,10 +254,10 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   // SIMD instead of the weight formats.
   tensor::SetUseScalarKernels(false);
 
-  // --backend: comma-separated subset of dense,csr,int8, swept in the
+  // --backend: comma-separated subset of dense,csr,int8,f16, swept in the
   // given order. Unknown names are a hard error — a typo must not let the
   // smoke run silently skip every backend code path.
-  const std::string backend_list = flags.GetString("backend", "dense,csr,int8");
+  const std::string backend_list = flags.GetString("backend", "dense,csr,int8,f16");
   std::vector<tensor::WeightBackend> backends;
   for (size_t pos = 0; pos <= backend_list.size();) {
     size_t comma = backend_list.find(',', pos);
@@ -261,7 +267,7 @@ void RunInferenceSweep(const Flags& flags, double scale) {
     if (token.empty()) continue;
     tensor::WeightBackend parsed;
     if (!tensor::ParseWeightBackend(token, &parsed)) {
-      std::fprintf(stderr, "unknown --backend entry '%s' (expected dense,csr,int8)\n",
+      std::fprintf(stderr, "unknown --backend entry '%s' (expected dense,csr,int8,f16)\n",
                    token.c_str());
       std::exit(1);  // a typo must fail the run, not skip the sweep
     }
@@ -270,6 +276,31 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   if (backends.empty()) {
     std::fprintf(stderr, "--backend selected no backends (got '%s')\n", backend_list.c_str());
     std::exit(1);  // same policy as unknown tokens: no silent skip
+  }
+
+  // --plan: comma-separated subset of on,off — the compiled-plan A/B. Each
+  // backend is measured under every selected mode, so the plan win shows up
+  // as two JSON rows per backend instead of a claim.
+  const std::string plan_list = flags.GetString("plan", "on,off");
+  std::vector<bool> plan_modes;
+  for (size_t pos = 0; pos <= plan_list.size();) {
+    size_t comma = plan_list.find(',', pos);
+    if (comma == std::string::npos) comma = plan_list.size();
+    const std::string token = plan_list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    if (token == "on") {
+      plan_modes.push_back(true);
+    } else if (token == "off") {
+      plan_modes.push_back(false);
+    } else {
+      std::fprintf(stderr, "unknown --plan entry '%s' (expected on,off)\n", token.c_str());
+      std::exit(1);  // same no-silent-skip policy as --backend
+    }
+  }
+  if (plan_modes.empty()) {
+    std::fprintf(stderr, "--plan selected no modes (got '%s')\n", plan_list.c_str());
+    std::exit(1);
   }
 
   query::WorkloadSpec lspec;
@@ -295,29 +326,36 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   core::DuetEstimator best(bmodel);
 
   std::vector<BackendRow> brows;
-  for (tensor::WeightBackend backend : backends) {
-    BackendRow row;
-    row.backend = backend;
-    bmodel.SetInferenceBackend(backend);
-    row.qps_b1 = MeasureBatchedQps(best, queries, 1, min_seconds);
-    row.qps_b64 = MeasureBatchedQps(best, queries, 64, min_seconds);
-    row.packed_bytes = bmodel.CachedBytes();
-    const std::vector<double> sels = best.EstimateSelectivityBatch(lqueries);
-    std::vector<double> qerrs;
-    qerrs.reserve(sels.size());
-    for (size_t i = 0; i < sels.size(); ++i) {
-      const double card =
-          std::max(1.0, query::CardinalityEstimator::ClampSelectivity(sels[i]) * rows_n);
-      qerrs.push_back(query::QError(card, static_cast<double>(labeled[i].cardinality)));
+  for (bool plan_on : plan_modes) {
+    bmodel.SetPlanEnabled(plan_on);
+    for (tensor::WeightBackend backend : backends) {
+      BackendRow row;
+      row.backend = backend;
+      row.plan = plan_on;
+      bmodel.SetInferenceBackend(backend);
+      row.qps_b1 = MeasureBatchedQps(best, queries, 1, min_seconds);
+      row.qps_b64 = MeasureBatchedQps(best, queries, 64, min_seconds);
+      row.packed_bytes = bmodel.CachedBytes();
+      row.plan_bytes = bmodel.PlanBytes();
+      const std::vector<double> sels = best.EstimateSelectivityBatch(lqueries);
+      std::vector<double> qerrs;
+      qerrs.reserve(sels.size());
+      for (size_t i = 0; i < sels.size(); ++i) {
+        const double card =
+            std::max(1.0, query::CardinalityEstimator::ClampSelectivity(sels[i]) * rows_n);
+        qerrs.push_back(query::QError(card, static_cast<double>(labeled[i].cardinality)));
+      }
+      std::sort(qerrs.begin(), qerrs.end());
+      row.median_qerror = qerrs.empty() ? 0.0 : qerrs[qerrs.size() / 2];
+      brows.push_back(row);
     }
-    std::sort(qerrs.begin(), qerrs.end());
-    row.median_qerror = qerrs.empty() ? 0.0 : qerrs[qerrs.size() / 2];
-    brows.push_back(row);
   }
+  bmodel.SetPlanEnabled(true);  // restore the default
 
-  // Deltas are anchored on the dense (fp32) row wherever it ran in the
-  // sweep order; without a dense row there is no reference and the field
-  // is omitted from the JSON below.
+  // Deltas are anchored on the first dense (fp32) row wherever it ran in
+  // the sweep order (dense is bitwise-invariant to the plan toggle, so any
+  // dense row anchors both modes); without a dense row there is no
+  // reference and the field is omitted from the JSON below.
   bool have_dense = false;
   double dense_median = 0.0;
   for (const BackendRow& row : brows) {
@@ -329,20 +367,26 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   }
   std::printf("\nPacked-weight backend sweep (1 thread, %lld queries, 2x%lld ResMADE)\n",
               static_cast<long long>(num_queries), static_cast<long long>(backend_hidden));
-  std::printf("%-8s %14s %14s %12s %14s\n", "backend", "batch-1 q/s", "batch-64 q/s",
-              "packed KiB", "qerr delta");
+  std::printf("%-8s %-5s %14s %14s %12s %10s %14s\n", "backend", "plan", "batch-1 q/s",
+              "batch-64 q/s", "packed KiB", "plan KiB", "qerr delta");
   for (BackendRow& row : brows) {
     row.qerror_delta = have_dense && dense_median > 0.0
                            ? (row.median_qerror - dense_median) / dense_median
                            : 0.0;
-    std::printf("%-8s %14.1f %14.1f %12.1f ", tensor::WeightBackendName(row.backend),
-                row.qps_b1, row.qps_b64, static_cast<double>(row.packed_bytes) / 1024.0);
+    std::printf("%-8s %-5s %14.1f %14.1f %12.1f %10.1f ",
+                tensor::WeightBackendName(row.backend), row.plan ? "on" : "off", row.qps_b1,
+                row.qps_b64, static_cast<double>(row.packed_bytes) / 1024.0,
+                static_cast<double>(row.plan_bytes) / 1024.0);
     if (have_dense) {
       std::printf("%+13.4f%%\n", 100.0 * row.qerror_delta);
     } else {
       std::printf("%14s\n", "n/a");
     }
   }
+  std::printf("plan cache: %llu compiles in %.1f ms, %llu hits\n",
+              static_cast<unsigned long long>(bmodel.PlanInfo().compiles),
+              static_cast<double>(best.PlanCompileMicros()) / 1000.0,
+              static_cast<unsigned long long>(best.PlanCacheHits()));
 
   ThreadPool::SetGlobalThreads(0);
   tensor::SetUseScalarKernels(false);
@@ -377,26 +421,33 @@ void RunInferenceSweep(const Flags& flags, double scale) {
                 "],\"speedup_w4_vs_w1_batch64\":%.2f,\"sharded_bitwise_equal\":%s}",
                 serving_qps[2][2] / serving_qps[0][2], bitwise_equal ? "true" : "false");
   json += tail2;
-  // Backend sweep: one row per packed-weight backend. qerror_delta is
-  // relative to the dense (fp32) median q-error; best_nondense_b1_speedup
-  // is the best non-dense batch-1 throughput over dense (the ROADMAP's
-  // weight-traffic lever, expected > 1 from CSR/int8).
+  // Backend sweep: one row per (plan mode, packed-weight backend).
+  // qerror_delta is relative to the dense (fp32) median q-error;
+  // best_nondense_b1_speedup is the best non-dense batch-1 throughput over
+  // dense within the plan=on rows (falling back to whatever mode ran — the
+  // ROADMAP's weight-traffic lever, expected > 1 from CSR/int8/f16);
+  // plan_b1_speedup_best is the best per-backend batch-1 ratio of plan=on
+  // over plan=off (the compiled-plan lever, only present when both modes
+  // ran).
   json += ",\"backend_sweep\":{\"results\":[";
   double dense_b1 = 0.0, best_nondense_b1 = 0.0;
   for (size_t i = 0; i < brows.size(); ++i) {
     const BackendRow& row = brows[i];
+    const bool counts = row.plan == plan_modes.front();  // one mode feeds speedups
     if (row.backend == tensor::WeightBackend::kDenseF32) {
-      dense_b1 = row.qps_b1;
-    } else {
+      if (counts) dense_b1 = row.qps_b1;
+    } else if (counts) {
       best_nondense_b1 = std::max(best_nondense_b1, row.qps_b1);
     }
-    char buf[224];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"backend\":\"%s\",\"qps_batch1\":%.1f,\"qps_batch64\":%.1f,"
-                  "\"packed_weight_bytes\":%llu,\"median_qerror\":%.4f",
-                  i == 0 ? "" : ",", tensor::WeightBackendName(row.backend), row.qps_b1,
-                  row.qps_b64, static_cast<unsigned long long>(row.packed_bytes),
-                  row.median_qerror);
+                  "%s{\"backend\":\"%s\",\"plan\":\"%s\",\"qps_batch1\":%.1f,"
+                  "\"qps_batch64\":%.1f,\"packed_weight_bytes\":%llu,"
+                  "\"plan_bytes\":%llu,\"median_qerror\":%.4f",
+                  i == 0 ? "" : ",", tensor::WeightBackendName(row.backend),
+                  row.plan ? "on" : "off", row.qps_b1, row.qps_b64,
+                  static_cast<unsigned long long>(row.packed_bytes),
+                  static_cast<unsigned long long>(row.plan_bytes), row.median_qerror);
     json += buf;
     if (have_dense) {  // no dense row in the sweep -> no delta reference
       std::snprintf(buf, sizeof(buf), ",\"qerror_delta_vs_dense\":%.6f", row.qerror_delta);
@@ -404,9 +455,29 @@ void RunInferenceSweep(const Flags& flags, double scale) {
     }
     json += "}";
   }
-  char tail3[64];
-  std::snprintf(tail3, sizeof(tail3), "],\"best_nondense_b1_speedup\":%.2f}}",
+  char tail3[96];
+  std::snprintf(tail3, sizeof(tail3), "],\"best_nondense_b1_speedup\":%.2f",
                 dense_b1 > 0.0 ? best_nondense_b1 / dense_b1 : 0.0);
+  json += tail3;
+  // Per-backend plan-on/plan-off batch-1 ratio (requires both modes).
+  double plan_speedup_best = 0.0;
+  for (const BackendRow& on_row : brows) {
+    if (!on_row.plan) continue;
+    for (const BackendRow& off_row : brows) {
+      if (off_row.plan || off_row.backend != on_row.backend) continue;
+      if (off_row.qps_b1 > 0.0) {
+        plan_speedup_best = std::max(plan_speedup_best, on_row.qps_b1 / off_row.qps_b1);
+      }
+    }
+  }
+  if (plan_speedup_best > 0.0) {
+    std::snprintf(tail3, sizeof(tail3), ",\"plan_b1_speedup_best\":%.2f", plan_speedup_best);
+    json += tail3;
+  }
+  std::snprintf(tail3, sizeof(tail3),
+                ",\"plan_compile_micros\":%llu,\"plan_cache_hits\":%llu}}",
+                static_cast<unsigned long long>(best.PlanCompileMicros()),
+                static_cast<unsigned long long>(best.PlanCacheHits()));
   json += tail3;
   std::printf("%s\n", json.c_str());
 }

@@ -115,6 +115,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\nestimated %.1f rows, actual %.0f rows\n",
               sel * static_cast<double>(table.num_rows()), actual);
+  // Estimation above ran through the compiled inference plan (built
+  // automatically on the first no-grad forward; docs/architecture.md §5).
+  std::printf("inference plan: %.1f KiB compiled, %.1f KiB packed caches total\n",
+              static_cast<double>(estimator.PlanBytes()) / 1024.0,
+              static_cast<double>(estimator.PackedWeightBytes()) / 1024.0);
 
   // Checkpoint round-trip: the trained estimator can be shipped.
   {

@@ -59,6 +59,17 @@ int main() {
   const std::vector<double> estimates =
       estimator.EstimateCardinalityBatch(queries, table.num_rows());
 
+  // The first no-grad forward compiled the model into an inference plan
+  // (a flat packed-op program — see docs/architecture.md §5). This is the
+  // default serving path; the footprint below is what the compiled weights
+  // cost on top of the fp32 parameters.
+  std::printf("inference plan: %.1f KiB compiled (%.1f KiB packed caches total), "
+              "%llu compile(s), %llu cache hit(s)\n",
+              static_cast<double>(estimator.PlanBytes()) / 1024.0,
+              static_cast<double>(estimator.PackedWeightBytes()) / 1024.0,
+              static_cast<unsigned long long>(model.PlanInfo().compiles),
+              static_cast<unsigned long long>(estimator.PlanCacheHits()));
+
   std::printf("\n%-52s %10s %10s %8s\n", "query", "estimate", "actual", "q-error");
   for (size_t i = 0; i < workload.size(); ++i) {
     const auto& lq = workload[i];

@@ -110,16 +110,26 @@ class DuetModel : public nn::Module {
   /// no-grad estimation paths (tensor/packed_weights.h): kDenseF32 keeps
   /// today's bitwise-exact behavior, kCsrF32 streams only nonzero masked
   /// weights (also bitwise-exact), kInt8 quarters weight traffic at bounded
-  /// accuracy cost. Layers repack lazily on their next forward. Const
-  /// because only inference caches are reconfigured — but like training, the
-  /// switch must be quiesced: do not call with estimates in flight.
+  /// accuracy cost, kF16 halves it at a much tighter bound. Layers repack
+  /// (and the plan recompiles) lazily on the next forward. Const because
+  /// only inference caches are reconfigured — but like training, the switch
+  /// must be quiesced for deterministic results: do not call with estimates
+  /// in flight (a racing forward is memory-safe but may serve either
+  /// backend; see nn/layers.h).
   void SetInferenceBackend(tensor::WeightBackend backend) const override {
     net_->SetInferenceBackend(backend);
   }
 
-  /// Bytes currently held by the packed-weight caches (0 until the first
-  /// no-grad forward populates them).
+  /// Bytes currently held by the packed-weight caches including the
+  /// compiled plan (0 until the first no-grad forward populates them).
   uint64_t CachedBytes() const override { return net_->CachedBytes(); }
+
+  /// Compiled-plan controls/observability, forwarded to the backbone (the
+  /// MADE backbone compiles plans; the Transformer falls back to the
+  /// uncompiled path and reports zeros).
+  void SetPlanEnabled(bool enabled) const override { net_->SetPlanEnabled(enabled); }
+  uint64_t PlanBytes() const override { return net_->PlanBytes(); }
+  nn::PlanTelemetry PlanInfo() const override { return net_->PlanInfo(); }
 
   // ----- introspection -----
 
@@ -170,6 +180,10 @@ class DuetEstimator : public query::CardinalityEstimator {
     model_.SetInferenceBackend(backend);
   }
   uint64_t PackedWeightBytes() const override { return model_.CachedBytes(); }
+  void SetPlanEnabled(bool enabled) override { model_.SetPlanEnabled(enabled); }
+  uint64_t PlanBytes() const override { return model_.PlanBytes(); }
+  uint64_t PlanCompileMicros() const override { return model_.PlanInfo().compile_micros; }
+  uint64_t PlanCacheHits() const override { return model_.PlanInfo().cache_hits; }
   std::string name() const override { return name_; }
   double SizeMB() const override { return model_.SizeMB(); }
 

@@ -27,9 +27,13 @@ Linear::Linear(int64_t in, int64_t out, Rng& rng)
   b_ = RegisterParam(UniformInit({out}, bound, rng));
 }
 
+tensor::Tensor Linear::EffectiveWeightCopy() const {
+  return Tensor::FromVector(w_.shape(), w_.value_vector());
+}
+
 std::shared_ptr<const tensor::PackedWeights> Linear::PackedWeight() const {
   const uint64_t version = tensor::ParameterVersion();
-  const tensor::WeightBackend backend = cache_->requested.load(std::memory_order_relaxed);
+  const tensor::WeightBackend backend = cache_->requested.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(cache_->mu);
   if (cache_->version != version || !cache_->packed || cache_->packed->backend != backend) {
     // Pack from a non-pooled copy of W: the pack outlives any NoGradScope
@@ -43,7 +47,7 @@ std::shared_ptr<const tensor::PackedWeights> Linear::PackedWeight() const {
 }
 
 void Linear::SetInferenceBackend(tensor::WeightBackend backend) const {
-  cache_->requested.store(backend, std::memory_order_relaxed);
+  cache_->requested.store(backend, std::memory_order_release);
   if (backend == tensor::WeightBackend::kDenseF32) {
     // The dense path multiplies by W directly and never reads the cache, so
     // a pack left over from a csr/int8 configuration would sit allocated
@@ -59,9 +63,15 @@ uint64_t Linear::CachedBytes() const {
   return cache_->packed ? cache_->packed->bytes() : 0;
 }
 
+void Linear::DropPackedCache() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_->packed.reset();
+  cache_->version = 0;
+}
+
 Tensor Linear::Forward(const Tensor& x, tensor::Activation act) const {
   if (!tensor::NoGradGuard::GradEnabled() &&
-      cache_->requested.load(std::memory_order_relaxed) != tensor::WeightBackend::kDenseF32) {
+      cache_->requested.load(std::memory_order_acquire) != tensor::WeightBackend::kDenseF32) {
     return tensor::PackedMatMulBiasAct(x, *PackedWeight(), b_, act);
   }
   // Dense inference multiplies by W directly — the unpacked weight IS the
@@ -80,35 +90,45 @@ MaskedLinear::MaskedLinear(int64_t in, int64_t out, Tensor mask, Rng& rng)
   b_ = RegisterParam(UniformInit({out}, bound, rng));
 }
 
+tensor::Tensor MaskedLinear::EffectiveWeightCopy() const {
+  // Materialize W o M into a fresh non-pooled buffer: packs built from it
+  // outlive any NoGradScope and are read from many threads, so the product
+  // must not borrow from a thread-local inference arena (see arena rules in
+  // tensor.h).
+  const float* w = w_.data();
+  const float* m = mask_.data();
+  std::vector<float> wm(static_cast<size_t>(w_.numel()));
+  for (size_t i = 0; i < wm.size(); ++i) wm[i] = w[i] * m[i];
+  return Tensor::FromVector(w_.shape(), std::move(wm));
+}
+
 std::shared_ptr<const tensor::PackedWeights> MaskedLinear::PackedEffectiveWeight() const {
   const uint64_t version = tensor::ParameterVersion();
-  const tensor::WeightBackend backend = cache_->requested.load(std::memory_order_relaxed);
+  const tensor::WeightBackend backend = cache_->requested.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(cache_->mu);
   if (cache_->version != version || !cache_->packed || cache_->packed->backend != backend) {
-    // Materialize W o M into a fresh non-pooled buffer, then pack: the cache
-    // outlives any NoGradScope and is read from many threads, so it must not
-    // borrow from a thread-local inference arena (see arena rules in
-    // tensor.h). For kDenseF32 the pack adopts this buffer as-is — exactly
-    // the PR-2 masked-weight cache; for CSR/int8 the buffer is a pack-time
-    // temporary.
-    const float* w = w_.data();
-    const float* m = mask_.data();
-    std::vector<float> wm(static_cast<size_t>(w_.numel()));
-    for (size_t i = 0; i < wm.size(); ++i) wm[i] = w[i] * m[i];
-    cache_->packed =
-        tensor::PackWeights(Tensor::FromVector(w_.shape(), std::move(wm)), backend);
+    // For kDenseF32 the pack adopts the W o M materialization as-is —
+    // exactly the PR-2 masked-weight cache; for CSR/int8/f16 the buffer is
+    // a pack-time temporary.
+    cache_->packed = tensor::PackWeights(EffectiveWeightCopy(), backend);
     cache_->version = version;
   }
   return cache_->packed;
 }
 
 void MaskedLinear::SetInferenceBackend(tensor::WeightBackend backend) const {
-  cache_->requested.store(backend, std::memory_order_relaxed);
+  cache_->requested.store(backend, std::memory_order_release);
 }
 
 uint64_t MaskedLinear::CachedBytes() const {
   std::lock_guard<std::mutex> lock(cache_->mu);
   return cache_->packed ? cache_->packed->bytes() : 0;
+}
+
+void MaskedLinear::DropPackedCache() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_->packed.reset();
+  cache_->version = 0;
 }
 
 Tensor MaskedLinear::Forward(const Tensor& x, tensor::Activation act) const {
@@ -123,7 +143,8 @@ Tensor MaskedLinear::Forward(const Tensor& x, tensor::Activation act) const {
   return tensor::MatMulBiasAct(x, tensor::Mul(w_, mask_), b_, act);
 }
 
-Mlp::Mlp(const std::vector<int64_t>& sizes, Rng& rng) {
+Mlp::Mlp(const std::vector<int64_t>& sizes, Rng& rng)
+    : plan_cache_(std::make_unique<InferencePlanCache>()) {
   DUET_CHECK_GE(sizes.size(), 2u);
   layers_.reserve(sizes.size() - 1);
   for (size_t i = 0; i + 1 < sizes.size(); ++i) {
@@ -133,6 +154,12 @@ Mlp::Mlp(const std::vector<int64_t>& sizes, Rng& rng) {
 }
 
 Tensor Mlp::Forward(const Tensor& x) const {
+  if (!tensor::NoGradGuard::GradEnabled() &&
+      plan_cache_->enabled.load(std::memory_order_acquire)) {
+    const auto plan = GetOrCompilePlan(
+        *plan_cache_, [this](tensor::WeightBackend backend) { return Compile(backend); });
+    return plan->Execute(x);
+  }
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
     const bool last = i + 1 == layers_.size();
@@ -141,12 +168,54 @@ Tensor Mlp::Forward(const Tensor& x) const {
   return h;
 }
 
-void Mlp::SetInferenceBackend(tensor::WeightBackend backend) const {
-  for (const Linear& l : layers_) l.SetInferenceBackend(backend);
+std::shared_ptr<const InferencePlan> Mlp::Compile(tensor::WeightBackend backend) const {
+  PlanBuilder b(backend, layers_.front().in_features());
+  int h = PlanBuilder::kInput;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    // Plain Linear weights have no structural zeros, so the degree-sorted
+    // permutation is never profitable; dense packs share the live parameter
+    // handle (no weight copy), other backends pack from a fresh copy.
+    const bool dense = backend == tensor::WeightBackend::kDenseF32;
+    h = b.Linear(h, dense ? layers_[i].weight() : layers_[i].EffectiveWeightCopy(),
+                 layers_[i].bias(),
+                 last ? tensor::Activation::kNone : tensor::Activation::kRelu,
+                 /*permute_outputs=*/false, /*weight_is_parameter=*/dense);
+  }
+  return b.Finish(h);
 }
 
+void Mlp::SetInferenceBackend(tensor::WeightBackend backend) const {
+  for (const Linear& l : layers_) l.SetInferenceBackend(backend);
+  plan_cache_->requested.store(backend, std::memory_order_release);
+}
+
+void Mlp::SetPlanEnabled(bool enabled) const {
+  plan_cache_->enabled.store(enabled, std::memory_order_release);
+  if (!enabled) {
+    // Reclaim the compiled program: a disabled plan would otherwise sit
+    // allocated forever and keep counting toward PlanBytes()/CachedBytes().
+    // In-flight forwards holding the shared_ptr stay valid.
+    std::lock_guard<std::mutex> lock(plan_cache_->mu);
+    plan_cache_->plan.reset();
+    plan_cache_->version = 0;
+  } else {
+    // Symmetric reclaim: the plan path never reads the per-layer packs, so
+    // packs built while plans were off would sit allocated unused (and
+    // double-count in CachedBytes on top of the plan's packs).
+    for (const Linear& l : layers_) l.DropPackedCache();
+  }
+}
+
+uint64_t Mlp::PlanBytes() const {
+  std::lock_guard<std::mutex> lock(plan_cache_->mu);
+  return plan_cache_->plan ? plan_cache_->plan->bytes() : 0;
+}
+
+PlanTelemetry Mlp::PlanInfo() const { return plan_cache_->Snapshot(); }
+
 uint64_t Mlp::CachedBytes() const {
-  uint64_t bytes = 0;
+  uint64_t bytes = PlanBytes();
   for (const Linear& l : layers_) bytes += l.CachedBytes();
   return bytes;
 }

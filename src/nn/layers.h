@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/inference_plan.h"
 #include "nn/module.h"
 #include "tensor/ops.h"
 #include "tensor/packed_weights.h"
@@ -25,12 +26,26 @@ namespace duet::nn {
 /// rebuilt pack is published as a fresh shared_ptr, so readers holding the
 /// previous pack are never invalidated mid-forward. Heap-allocated so
 /// layers stay movable (std::mutex is not) — MADE stores layers in vectors.
+///
+/// SetInferenceBackend vs concurrent Forward: `requested` is written with
+/// release order and read with acquire order, and every pack/plan is
+/// published as a fresh immutable shared_ptr under `mu` — so a backend
+/// switch racing in-flight forwards can never hand out a torn pack; each
+/// forward observes either the old or the new backend's pack, both valid.
+/// What the layer-level caches do NOT guarantee under such a race is that
+/// one multi-layer forward uses a single backend throughout (each layer
+/// resolves independently, so a mid-switch forward may mix backends across
+/// layers — every layer's output is still a valid value for its backend).
+/// Compiled plans (nn/inference_plan.h) close that gap: a planned forward
+/// resolves its backend exactly once. Either way the serving contract
+/// stands: quiesce estimation around reconfiguration for deterministic
+/// results.
 struct PackedWeightsCache {
   std::mutex mu;
   std::shared_ptr<const tensor::PackedWeights> packed;
   uint64_t version = 0;
-  /// Backend selected by SetInferenceBackend; read on every no-grad forward
-  /// (relaxed atomic — selection must be quiesced like parameter updates).
+  /// Backend selected by SetInferenceBackend (release-store) and read on
+  /// every no-grad forward (acquire-load).
   std::atomic<tensor::WeightBackend> requested{tensor::WeightBackend::kDenseF32};
 };
 
@@ -56,10 +71,19 @@ class Linear : public Module {
   /// Bytes held by the packed cache (0 until a non-dense no-grad forward).
   uint64_t CachedBytes() const override;
 
+  /// Frees the cached pack (rebuilt lazily on the next cache-path forward).
+  /// Containers call this when a compiled plan takes over the no-grad path
+  /// and the per-layer pack would sit allocated unused.
+  void DropPackedCache() const;
+
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
   const tensor::Tensor& weight() const { return w_; }
   const tensor::Tensor& bias() const { return b_; }
+
+  /// Non-pooled copy of W for plan compilation (plain layers: the effective
+  /// weight IS the parameter; dense plans share the live handle instead).
+  tensor::Tensor EffectiveWeightCopy() const;
 
  private:
   /// Returns the packed W for the requested backend, repacking if the
@@ -118,11 +142,20 @@ class MaskedLinear : public Module {
   /// Bytes held by the packed cache (0 until the first no-grad forward).
   /// This is the cache's memory cost on top of the fp32 parameters: the
   /// dense backend doubles a layer's weight memory, CSR halves the extra
-  /// copy (~50% structural zeros), int8 quarters it.
+  /// copy (~50% structural zeros), int8 quarters it, f16 halves it.
   uint64_t CachedBytes() const override;
+
+  /// Frees the cached pack (rebuilt lazily on the next cache-path forward);
+  /// see Linear::DropPackedCache.
+  void DropPackedCache() const;
 
   const tensor::Tensor& mask() const { return mask_; }
   const tensor::Tensor& weight() const { return w_; }
+  const tensor::Tensor& bias() const { return b_; }
+
+  /// Materializes W o M into a fresh non-pooled tensor (what inference
+  /// multiplies by); plan compilation packs from this.
+  tensor::Tensor EffectiveWeightCopy() const;
 
  private:
   /// Returns the packed W o M for the requested backend, rebuilding it if
@@ -139,6 +172,14 @@ class MaskedLinear : public Module {
 
 /// Plain ReLU MLP; `sizes` = {in, h1, ..., out}. No activation after the
 /// final layer.
+///
+/// No-grad forwards execute through a compiled inference plan by default
+/// (see nn/inference_plan.h): the layer loop is flattened once per
+/// (backend, parameter version) into a packed-op program — bitwise-equal to
+/// the layer-by-layer path for dense, and routing the whole forward through
+/// one atomically published program (a backend switch can never mix
+/// backends inside one planned forward). SetPlanEnabled(false) restores the
+/// PR-3 per-layer path.
 class Mlp : public Module {
  public:
   Mlp(const std::vector<int64_t>& sizes, Rng& rng);
@@ -146,10 +187,17 @@ class Mlp : public Module {
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
   void SetInferenceBackend(tensor::WeightBackend backend) const override;
+  /// Layer packed caches + compiled plan bytes.
   uint64_t CachedBytes() const override;
+
+  std::shared_ptr<const InferencePlan> Compile(tensor::WeightBackend backend) const override;
+  void SetPlanEnabled(bool enabled) const override;
+  uint64_t PlanBytes() const override;
+  PlanTelemetry PlanInfo() const override;
 
  private:
   std::vector<Linear> layers_;
+  std::unique_ptr<InferencePlanCache> plan_cache_;
 };
 
 /// Embedding table: rows of a [num_embeddings, dim] matrix.

@@ -47,7 +47,8 @@ Tensor BuildMadeMask(const std::vector<int32_t>& in_deg, const std::vector<int32
   return mask;
 }
 
-Made::Made(MadeOptions options, Rng& rng) : options_(std::move(options)) {
+Made::Made(MadeOptions options, Rng& rng)
+    : options_(std::move(options)), plan_cache_(std::make_unique<InferencePlanCache>()) {
   const auto& opt = options_;
   DUET_CHECK(!opt.input_widths.empty());
   DUET_CHECK_EQ(opt.input_widths.size(), opt.output_widths.size());
@@ -108,10 +109,38 @@ void Made::SetInferenceBackend(tensor::WeightBackend backend) const {
   if (res_input_) res_input_->SetInferenceBackend(backend);
   for (const MaskedLinear& l : res_layers_) l.SetInferenceBackend(backend);
   if (res_output_) res_output_->SetInferenceBackend(backend);
+  plan_cache_->requested.store(backend, std::memory_order_release);
 }
 
+void Made::SetPlanEnabled(bool enabled) const {
+  plan_cache_->enabled.store(enabled, std::memory_order_release);
+  if (!enabled) {
+    // Reclaim the compiled program: a disabled plan would otherwise sit
+    // allocated forever and keep counting toward PlanBytes()/CachedBytes().
+    // In-flight forwards holding the shared_ptr stay valid.
+    std::lock_guard<std::mutex> lock(plan_cache_->mu);
+    plan_cache_->plan.reset();
+    plan_cache_->version = 0;
+  } else {
+    // Symmetric reclaim: the plan path never reads the per-layer packs, so
+    // packs built while plans were off would sit allocated unused (and
+    // double-count in CachedBytes on top of the plan's packs).
+    for (const MaskedLinear& l : layers_) l.DropPackedCache();
+    if (res_input_) res_input_->DropPackedCache();
+    for (const MaskedLinear& l : res_layers_) l.DropPackedCache();
+    if (res_output_) res_output_->DropPackedCache();
+  }
+}
+
+uint64_t Made::PlanBytes() const {
+  std::lock_guard<std::mutex> lock(plan_cache_->mu);
+  return plan_cache_->plan ? plan_cache_->plan->bytes() : 0;
+}
+
+PlanTelemetry Made::PlanInfo() const { return plan_cache_->Snapshot(); }
+
 uint64_t Made::CachedBytes() const {
-  uint64_t bytes = 0;
+  uint64_t bytes = PlanBytes();
   for (const MaskedLinear& l : layers_) bytes += l.CachedBytes();
   if (res_input_) bytes += res_input_->CachedBytes();
   for (const MaskedLinear& l : res_layers_) bytes += l.CachedBytes();
@@ -119,9 +148,52 @@ uint64_t Made::CachedBytes() const {
   return bytes;
 }
 
+std::shared_ptr<const InferencePlan> Made::Compile(tensor::WeightBackend backend) const {
+  // Every masked layer gets the degree-sorted output permutation: the
+  // derived column sort turns each mask row into a single contiguous run in
+  // packed space (CSR degenerates to one (start,len) per row; dense/int8/
+  // f16 skip the structural-zero tail), and the fused gathering epilogue
+  // keeps activations in the original layout — so the program below mirrors
+  // Forward() op for op and dense/CSR plans stay bitwise-equal to it.
+  PlanBuilder b(backend, input_dim_);
+  if (!options_.residual) {
+    int h = PlanBuilder::kInput;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      const bool last = i + 1 == layers_.size();
+      h = b.Linear(h, layers_[i].EffectiveWeightCopy(), layers_[i].bias(),
+                   last ? tensor::Activation::kNone : tensor::Activation::kRelu,
+                   /*permute_outputs=*/true, /*weight_is_parameter=*/false);
+    }
+    return b.Finish(h);
+  }
+  int h = b.Linear(PlanBuilder::kInput, res_input_->EffectiveWeightCopy(),
+                   res_input_->bias(), tensor::Activation::kNone,
+                   /*permute_outputs=*/true, /*weight_is_parameter=*/false);
+  for (size_t blk = 0; blk + 1 < res_layers_.size(); blk += 2) {
+    int t = b.Relu(h);
+    t = b.Linear(t, res_layers_[blk].EffectiveWeightCopy(), res_layers_[blk].bias(),
+                 tensor::Activation::kRelu, /*permute_outputs=*/true,
+                 /*weight_is_parameter=*/false);
+    t = b.Linear(t, res_layers_[blk + 1].EffectiveWeightCopy(), res_layers_[blk + 1].bias(),
+                 tensor::Activation::kNone, /*permute_outputs=*/true,
+                 /*weight_is_parameter=*/false);
+    h = b.Add(h, t);
+  }
+  const int pre = b.Relu(h);
+  return b.Finish(b.Linear(pre, res_output_->EffectiveWeightCopy(), res_output_->bias(),
+                           tensor::Activation::kNone, /*permute_outputs=*/true,
+                           /*weight_is_parameter=*/false));
+}
+
 Tensor Made::Forward(const Tensor& x) const {
   DUET_CHECK_EQ(x.ndim(), 2);
   DUET_CHECK_EQ(x.dim(1), input_dim_);
+  if (!tensor::NoGradGuard::GradEnabled() &&
+      plan_cache_->enabled.load(std::memory_order_acquire)) {
+    const auto plan = GetOrCompilePlan(
+        *plan_cache_, [this](tensor::WeightBackend backend) { return Compile(backend); });
+    return plan->Execute(x);
+  }
   if (!options_.residual) {
     Tensor h = x;
     for (size_t i = 0; i < layers_.size(); ++i) {

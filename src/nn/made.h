@@ -12,9 +12,16 @@
 // MaskedLinear, so inference forwards inherit its packed-weights cache: with
 // gradients disabled, W o M is packed once per parameter version instead of
 // materialized per forward, in the backend chosen via SetInferenceBackend
-// (dense fp32 / CSR sparse / int8 — see nn/layers.h and
+// (dense fp32 / CSR sparse / int8 / f16 — see nn/layers.h and
 // tensor/packed_weights.h for the formats and invalidation rules).
 // Forward is safe to call concurrently while parameters are frozen.
+//
+// Compiled plans: by default a no-grad Forward executes through a compiled
+// InferencePlan (nn/inference_plan.h) — the whole layer walk flattened into
+// a packed-op program with the degree-sorted output permutation applied to
+// every masked layer, cached per (backend, parameter version). Dense/CSR
+// plans are bitwise-equal to the uncompiled path; SetPlanEnabled(false)
+// restores the per-layer path.
 #ifndef DUET_NN_MADE_H_
 #define DUET_NN_MADE_H_
 
@@ -65,11 +72,19 @@ class Made : public Backbone {
   }
 
   /// Forwards the backend selection to every masked layer (both the plain
-  /// and the ResMADE path); each repacks lazily on its next no-grad forward.
+  /// and the ResMADE path) and to the plan cache; each repacks/recompiles
+  /// lazily on its next no-grad forward.
   void SetInferenceBackend(tensor::WeightBackend backend) const override;
 
-  /// Total packed-cache bytes across all masked layers.
+  /// Total packed-cache bytes across all masked layers + the compiled plan.
   uint64_t CachedBytes() const override;
+
+  /// Flattens the (Res)MADE layer walk into a packed-op program with the
+  /// degree-sorted output permutation applied to every masked layer.
+  std::shared_ptr<const InferencePlan> Compile(tensor::WeightBackend backend) const override;
+  void SetPlanEnabled(bool enabled) const override;
+  uint64_t PlanBytes() const override;
+  PlanTelemetry PlanInfo() const override;
 
   const MadeOptions& options() const { return options_; }
 
@@ -84,6 +99,7 @@ class Made : public Backbone {
   std::unique_ptr<MaskedLinear> res_input_;
   std::vector<MaskedLinear> res_layers_;  // 2 per residual block
   std::unique_ptr<MaskedLinear> res_output_;
+  std::unique_ptr<InferencePlanCache> plan_cache_;
 };
 
 /// Builds the [in_dim, out_dim] 0/1 mask connecting units with degrees

@@ -3,6 +3,7 @@
 #define DUET_NN_MODULE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/serialize.h"
@@ -15,6 +16,27 @@ enum class WeightBackend : int32_t;
 }  // namespace duet::tensor
 
 namespace duet::nn {
+
+// Opaque declaration (definition: nn/inference_plan.h); only modules that
+// compile plans pull in the full header.
+class InferencePlan;
+
+/// Compiled-plan cache telemetry (serving observability; summed over
+/// children by container modules). `compile_micros` is wall time spent
+/// inside plan compilation; `cache_hits` counts no-grad forwards served by
+/// an already-compiled plan.
+struct PlanTelemetry {
+  uint64_t compiles = 0;
+  uint64_t compile_micros = 0;
+  uint64_t cache_hits = 0;
+
+  PlanTelemetry& operator+=(const PlanTelemetry& o) {
+    compiles += o.compiles;
+    compile_micros += o.compile_micros;
+    cache_hits += o.cache_hits;
+    return *this;
+  }
+};
 
 /// Base class for neural network building blocks. Parameters registered via
 /// RegisterParam (or pulled in from child modules via RegisterChild) are
@@ -47,8 +69,37 @@ class Module {
   /// cache has been built). Container modules sum over their children. This
   /// is the observability hook for the cache's memory cost: a dense packed
   /// cache doubles a masked layer's weight memory, CSR roughly halves the
-  /// extra copy, int8 quarters it.
+  /// extra copy, int8 quarters it, f16 halves it. Modules that compile
+  /// inference plans include their plan's packed weights here (the plan IS
+  /// the packed-weight cache on the compiled path).
   virtual uint64_t CachedBytes() const { return 0; }
+
+  /// Compiles this module's no-grad forward into a flat packed-op program
+  /// (see nn/inference_plan.h), or returns null for modules without a
+  /// compilable forward (the default). Called by the plan cache, not
+  /// per-forward; implementations walk their layers and pack weights for
+  /// `backend`.
+  virtual std::shared_ptr<const InferencePlan> Compile(tensor::WeightBackend backend) const {
+    (void)backend;
+    return nullptr;
+  }
+
+  /// Enables/disables compiled-plan execution for no-grad forwards (default
+  /// on for modules that support it; containers forward to children).
+  /// Disabling also frees the cached program, so PlanBytes() drops to 0.
+  /// Like SetInferenceBackend, the toggle must be quiesced: do not flip it
+  /// with estimates in flight.
+  virtual void SetPlanEnabled(bool enabled) const { (void)enabled; }
+
+  /// Bytes held by the compiled plan's packed weights (0 when no plan is
+  /// compiled or the module does not compile plans). Already included in
+  /// CachedBytes(); exposed separately so callers can report the plan
+  /// footprint on its own.
+  virtual uint64_t PlanBytes() const { return 0; }
+
+  /// Plan-cache telemetry (zeros for modules without plans; containers sum
+  /// over children).
+  virtual PlanTelemetry PlanInfo() const { return {}; }
 
   /// All trainable parameters (this module + registered children).
   const std::vector<tensor::Tensor>& parameters() const { return params_; }

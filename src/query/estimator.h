@@ -50,14 +50,33 @@ class CardinalityEstimator {
   virtual std::vector<double> EstimateSelectivityBatch(const std::vector<Query>& queries);
 
   /// Selects the inference-side packed-weight backend (dense fp32 / CSR
-  /// sparse / int8 — see tensor/packed_weights.h). Estimators without a
-  /// packed weight path ignore it (default). Like training, a backend
-  /// switch must be quiesced: no estimates in flight.
+  /// sparse / int8 / f16 — see tensor/packed_weights.h). Estimators without
+  /// a packed weight path ignore it (default). Like training, a backend
+  /// switch must be quiesced for deterministic results: with estimates in
+  /// flight the switch is memory-safe (packs and plans publish atomically —
+  /// no torn views, see nn/layers.h), but a racing forward may serve either
+  /// backend.
   virtual void SetInferenceBackend(tensor::WeightBackend backend) { (void)backend; }
 
-  /// Bytes currently held by packed-weight inference caches (0 for
-  /// estimators without one, or before the first estimate populates them).
+  /// Bytes currently held by packed-weight inference caches, including the
+  /// compiled plan's packs (0 for estimators without one, or before the
+  /// first estimate populates them).
   virtual uint64_t PackedWeightBytes() const { return 0; }
+
+  /// Enables/disables compiled-plan execution (nn/inference_plan.h) for
+  /// no-grad forwards. Default on for neural estimators; model-free
+  /// estimators ignore it. Quiesce like SetInferenceBackend.
+  virtual void SetPlanEnabled(bool enabled) { (void)enabled; }
+
+  /// Bytes held by compiled inference plans (0 without plan support or
+  /// before the first no-grad forward compiles one).
+  virtual uint64_t PlanBytes() const { return 0; }
+
+  /// Cumulative wall-clock microseconds spent compiling inference plans.
+  virtual uint64_t PlanCompileMicros() const { return 0; }
+
+  /// Cumulative no-grad forwards served from an already-compiled plan.
+  virtual uint64_t PlanCacheHits() const { return 0; }
 
   /// Display name for bench tables.
   virtual std::string name() const = 0;

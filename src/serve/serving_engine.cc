@@ -48,9 +48,10 @@ ServingEngine::ServingEngine(query::CardinalityEstimator& estimator, ServingOpti
   DUET_CHECK_GE(options_.min_shard, 1);
   DUET_CHECK_GE(options_.max_batch, 1);
   DUET_CHECK_GE(options_.max_wait_us, 0);
-  // Applied before any worker can estimate: layers repack lazily on their
-  // first forward under the new backend.
+  // Applied before any worker can estimate: layers repack (and plans
+  // recompile) lazily on their first forward under the new configuration.
   estimator_.SetInferenceBackend(options_.backend);
+  estimator_.SetPlanEnabled(options_.compile_plans);
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
@@ -189,9 +190,12 @@ ServingStats ServingEngine::stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     snapshot = stats_;
   }
-  // Point-in-time gauge, not a counter: reads the estimator's packed-cache
-  // footprint outside stats_mu_ (the caches have their own locks).
+  // Point-in-time gauges, not counters: read from the estimator outside
+  // stats_mu_ (the caches and plan telemetry have their own locks/atomics).
   snapshot.packed_weight_bytes = estimator_.PackedWeightBytes();
+  snapshot.plan_bytes = estimator_.PlanBytes();
+  snapshot.plan_compile_micros = estimator_.PlanCompileMicros();
+  snapshot.plan_cache_hits = estimator_.PlanCacheHits();
   return snapshot;
 }
 

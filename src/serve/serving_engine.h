@@ -64,10 +64,17 @@ struct ServingOptions {
   /// (tensor/packed_weights.h). kDenseF32 keeps the bitwise-exact fp32
   /// path; kCsrF32 streams only nonzero masked weights (also bitwise-
   /// exact); kInt8 quarters batch-1 weight traffic at bounded accuracy
-  /// cost. The engine owns the choice for its lifetime — reconfiguring the
-  /// estimator elsewhere while an engine serves it violates the quiesce
-  /// contract.
+  /// cost; kF16 halves it at a much tighter bound. The engine owns the
+  /// choice for its lifetime — reconfiguring the estimator elsewhere while
+  /// an engine serves it violates the quiesce contract.
   tensor::WeightBackend backend = tensor::WeightBackend::kDenseF32;
+  /// Compiled-plan execution (nn/inference_plan.h), applied to the
+  /// estimator at engine construction like `backend`. On (the default),
+  /// no-grad forwards run flattened packed-op programs with the
+  /// degree-sorted permutation — bitwise-equal for dense/CSR, measurably
+  /// faster at batch 1 (see docs/benchmarks.md plan A/B). Off restores the
+  /// per-layer packed path.
+  bool compile_plans = true;
 };
 
 /// Cumulative counters (monotone since construction), plus a point-in-time
@@ -78,10 +85,21 @@ struct ServingStats {
   uint64_t micro_batches = 0;       ///< async scheduler dispatches
   uint64_t shards = 0;              ///< shard tasks run on the pool
   int64_t largest_micro_batch = 0;  ///< max async dispatch size observed
-  /// Bytes held by the estimator's packed-weight caches when stats() was
-  /// taken (0 until first estimate): the weight-memory cost of the serving
-  /// configuration's backend, on top of the fp32 parameters.
+  /// Bytes held by the estimator's packed-weight caches (including the
+  /// compiled plan's packs) when stats() was taken (0 until first
+  /// estimate): the weight-memory cost of the serving configuration's
+  /// backend, on top of the fp32 parameters.
   uint64_t packed_weight_bytes = 0;
+  /// Bytes held by compiled inference plans specifically (subset of
+  /// packed_weight_bytes; 0 with compile_plans off).
+  uint64_t plan_bytes = 0;
+  /// Cumulative wall-clock microseconds the estimator spent compiling
+  /// inference plans (point-in-time gauge from the estimator; grows on
+  /// first traffic and after every invalidation-triggered recompile).
+  uint64_t plan_compile_micros = 0;
+  /// Cumulative no-grad forwards the estimator served from an
+  /// already-compiled plan (cache hits; 0 with compile_plans off).
+  uint64_t plan_cache_hits = 0;
 };
 
 /// Shards batches across a private worker pool and micro-batches async

@@ -268,6 +268,46 @@ inline void GemmDot(const float* A, const float* B, float* C, int64_t M, int64_t
   }
 }
 
+/// Shared fused bias+activation epilogue over [B, O] rows. One pass adds the
+/// bias and applies the activation while the output rows are still
+/// cache-hot. Rows are independent, so it splits across the pool exactly
+/// like the GEMM without changing any numerics. Both MatMulBiasAct and the
+/// raw compiled-plan path run THIS function, so their epilogue math is
+/// structurally identical (bitwise-equality across the two paths never
+/// depends on matching codegen of two copies).
+void BiasActRows(float* cp, const float* bp, int64_t b, int64_t o, Activation act,
+                 bool parallel) {
+  ParallelForChunked(
+      0, b,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          float* crow = cp + r * o;
+          switch (act) {
+            case Activation::kNone:
+#pragma omp simd
+              for (int64_t c = 0; c < o; ++c) crow[c] += bp[c];
+              break;
+            case Activation::kRelu:
+#pragma omp simd
+              for (int64_t c = 0; c < o; ++c) {
+                const float v = crow[c] + bp[c];
+                crow[c] = v > 0.0f ? v : 0.0f;
+              }
+              break;
+            case Activation::kSigmoid:
+              for (int64_t c = 0; c < o; ++c) {
+                crow[c] = 1.0f / (1.0f + std::exp(-(crow[c] + bp[c])));
+              }
+              break;
+            case Activation::kTanh:
+              for (int64_t c = 0; c < o; ++c) crow[c] = std::tanh(crow[c] + bp[c]);
+              break;
+          }
+        }
+      },
+      parallel, /*grain=*/8);
+}
+
 }  // namespace
 
 void SetUseScalarKernels(bool use) {
@@ -316,39 +356,7 @@ Tensor MatMulBiasAct(const Tensor& a, const Tensor& w, const Tensor& bias, Activ
   float* cp = out.data();
   const bool par = GemmParallel(b, i_dim, o);
   GemmAccum(a.data(), w.data(), cp, b, i_dim, o, par);
-  // Fused epilogue: one pass adds the bias and applies the activation while
-  // the output rows are still cache-hot. Rows are independent, so it splits
-  // across the pool exactly like the GEMM without changing any numerics.
-  const float* bp = bias.data();
-  ParallelForChunked(
-      0, b,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t r = lo; r < hi; ++r) {
-          float* crow = cp + r * o;
-          switch (act) {
-            case Activation::kNone:
-#pragma omp simd
-              for (int64_t c = 0; c < o; ++c) crow[c] += bp[c];
-              break;
-            case Activation::kRelu:
-#pragma omp simd
-              for (int64_t c = 0; c < o; ++c) {
-                const float v = crow[c] + bp[c];
-                crow[c] = v > 0.0f ? v : 0.0f;
-              }
-              break;
-            case Activation::kSigmoid:
-              for (int64_t c = 0; c < o; ++c) {
-                crow[c] = 1.0f / (1.0f + std::exp(-(crow[c] + bp[c])));
-              }
-              break;
-            case Activation::kTanh:
-              for (int64_t c = 0; c < o; ++c) crow[c] = std::tanh(crow[c] + bp[c]);
-              break;
-          }
-        }
-      },
-      par, /*grain=*/8);
+  BiasActRows(cp, bias.data(), b, o, act, par);
   if (track) {
     TensorImpl* ai = a.impl().get(); TensorImpl* wi = w.impl().get();
     TensorImpl* bi = bias.impl().get(); TensorImpl* oi = out.impl().get();
@@ -1106,6 +1114,19 @@ Tensor BlockDiagMatMul(const Tensor& x, const Tensor& w, int64_t num_blocks, int
     };
   }
   return res;
+}
+
+void RawMatMulBiasAct(const float* a, const float* w, const float* bias, int64_t m,
+                      int64_t k, int64_t n, Activation act, float* out) {
+  std::fill(out, out + m * n, 0.0f);
+  const bool par = GemmParallel(m, k, n);
+  GemmAccum(a, w, out, m, k, n, par);
+  BiasActRows(out, bias, m, n, act, par);
+}
+
+void RawBiasAct(float* c, const float* bias, int64_t b, int64_t o, Activation act,
+                bool parallel) {
+  BiasActRows(c, bias, b, o, act, parallel);
 }
 
 }  // namespace duet::tensor

@@ -45,6 +45,19 @@ enum class Activation : int32_t {
 /// activation buffers). a:[B,I], w:[I,O], bias:[O].
 Tensor MatMulBiasAct(const Tensor& a, const Tensor& w, const Tensor& bias, Activation act);
 
+/// Raw-buffer fused dense layer for the no-autograd execution layer (packed
+/// weights / compiled inference plans): overwrites out[m*n] with
+/// act(a x w + bias), running the exact same GEMM + epilogue code as
+/// MatMulBiasAct — bitwise-identical, no Tensor temporaries, no graph.
+void RawMatMulBiasAct(const float* a, const float* w, const float* bias, int64_t m,
+                      int64_t k, int64_t n, Activation act, float* out);
+
+/// Raw-buffer fused bias+activation epilogue over c:[b, o] rows in place —
+/// the same single pass MatMulBiasAct fuses after its GEMM. Exposed so the
+/// packed/compiled-plan kernels share one epilogue implementation.
+void RawBiasAct(float* c, const float* bias, int64_t b, int64_t o, Activation act,
+                bool parallel);
+
 /// Routes MatMul / MatMulBiasAct through the original scalar triple-loop
 /// kernels (forward and backward). Correctness reference for the tiled GEMM
 /// tests; never enabled on hot paths.

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <numeric>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -22,7 +28,8 @@ inline bool PackedParallel(int64_t m, int64_t k, int64_t n) {
 /// the same order as the dense kernels — and the skipped terms are exact
 /// zeros, so this is bitwise-equal to the dense accumulation (a skipped
 /// +-0.0f term never changes a finite accumulator that is never -0.0).
-/// Templated over the run-bound width.
+/// Templated over the run-bound width. For permuted packs the output row is
+/// in PACKED column space (typically one run per row); the epilogue gathers.
 template <typename Idx>
 inline void CsrRowAccumT(const PackedWeights& w, const Idx* run_start, const Idx* run_len,
                          const float* arow, float* crow) {
@@ -50,6 +57,30 @@ inline void CsrRowAccum(const PackedWeights& w, const float* arow, float* crow) 
   }
 }
 
+/// Per-row nonzero prefix length in packed column space: permuted packs stop
+/// each row sweep here and skip the structural-zero tail; identity packs
+/// sweep the full width.
+inline int64_t RowPrefixLen(const PackedWeights& w, int64_t k) {
+  if (!w.row_len16.empty()) return w.row_len16[static_cast<size_t>(k)];
+  if (!w.row_len32.empty()) return w.row_len32[static_cast<size_t>(k)];
+  return w.out;
+}
+
+/// Dense fp32 row sweep with the prefix skip (permuted packs) — the same
+/// k-ascending zero-skip accumulation as the dense GEMV fast path, so the
+/// gathered result is bitwise-equal to the unpermuted kernels.
+inline void DenseRowAccum(const PackedWeights& w, const float* arow, float* crow) {
+  const float* wp = w.dense.data();
+  for (int64_t k = 0; k < w.in; ++k) {
+    const float av = arow[k];
+    if (av == 0.0f) continue;
+    const float* wrow = wp + k * w.out;
+    const int64_t len = RowPrefixLen(w, k);
+#pragma omp simd
+    for (int64_t j = 0; j < len; ++j) crow[j] += av * wrow[j];
+  }
+}
+
 /// Int8 row sweep for one input row: fp32 accumulation of av * q[k, :]. The
 /// dequantization scale is applied once per output in the epilogue, not per
 /// term, so the accumulator stays a plain fp32 dot product.
@@ -58,29 +89,76 @@ inline void Int8RowAccum(const PackedWeights& w, const float* arow, float* crow)
     const float av = arow[k];
     if (av == 0.0f) continue;
     const int8_t* qrow = w.quantized.data() + k * w.out;
+    const int64_t len = RowPrefixLen(w, k);
 #pragma omp simd
-    for (int64_t j = 0; j < w.out; ++j) crow[j] += av * static_cast<float>(qrow[j]);
+    for (int64_t j = 0; j < len; ++j) crow[j] += av * static_cast<float>(qrow[j]);
   }
 }
 
-/// Fused bias + activation epilogue over [B, O] rows; the expressions match
-/// MatMulBiasAct's epilogue exactly so the CSR path stays bitwise-equal to
-/// dense. `scales` (int8 only) folds the per-channel dequantization into the
-/// same pass: y = act(acc * scale + bias).
+/// binary16 row sweep: decode-on-load (the half->float widening IS the
+/// dequantization), fp32 accumulation, same prefix skip as dense. With F16C
+/// available (-DDUET_NATIVE_ARCH=ON on x86) the decode is the 8-wide
+/// VCVTPH2PS instruction; the portable fallback is the branchless software
+/// widening. The two differ only in the scalar tail's op ordering — both
+/// stay within the documented f16 bound and preserve per-row determinism
+/// and batch invariance (the decode never depends on batch position).
+inline void F16RowAccum(const PackedWeights& w, const float* arow, float* crow) {
+  for (int64_t k = 0; k < w.in; ++k) {
+    const float av = arow[k];
+    if (av == 0.0f) continue;
+    const uint16_t* hrow = w.half.data() + k * w.out;
+    const int64_t len = RowPrefixLen(w, k);
+    int64_t j = 0;
+#if defined(__F16C__)
+    const __m256 vav = _mm256_set1_ps(av);
+    for (; j + 8 <= len; j += 8) {
+      const __m128i hv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hrow + j));
+      const __m256 wv = _mm256_cvtph_ps(hv);
+      const __m256 acc = _mm256_loadu_ps(crow + j);
+      _mm256_storeu_ps(crow + j, _mm256_add_ps(acc, _mm256_mul_ps(vav, wv)));
+    }
+#endif
+#pragma omp simd
+    for (int64_t t = j; t < len; ++t) crow[t] += av * HalfToFloat(hrow[t]);
+  }
+}
+
+/// Packed-space row accumulation for every non-dense-identity layout.
+inline void PackedRowAccum(const PackedWeights& w, const float* arow, float* crow) {
+  switch (w.backend) {
+    case WeightBackend::kDenseF32:
+      DenseRowAccum(w, arow, crow);
+      break;
+    case WeightBackend::kCsrF32:
+      CsrRowAccum(w, arow, crow);
+      break;
+    case WeightBackend::kInt8:
+      Int8RowAccum(w, arow, crow);
+      break;
+    case WeightBackend::kF16:
+      F16RowAccum(w, arow, crow);
+      break;
+  }
+}
+
+/// Fused bias + activation epilogue over [B, O] rows in place (identity
+/// layout); the expressions match RawBiasAct / MatMulBiasAct's epilogue
+/// exactly so the CSR path stays bitwise-equal to dense. `scales` (int8
+/// only) folds the per-channel dequantization into the same pass:
+/// y = act(acc * scale + bias).
 void BiasActEpilogue(float* c, int64_t b, int64_t o, const float* bias, const float* scales,
                      Activation act, bool parallel) {
+  if (scales == nullptr) {
+    RawBiasAct(c, bias, b, o, act, parallel);
+    return;
+  }
   ParallelForChunked(
       0, b,
       [&](int64_t lo, int64_t hi) {
         for (int64_t r = lo; r < hi; ++r) {
           float* crow = c + r * o;
-          if (scales != nullptr) {
 #pragma omp simd
-            for (int64_t j = 0; j < o; ++j) crow[j] = crow[j] * scales[j] + bias[j];
-          } else {
-#pragma omp simd
-            for (int64_t j = 0; j < o; ++j) crow[j] += bias[j];
-          }
+          for (int64_t j = 0; j < o; ++j) crow[j] = crow[j] * scales[j] + bias[j];
           switch (act) {
             case Activation::kNone:
               break;
@@ -100,6 +178,22 @@ void BiasActEpilogue(float* c, int64_t b, int64_t o, const float* bias, const fl
       parallel, /*grain=*/8);
 }
 
+/// Gather for one row of a permuted pack: pure data movement from packed
+/// positions back to ORIGINAL column order (dst[j] = acc[unperm[j]]).
+/// Scale/bias/activation are NOT applied here — the caller runs the same
+/// shared epilogue as the identity layout afterwards, so there is exactly
+/// one bias+activation implementation in the tree and the permuted path is
+/// bitwise-equal to the identity path by construction.
+inline void GatherRow(const PackedWeights& w, const float* acc, float* dst) {
+  if (!w.unperm16.empty()) {
+    const uint16_t* unperm = w.unperm16.data();
+    for (int64_t j = 0; j < w.out; ++j) dst[j] = acc[unperm[j]];
+  } else {
+    const int32_t* unperm = w.unperm32.data();
+    for (int64_t j = 0; j < w.out; ++j) dst[j] = acc[unperm[j]];
+  }
+}
+
 }  // namespace
 
 const char* WeightBackendName(WeightBackend backend) {
@@ -107,6 +201,7 @@ const char* WeightBackendName(WeightBackend backend) {
     case WeightBackend::kDenseF32: return "dense";
     case WeightBackend::kCsrF32: return "csr";
     case WeightBackend::kInt8: return "int8";
+    case WeightBackend::kF16: return "f16";
   }
   return "unknown";
 }
@@ -115,22 +210,62 @@ bool ParseWeightBackend(const std::string& name, WeightBackend* out) {
   if (name == "dense") { *out = WeightBackend::kDenseF32; return true; }
   if (name == "csr") { *out = WeightBackend::kCsrF32; return true; }
   if (name == "int8") { *out = WeightBackend::kInt8; return true; }
+  if (name == "f16") { *out = WeightBackend::kF16; return true; }
   return false;
 }
 
+uint16_t FloatToHalf(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+  const uint32_t mag = x & 0x7fffffffu;
+  if (mag >= 0x7f800000u) {  // inf / NaN (quiet NaN payload collapses)
+    return static_cast<uint16_t>(sign | 0x7c00u | (mag > 0x7f800000u ? 0x200u : 0u));
+  }
+  if (mag >= 0x47800000u) return static_cast<uint16_t>(sign | 0x7c00u);  // overflow -> inf
+  const int32_t exp = static_cast<int32_t>(mag >> 23);
+  uint32_t man = mag & 0x7fffffu;
+  if (exp < 113) {
+    // Subnormal half (or zero): values at or below 2^-25 round to zero
+    // (round-to-nearest-even at the halfway point 2^-25 itself).
+    if (mag <= 0x33000000u) return sign;
+    man |= 0x800000u;  // make the implicit bit explicit
+    const int32_t shift = (113 - exp) + 13;
+    uint32_t half_man = man >> shift;
+    const uint32_t rem = man & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_man & 1u))) ++half_man;
+    return static_cast<uint16_t>(sign | half_man);
+  }
+  // Normal: round the 13 dropped mantissa bits to nearest-even; a mantissa
+  // carry correctly bumps the exponent (up to inf for values >= 65520).
+  uint32_t out = static_cast<uint32_t>((exp - 112) << 10) | (man >> 13);
+  const uint32_t rem = man & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return static_cast<uint16_t>(sign | out);
+}
+
 uint64_t PackedWeights::bytes() const {
+  uint64_t total = (unperm16.size() + row_len16.size()) * sizeof(uint16_t) +
+                   (unperm32.size() + row_len32.size()) * sizeof(int32_t);
   switch (backend) {
     case WeightBackend::kDenseF32:
-      return static_cast<uint64_t>(in) * static_cast<uint64_t>(out) * sizeof(float);
+      total += static_cast<uint64_t>(in) * static_cast<uint64_t>(out) * sizeof(float);
+      break;
     case WeightBackend::kCsrF32:
-      return (row_ptr.size() + val_ptr.size()) * sizeof(int32_t) +
-             (run_start16.size() + run_len16.size()) * sizeof(uint16_t) +
-             (run_start32.size() + run_len32.size()) * sizeof(int32_t) +
-             values.size() * sizeof(float);
+      total += (row_ptr.size() + val_ptr.size()) * sizeof(int32_t) +
+               (run_start16.size() + run_len16.size()) * sizeof(uint16_t) +
+               (run_start32.size() + run_len32.size()) * sizeof(int32_t) +
+               values.size() * sizeof(float);
+      break;
     case WeightBackend::kInt8:
-      return quantized.size() * sizeof(int8_t) + scales.size() * sizeof(float);
+      total += quantized.size() * sizeof(int8_t) + scales.size() * sizeof(float);
+      break;
+    case WeightBackend::kF16:
+      total += half.size() * sizeof(uint16_t);
+      break;
   }
-  return 0;
+  return total;
 }
 
 int64_t PackedWeights::nnz() const {
@@ -138,41 +273,109 @@ int64_t PackedWeights::nnz() const {
   return in * out;
 }
 
-std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend) {
+std::vector<int32_t> DegreeSortPermutation(const Tensor& w) {
+  DUET_CHECK_EQ(w.ndim(), 2);
+  const int64_t in = w.dim(0), out = w.dim(1);
+  const float* wp = w.data();
+  std::vector<int64_t> count(static_cast<size_t>(out), 0);
+  for (int64_t k = 0; k < in; ++k) {
+    const float* row = wp + k * out;
+    for (int64_t j = 0; j < out; ++j) count[static_cast<size_t>(j)] += row[j] != 0.0f;
+  }
+  std::vector<int32_t> perm(static_cast<size_t>(out));
+  std::iota(perm.begin(), perm.end(), 0);
+  // Descending nonzero count == descending MADE out-degree (hidden rule
+  // out_deg >= in_deg admits more rows at higher degree; strict rule is
+  // monotone the same way), so every row's allowed columns become a prefix.
+  // Stable: equal-degree columns keep their original relative order.
+  std::stable_sort(perm.begin(), perm.end(), [&](int32_t a, int32_t b) {
+    return count[static_cast<size_t>(a)] > count[static_cast<size_t>(b)];
+  });
+  bool identity = true;
+  for (int64_t j = 0; j < out; ++j) identity &= perm[static_cast<size_t>(j)] == j;
+  if (identity) return {};
+  return perm;
+}
+
+std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend,
+                                                 const std::vector<int32_t>* perm) {
   DUET_CHECK_EQ(w.ndim(), 2);
   auto packed = std::make_shared<PackedWeights>();
   packed->backend = backend;
   packed->in = w.dim(0);
   packed->out = w.dim(1);
+  const int64_t in = packed->in, out = packed->out;
   const float* wp = w.data();
+  const bool narrow = out <= 65535;
+
+  if (perm != nullptr && perm->empty()) perm = nullptr;  // identity shortcut
+  // Permuted view accessor: packed column p holds original column perm[p].
+  auto at = [&](int64_t k, int64_t p) -> float {
+    const int64_t j = perm ? (*perm)[static_cast<size_t>(p)] : p;
+    return wp[k * out + j];
+  };
+  if (perm != nullptr) {
+    DUET_CHECK_EQ(static_cast<int64_t>(perm->size()), out);
+    if (narrow) {
+      packed->unperm16.assign(static_cast<size_t>(out), 0);
+      for (int64_t p = 0; p < out; ++p) {
+        packed->unperm16[static_cast<size_t>((*perm)[static_cast<size_t>(p)])] =
+            static_cast<uint16_t>(p);
+      }
+    } else {
+      packed->unperm32.assign(static_cast<size_t>(out), 0);
+      for (int64_t p = 0; p < out; ++p) {
+        packed->unperm32[static_cast<size_t>((*perm)[static_cast<size_t>(p)])] =
+            static_cast<int32_t>(p);
+      }
+    }
+    if (backend != WeightBackend::kCsrF32) {
+      // Per-row nonzero prefix length: the row sweeps stop here. (CSR rows
+      // carry their own run bounds instead.)
+      if (narrow) packed->row_len16.reserve(static_cast<size_t>(in));
+      else packed->row_len32.reserve(static_cast<size_t>(in));
+      for (int64_t k = 0; k < in; ++k) {
+        int64_t len = out;
+        while (len > 0 && at(k, len - 1) == 0.0f) --len;
+        if (narrow) packed->row_len16.push_back(static_cast<uint16_t>(len));
+        else packed->row_len32.push_back(static_cast<int32_t>(len));
+      }
+    }
+  }
 
   switch (backend) {
     case WeightBackend::kDenseF32:
-      // Shares the input handle: the caller hands over an immutable,
-      // non-pooled materialization (layers pass a fresh W o M copy), so no
-      // second dense buffer is allocated.
-      packed->dense = w;
+      if (perm == nullptr) {
+        // Shares the input handle: the caller hands over an immutable,
+        // non-pooled materialization (layers pass a fresh W o M copy), so no
+        // second dense buffer is allocated.
+        packed->dense = w;
+      } else {
+        std::vector<float> pw(static_cast<size_t>(in * out));
+        for (int64_t k = 0; k < in; ++k) {
+          for (int64_t p = 0; p < out; ++p) pw[static_cast<size_t>(k * out + p)] = at(k, p);
+        }
+        packed->dense = Tensor::FromVector({in, out}, std::move(pw));
+      }
       break;
 
     case WeightBackend::kCsrF32: {
-      const bool narrow = packed->out <= 65535;
-      packed->row_ptr.reserve(static_cast<size_t>(packed->in) + 1);
-      packed->val_ptr.reserve(static_cast<size_t>(packed->in) + 1);
+      packed->row_ptr.reserve(static_cast<size_t>(in) + 1);
+      packed->val_ptr.reserve(static_cast<size_t>(in) + 1);
       packed->row_ptr.push_back(0);
       packed->val_ptr.push_back(0);
-      for (int64_t k = 0; k < packed->in; ++k) {
-        const float* row = wp + k * packed->out;
+      for (int64_t k = 0; k < in; ++k) {
         int64_t j = 0;
-        while (j < packed->out) {
+        while (j < out) {
           // -0.0f == 0.0f, so masked-out entries (w * 0.0f may be -0.0f for
           // negative w) are dropped along with exact zeros.
-          if (row[j] == 0.0f) {
+          if (at(k, j) == 0.0f) {
             ++j;
             continue;
           }
           const int64_t start = j;
-          while (j < packed->out && row[j] != 0.0f) {
-            packed->values.push_back(row[j]);
+          while (j < out && at(k, j) != 0.0f) {
+            packed->values.push_back(at(k, j));
             ++j;
           }
           if (narrow) {
@@ -191,28 +394,39 @@ std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend 
     }
 
     case WeightBackend::kInt8: {
-      packed->scales.assign(static_cast<size_t>(packed->out), 0.0f);
-      for (int64_t k = 0; k < packed->in; ++k) {
-        const float* row = wp + k * packed->out;
-        for (int64_t j = 0; j < packed->out; ++j) {
+      // Scales stay in ORIGINAL column order (the gathering epilogue indexes
+      // them by original j); only the quantized payload is permuted.
+      packed->scales.assign(static_cast<size_t>(out), 0.0f);
+      for (int64_t k = 0; k < in; ++k) {
+        const float* row = wp + k * out;
+        for (int64_t j = 0; j < out; ++j) {
           packed->scales[static_cast<size_t>(j)] =
               std::max(packed->scales[static_cast<size_t>(j)], std::fabs(row[j]));
         }
       }
-      std::vector<float> inv(static_cast<size_t>(packed->out), 0.0f);
-      for (int64_t j = 0; j < packed->out; ++j) {
+      std::vector<float> inv(static_cast<size_t>(out), 0.0f);
+      for (int64_t j = 0; j < out; ++j) {
         float& s = packed->scales[static_cast<size_t>(j)];
         s /= 127.0f;  // symmetric: q in [-127, 127], 0.0 maps to q == 0
         if (s > 0.0f) inv[static_cast<size_t>(j)] = 1.0f / s;
       }
-      packed->quantized.resize(static_cast<size_t>(packed->in * packed->out));
-      for (int64_t k = 0; k < packed->in; ++k) {
-        const float* row = wp + k * packed->out;
-        int8_t* qrow = packed->quantized.data() + k * packed->out;
-        for (int64_t j = 0; j < packed->out; ++j) {
-          const float q = std::nearbyint(row[j] * inv[static_cast<size_t>(j)]);
-          qrow[j] = static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
+      packed->quantized.resize(static_cast<size_t>(in * out));
+      for (int64_t k = 0; k < in; ++k) {
+        int8_t* qrow = packed->quantized.data() + k * out;
+        for (int64_t p = 0; p < out; ++p) {
+          const int64_t j = perm ? (*perm)[static_cast<size_t>(p)] : p;
+          const float q = std::nearbyint(wp[k * out + j] * inv[static_cast<size_t>(j)]);
+          qrow[p] = static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
         }
+      }
+      break;
+    }
+
+    case WeightBackend::kF16: {
+      packed->half.resize(static_cast<size_t>(in * out));
+      for (int64_t k = 0; k < in; ++k) {
+        uint16_t* hrow = packed->half.data() + k * out;
+        for (int64_t p = 0; p < out; ++p) hrow[p] = FloatToHalf(at(k, p));
       }
       break;
     }
@@ -221,26 +435,63 @@ std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend 
 }
 
 void PackedGemv(const PackedWeights& w, const float* x, float* y) {
-  switch (w.backend) {
-    case WeightBackend::kDenseF32: {
-      // Same k-ascending zero-skip loop as the dense GEMV fast path.
-      const float* wp = w.dense.data();
-      for (int64_t k = 0; k < w.in; ++k) {
-        const float av = x[k];
-        if (av == 0.0f) continue;
-        const float* wrow = wp + k * w.out;
-#pragma omp simd
-        for (int64_t j = 0; j < w.out; ++j) y[j] += av * wrow[j];
-      }
-      break;
-    }
-    case WeightBackend::kCsrF32:
-      CsrRowAccum(w, x, y);
-      break;
-    case WeightBackend::kInt8:
-      Int8RowAccum(w, x, y);
-      break;
+  PackedRowAccum(w, x, y);
+}
+
+void PackedLinearForward(const PackedWeights& w, const float* x, int64_t batch,
+                         const float* bias, Activation act, float* out) {
+  DUET_CHECK(!NoGradGuard::GradEnabled())
+      << "PackedLinearForward is inference-only (no autograd graph)";
+  if (w.backend == WeightBackend::kDenseF32 && !w.permuted()) {
+    // Identical code path to the unpacked layer (tiled GEMM / zero-skip
+    // GEMV + fused epilogue), so dense packing is bitwise-invisible.
+    RawMatMulBiasAct(x, w.dense.data(), bias, batch, w.in, w.out, act, out);
+    return;
   }
+  const bool parallel = PackedParallel(batch, w.in, w.out);
+  if (!w.permuted()) {
+    // Row-parallel sweep: rows are independent and each output element
+    // still accumulates k-ascending, so neither the thread count nor the
+    // batch size changes any per-row result (the batch-invariance contract
+    // holds for every backend).
+    std::fill(out, out + batch * w.out, 0.0f);
+    ParallelForChunked(
+        0, batch,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            PackedRowAccum(w, x + r * w.in, out + r * w.out);
+          }
+        },
+        parallel, /*grain=*/8);
+    BiasActEpilogue(out, batch, w.out, bias,
+                    w.backend == WeightBackend::kInt8 ? w.scales.data() : nullptr, act,
+                    parallel);
+    return;
+  }
+  // Permuted pack: accumulate each row into a per-thread packed-space
+  // scratch (CSR rows are single runs, dense/int8/f16 rows stop at their
+  // nonzero prefix), gather back into the original column order, then run
+  // the SAME shared epilogue as the identity layout over the gathered rows.
+  // Per output element the k-accumulation order is unchanged and the
+  // epilogue is literally the same code, so exact backends stay
+  // bitwise-equal to the identity layout.
+  ParallelForChunked(
+      0, batch,
+      [&](int64_t lo, int64_t hi) {
+        thread_local std::vector<float> acc;
+        if (static_cast<int64_t>(acc.size()) < w.out) {
+          acc.resize(static_cast<size_t>(w.out));
+        }
+        for (int64_t r = lo; r < hi; ++r) {
+          std::fill(acc.begin(), acc.begin() + w.out, 0.0f);
+          PackedRowAccum(w, x + r * w.in, acc.data());
+          GatherRow(w, acc.data(), out + r * w.out);
+        }
+      },
+      parallel, /*grain=*/8);
+  BiasActEpilogue(out, batch, w.out, bias,
+                  w.backend == WeightBackend::kInt8 ? w.scales.data() : nullptr, act,
+                  parallel);
 }
 
 Tensor PackedMatMulBiasAct(const Tensor& a, const PackedWeights& w, const Tensor& bias,
@@ -251,43 +502,9 @@ Tensor PackedMatMulBiasAct(const Tensor& a, const PackedWeights& w, const Tensor
   DUET_CHECK_EQ(a.dim(1), w.in);
   DUET_CHECK_EQ(bias.ndim(), 1);
   DUET_CHECK_EQ(bias.dim(0), w.out);
-
-  if (w.backend == WeightBackend::kDenseF32) {
-    // Identical code path to the unpacked layer (tiled GEMM / zero-skip
-    // GEMV + fused epilogue), so dense packing is bitwise-invisible.
-    return MatMulBiasAct(a, w.dense, bias, act);
-  }
-
   const int64_t b = a.dim(0);
   Tensor out = Tensor::Zeros({b, w.out});
-  const float* ap = a.data();
-  float* cp = out.data();
-  const bool parallel = PackedParallel(b, w.in, w.out);
-  if (b == 1) {
-    PackedGemv(w, ap, cp);
-  } else {
-    // Row-parallel sweep: rows are independent and each output element
-    // still accumulates k-ascending, so neither the thread count nor the
-    // batch size changes any per-row result (the batch-invariance contract
-    // holds for every backend).
-    ParallelForChunked(
-        0, b,
-        [&](int64_t lo, int64_t hi) {
-          for (int64_t r = lo; r < hi; ++r) {
-            const float* arow = ap + r * w.in;
-            float* crow = cp + r * w.out;
-            if (w.backend == WeightBackend::kCsrF32) {
-              CsrRowAccum(w, arow, crow);
-            } else {
-              Int8RowAccum(w, arow, crow);
-            }
-          }
-        },
-        parallel, /*grain=*/8);
-  }
-  BiasActEpilogue(cp, b, w.out, bias.data(),
-                  w.backend == WeightBackend::kInt8 ? w.scales.data() : nullptr, act,
-                  parallel);
+  PackedLinearForward(w, a.data(), b, bias.data(), act, out.data());
   return out;
 }
 

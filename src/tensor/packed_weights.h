@@ -19,16 +19,38 @@
 //    dequantize+bias+activation epilogue. 4x less weight traffic;
 //    accuracy-bounded rather than exact: |y_q - y| <= 0.5 * scale_j *
 //    sum_k |x_k| per output channel.
+//  * kF16     — IEEE binary16 weights decoded on load with fp32
+//    accumulation (the dequantization IS the half->float widening, fused
+//    into the inner loop). 2x less weight traffic; accuracy-bounded with a
+//    relative weight error <= 2^-11 per entry (round-to-nearest-even), far
+//    tighter than int8's per-channel bound.
+//
+// Degree-sorted output permutation (compiled-plan packs): a pack may carry
+// an output-column permutation chosen so that every MADE-masked row's
+// allowed columns become one contiguous stretch in packed space (columns
+// stably sorted by descending column nonzero count == descending MADE
+// degree). The kernels then accumulate into packed positions — CSR rows
+// degenerate to a single (start,len) run, dense/int8/f16 rows stop at a
+// per-row nonzero prefix length and skip the structural-zero tail — and the
+// fused epilogue gathers results back into the ORIGINAL column order while
+// applying scale/bias/activation. Activations therefore stay in the
+// original layout between layers and per-output accumulation order is
+// unchanged, so permuted dense/CSR packs remain bitwise-identical to the
+// unpacked path (see docs/architecture.md §5 for why the permutation must
+// NOT be composed into the next layer's pack: reordering the k-sum would
+// break bitwise equality).
 //
 // PackedWeights values are immutable after PackWeights returns and hold no
 // autograd state; they are safe to share across threads and to outlive any
 // NoGradScope (all storage is plain heap, never the inference arena).
 // Layers cache one per parameter version (see nn/layers.h for the
-// coherence/publication rules).
+// coherence/publication rules); compiled plans (nn/inference_plan.h) build
+// their own permuted packs under the same invalidation rules.
 #ifndef DUET_TENSOR_PACKED_WEIGHTS_H_
 #define DUET_TENSOR_PACKED_WEIGHTS_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,22 +65,68 @@ enum class WeightBackend : int32_t {
   kDenseF32 = 0,  ///< dense fp32 (bitwise-identical to the unpacked path)
   kCsrF32 = 1,    ///< sparse fp32 rows (bitwise-identical, zeros skipped)
   kInt8 = 2,      ///< per-output-channel symmetric int8 (accuracy-bounded)
+  kF16 = 3,       ///< IEEE binary16 weights, fp32 accumulate (accuracy-bounded)
 };
 
-/// Human-readable backend name ("dense" / "csr" / "int8"), for bench output.
+/// Human-readable backend name ("dense" / "csr" / "int8" / "f16"), for bench
+/// output.
 const char* WeightBackendName(WeightBackend backend);
 
-/// Parses "dense" / "csr" / "int8" (returns false on anything else).
+/// Parses "dense" / "csr" / "int8" / "f16" (returns false on anything else).
 bool ParseWeightBackend(const std::string& name, WeightBackend* out);
 
+/// fp32 -> IEEE binary16 with round-to-nearest-even; overflow saturates to
+/// +-inf, NaN payloads collapse to a quiet NaN. Exposed for tests.
+uint16_t FloatToHalf(float f);
+
+/// IEEE binary16 -> fp32 (exact: every half value is representable).
+/// Hot-loop decode for the kF16 kernels, so it lives in the header, and
+/// branch-free (one select) so the row sweeps stay vectorizable: the
+/// exponent is rebias-by-multiply for normals/inf/NaN and
+/// reconstruct-by-subtraction for subnormals/zero — the standard
+/// fixup-free fp16 widening.
+inline float HalfToFloat(uint16_t h) {
+  const uint32_t w = static_cast<uint32_t>(h) << 16;
+  const uint32_t sign = w & 0x80000000u;
+  const uint32_t two_w = w + w;
+
+  // Normal / inf / NaN: shift exponent+mantissa into place with a 3-bit
+  // headroom, then scale by 2^-112 to undo the bias shift (saturated
+  // exponents overflow to inf / keep NaN payloads).
+  const uint32_t exp_offset = 0xE0u << 23;
+  uint32_t nbits = (two_w >> 4) + exp_offset;
+  float normalized;
+  std::memcpy(&normalized, &nbits, sizeof(normalized));
+  normalized *= 0x1.0p-112f;
+
+  // Subnormal / zero: park the 10 mantissa bits under 0.5f's exponent and
+  // subtract the implicit bit.
+  const uint32_t magic_mask = 126u << 23;
+  uint32_t dbits = (two_w >> 17) | magic_mask;
+  float denormalized;
+  std::memcpy(&denormalized, &dbits, sizeof(denormalized));
+  denormalized -= 0.5f;
+
+  const uint32_t denormalized_cutoff = 1u << 27;
+  uint32_t nres, dres;
+  std::memcpy(&nres, &normalized, sizeof(nres));
+  std::memcpy(&dres, &denormalized, sizeof(dres));
+  const uint32_t bits = sign | (two_w < denormalized_cutoff ? dres : nres);
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
 /// One layer's effective weight, packed for inference. Immutable; produced
-/// by PackWeights and consumed by PackedMatMulBiasAct / PackedGemv.
+/// by PackWeights and consumed by PackedLinearForward / PackedGemv.
 struct PackedWeights {
   WeightBackend backend = WeightBackend::kDenseF32;
   int64_t in = 0;
   int64_t out = 0;
 
   /// kDenseF32: the dense [in, out] matrix (no grad, non-pooled storage).
+  /// Permuted packs hold a fresh column-permuted copy; unpermuted packs
+  /// share the caller's handle.
   Tensor dense;
 
   /// kCsrF32: rows are the in-dimension k; row k holds its nonzeros as
@@ -68,9 +136,11 @@ struct PackedWeights {
   /// allowed columns form a handful of contiguous stretches (the strict
   /// output layer is a single suffix run per row), so the sparse kernel
   /// keeps dense contiguous SIMD inner loops — a per-element index gather
-  /// would forfeit vectorization and lose to dense outright. Run bounds are
-  /// 16-bit whenever out <= 65535 (every in-tree layer); the *32 pair is
-  /// the fallback for very wide layers. Exactly one pair is populated.
+  /// would forfeit vectorization and lose to dense outright. Under the
+  /// degree-sorted permutation every row degenerates to exactly one run.
+  /// Run bounds are 16-bit whenever out <= 65535 (every in-tree layer); the
+  /// *32 pair is the fallback for very wide layers. Exactly one pair is
+  /// populated.
   std::vector<int32_t> row_ptr;      ///< size in+1: run range of row k
   std::vector<int32_t> val_ptr;      ///< size in+1: value offset of row k
   std::vector<uint16_t> run_start16;  ///< per run: first column
@@ -79,13 +149,37 @@ struct PackedWeights {
   std::vector<int32_t> run_len32;     ///< wide-layer fallback
   std::vector<float> values;          ///< size nnz, row-major column order
 
-  /// kInt8: row-major [in, out] quantized weights and per-output-channel
-  /// dequantization scales (scale 0 for all-zero channels).
+  /// kInt8: row-major [in, out] quantized weights (packed column order when
+  /// permuted) and per-ORIGINAL-output-channel dequantization scales
+  /// (scale 0 for all-zero channels) — the epilogue gathers before scaling,
+  /// so scales never need permuting.
   std::vector<int8_t> quantized;
-  std::vector<float> scales;  ///< size out
+  std::vector<float> scales;  ///< size out, original column order
 
-  /// Packed footprint in bytes (weight payload + indexing/scale metadata;
-  /// excludes bias, which the layer owns either way).
+  /// kF16: row-major [in, out] binary16 weights (packed column order when
+  /// permuted).
+  std::vector<uint16_t> half;
+
+  /// Degree-sorted output permutation metadata (empty = identity layout).
+  /// unperm maps an ORIGINAL output column j to its packed position; the
+  /// fused epilogue reads acc[unperm[j]] so downstream activations stay in
+  /// the original layout. 16-bit whenever out <= 65535, else the *32
+  /// fallback; exactly one is populated for permuted packs.
+  std::vector<uint16_t> unperm16;
+  std::vector<int32_t> unperm32;
+  /// Dense/int8/f16 permuted packs: nonzero prefix length of each input row
+  /// in packed column space — the kernels stop here and skip the
+  /// structural-zero tail. Same 16/32 split as unperm.
+  std::vector<uint16_t> row_len16;
+  std::vector<int32_t> row_len32;
+
+  bool permuted() const { return !unperm16.empty() || !unperm32.empty(); }
+
+  /// Packed footprint in bytes (weight payload + indexing/scale/permutation
+  /// metadata; excludes bias, which the layer owns either way). Callers that
+  /// share an existing tensor handle into an unpermuted dense pack (compiled
+  /// plans over plain Linear layers) account for that themselves — see
+  /// nn::InferencePlan::bytes().
   uint64_t bytes() const;
 
   /// Nonzero count (CSR only; in*out otherwise).
@@ -95,21 +189,46 @@ struct PackedWeights {
 /// Packs a dense [in, out] fp32 weight (already masked — i.e. the effective
 /// weight the layer multiplies by) into the chosen backend. The input tensor
 /// is only read; for kDenseF32 the returned pack shares its handle.
-std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend);
+///
+/// `perm` (optional) applies a degree-sorted output permutation: packed
+/// column p holds original column perm[p] (perm must be a permutation of
+/// [0, out)). See the header comment for the layout contract; pass nullptr
+/// for the identity layout. A permuted dense pack owns a fresh copy.
+std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend,
+                                                 const std::vector<int32_t>* perm = nullptr);
+
+/// Derives the degree-sorted output permutation for a masked effective
+/// weight: columns stably sorted by descending nonzero count (== descending
+/// MADE out-degree for connectivity masks, which makes every row's allowed
+/// set a prefix in packed space). Returns an empty vector when the sort is
+/// the identity (callers then skip the permutation and its epilogue gather).
+std::vector<int32_t> DegreeSortPermutation(const Tensor& w);
 
 /// Fused packed dense layer: act(a x W_packed + bias) for a:[B,I], bias:[O].
 /// Inference-only — must run with gradient tracking disabled (the packed
 /// form has no autograd graph). kDenseF32 dispatches to the standard tiled
 /// GEMM / zero-skip GEMV (bitwise-identical to MatMulBiasAct on the dense
 /// matrix); kCsrF32 runs the sparse kernels (bitwise-identical, see header
-/// comment); kInt8 accumulates in fp32 and fuses dequant+bias+activation.
+/// comment); kInt8/kF16 accumulate in fp32 and fuse dequant+bias+activation.
 Tensor PackedMatMulBiasAct(const Tensor& a, const PackedWeights& w, const Tensor& bias,
                            Activation act);
 
+/// Raw-buffer fused forward: out[b, w.out] = act(x[b, w.in] x W + bias) for
+/// x:[batch, w.in] row-major, overwriting out[batch * w.out]. This is the
+/// execution kernel behind both PackedMatMulBiasAct and the compiled
+/// inference plans (nn/inference_plan.h): no Tensor temporaries, no
+/// virtual dispatch, row-parallel over the pool above the same work
+/// threshold as the dense GEMM. Inference-only.
+void PackedLinearForward(const PackedWeights& w, const float* x, int64_t batch,
+                         const float* bias, Activation act, float* out);
+
 /// Single-row packed kernel: y[0..out) += x[0..in) x W_packed, with x rows
 /// skipped at x[k] == 0 (Duet inputs are one-hot-sparse). No bias, no
-/// activation, no dequantization for kInt8 — the caller applies the fused
-/// epilogue. Exposed for kernel tests; PackedMatMulBiasAct uses it for M=1.
+/// activation, no dequantization for kInt8/kF16 — the caller applies the
+/// epilogue. For permuted packs y is in PACKED column space (the forward
+/// gathers before its epilogue). This is exactly one row of
+/// PackedLinearForward's sweep (same accumulation code); exposed separately
+/// for kernel tests.
 void PackedGemv(const PackedWeights& w, const float* x, float* y);
 
 }  // namespace duet::tensor
