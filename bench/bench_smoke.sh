@@ -25,9 +25,13 @@ for bin in "$BUILD_DIR"/bench_*; do
   extra=""
   case "$name" in
     # Keep the inference sweep short; coverage, not measurement. --backend
-    # makes every packed-weight backend take the kernel + cache paths.
+    # makes every packed-weight backend take the kernel + cache paths, and
+    # the tiny --live_update run exercises the registry/hot-swap/worker
+    # pipeline end to end.
     bench_table3_throughput)
-      extra="--sweep_queries=64 --sweep_min_seconds=0.05 --backend=$BACKENDS --plan=$PLAN_MODES" ;;
+      extra="--sweep_queries=64 --sweep_min_seconds=0.05 --backend=$BACKENDS --plan=$PLAN_MODES"
+      extra="$extra --live_update --live_queries=128 --live_publishes=1"
+      extra="$extra --live_min_seconds=0.5 --live_max_seconds=30" ;;
   esac
   start=$(date +%s)
   if "$bin" $extra >/dev/null 2>&1; then

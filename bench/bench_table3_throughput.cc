@@ -20,18 +20,31 @@
 // All sweeps are emitted in one JSON line for tooling (schema documented
 // in docs/benchmarks.md).
 //
+// With --live_update, additionally measures zero-downtime online updates
+// (docs/serving.md): serving through a ModelRegistry-backed engine while a
+// background UpdateWorker fine-tunes on served-traffic feedback and
+// hot-swaps snapshots in — sustained live throughput vs steady state, the
+// publish/swap latencies, update verdict counters, and the median q-error
+// before/after the updates, emitted as a second JSON line
+// ({"bench":"live_update",...}).
+//
 // Flags: --datasets=census,kdd,dmv --batch=N --sweep_queries=N
 //        --sweep_min_seconds=S --sweep=0|1 --sweep_scalar=0|1
 //        --sweep_hidden=N --backend=dense,csr,int8,f16 --backend_hidden=N
-//        --plan=on,off
+//        --plan=on,off --live_update --live_hidden=N --live_queries=N
+//        --live_publishes=N --live_min_seconds=S --live_max_seconds=S
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
+#include "core/finetune.h"
+#include "serve/model_registry.h"
 #include "serve/serving_engine.h"
+#include "serve/update_worker.h"
 #include "tensor/packed_weights.h"
 
 namespace duet::bench {
@@ -482,6 +495,179 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   std::printf("%s\n", json.c_str());
 }
 
+/// Zero-downtime online-update sweep (--live_update): serve through a
+/// ModelRegistry-backed engine while a background UpdateWorker fine-tunes
+/// on served-traffic feedback and hot-swaps snapshots in. Reports sustained
+/// live throughput against the steady state (the no-quiesce claim is a
+/// measured ratio, not an assertion), the publish/swap latencies, the
+/// update verdict counters and the median q-error before/after.
+void RunLiveUpdateSweep(const Flags& flags, double scale) {
+  const data::Table t = MakeCensus(scale);
+  core::DuetModelOptions opt;
+  const int64_t hidden = flags.GetInt("live_hidden", 128);
+  opt.hidden_sizes = {hidden, hidden};
+  opt.residual = true;
+  auto model = std::make_unique<core::DuetModel>(t, opt);
+  {
+    // Briefly trained baseline: good enough to serve, with headroom for the
+    // online updates to improve on.
+    core::TrainOptions topt;
+    topt.epochs = 1;
+    topt.batch_size = 512;
+    core::DuetTrainer(*model, topt).Train();
+  }
+
+  // Feedback stream: fresh random queries throughout (each update wave sees
+  // queries the model was never tuned on — sustained drift), plus a fixed
+  // eval workload for the before/after accuracy comparison.
+  query::WorkloadSpec spec;
+  spec.num_queries = static_cast<int>(flags.GetInt("live_queries", 768));
+  spec.seed = 4321;
+  const query::Workload feedback_wl = query::WorkloadGenerator(t, spec).Generate();
+  query::WorkloadSpec eval_spec;
+  eval_spec.num_queries = 128;
+  eval_spec.seed = 4322;
+  const query::Workload eval_wl = query::WorkloadGenerator(t, eval_spec).Generate();
+  std::vector<query::Query> serve_queries;
+  serve_queries.reserve(feedback_wl.size());
+  for (const auto& lq : feedback_wl) serve_queries.push_back(lq.query);
+
+  ThreadPool::SetGlobalThreads(1);
+  serve::ModelRegistry registry(std::move(model));  // dense fp32, plans on
+  const double qerror_before = core::MedianQError(registry.Current()->model(), eval_wl);
+
+  serve::ServingOptions sopt;
+  sopt.num_workers = 2;
+  serve::ServingEngine engine(registry, sopt);
+
+  serve::UpdateWorkerOptions wopt;
+  wopt.min_feedback = flags.GetInt("live_min_feedback", 96);
+  wopt.update.max_regression = 1.1;
+  wopt.update.finetune.qerror_threshold = 1.05;
+  wopt.update.finetune.epochs = 1;
+  wopt.update.finetune.batch_size = 512;
+  wopt.update.finetune.expand = 2;
+  // Bounded round cost: each background epoch visits at most this many
+  // anchors, so a fine-tune round costs the same on any table size — the
+  // knob that keeps the update duty cycle (and the live/steady throughput
+  // ratio) under control on small machines.
+  wopt.update.finetune.max_anchor_rows = flags.GetInt("live_anchor_rows", 384);
+  serve::UpdateWorker worker(registry, wopt);
+
+  // Steady state: no update worker attached, no feedback flowing. Measured
+  // over a window comparable to the live phase — the ratio below compares
+  // two long averages, not a long average against a burst.
+  const double min_seconds = flags.GetDouble("sweep_min_seconds", 0.4);
+  const double steady_seconds =
+      std::max(min_seconds, flags.GetDouble("live_min_seconds", 24.0 * scale) / 4.0);
+  const int64_t batch = 64;
+  const double steady_qps = MeasureServingQps(engine, serve_queries, batch, steady_seconds);
+
+  // Live phase: same serving loop while the background worker clones,
+  // tunes, validates and publishes. Feedback is fed in waves of
+  // min_feedback fresh pairs — one wave per completed round — until the
+  // target number of snapshots has been published; serving never pauses.
+  const int64_t target_publishes = flags.GetInt("live_publishes", 3);
+  const double live_min_seconds =
+      std::max(0.5, flags.GetDouble("live_min_seconds", 24.0 * scale));
+  const double live_max_seconds = flags.GetDouble("live_max_seconds", live_min_seconds * 6 + 60.0);
+  std::vector<std::vector<query::Query>> chunks;
+  for (size_t begin = 0; begin < serve_queries.size(); begin += static_cast<size_t>(batch)) {
+    const size_t end = std::min(serve_queries.size(), begin + static_cast<size_t>(batch));
+    chunks.emplace_back(serve_queries.begin() + static_cast<int64_t>(begin),
+                        serve_queries.begin() + static_cast<int64_t>(end));
+  }
+  size_t feedback_cursor = 0;
+  auto feed_wave = [&] {
+    for (int64_t i = 0; i < wopt.min_feedback && feedback_cursor < feedback_wl.size();
+         ++i, ++feedback_cursor) {
+      const query::LabeledQuery& lq = feedback_wl[feedback_cursor];
+      engine.ReportObserved(lq.query, static_cast<double>(lq.cardinality));
+    }
+  };
+  engine.AttachUpdateWorker(&worker);
+  worker.Start();
+  Timer live_timer;
+  int64_t served = 0;
+  uint64_t waves_fed = 1;
+  feed_wave();
+  for (;;) {
+    for (const auto& chunk : chunks) {
+      engine.EstimateBatch(chunk);
+      served += static_cast<int64_t>(chunk.size());
+    }
+    const serve::UpdateWorkerStats ws = worker.stats();
+    // One fresh wave per completed round until enough snapshots shipped.
+    if (ws.rounds >= waves_fed && ws.published < static_cast<uint64_t>(target_publishes)) {
+      ++waves_fed;
+      feed_wave();
+    }
+    const double elapsed = live_timer.Seconds();
+    if (ws.published >= static_cast<uint64_t>(target_publishes) && elapsed >= live_min_seconds) {
+      break;
+    }
+    // A starved run with the feedback stream exhausted and every fed wave
+    // consumed can never publish again — stop instead of spinning out the
+    // rest of live_max_seconds.
+    if (ws.published < static_cast<uint64_t>(target_publishes) &&
+        feedback_cursor >= feedback_wl.size() && ws.rounds >= waves_fed) {
+      break;
+    }
+    if (elapsed > live_max_seconds) break;  // cap a gate-starved run
+  }
+  const double live_seconds = live_timer.Seconds();
+  const double live_qps = static_cast<double>(served) / live_seconds;
+  worker.Stop();
+  // The worker (declared after the engine) is destroyed first; detach so
+  // the engine never holds a dangling feedback pointer during teardown.
+  engine.AttachUpdateWorker(nullptr);
+  ThreadPool::SetGlobalThreads(0);
+
+  const serve::UpdateWorkerStats ws = worker.stats();
+  const serve::RegistryStats rs = registry.stats();
+  const serve::ServingStats es = engine.stats();
+  const double qerror_after = core::MedianQError(registry.Current()->model(), eval_wl);
+  const double ratio = steady_qps > 0.0 ? live_qps / steady_qps : 0.0;
+
+  std::printf("\nLive-update sweep (registry-backed serving, 2x%lld ResMADE, batch %lld)\n",
+              static_cast<long long>(hidden), static_cast<long long>(batch));
+  std::printf("steady-state    %14.1f q/s\n", steady_qps);
+  std::printf("during updates  %14.1f q/s  (%.1f%% of steady, %.1fs window)\n", live_qps,
+              100.0 * ratio, live_seconds);
+  std::printf("updates         %llu published, %llu rolled back, %llu skipped "
+              "(%llu feedback pairs)\n",
+              static_cast<unsigned long long>(ws.published),
+              static_cast<unsigned long long>(ws.rolled_back),
+              static_cast<unsigned long long>(ws.skipped),
+              static_cast<unsigned long long>(ws.feedback_received));
+  std::printf("swap latency    %.1f us (pointer swap), %.1f ms publish end-to-end, "
+              "last round %.2fs\n",
+              rs.last_swap_micros, rs.last_publish_micros / 1000.0, ws.last_round_seconds);
+  std::printf("median q-error  %.3f -> %.3f on the eval workload (snapshot %llu, "
+              "%llu swaps seen by traffic)\n",
+              qerror_before, qerror_after,
+              static_cast<unsigned long long>(rs.current_id),
+              static_cast<unsigned long long>(es.snapshot_swaps));
+
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\":\"live_update\",\"steady_qps\":%.1f,\"live_qps\":%.1f,"
+                "\"qps_ratio\":%.3f,\"updates_published\":%llu,"
+                "\"updates_rolled_back\":%llu,\"updates_skipped\":%llu,"
+                "\"feedback_pairs\":%llu,\"snapshot_swaps\":%llu,"
+                "\"swap_micros_last\":%.1f,\"publish_micros_last\":%.1f,"
+                "\"round_seconds_last\":%.3f,\"qerror_before\":%.4f,"
+                "\"qerror_after\":%.4f}",
+                steady_qps, live_qps, ratio,
+                static_cast<unsigned long long>(ws.published),
+                static_cast<unsigned long long>(ws.rolled_back),
+                static_cast<unsigned long long>(ws.skipped),
+                static_cast<unsigned long long>(ws.feedback_received),
+                static_cast<unsigned long long>(es.snapshot_swaps), rs.last_swap_micros,
+                rs.last_publish_micros, ws.last_round_seconds, qerror_before, qerror_after);
+  std::printf("%s\n", buf);
+}
+
 }  // namespace
 }  // namespace duet::bench
 
@@ -525,5 +711,6 @@ int main(int argc, char** argv) {
   print_line("Duet", [](const Row& r) { return r.duet; }, [](const Row&) { return false; });
 
   if (flags.GetBool("sweep", true)) RunInferenceSweep(flags, scale);
+  if (flags.GetBool("live_update", false)) RunLiveUpdateSweep(flags, scale);
   return 0;
 }

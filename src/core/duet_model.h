@@ -89,12 +89,16 @@ class DuetModel : public nn::Module {
   // ----- inference-side API (no autograd) -----
   //
   // Thread-safety: both estimation entry points below are safe to call
-  // concurrently from multiple threads while the parameters are frozen (the
-  // encoder is stateless, activations live in per-thread inference arenas,
-  // and the masked-weight cache publishes under its own lock). The
-  // PhaseTimes accumulators are guarded by an internal mutex. Training-side
-  // methods and optimizer steps must NOT run concurrently with estimation —
-  // quiesce serving first (this is the ServingEngine contract too).
+  // concurrently from multiple threads while THIS instance's parameters are
+  // unchanging (the encoder is stateless, activations live in per-thread
+  // inference arenas, and the masked-weight cache publishes under its own
+  // lock). The PhaseTimes accumulators are guarded by an internal mutex.
+  // Training-side methods and optimizer steps must NOT run concurrently
+  // with estimation *on the same instance* — online updates instead train
+  // a clone (core::CloneModel) and publish it as an immutable snapshot
+  // while the served instance keeps estimating (serve/model_registry.h);
+  // training a different instance concurrently is safe, and a frozen
+  // instance's pinned caches ignore the version bumps it causes.
 
   /// Algorithm 3 for a single query; deterministic. Returns selectivity in
   /// [0, 1]; queries with an empty predicate range return exactly 0.
@@ -112,12 +116,19 @@ class DuetModel : public nn::Module {
   /// weights (also bitwise-exact), kInt8 quarters weight traffic at bounded
   /// accuracy cost, kF16 halves it at a much tighter bound. Layers repack
   /// (and the plan recompiles) lazily on the next forward. Const because
-  /// only inference caches are reconfigured — but like training, the switch
-  /// must be quiesced for deterministic results: do not call with estimates
-  /// in flight (a racing forward is memory-safe but may serve either
-  /// backend; see nn/layers.h).
+  /// only inference caches are reconfigured — but configure before sharing
+  /// the model with serving threads: a switch racing in-flight estimates is
+  /// memory-safe yet a racing forward may serve either backend (see
+  /// nn/layers.h; published snapshots are configured once at publish time).
   void SetInferenceBackend(tensor::WeightBackend backend) const override {
     net_->SetInferenceBackend(backend);
+  }
+
+  /// Declares the parameters permanently frozen and pins the backbone's
+  /// pack/plan caches to `stamp` (snapshot publication; see nn/module.h).
+  /// After this call the model must never be trained again.
+  void FreezeInferenceCaches(const tensor::SnapshotStamp& stamp) const override {
+    net_->FreezeInferenceCaches(stamp);
   }
 
   /// Bytes currently held by the packed-weight caches including the
@@ -134,6 +145,8 @@ class DuetModel : public nn::Module {
   // ----- introspection -----
 
   const data::Table& table() const { return table_; }
+  /// Architecture the model was built with (what core::CloneModel replays).
+  const DuetModelOptions& options() const { return options_; }
   const DuetInputEncoder& encoder() const { return encoder_; }
   /// The autoregressive network (MADE or BlockTransformer).
   const nn::Backbone& backbone() const { return *net_; }
@@ -178,6 +191,9 @@ class DuetEstimator : public query::CardinalityEstimator {
   }
   void SetInferenceBackend(tensor::WeightBackend backend) override {
     model_.SetInferenceBackend(backend);
+  }
+  void FreezeInferenceCaches(const tensor::SnapshotStamp& stamp) override {
+    model_.FreezeInferenceCaches(stamp);
   }
   uint64_t PackedWeightBytes() const override { return model_.CachedBytes(); }
   void SetPlanEnabled(bool enabled) override { model_.SetPlanEnabled(enabled); }

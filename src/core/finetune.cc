@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "query/estimator.h"
 
 namespace duet::core {
@@ -70,6 +72,7 @@ FineTuneReport FineTune(DuetModel& model, const query::Workload& served,
   topt.lambda = options.lambda;
   topt.expand = options.expand;
   topt.wildcard_prob = options.wildcard_prob;
+  topt.max_rows_per_epoch = options.max_anchor_rows;
   topt.train_workload = &report.collected;
   if (options.use_importance_sampling) topt.importance_workload = &report.collected;
   topt.seed = options.seed;
@@ -78,6 +81,60 @@ FineTuneReport FineTune(DuetModel& model, const query::Workload& served,
 
   std::tie(report.after_mean, report.after_max) = Score(model, report.collected);
   return report;
+}
+
+std::unique_ptr<DuetModel> CloneModel(const DuetModel& model) {
+  auto clone = std::make_unique<DuetModel>(model.table(), model.options());
+  // Round-trip the parameters through the serialization path: the same
+  // mechanism checkpoints use, so clone estimates are bitwise-identical to
+  // the source (Module::Load also bumps the version counter, which the
+  // clone's cold caches key on — the source's caches are untouched, and a
+  // pinned source ignores the bump entirely).
+  std::stringstream buf;
+  {
+    BinaryWriter w(buf);
+    model.Save(w);
+  }
+  BinaryReader r(buf);
+  clone->Load(r);
+  return clone;
+}
+
+double MedianQError(const DuetModel& model, const query::Workload& workload) {
+  if (workload.empty()) return 0.0;
+  std::vector<query::Query> queries;
+  queries.reserve(workload.size());
+  for (const query::LabeledQuery& lq : workload) queries.push_back(lq.query);
+  const std::vector<double> sels = model.EstimateSelectivityBatch(queries);
+  const double rows = static_cast<double>(model.table().num_rows());
+  std::vector<double> qerrs;
+  qerrs.reserve(sels.size());
+  for (size_t i = 0; i < sels.size(); ++i) {
+    const double est =
+        std::max(1.0, query::CardinalityEstimator::ClampSelectivity(sels[i]) * rows);
+    qerrs.push_back(query::QError(est, static_cast<double>(workload[i].cardinality)));
+  }
+  std::sort(qerrs.begin(), qerrs.end());
+  return qerrs[qerrs.size() / 2];
+}
+
+OnlineUpdateResult CloneAndFineTune(const DuetModel& base, const query::Workload& feedback,
+                                    const query::Workload& holdout,
+                                    const OnlineUpdateOptions& options) {
+  DUET_CHECK_GE(options.max_regression, 1.0);
+  OnlineUpdateResult result;
+  result.model = CloneModel(base);
+  result.holdout_before = MedianQError(*result.model, holdout);
+  result.report = FineTune(*result.model, feedback, options.finetune);
+  result.holdout_after = MedianQError(*result.model, holdout);
+  // The gate validates on pairs the tuning never saw: a fine-tune that only
+  // memorized a poisoned/unrepresentative feedback batch regresses here and
+  // is rolled back. An empty collection means the clone equals the base —
+  // nothing worth publishing either.
+  result.accepted = !result.report.collected.empty() && !holdout.empty() &&
+                    std::isfinite(result.holdout_after) &&
+                    result.holdout_after <= result.holdout_before * options.max_regression;
+  return result;
 }
 
 }  // namespace duet::core

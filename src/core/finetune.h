@@ -39,6 +39,10 @@ struct FineTuneOptions {
   /// on so the model does not forget the data distribution).
   int expand = 4;
   double wildcard_prob = 0.3;
+  /// Caps the anchor tuples each fine-tune epoch visits (0 = whole table;
+  /// see TrainOptions::max_rows_per_epoch). Online update rounds set this
+  /// so a background fine-tune's cost does not scale with the table.
+  int64_t max_anchor_rows = 0;
   /// Guide the sampler with the collected queries' operator / value
   /// distributions (Sec. IV-C locality refinement).
   bool use_importance_sampling = true;
@@ -67,6 +71,56 @@ query::Workload CollectHighErrorQueries(const DuetModel& model, const query::Wor
 /// model is untouched and the report's `collected` is empty.
 FineTuneReport FineTune(DuetModel& model, const query::Workload& served,
                         const FineTuneOptions& options = {});
+
+/// Deep copy for online updates: a fresh DuetModel over the same table with
+/// the same architecture options and bitwise-identical parameters (round-
+/// tripped through the serialization path) but cold, unpinned inference
+/// caches. Safe to call concurrently with estimation on `model` (it only
+/// reads the parameter values); the clone is mutable and trainable even
+/// when `model` is a frozen snapshot.
+std::unique_ptr<DuetModel> CloneModel(const DuetModel& model);
+
+/// Median Q-error of `model` over a labeled workload (one batched forward);
+/// 0 for an empty workload. The robust validation metric the online-update
+/// gate compares.
+double MedianQError(const DuetModel& model, const query::Workload& workload);
+
+/// Knobs for one clone-and-tune online update round.
+struct OnlineUpdateOptions {
+  /// Inner fine-tuning round (collection threshold, epochs, LR, lambda...).
+  FineTuneOptions finetune;
+  /// Validation gate: the candidate is accepted iff its holdout median
+  /// Q-error is finite and <= before * max_regression. 1.0 demands
+  /// no regression at all; a small slack (e.g. 1.05) tolerates noise on
+  /// tiny holdouts.
+  double max_regression = 1.05;
+};
+
+/// Outcome of CloneAndFineTune. `model` always carries the tuned candidate
+/// (even when rejected, for inspection); `accepted` is the publish/rollback
+/// verdict of the validation gate.
+struct OnlineUpdateResult {
+  std::unique_ptr<DuetModel> model;
+  bool accepted = false;
+  /// Candidate's holdout median Q-error before / after tuning.
+  double holdout_before = 0.0;
+  double holdout_after = 0.0;
+  /// Inner fine-tune telemetry (`collected` empty = nothing exceeded the
+  /// threshold; the candidate is then identical to the base and rejected).
+  FineTuneReport report;
+};
+
+/// The online-update entry point (serve::UpdateWorker's core): clones
+/// `base`, fine-tunes the clone on `feedback` (observed (query, true
+/// cardinality) pairs from served traffic), and validates on `holdout` —
+/// pairs NOT trained on, so a poisoned or unrepresentative feedback batch
+/// that degrades the model fails the gate and is rolled back instead of
+/// published. `base` is never mutated and may be a frozen serving snapshot;
+/// the returned candidate is mutable and unfrozen (the publisher freezes
+/// it).
+OnlineUpdateResult CloneAndFineTune(const DuetModel& base, const query::Workload& feedback,
+                                    const query::Workload& holdout,
+                                    const OnlineUpdateOptions& options = {});
 
 }  // namespace duet::core
 

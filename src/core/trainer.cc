@@ -41,7 +41,13 @@ DuetTrainer::DuetTrainer(DuetModel& model, TrainOptions options)
 EpochStats DuetTrainer::TrainEpoch(int epoch_index) {
   const data::Table& table = model_.table();
   const int64_t rows = table.num_rows();
-  const int64_t bs = std::min<int64_t>(options_.batch_size, rows);
+  // Anchor budget for this epoch: the whole table unless capped (online
+  // fine-tuning rounds bound their cost this way); the permutation below
+  // still spans all rows, so a capped epoch sees an unbiased subsample.
+  const int64_t rows_used = options_.max_rows_per_epoch > 0
+                                ? std::min<int64_t>(rows, options_.max_rows_per_epoch)
+                                : rows;
+  const int64_t bs = std::min<int64_t>(options_.batch_size, rows_used);
   const bool hybrid = options_.train_workload != nullptr && options_.lambda > 0.0f;
 
   Timer timer;
@@ -53,7 +59,7 @@ EpochStats DuetTrainer::TrainEpoch(int epoch_index) {
   double raw_q_sum = 0.0;
   int64_t raw_q_count = 0;
 
-  for (int64_t begin = 0; begin + bs <= rows; begin += bs) {
+  for (int64_t begin = 0; begin + bs <= rows_used; begin += bs) {
     std::vector<int64_t> anchors(static_cast<size_t>(bs));
     for (int64_t i = 0; i < bs; ++i) {
       anchors[static_cast<size_t>(i)] = perm[static_cast<size_t>(begin + i)];

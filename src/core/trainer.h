@@ -43,6 +43,12 @@ struct TrainOptions {
   /// Map Q-error through log2(q+1) (Duet's loss). Setting this false
   /// reproduces UAE-style unmapped Q-error for the Fig. 3 comparison.
   bool map_query_loss = true;
+  /// Caps the anchor tuples one epoch visits (0 = the whole table). Anchors
+  /// are still drawn from a permutation of all rows, so the subsample is
+  /// unbiased. Full training wants 0; online fine-tuning rounds
+  /// (core/finetune.h max_anchor_rows) cap it so a background update's cost
+  /// is bounded by the knob, not the table size.
+  int64_t max_rows_per_epoch = 0;
   uint64_t seed = 3407;
   bool parallel_sampler = true;
 };

@@ -233,9 +233,12 @@ std::shared_ptr<const InferencePlan> GetOrCompilePlan(
     InferencePlanCache& cache,
     const std::function<std::shared_ptr<const InferencePlan>(tensor::WeightBackend)>&
         compile) {
-  const uint64_t version = tensor::ParameterVersion();
   const tensor::WeightBackend backend = cache.requested.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(cache.mu);
+  // Pinned caches belong to an immutable snapshot: validate against the
+  // frozen version, not the global counter another model's training moves.
+  const uint64_t version =
+      cache.snapshot_id != 0 ? cache.snapshot_version : tensor::ParameterVersion();
   if (cache.plan && cache.version == version && cache.plan->backend() == backend) {
     cache.hits.fetch_add(1, std::memory_order_relaxed);
     return cache.plan;
@@ -252,6 +255,22 @@ std::shared_ptr<const InferencePlan> GetOrCompilePlan(
   cache.compile_micros.fetch_add(static_cast<uint64_t>(timer.Micros()),
                                  std::memory_order_relaxed);
   return plan;
+}
+
+void PinPlanCache(InferencePlanCache& cache, const tensor::SnapshotStamp& stamp) {
+  DUET_CHECK_NE(stamp.id, 0u) << "snapshot id 0 means 'not a snapshot'";
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.snapshot_id = stamp.id;
+  cache.snapshot_version = stamp.parameter_version;
+  // A plan compiled under the freeze-time version already packed the frozen
+  // weights and keeps hitting (pinned lookups compare against
+  // snapshot_version). Anything older is stale — compiled before the last
+  // mutation — and must be dropped, not restamped: the pin removes the
+  // global-counter comparison that would otherwise have caught it.
+  if (cache.plan && cache.version != stamp.parameter_version) {
+    cache.plan.reset();
+    cache.version = 0;
+  }
 }
 
 }  // namespace duet::nn

@@ -59,10 +59,26 @@ class Module {
   /// their next no-grad forward; container modules forward the call to their
   /// children; leaves without packed weights ignore it (default). Const
   /// because it only reconfigures inference caches, never the trainable
-  /// parameters — but it does invalidate packed caches, so call it only
-  /// while no estimation is in flight (the ServingEngine quiesce contract).
+  /// parameters. Packs and plans publish atomically, so a switch racing
+  /// in-flight forwards is memory-safe — but a racing forward may serve
+  /// either backend, so configure a model before sharing it (snapshots are
+  /// configured once at publish time, see serve/model_registry.h).
   virtual void SetInferenceBackend(tensor::WeightBackend backend) const {
     (void)backend;
+  }
+
+  /// Declares this module's parameters permanently frozen and pins its
+  /// inference caches (packs + compiled plans) to `stamp`: pinned caches
+  /// stop comparing against the moving global tensor::ParameterVersion()
+  /// and serve what they built under stamp.parameter_version forever. This
+  /// is the multi-version serving hook — it makes a published snapshot
+  /// immune to the version bumps a background fine-tune of a *different*
+  /// (cloned) model performs on every optimizer step. Irreversible by
+  /// design: after freezing, training this module is a contract violation
+  /// (caches would serve stale weights). Container modules forward to their
+  /// children; modules without caches ignore it (default).
+  virtual void FreezeInferenceCaches(const tensor::SnapshotStamp& stamp) const {
+    (void)stamp;
   }
 
   /// Bytes currently held by inference-side packed-weight caches (0 when no
@@ -87,8 +103,8 @@ class Module {
   /// Enables/disables compiled-plan execution for no-grad forwards (default
   /// on for modules that support it; containers forward to children).
   /// Disabling also frees the cached program, so PlanBytes() drops to 0.
-  /// Like SetInferenceBackend, the toggle must be quiesced: do not flip it
-  /// with estimates in flight.
+  /// Like SetInferenceBackend, the toggle publishes atomically but is not
+  /// deterministic under racing forwards — configure before sharing.
   virtual void SetPlanEnabled(bool enabled) const { (void)enabled; }
 
   /// Bytes held by the compiled plan's packed weights (0 when no plan is

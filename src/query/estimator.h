@@ -9,10 +9,11 @@
 #include "query/query.h"
 
 namespace duet::tensor {
-// Opaque declaration (definition: tensor/packed_weights.h) so every
-// estimator TU does not pull in the packed-kernel headers for one enum
-// passed by value.
+// Opaque declarations (definitions: tensor/packed_weights.h and
+// tensor/tensor.h) so every estimator TU does not pull in the packed-kernel
+// headers for one enum passed by value and one struct passed by reference.
 enum class WeightBackend : int32_t;
+struct SnapshotStamp;
 }  // namespace duet::tensor
 
 namespace duet::query {
@@ -20,8 +21,8 @@ namespace duet::query {
 /// Common interface of every cardinality estimator in the repository
 /// (traditional, query-driven, data-driven and hybrid).
 ///
-/// Thread-safety contract (the serving engine relies on it): once a model
-/// is trained and its parameters are frozen, EstimateSelectivity and
+/// Thread-safety contract (the serving engine relies on it): while the
+/// wrapped model's parameters are unchanging, EstimateSelectivity and
 /// EstimateSelectivityBatch must be safe to call concurrently from multiple
 /// threads — estimation must not mutate shared state without internal
 /// synchronization. The in-tree neural estimators comply: activations live
@@ -29,8 +30,13 @@ namespace duet::query {
 /// derive their randomness from per-query deterministic seeds rather than a
 /// shared RNG, and Duet/MPSN's masked-weight caches publish under internal
 /// locks. Training, fine-tuning and checkpoint loading are NOT safe
-/// concurrently with estimation; quiesce serving first (see
-/// serve/serving_engine.h).
+/// concurrently with estimation *on the same model instance*. Online
+/// updates therefore never mutate a served model in place: they fine-tune a
+/// clone and publish it as an immutable snapshot that new dispatches swap
+/// to atomically, while in-flight batches finish on the snapshot they
+/// started on (see serve/model_registry.h and serve/serving_engine.h —
+/// training a *different* model instance concurrently with estimation is
+/// safe).
 class CardinalityEstimator {
  public:
   virtual ~CardinalityEstimator() = default;
@@ -51,12 +57,29 @@ class CardinalityEstimator {
 
   /// Selects the inference-side packed-weight backend (dense fp32 / CSR
   /// sparse / int8 / f16 — see tensor/packed_weights.h). Estimators without
-  /// a packed weight path ignore it (default). Like training, a backend
-  /// switch must be quiesced for deterministic results: with estimates in
-  /// flight the switch is memory-safe (packs and plans publish atomically —
-  /// no torn views, see nn/layers.h), but a racing forward may serve either
-  /// backend.
+  /// a packed weight path ignore it (default). Configure before sharing the
+  /// estimator with serving threads: with estimates in flight the switch is
+  /// memory-safe (packs and plans publish atomically — no torn views, see
+  /// nn/layers.h), but a racing forward may serve either backend. Model
+  /// snapshots are configured exactly once, at publish time.
   virtual void SetInferenceBackend(tensor::WeightBackend backend) { (void)backend; }
+
+  /// Declares the wrapped model's parameters permanently frozen and pins
+  /// its inference caches to `stamp` (snapshot publication — the
+  /// serve::ModelRegistry hook, see nn/module.h for the pinning rules).
+  /// Estimators over mutable or cache-free models ignore it (default).
+  virtual void FreezeInferenceCaches(const tensor::SnapshotStamp& stamp) { (void)stamp; }
+
+  /// Feedback hook for online adaptation: reports the observed true
+  /// cardinality of a query this estimator served, once the execution
+  /// engine has run the query and counted the result. The default ignores
+  /// it; adaptive serving stacks route these pairs into a feedback buffer
+  /// that a background fine-tune worker drains (serve/update_worker.h).
+  /// Must be cheap and thread-safe — it is called on the serving path.
+  virtual void ObserveTrueCardinality(const Query& query, double true_cardinality) {
+    (void)query;
+    (void)true_cardinality;
+  }
 
   /// Bytes currently held by packed-weight inference caches, including the
   /// compiled plan's packs (0 for estimators without one, or before the
@@ -65,7 +88,8 @@ class CardinalityEstimator {
 
   /// Enables/disables compiled-plan execution (nn/inference_plan.h) for
   /// no-grad forwards. Default on for neural estimators; model-free
-  /// estimators ignore it. Quiesce like SetInferenceBackend.
+  /// estimators ignore it. Configure before sharing, like
+  /// SetInferenceBackend.
   virtual void SetPlanEnabled(bool enabled) { (void)enabled; }
 
   /// Bytes held by compiled inference plans (0 without plan support or

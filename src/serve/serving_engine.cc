@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "serve/model_registry.h"
+#include "serve/update_worker.h"
 
 namespace duet::serve {
 
@@ -44,14 +46,25 @@ double ServingEngine::Future::Wait() const {
 }
 
 ServingEngine::ServingEngine(query::CardinalityEstimator& estimator, ServingOptions options)
-    : estimator_(estimator), options_(options), pool_(options.num_workers) {
+    : fixed_estimator_(&estimator), options_(options), pool_(options.num_workers) {
   DUET_CHECK_GE(options_.min_shard, 1);
   DUET_CHECK_GE(options_.max_batch, 1);
   DUET_CHECK_GE(options_.max_wait_us, 0);
   // Applied before any worker can estimate: layers repack (and plans
   // recompile) lazily on their first forward under the new configuration.
-  estimator_.SetInferenceBackend(options_.backend);
-  estimator_.SetPlanEnabled(options_.compile_plans);
+  estimator.SetInferenceBackend(options_.backend);
+  estimator.SetPlanEnabled(options_.compile_plans);
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+ServingEngine::ServingEngine(ModelRegistry& registry, ServingOptions options)
+    : registry_(&registry), options_(options), pool_(options.num_workers) {
+  DUET_CHECK_GE(options_.min_shard, 1);
+  DUET_CHECK_GE(options_.max_batch, 1);
+  DUET_CHECK_GE(options_.max_wait_us, 0);
+  // No backend/plan application here: snapshots arrive configured and
+  // frozen by the registry (RegistryOptions), and reconfiguring a frozen
+  // snapshot is not the engine's call to make.
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
@@ -64,17 +77,42 @@ ServingEngine::~ServingEngine() {
   scheduler_.join();  // drains every pending query before returning
 }
 
-void ServingEngine::EstimateSharded(const std::vector<query::Query>& queries, double* out) {
+ServingEngine::Target ServingEngine::Resolve() const {
+  if (registry_ == nullptr) return Target{fixed_estimator_, nullptr, 0};
+  // The hot-swap read: one acquire-load of the current snapshot. The
+  // returned pin keeps the snapshot alive for the whole dispatch, so a
+  // concurrent publish retires the old model only after this batch is done.
+  Target target;
+  target.pin = registry_->Current();
+  target.estimator = &target.pin->estimator();
+  target.snapshot_id = target.pin->id();
+  return target;
+}
+
+void ServingEngine::NoteDispatch(const Target& target) {
+  if (target.snapshot_id == 0) return;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (stats_.snapshot_id != 0 && stats_.snapshot_id != target.snapshot_id) {
+    ++stats_.snapshot_swaps;
+  }
+  stats_.snapshot_id = target.snapshot_id;
+}
+
+void ServingEngine::EstimateSharded(const Target& target,
+                                    const std::vector<query::Query>& queries, double* out) {
   const int64_t n = static_cast<int64_t>(queries.size());
   if (n == 0) return;
+  query::CardinalityEstimator& estimator = *target.estimator;
   // Shards split on query boundaries; per-row results are batch-size
   // invariant (kernel invariant + per-query deterministic sampling seeds),
-  // so any split yields bitwise the single-thread batch result.
+  // so any split yields bitwise the single-thread batch result. All shards
+  // run on the one estimator `target` resolved — a mid-batch snapshot
+  // publish cannot split a batch across models.
   const int64_t by_floor = std::max<int64_t>(1, n / options_.min_shard);
   const int64_t num_shards =
       std::min<int64_t>(static_cast<int64_t>(pool_.num_threads()), by_floor);
   if (num_shards <= 1) {
-    const std::vector<double> sels = estimator_.EstimateSelectivityBatch(queries);
+    const std::vector<double> sels = estimator.EstimateSelectivityBatch(queries);
     std::copy(sels.begin(), sels.end(), out);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shards;
@@ -96,10 +134,10 @@ void ServingEngine::EstimateSharded(const std::vector<query::Query>& queries, do
     const int64_t len = base + (s < extra ? 1 : 0);
     const int64_t lo = begin;
     begin += len;
-    pool_.Submit([this, &queries, &latch, out, lo, len] {
+    pool_.Submit([&estimator, &queries, &latch, out, lo, len] {
       const std::vector<query::Query> shard(queries.begin() + lo,
                                             queries.begin() + lo + len);
-      const std::vector<double> sels = estimator_.EstimateSelectivityBatch(shard);
+      const std::vector<double> sels = estimator.EstimateSelectivityBatch(shard);
       std::copy(sels.begin(), sels.end(), out + lo);
       // Notify while holding the mutex: the waiter owns the stack-allocated
       // latch and may destroy it the moment it can observe remaining == 0,
@@ -118,9 +156,15 @@ void ServingEngine::EstimateSharded(const std::vector<query::Query>& queries, do
   stats_.shards += static_cast<uint64_t>(num_shards);
 }
 
-std::vector<double> ServingEngine::EstimateBatch(const std::vector<query::Query>& queries) {
+std::vector<double> ServingEngine::EstimateBatch(const std::vector<query::Query>& queries,
+                                                 uint64_t* snapshot_id) {
+  // Resolved once per client call: the pin in `target` holds the snapshot
+  // until this batch returns, however many publishes happen meanwhile.
+  const Target target = Resolve();
+  NoteDispatch(target);
+  if (snapshot_id != nullptr) *snapshot_id = target.snapshot_id;
   std::vector<double> sels(queries.size());
-  EstimateSharded(queries, sels.data());
+  EstimateSharded(target, queries, sels.data());
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.sync_batches;
   stats_.queries += static_cast<uint64_t>(queries.size());
@@ -138,6 +182,26 @@ ServingEngine::Future ServingEngine::Submit(query::Query query) {
   }
   queue_cv_.notify_one();
   return Future(state);
+}
+
+void ServingEngine::ReportObserved(const query::Query& query, double true_cardinality) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.feedback_reported;
+  }
+  UpdateWorker* worker = feedback_.load(std::memory_order_acquire);
+  if (worker != nullptr) {
+    worker->AddFeedback(query, true_cardinality);
+    return;
+  }
+  // No worker attached: offer the pair to the estimator's own hook (a
+  // no-op for the in-tree estimators unless they override it).
+  const Target target = Resolve();
+  target.estimator->ObserveTrueCardinality(query, true_cardinality);
+}
+
+void ServingEngine::AttachUpdateWorker(UpdateWorker* worker) {
+  feedback_.store(worker, std::memory_order_release);
 }
 
 void ServingEngine::SchedulerLoop() {
@@ -170,8 +234,12 @@ void ServingEngine::DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> bat
   std::vector<query::Query> queries;
   queries.reserve(batch.size());
   for (const auto& p : batch) queries.push_back(p->query);
+  // One snapshot per micro-batch, resolved at dispatch: every query that
+  // was grouped into this batch is answered by the same model.
+  const Target target = Resolve();
+  NoteDispatch(target);
   std::vector<double> sels(queries.size());
-  EstimateSharded(queries, sels.data());
+  EstimateSharded(target, queries, sels.data());
   // Count before fulfilling: a client that has observed every Future ready
   // must also observe the counters covering those queries.
   {
@@ -190,12 +258,15 @@ ServingStats ServingEngine::stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     snapshot = stats_;
   }
-  // Point-in-time gauges, not counters: read from the estimator outside
+  // Point-in-time gauges, not counters: read from the serving model outside
   // stats_mu_ (the caches and plan telemetry have their own locks/atomics).
-  snapshot.packed_weight_bytes = estimator_.PackedWeightBytes();
-  snapshot.plan_bytes = estimator_.PlanBytes();
-  snapshot.plan_compile_micros = estimator_.PlanCompileMicros();
-  snapshot.plan_cache_hits = estimator_.PlanCacheHits();
+  // In registry mode this resolves the current snapshot, so the gauges
+  // describe what new dispatches would serve on.
+  const Target target = Resolve();
+  snapshot.packed_weight_bytes = target.estimator->PackedWeightBytes();
+  snapshot.plan_bytes = target.estimator->PlanBytes();
+  snapshot.plan_compile_micros = target.estimator->PlanCompileMicros();
+  snapshot.plan_cache_hits = target.estimator->PlanCacheHits();
   return snapshot;
 }
 

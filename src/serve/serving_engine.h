@@ -1,10 +1,9 @@
-// Concurrent serving engine: multi-threaded batch sharding and async
-// micro-batching on top of the batch-first estimator API.
+// Concurrent serving engine: multi-threaded batch sharding, async
+// micro-batching, and zero-downtime hot swap of model snapshots.
 //
-// The paper's headline serving claim (Fig. 6/7: Duet's estimation cost is
-// low enough for online use) needs two things beyond PR 1's single-thread
-// batch engine: parallelism across cores and a way to form batches from a
-// stream of individual queries. ServingEngine provides both:
+// The paper's serving claim is twofold: estimation is cheap enough for
+// online use (Fig. 6/7), and *updates* are cheap too — drift is handled by
+// fine-tuning, not retraining (Sec. IV-A/IV-D). ServingEngine covers both:
 //
 //  * EstimateBatch(queries) shards a batch across a private worker pool.
 //    Shards split on query boundaries only, and the kernel invariant (per-
@@ -16,23 +15,37 @@
 //    waiting or the oldest has waited `max_wait_us`, then dispatched as one
 //    sharded batch. This converts high-QPS single-query traffic into the
 //    batch shapes the engine is fast at.
+//  * Constructed over a serve::ModelRegistry, every dispatch resolves the
+//    current model snapshot with one atomic acquire-load and pins it for
+//    the batch's duration: in-flight batches finish on the snapshot they
+//    started on, new dispatches pick up the latest published snapshot, and
+//    a publish (background fine-tune, serve/update_worker.h) swaps models
+//    with NO quiesce and no lock on the estimate path. Each batch is served
+//    end-to-end by exactly one snapshot — never a mid-batch mix.
 //
 // Thread-safety contract:
-//  * The wrapped estimator must satisfy the CardinalityEstimator
-//    concurrency contract (estimation is const-thread-safe while parameters
-//    are frozen; all in-tree neural estimators comply — see
-//    query/estimator.h).
 //  * EstimateBatch and Submit may be called concurrently from any number of
 //    client threads. Completion is tracked per call, never with a global
 //    pool barrier, so concurrent callers cannot observe each other.
-//  * Training / fine-tuning / checkpoint loading must not run while
-//    estimates are in flight: quiesce (drain futures, stop issuing calls)
-//    first. Parameter updates invalidate the masked-weight caches via
-//    tensor::BumpParameterVersion(), so serving resumed after a training
-//    step sees the new weights (nn/layers.h documents the cache rules).
+//  * Registry mode: parameter updates NEVER touch a served model. The
+//    update path clones the current snapshot, fine-tunes the clone, and
+//    publishes it as a new immutable snapshot whose caches are pinned
+//    (nn/layers.h); superseded snapshots retire when their last in-flight
+//    batch releases them. Training a clone concurrently with serving is
+//    safe by construction — the old "quiesce serving around training"
+//    rule survives only for fixed-estimator mode below.
+//  * Fixed-estimator mode (the estimator-reference constructor): the
+//    wrapped estimator must satisfy the CardinalityEstimator concurrency
+//    contract, and training / fine-tuning / checkpoint loading that
+//    estimator's model must not run while estimates are in flight — drain
+//    futures and stop issuing calls first. Parameter updates then
+//    invalidate the packed caches via tensor::BumpParameterVersion(), so
+//    serving resumed afterwards sees the new weights. Wrap a ModelRegistry
+//    instead to drop this restriction.
 #ifndef DUET_SERVE_SERVING_ENGINE_H_
 #define DUET_SERVE_SERVING_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +60,10 @@
 #include "tensor/packed_weights.h"
 
 namespace duet::serve {
+
+class ModelRegistry;
+class ModelSnapshot;
+class UpdateWorker;
 
 /// Serving engine knobs.
 struct ServingOptions {
@@ -64,46 +81,54 @@ struct ServingOptions {
   /// (tensor/packed_weights.h). kDenseF32 keeps the bitwise-exact fp32
   /// path; kCsrF32 streams only nonzero masked weights (also bitwise-
   /// exact); kInt8 quarters batch-1 weight traffic at bounded accuracy
-  /// cost; kF16 halves it at a much tighter bound. The engine owns the
-  /// choice for its lifetime — reconfiguring the estimator elsewhere while
-  /// an engine serves it violates the quiesce contract.
+  /// cost; kF16 halves it at a much tighter bound. Fixed-estimator mode
+  /// only: in registry mode the registry owns the configuration
+  /// (RegistryOptions::backend), so every snapshot serves under one
+  /// consistent setting and this field is ignored.
   tensor::WeightBackend backend = tensor::WeightBackend::kDenseF32;
-  /// Compiled-plan execution (nn/inference_plan.h), applied to the
-  /// estimator at engine construction like `backend`. On (the default),
-  /// no-grad forwards run flattened packed-op programs with the
-  /// degree-sorted permutation — bitwise-equal for dense/CSR, measurably
-  /// faster at batch 1 (see docs/benchmarks.md plan A/B). Off restores the
-  /// per-layer packed path.
+  /// Compiled-plan execution (nn/inference_plan.h), applied like `backend`
+  /// at construction. On (the default), no-grad forwards run flattened
+  /// packed-op programs with the degree-sorted permutation —
+  /// bitwise-equal for dense/CSR, measurably faster at batch 1 (see
+  /// docs/benchmarks.md plan A/B). Ignored in registry mode
+  /// (RegistryOptions::compile_plans governs).
   bool compile_plans = true;
 };
 
-/// Cumulative counters (monotone since construction), plus a point-in-time
-/// gauge of the packed-weight cache footprint.
+/// Cumulative counters (monotone since construction), plus point-in-time
+/// gauges of the serving configuration's cache footprint and snapshot.
 struct ServingStats {
   uint64_t queries = 0;             ///< queries completed (sync + async)
   uint64_t sync_batches = 0;        ///< EstimateBatch client calls
   uint64_t micro_batches = 0;       ///< async scheduler dispatches
   uint64_t shards = 0;              ///< shard tasks run on the pool
   int64_t largest_micro_batch = 0;  ///< max async dispatch size observed
-  /// Bytes held by the estimator's packed-weight caches (including the
+  /// Snapshot id the most recent dispatch served on (0 in fixed-estimator
+  /// mode — there is no registry and no snapshot).
+  uint64_t snapshot_id = 0;
+  /// Dispatches that observed a different snapshot than the previous
+  /// dispatch did: the number of hot swaps traffic has crossed.
+  uint64_t snapshot_swaps = 0;
+  /// Observed-cardinality pairs routed through ReportObserved.
+  uint64_t feedback_reported = 0;
+  /// Bytes held by the serving model's packed-weight caches (including the
   /// compiled plan's packs) when stats() was taken (0 until first
-  /// estimate): the weight-memory cost of the serving configuration's
-  /// backend, on top of the fp32 parameters.
+  /// estimate); in registry mode, read from the current snapshot.
   uint64_t packed_weight_bytes = 0;
   /// Bytes held by compiled inference plans specifically (subset of
-  /// packed_weight_bytes; 0 with compile_plans off).
+  /// packed_weight_bytes; 0 with plans off).
   uint64_t plan_bytes = 0;
-  /// Cumulative wall-clock microseconds the estimator spent compiling
-  /// inference plans (point-in-time gauge from the estimator; grows on
-  /// first traffic and after every invalidation-triggered recompile).
+  /// Cumulative wall-clock microseconds the serving model spent compiling
+  /// inference plans (in registry mode: the current snapshot's model).
   uint64_t plan_compile_micros = 0;
-  /// Cumulative no-grad forwards the estimator served from an
-  /// already-compiled plan (cache hits; 0 with compile_plans off).
+  /// Cumulative no-grad forwards served from an already-compiled plan
+  /// (cache hits; 0 with plans off).
   uint64_t plan_cache_hits = 0;
 };
 
-/// Shards batches across a private worker pool and micro-batches async
-/// single-query traffic. One engine owns its workers and scheduler thread;
+/// Shards batches across a private worker pool, micro-batches async
+/// single-query traffic, and (in registry mode) hot-swaps model snapshots
+/// under live traffic. One engine owns its workers and scheduler thread;
 /// destruction drains all pending async queries before joining.
 class ServingEngine {
   struct Pending;  // forward: shared slot between Future and scheduler
@@ -132,9 +157,16 @@ class ServingEngine {
     std::shared_ptr<Pending> state_;
   };
 
-  /// The estimator must outlive the engine and obey the concurrency
-  /// contract in query/estimator.h.
+  /// Fixed-estimator mode: the estimator must outlive the engine and obey
+  /// the concurrency contract in query/estimator.h (including its quiesce
+  /// rule for parameter updates).
   explicit ServingEngine(query::CardinalityEstimator& estimator, ServingOptions options = {});
+
+  /// Registry mode: every dispatch serves the registry's current snapshot;
+  /// publishes hot-swap under live traffic with no quiesce. The registry
+  /// must outlive the engine. ServingOptions::backend / compile_plans are
+  /// ignored (RegistryOptions governs them).
+  explicit ServingEngine(ModelRegistry& registry, ServingOptions options = {});
 
   /// Drains the async queue (every issued Future still completes), then
   /// stops the scheduler and joins the workers.
@@ -145,16 +177,30 @@ class ServingEngine {
 
   /// Synchronous sharded estimation: splits `queries` into per-worker
   /// shards on query boundaries and runs them concurrently. Returns exactly
-  /// what `estimator.EstimateSelectivityBatch(queries)` returns (bitwise),
-  /// in order. Safe to call concurrently with other EstimateBatch / Submit
-  /// calls.
-  std::vector<double> EstimateBatch(const std::vector<query::Query>& queries);
+  /// what the serving model's EstimateSelectivityBatch(queries) returns
+  /// (bitwise), in order. Safe to call concurrently with other
+  /// EstimateBatch / Submit calls — and, in registry mode, with snapshot
+  /// publishes: the whole batch runs on the snapshot current at dispatch
+  /// (its id is written to *snapshot_id when non-null; 0 in fixed mode).
+  std::vector<double> EstimateBatch(const std::vector<query::Query>& queries,
+                                    uint64_t* snapshot_id = nullptr);
 
   /// Asynchronous single-query estimation through the micro-batching
   /// scheduler. The returned Future completes after the query's micro-batch
   /// is dispatched and estimated; its value is identical to what the query
-  /// would get from EstimateBatch.
+  /// would get from EstimateBatch at that micro-batch's snapshot.
   Future Submit(query::Query query);
+
+  /// Feedback hook (the adaptation input): reports the true cardinality the
+  /// execution engine observed for a served query. Routed to the attached
+  /// UpdateWorker's feedback buffer when one is attached, else to the
+  /// estimator's ObserveTrueCardinality hook. Cheap; serving-path safe.
+  void ReportObserved(const query::Query& query, double true_cardinality);
+
+  /// Attaches (or detaches, with nullptr) the update worker that receives
+  /// ReportObserved feedback. The worker must outlive the engine or be
+  /// detached first.
+  void AttachUpdateWorker(UpdateWorker* worker);
 
   /// Snapshot of the cumulative counters.
   ServingStats stats() const;
@@ -163,8 +209,25 @@ class ServingEngine {
   const ServingOptions& options() const { return options_; }
 
  private:
-  /// Runs `queries` sharded across the pool, writing into out[0..n).
-  void EstimateSharded(const std::vector<query::Query>& queries, double* out);
+  /// What one dispatch serves on: the estimator plus (registry mode) the
+  /// pinned snapshot keeping it alive for the batch's duration.
+  struct Target {
+    query::CardinalityEstimator* estimator = nullptr;
+    std::shared_ptr<const ModelSnapshot> pin;
+    uint64_t snapshot_id = 0;
+  };
+
+  /// Resolves the serving target for one dispatch: the fixed estimator, or
+  /// one acquire-load of the registry's current snapshot.
+  Target Resolve() const;
+
+  /// Counts a dispatch against `target`'s snapshot (swap detection).
+  void NoteDispatch(const Target& target);
+
+  /// Runs `queries` sharded across the pool on `target`, writing into
+  /// out[0..n).
+  void EstimateSharded(const Target& target, const std::vector<query::Query>& queries,
+                       double* out);
 
   /// Scheduler loop: collects pending queries into micro-batches.
   void SchedulerLoop();
@@ -172,7 +235,9 @@ class ServingEngine {
   /// Dispatches up to max_batch pending entries (caller holds no locks).
   void DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> batch);
 
-  query::CardinalityEstimator& estimator_;
+  query::CardinalityEstimator* fixed_estimator_ = nullptr;  // fixed mode
+  ModelRegistry* registry_ = nullptr;                       // registry mode
+  std::atomic<UpdateWorker*> feedback_{nullptr};
   ServingOptions options_;
   ThreadPool pool_;  // private: a shared/global pool would let concurrent
                      // callers observe each other through pool-wide Wait()

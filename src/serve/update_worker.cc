@@ -1,0 +1,146 @@
+#include "serve/update_worker.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace duet::serve {
+
+UpdateWorker::UpdateWorker(ModelRegistry& registry, UpdateWorkerOptions options)
+    : registry_(registry), options_(options) {
+  DUET_CHECK_GE(options_.min_feedback, 2);
+  DUET_CHECK_GE(options_.max_buffer, options_.min_feedback);
+  DUET_CHECK_GE(options_.holdout_every, 2);
+  // A round drains >= min_feedback pairs; requiring at least one full
+  // holdout stride guarantees the validation slice is never empty (an empty
+  // holdout would fail the gate and silently reject every round).
+  DUET_CHECK_GE(options_.min_feedback, options_.holdout_every);
+}
+
+UpdateWorker::~UpdateWorker() { Stop(); }
+
+void UpdateWorker::AddFeedback(query::Query query, double true_cardinality) {
+  if (!(true_cardinality > 0.0)) true_cardinality = 0.0;  // NaN/negative -> 0
+  // Saturate +inf / out-of-range counts: casting a double >= 2^64 to
+  // uint64_t is undefined behavior. 2^63 is exactly representable.
+  constexpr double kMaxCardinality = 9223372036854775808.0;
+  if (true_cardinality >= kMaxCardinality) true_cardinality = kMaxCardinality;
+  query::LabeledQuery pair;
+  pair.query = std::move(query);
+  pair.cardinality = static_cast<uint64_t>(true_cardinality);
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    buffer_.push_back(std::move(pair));
+    if (static_cast<int64_t>(buffer_.size()) > options_.max_buffer) {
+      buffer_.pop_front();
+      dropped = true;
+    }
+  }
+  buffer_cv_.notify_one();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.feedback_received;
+  if (dropped) ++stats_.feedback_dropped;
+}
+
+bool UpdateWorker::RunOnce() { return RunRound(); }
+
+bool UpdateWorker::RunRound() {
+  // One round at a time: RunOnce callers and the background loop share the
+  // clone-and-tune pipeline (and the trainer is not reentrant).
+  std::lock_guard<std::mutex> round_lock(round_mu_);
+
+  std::vector<query::LabeledQuery> drained;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    if (static_cast<int64_t>(buffer_.size()) < options_.min_feedback) return false;
+    drained.assign(buffer_.begin(), buffer_.end());
+    buffer_.clear();
+  }
+
+  // Deterministic split: every holdout_every-th pair validates, the rest
+  // tune. The holdout is data the tuning never saw, which is what lets the
+  // gate catch a poisoned or unrepresentative feedback batch.
+  query::Workload train, holdout;
+  for (size_t i = 0; i < drained.size(); ++i) {
+    if (i % static_cast<size_t>(options_.holdout_every) ==
+        static_cast<size_t>(options_.holdout_every) - 1) {
+      holdout.push_back(std::move(drained[i]));
+    } else {
+      train.push_back(std::move(drained[i]));
+    }
+  }
+
+  Timer round_timer;
+  const std::shared_ptr<const ModelSnapshot> base = registry_.Current();
+  core::OnlineUpdateResult result =
+      core::CloneAndFineTune(base->model(), train, holdout, options_.update);
+  if (result.accepted) {
+    registry_.Publish(std::move(result.model));
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.rounds;
+  if (result.accepted) {
+    ++stats_.published;
+  } else if (result.report.collected.empty()) {
+    ++stats_.skipped;  // nothing exceeded the threshold: candidate == base
+  } else {
+    ++stats_.rolled_back;
+  }
+  stats_.last_holdout_before = result.holdout_before;
+  stats_.last_holdout_after = result.holdout_after;
+  stats_.last_round_seconds = round_timer.Seconds();
+  return true;
+}
+
+void UpdateWorker::Start() {
+  std::lock_guard<std::mutex> lock(buffer_mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void UpdateWorker::Stop() {
+  std::thread stopped;
+  {
+    // Claim the thread under the lock so a concurrent Stop (e.g. explicit
+    // Stop racing the destructor) cannot join it twice.
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    stopped = std::move(thread_);
+  }
+  buffer_cv_.notify_all();
+  stopped.join();
+  std::lock_guard<std::mutex> lock(buffer_mu_);
+  stop_ = false;
+}
+
+void UpdateWorker::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(buffer_mu_);
+      buffer_cv_.wait(lock, [this] {
+        return stop_ || static_cast<int64_t>(buffer_.size()) >= options_.min_feedback;
+      });
+      if (stop_) return;
+    }
+    RunRound();
+  }
+}
+
+int64_t UpdateWorker::pending_feedback() const {
+  std::lock_guard<std::mutex> lock(buffer_mu_);
+  return static_cast<int64_t>(buffer_.size());
+}
+
+UpdateWorkerStats UpdateWorker::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace duet::serve

@@ -1,0 +1,123 @@
+// Background fine-tune worker: turns served-traffic feedback into
+// published model snapshots.
+//
+// This is the paper's deployment loop (Sec. IV-A: collect badly-estimated
+// queries during actual use, fine-tune on them) run *online*: a feedback
+// buffer accumulates (query, observed true cardinality) pairs reported by
+// the execution engine after it runs served queries; once enough pairs are
+// pending, the worker clones the current snapshot, fine-tunes the clone on
+// the feedback (core::CloneAndFineTune), validates the candidate's median
+// Q-error on a holdout slice of pairs the tuning never saw, and either
+// publishes the candidate through the ModelRegistry (atomic hot swap — the
+// serving path never pauses) or rolls it back. Serving and adaptation thus
+// run on decoupled model instances that synchronize only at snapshot
+// publication.
+//
+// Threading: AddFeedback is called on the serving path (cheap: one mutex'd
+// deque push). The round itself — clone, train, validate — runs either on
+// the caller's thread (RunOnce, used by tests and deterministic examples)
+// or on the worker's own background thread (Start/Stop). Rounds are
+// serialized; the registry handles publish-side synchronization.
+#ifndef DUET_SERVE_UPDATE_WORKER_H_
+#define DUET_SERVE_UPDATE_WORKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/finetune.h"
+#include "query/query.h"
+#include "serve/model_registry.h"
+
+namespace duet::serve {
+
+/// Update-worker knobs.
+struct UpdateWorkerOptions {
+  /// A round starts once this many feedback pairs are pending. Must be
+  /// >= holdout_every so every round's validation holdout is non-empty.
+  int64_t min_feedback = 64;
+  /// Feedback buffer cap: beyond it the oldest pairs are dropped (counted
+  /// in stats().feedback_dropped) so a stalled worker cannot grow memory
+  /// without bound.
+  int64_t max_buffer = 8192;
+  /// Every `holdout_every`-th drained pair goes to the validation holdout
+  /// instead of the tuning set (deterministic split, so tests can reason
+  /// about which pairs train and which validate). Must be >= 2.
+  int64_t holdout_every = 4;
+  /// Clone-and-tune knobs, including the validation gate
+  /// (core::OnlineUpdateOptions::max_regression).
+  core::OnlineUpdateOptions update;
+};
+
+/// Cumulative worker counters (monotone since construction).
+struct UpdateWorkerStats {
+  uint64_t feedback_received = 0;
+  uint64_t feedback_dropped = 0;  ///< overflowed pairs (oldest-first)
+  uint64_t rounds = 0;            ///< clone-and-tune rounds run
+  uint64_t published = 0;         ///< rounds whose candidate passed the gate
+  uint64_t rolled_back = 0;       ///< rounds whose candidate failed the gate
+  uint64_t skipped = 0;           ///< rounds where nothing exceeded the
+                                  ///< collection threshold (candidate == base)
+  /// Holdout median Q-error of the last round's candidate before/after
+  /// tuning (the gate's inputs).
+  double last_holdout_before = 0.0;
+  double last_holdout_after = 0.0;
+  double last_round_seconds = 0.0;
+};
+
+/// Owns the feedback buffer and the background round loop. Destruction
+/// stops the background thread (if started) after its current round.
+class UpdateWorker {
+ public:
+  explicit UpdateWorker(ModelRegistry& registry, UpdateWorkerOptions options = {});
+  ~UpdateWorker();
+
+  UpdateWorker(const UpdateWorker&) = delete;
+  UpdateWorker& operator=(const UpdateWorker&) = delete;
+
+  /// Reports one observed (query, true cardinality) pair from served
+  /// traffic. Thread-safe and cheap; negative/NaN cardinalities are clamped
+  /// to 0. This is what ServingEngine::ReportObserved feeds.
+  void AddFeedback(query::Query query, double true_cardinality);
+
+  /// Runs one round on the caller's thread if at least min_feedback pairs
+  /// are pending (returns false otherwise — nothing drained). Also callable
+  /// with the background thread running; rounds are serialized.
+  bool RunOnce();
+
+  /// Starts / stops the background thread that runs rounds whenever enough
+  /// feedback is pending. Idempotent.
+  void Start();
+  void Stop();
+
+  int64_t pending_feedback() const;
+  UpdateWorkerStats stats() const;
+  const UpdateWorkerOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+  /// Drains the buffer (if >= min_feedback) into train/holdout and runs one
+  /// clone-and-tune round. Serialized by round_mu_.
+  bool RunRound();
+
+  ModelRegistry& registry_;
+  UpdateWorkerOptions options_;
+
+  mutable std::mutex buffer_mu_;
+  std::condition_variable buffer_cv_;
+  std::deque<query::LabeledQuery> buffer_;
+  bool stop_ = false;
+
+  std::mutex round_mu_;  ///< serializes RunOnce vs the background loop
+
+  mutable std::mutex stats_mu_;
+  UpdateWorkerStats stats_;
+
+  std::thread thread_;  ///< joinable iff the background loop is running
+};
+
+}  // namespace duet::serve
+
+#endif  // DUET_SERVE_UPDATE_WORKER_H_

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Docs-link check (ctest label `docs`): the prose entry points must exist,
-# and every bench binary and example must be mentioned in the docs so the
-# documented surface cannot silently drift from the built one.
+# every bench binary and example must be mentioned in the docs, intra-docs
+# markdown links must resolve to existing files, and source-file comments
+# must not reference doc sections that no longer exist — so the documented
+# surface cannot silently drift from the built one.
 #
 #   tools/check_docs.sh [repo_root]
 set -u
@@ -14,7 +16,7 @@ fail() {
 }
 
 # 1. The prose entry points exist and are non-empty.
-for doc in README.md docs/architecture.md docs/benchmarks.md; do
+for doc in README.md docs/architecture.md docs/benchmarks.md docs/serving.md; do
   if [ ! -s "$ROOT/$doc" ]; then
     fail "$doc is missing or empty"
   fi
@@ -47,6 +49,46 @@ for doc in "$ROOT/README.md" "$ROOT"/docs/*.md; do
       fail "$(basename "$doc") references missing file $ref"
     fi
   done
+done
+
+# 5. Intra-docs markdown links must resolve: every relative `](path)` link
+# in README.md and docs/*.md (external URLs and pure #anchors excluded)
+# must point at an existing file, resolved against the linking doc's
+# directory.
+for doc in "$ROOT/README.md" "$ROOT"/docs/*.md; do
+  doc_dir="$(dirname "$doc")"
+  for link in $(grep -oE '\]\([^)#]+(#[A-Za-z0-9_.-]*)?\)' "$doc" \
+                 | sed -E 's/^\]\(//; s/\)$//; s/#.*$//' | sort -u); do
+    case "$link" in
+      ''|*://*|mailto:*) continue ;;  # anchors-only and external URLs
+    esac
+    if [ ! -e "$doc_dir/$link" ] && [ ! -e "$ROOT/$link" ]; then
+      fail "$(basename "$doc") links to missing file $link"
+    fi
+  done
+done
+
+# 6. Source comments referencing a doc section ("docs/architecture.md §7",
+# "serving.md §3", ...) must name a section that exists as a `## N.`
+# heading — catches renumbering a doc out from under the code that cites
+# it.
+for src in "$ROOT"/src/**/*.h "$ROOT"/src/**/*.cc "$ROOT"/src/*/*/*.h \
+           "$ROOT"/src/*/*/*.cc "$ROOT"/bench/*.cc "$ROOT"/bench/*.h \
+           "$ROOT"/examples/*.cpp "$ROOT"/tests/*.cc "$ROOT"/tests/*.h; do
+  [ -f "$src" ] || continue
+  while read -r ref; do
+    [ -n "$ref" ] || continue
+    docname="$(printf '%s' "$ref" | sed -E 's/^(docs\/)?([A-Za-z0-9_-]+\.md).*$/\2/')"
+    section="$(printf '%s' "$ref" | sed -E 's/^.*§([0-9]+).*$/\1/')"
+    docfile="$ROOT/docs/$docname"
+    if [ ! -f "$docfile" ]; then
+      fail "$(basename "$src") references missing doc $docname (§$section)"
+      continue
+    fi
+    if ! grep -qE "^## $section\." "$docfile"; then
+      fail "$(basename "$src") references $docname §$section, which has no '## $section.' heading"
+    fi
+  done < <(grep -ohE '(docs/)?[A-Za-z0-9_-]+\.md §[0-9]+' "$src" | sort -u)
 done
 
 if [ "$status" -eq 0 ]; then
