@@ -31,7 +31,10 @@ for bin in "$BUILD_DIR"/bench_*; do
     bench_table3_throughput)
       extra="--sweep_queries=64 --sweep_min_seconds=0.05 --backend=$BACKENDS --plan=$PLAN_MODES"
       extra="$extra --live_update --live_queries=128 --live_publishes=1"
-      extra="$extra --live_min_seconds=0.5 --live_max_seconds=30" ;;
+      extra="$extra --live_min_seconds=0.5 --live_max_seconds=30"
+      # The overload sweep smoke-runs the admission-control path (bounded
+      # queue + deadlines + shed-to-fallback) at a sub-second phase length.
+      extra="$extra --overload --overload_seconds=0.5" ;;
   esac
   start=$(date +%s)
   if "$bin" $extra >/dev/null 2>&1; then

@@ -28,17 +28,28 @@
 // before/after the updates, emitted as a second JSON line
 // ({"bench":"live_update",...}).
 //
+// With --overload, additionally measures admission control under
+// saturation (docs/resilience.md): a self-calibrated open-loop stream at
+// 0.5x and 4x the engine's measured capacity through a bounded queue with
+// deadlines — offered vs served load, shed/expired/fallback counts and the
+// admitted p50/p99, emitted as a third JSON line ({"bench":"overload",...}).
+//
 // Flags: --datasets=census,kdd,dmv --batch=N --sweep_queries=N
 //        --sweep_min_seconds=S --sweep=0|1 --sweep_scalar=0|1
 //        --sweep_hidden=N --backend=dense,csr,int8,f16 --backend_hidden=N
 //        --plan=on,off --live_update --live_hidden=N --live_queries=N
 //        --live_publishes=N --live_min_seconds=S --live_max_seconds=S
+//        --overload --overload_hidden=N --overload_workers=N
+//        --overload_seconds=S
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
+#include "baselines/traditional/independence.h"
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
 #include "core/finetune.h"
@@ -668,6 +679,172 @@ void RunLiveUpdateSweep(const Flags& flags, double scale) {
   std::printf("%s\n", buf);
 }
 
+/// Overload sweep (--overload): admission control and graceful degradation
+/// under saturation (docs/resilience.md §2). The sweep self-calibrates: it
+/// first measures the engine's closed-loop async capacity, then drives a
+/// paced open-loop stream at ~0.5x capacity (steady) and ~4x capacity
+/// (overload) through a fresh engine per phase with a bounded queue
+/// (2 x max_batch) and per-query deadlines. Under overload the bounded
+/// queue must shed rather than build an unbounded backlog, shed/expired
+/// queries get flagged fallback answers, and the admitted p99 stays within
+/// ~2x of the steady-state p99 (the no-collapse claim, reported not
+/// asserted).
+void RunOverloadSweep(const Flags& flags, double scale) {
+  const data::Table t = MakeCensus(scale);
+  core::DuetModelOptions opt;
+  const int64_t hidden = flags.GetInt("overload_hidden", 128);
+  opt.hidden_sizes = {hidden, hidden};
+  opt.residual = true;
+  core::DuetModel model(t, opt);
+  core::DuetEstimator est(model);
+  baselines::IndependenceEstimator fallback(t);
+
+  query::WorkloadSpec spec;
+  spec.seed = 1234;
+  query::WorkloadGenerator gen(t, spec);
+  Rng rng(1234);
+  std::vector<query::Query> queries;
+  const int64_t num_queries = flags.GetInt("sweep_queries", 512);
+  queries.reserve(static_cast<size_t>(num_queries));
+  for (int64_t i = 0; i < num_queries; ++i) queries.push_back(gen.GenerateQuery(rng));
+
+  const unsigned workers = static_cast<unsigned>(flags.GetInt("overload_workers", 2));
+  const int64_t max_batch = 64;
+  const double phase_seconds =
+      std::max(0.5, flags.GetDouble("overload_seconds", 4.0 * scale));
+
+  ThreadPool::SetGlobalThreads(1);  // engine workers only, like the live sweep
+
+  // Calibration: closed-loop async capacity with an unbounded queue and no
+  // deadlines — the saturation rate the offered loads are scaled from.
+  double capacity_qps = 0.0;
+  {
+    serve::ServingOptions sopt;
+    sopt.num_workers = workers;
+    sopt.max_batch = max_batch;
+    sopt.max_wait_us = 1000;
+    serve::ServingEngine engine(est, sopt);
+    std::vector<serve::ServingEngine::Future> warm;
+    for (const auto& q : queries) warm.push_back(engine.Submit(q));
+    for (auto& f : warm) f.Wait();
+    const int64_t n = 4096;
+    std::vector<serve::ServingEngine::Future> futures;
+    futures.reserve(static_cast<size_t>(n));
+    Timer timer;
+    for (int64_t i = 0; i < n; ++i) {
+      futures.push_back(engine.Submit(queries[static_cast<size_t>(i) % queries.size()]));
+    }
+    for (auto& f : futures) f.Wait();
+    capacity_qps = static_cast<double>(n) / timer.Seconds();
+  }
+
+  // One paced open-loop phase: fresh engine, bounded queue, per-query
+  // deadlines; offered load = `rate` queries/sec for `phase_seconds`.
+  struct PhaseResult {
+    double offered_qps = 0.0;
+    double achieved_qps = 0.0;
+    uint64_t submitted = 0;
+    serve::ServingStats stats;
+  };
+  auto run_phase = [&](double rate, int64_t deadline_us) {
+    PhaseResult r;
+    r.offered_qps = rate;
+    serve::ServingOptions sopt;
+    sopt.num_workers = workers;
+    sopt.max_batch = max_batch;
+    sopt.max_wait_us = 1000;
+    sopt.max_queue = 2 * max_batch;  // bounded: overload must shed, not queue
+    sopt.default_deadline_us = deadline_us;
+    serve::ServingEngine engine(est, sopt);
+    engine.AttachFallback(&fallback);
+    // Bound the future backlog so a fast machine cannot blow memory.
+    const uint64_t cap = static_cast<uint64_t>(
+        std::min(500000.0, std::max(1000.0, rate * phase_seconds)));
+    std::vector<serve::ServingEngine::Future> futures;
+    futures.reserve(cap);
+    Timer timer;
+    uint64_t submitted = 0;
+    while (timer.Seconds() < phase_seconds && submitted < cap) {
+      // Pace: keep cumulative submissions at rate * elapsed.
+      const auto target = static_cast<uint64_t>(rate * timer.Seconds());
+      while (submitted < target && submitted < cap) {
+        futures.push_back(
+            engine.Submit(queries[static_cast<size_t>(submitted) % queries.size()]));
+        ++submitted;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    for (auto& f : futures) f.Wait();
+    const double elapsed = timer.Seconds();
+    r.submitted = submitted;
+    r.achieved_qps = static_cast<double>(submitted) / elapsed;
+    r.stats = engine.stats();
+    return r;
+  };
+
+  // Steady phase first (generous deadline: it should never fire), so the
+  // overload deadline can be anchored on the measured steady p99.
+  const PhaseResult steady = run_phase(0.5 * capacity_qps, /*deadline_us=*/0);
+  const int64_t deadline_us = std::max<int64_t>(
+      2000, static_cast<int64_t>(1.5 * static_cast<double>(steady.stats.latency_p99_us)));
+  const PhaseResult overload = run_phase(4.0 * capacity_qps, deadline_us);
+
+  ThreadPool::SetGlobalThreads(0);
+
+  const double p99_ratio =
+      steady.stats.latency_p99_us > 0
+          ? static_cast<double>(overload.stats.latency_p99_us) /
+                static_cast<double>(steady.stats.latency_p99_us)
+          : 0.0;
+  const double shed_share =
+      overload.submitted > 0
+          ? static_cast<double>(overload.stats.shed) / static_cast<double>(overload.submitted)
+          : 0.0;
+
+  std::printf("\nOverload sweep (admission control, %u workers, 2x%lld ResMADE, "
+              "queue %lld, deadline %lld us)\n",
+              workers, static_cast<long long>(hidden), static_cast<long long>(2 * max_batch),
+              static_cast<long long>(deadline_us));
+  std::printf("capacity (closed loop)  %14.1f q/s\n", capacity_qps);
+  std::printf("%-10s %12s %12s %10s %10s %10s %9s %9s\n", "phase", "offered q/s",
+              "served q/s", "shed", "expired", "fallback", "p50 us", "p99 us");
+  auto print_phase = [](const char* name, const PhaseResult& r) {
+    std::printf("%-10s %12.1f %12.1f %10llu %10llu %10llu %9llu %9llu\n", name,
+                r.offered_qps, r.achieved_qps,
+                static_cast<unsigned long long>(r.stats.shed),
+                static_cast<unsigned long long>(r.stats.deadline_missed),
+                static_cast<unsigned long long>(r.stats.fallback_served),
+                static_cast<unsigned long long>(r.stats.latency_p50_us),
+                static_cast<unsigned long long>(r.stats.latency_p99_us));
+  };
+  print_phase("steady", steady);
+  print_phase("overload", overload);
+  std::printf("overload: %.1f%% of offered load shed, admitted p99 %.2fx steady p99\n",
+              100.0 * shed_share, p99_ratio);
+
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\":\"overload\",\"capacity_qps\":%.1f,\"queue_limit\":%lld,"
+      "\"deadline_us\":%lld,\"steady\":{\"offered_qps\":%.1f,\"achieved_qps\":%.1f,"
+      "\"shed\":%llu,\"deadline_missed\":%llu,\"p50_us\":%llu,\"p99_us\":%llu},"
+      "\"overload\":{\"offered_qps\":%.1f,\"achieved_qps\":%.1f,\"shed\":%llu,"
+      "\"deadline_missed\":%llu,\"fallback_served\":%llu,\"p50_us\":%llu,"
+      "\"p99_us\":%llu},\"shed_share\":%.4f,\"admitted_p99_ratio\":%.3f}",
+      capacity_qps, static_cast<long long>(2 * max_batch),
+      static_cast<long long>(deadline_us), steady.offered_qps, steady.achieved_qps,
+      static_cast<unsigned long long>(steady.stats.shed),
+      static_cast<unsigned long long>(steady.stats.deadline_missed),
+      static_cast<unsigned long long>(steady.stats.latency_p50_us),
+      static_cast<unsigned long long>(steady.stats.latency_p99_us), overload.offered_qps,
+      overload.achieved_qps, static_cast<unsigned long long>(overload.stats.shed),
+      static_cast<unsigned long long>(overload.stats.deadline_missed),
+      static_cast<unsigned long long>(overload.stats.fallback_served),
+      static_cast<unsigned long long>(overload.stats.latency_p50_us),
+      static_cast<unsigned long long>(overload.stats.latency_p99_us), shed_share, p99_ratio);
+  std::printf("%s\n", buf);
+}
+
 }  // namespace
 }  // namespace duet::bench
 
@@ -712,5 +889,6 @@ int main(int argc, char** argv) {
 
   if (flags.GetBool("sweep", true)) RunInferenceSweep(flags, scale);
   if (flags.GetBool("live_update", false)) RunLiveUpdateSweep(flags, scale);
+  if (flags.GetBool("overload", false)) RunOverloadSweep(flags, scale);
   return 0;
 }

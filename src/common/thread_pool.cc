@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/logging.h"
 
@@ -58,7 +59,14 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
     }
     t_inside_worker = true;
-    task();
+    try {
+      task();
+    } catch (...) {
+      // A raw Submit task let an exception escape. Unwinding further would
+      // reach the thread entry point and terminate the process; swallow it
+      // here so the worker — and the in-flight accounting below — survive.
+      escaped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
     t_inside_worker = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -112,11 +120,24 @@ void ParallelForChunked(int64_t begin, int64_t end,
     return;
   }
   const int64_t chunk = std::max<int64_t>((n + max_chunks - 1) / max_chunks, grain);
+  // First exception thrown by any chunk, rethrown on the calling thread
+  // after the batch drains so callers see the same behavior as the serial
+  // path (and no exception ever reaches a worker's thread entry point).
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   for (int64_t lo = begin; lo < end; lo += chunk) {
     const int64_t hi = std::min(lo + chunk, end);
-    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+    pool.Submit([&fn, &error_mu, &first_error, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   pool.Wait();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace duet

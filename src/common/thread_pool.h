@@ -7,6 +7,7 @@
 #ifndef DUET_COMMON_THREAD_POOL_H_
 #define DUET_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -28,13 +29,25 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues one task.
+  /// Enqueues one task. If the task lets an exception escape, the pool
+  /// swallows it (the worker survives and in-flight accounting still runs)
+  /// and bumps escaped_exceptions(); batch helpers that need the error —
+  /// ParallelFor/ParallelForChunked — catch inside the task and rethrow on
+  /// the calling thread instead, so raw Submit is the only path that can
+  /// reach this backstop.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has completed.
   void Wait();
 
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Cumulative count of exceptions that escaped raw Submit tasks and were
+  /// swallowed by the worker backstop. Before this counter, such an
+  /// exception unwound the worker thread and terminated the process.
+  uint64_t escaped_exceptions() const {
+    return escaped_exceptions_.load(std::memory_order_relaxed);
+  }
 
   /// Process-wide pool (lazily constructed, hardware concurrency).
   static ThreadPool& Global();
@@ -55,16 +68,23 @@ class ThreadPool {
   std::condition_variable done_cv_;
   uint64_t in_flight_ = 0;
   bool stop_ = false;
+  std::atomic<uint64_t> escaped_exceptions_{0};
 };
 
 /// Runs fn(i) for i in [begin, end) across the pool, splitting the range into
 /// contiguous chunks. Falls back to a serial loop for tiny ranges or when
 /// `parallel` is false (useful to measure single-thread costs).
+///
+/// Exception contract: if fn throws on any chunk, the first exception is
+/// captured, the batch still drains (remaining chunks may or may not run),
+/// and the exception is rethrown on the calling thread — identical to the
+/// serial path, and never fatal to a pool worker.
 void ParallelFor(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn,
                  bool parallel = true, int64_t grain = 1024);
 
 /// Chunked variant: fn(chunk_begin, chunk_end) per contiguous chunk. This is
-/// the workhorse for vectorized column kernels.
+/// the workhorse for vectorized column kernels. Same exception contract as
+/// ParallelFor.
 void ParallelForChunked(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& fn,
                         bool parallel = true, int64_t grain = 1024);

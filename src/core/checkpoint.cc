@@ -1,16 +1,23 @@
 #include "core/checkpoint.h"
 
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/serialize.h"
+#include "serve/fault_injector.h"
+#include "tensor/tensor.h"
 
 namespace duet::core {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x44554554;  // "DUET"
-constexpr uint32_t kVersion = 1;
+// v1 had no payload size/checksum; a torn write produced a file that
+// aborted the loader mid-stream. v2 seals the payload so corruption is a
+// readable error instead.
+constexpr uint32_t kVersion = 2;
 
 uint64_t Fnv1a(uint64_t h, uint64_t v) {
   // Mix each byte of v into the running FNV-1a state.
@@ -19,6 +26,57 @@ uint64_t Fnv1a(uint64_t h, uint64_t v) {
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+uint64_t Fnv1aBytes(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Bounds-checked reader over an in-memory buffer. BinaryReader aborts on a
+/// short stream, which is exactly what TryLoadModuleFile must not do, so
+/// the header is parsed by hand.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof *v); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof *v); }
+
+  bool ReadString(std::string* s) {
+    uint64_t n = 0;
+    if (!ReadU64(&n)) return false;
+    if (n > Remaining()) return false;
+    s->assign(data_ + off_, static_cast<size_t>(n));
+    off_ += static_cast<size_t>(n);
+    return true;
+  }
+
+  size_t Remaining() const { return size_ - off_; }
+  const char* Here() const { return data_ + off_; }
+
+ private:
+  bool ReadRaw(void* dst, size_t n) {
+    if (n > Remaining()) return false;
+    std::memcpy(dst, data_ + off_, n);
+    off_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+CheckpointStatus Fail(std::string message) {
+  CheckpointStatus st;
+  st.ok = false;
+  st.error = std::move(message);
+  return st;
 }
 
 }  // namespace
@@ -35,41 +93,106 @@ uint64_t ModuleFingerprint(const nn::Module& module) {
 
 void SaveModuleFile(const std::string& path, const std::string& kind,
                     const nn::Module& module) {
+  // Serialize the payload to memory first: the header carries its size and
+  // checksum, and a crash mid-save can then at worst produce a file the
+  // loader rejects cleanly (never one it half-applies).
+  std::ostringstream payload_buf;
+  {
+    BinaryWriter pw(payload_buf);
+    module.Save(pw);
+  }
+  const std::string payload = payload_buf.str();
+
+  std::ostringstream file_buf;
+  {
+    BinaryWriter w(file_buf);
+    w.WriteU32(kMagic);
+    w.WriteU32(kVersion);
+    w.WriteString(kind);
+    w.WriteU64(ModuleFingerprint(module));
+    w.WriteU64(static_cast<uint64_t>(payload.size()));
+    w.WriteU64(Fnv1aBytes(payload.data(), payload.size()));
+    file_buf.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  std::string content = file_buf.str();
+
+  // Fault point: a torn write (process killed / disk full mid-flush) leaves
+  // a prefix of the file on disk. The loader must reject it cleanly.
+  if (serve::FaultInjector::ShouldFail(serve::FaultPoint::kCheckpointWrite)) {
+    content.resize(content.size() - content.size() / 3);
+  }
+
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   DUET_CHECK(out.good()) << "cannot open checkpoint for writing: " << path;
-  BinaryWriter w(out);
-  w.WriteU32(kMagic);
-  w.WriteU32(kVersion);
-  w.WriteString(kind);
-  w.WriteU64(ModuleFingerprint(module));
-  module.Save(w);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
   out.flush();
   DUET_CHECK(out.good()) << "short write on checkpoint: " << path;
 }
 
+CheckpointStatus TryLoadModuleFile(const std::string& path, const std::string& kind,
+                                   nn::Module* module) {
+  if (module == nullptr) return Fail("null module passed to TryLoadModuleFile");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Fail("cannot open checkpoint: " + path);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  if (in.bad()) return Fail("cannot open checkpoint: " + path);
+  const std::string bytes = raw.str();
+
+  Cursor c(bytes.data(), bytes.size());
+  uint32_t magic = 0;
+  if (!c.ReadU32(&magic)) return Fail("truncated checkpoint header: " + path);
+  if (magic != kMagic) return Fail("not a duet checkpoint: " + path);
+  uint32_t version = 0;
+  if (!c.ReadU32(&version)) return Fail("truncated checkpoint header: " + path);
+  if (version != kVersion) return Fail("unsupported checkpoint version in " + path);
+  std::string file_kind;
+  if (!c.ReadString(&file_kind)) return Fail("truncated checkpoint header: " + path);
+  if (file_kind != kind) {
+    return Fail("checkpoint holds a '" + file_kind + "' model, expected '" + kind +
+                "': " + path);
+  }
+  uint64_t fingerprint = 0;
+  uint64_t payload_size = 0;
+  uint64_t payload_checksum = 0;
+  if (!c.ReadU64(&fingerprint) || !c.ReadU64(&payload_size) ||
+      !c.ReadU64(&payload_checksum)) {
+    return Fail("truncated checkpoint header: " + path);
+  }
+  if (fingerprint != ModuleFingerprint(*module)) {
+    return Fail("architecture fingerprint mismatch for " + path +
+                " (the checkpoint was produced by a differently shaped model)");
+  }
+  if (c.Remaining() != payload_size) {
+    return Fail("truncated checkpoint payload in " + path);
+  }
+  // Verify integrity BEFORE any byte reaches the module: a failed load must
+  // leave the previous weights serving.
+  if (Fnv1aBytes(c.Here(), static_cast<size_t>(payload_size)) != payload_checksum) {
+    return Fail("checkpoint payload checksum mismatch in " + path);
+  }
+
+  // The payload passed the checksum, so it is byte-identical to what
+  // Module::Save wrote for this fingerprint; Load cannot fail structurally.
+  // A restore rewrites parameter storage through raw data() pointers; the
+  // RAII guard bumps tensor::ParameterVersion() when this scope exits so
+  // packed-weight caches can never serve pre-restore packs (Module::Load
+  // guards its own scope too — the counter is monotone, an extra bump is
+  // free).
+  tensor::ParameterMutationGuard mutation;
+  std::istringstream payload_stream(
+      std::string(c.Here(), static_cast<size_t>(payload_size)));
+  BinaryReader r(payload_stream);
+  module->Load(r);
+  CheckpointStatus st;
+  st.ok = true;
+  return st;
+}
+
 void LoadModuleFile(const std::string& path, const std::string& kind, nn::Module* module) {
   DUET_CHECK(module != nullptr);
-  // A checkpoint restore rewrites parameter storage through raw data()
-  // pointers; the RAII guard bumps tensor::ParameterVersion() when this
-  // scope exits so packed-weight caches can never serve pre-restore packs
-  // (Module::Load guards its own scope too — the counter is monotone, an
-  // extra bump is free).
-  tensor::ParameterMutationGuard mutation;
-  std::ifstream in(path, std::ios::binary);
-  DUET_CHECK(in.good()) << "cannot open checkpoint: " << path;
-  BinaryReader r(in);
-  const uint32_t magic = r.ReadU32();
-  DUET_CHECK_EQ(magic, kMagic) << "not a duet checkpoint: " << path;
-  const uint32_t version = r.ReadU32();
-  DUET_CHECK_EQ(version, kVersion) << "unsupported checkpoint version in " << path;
-  const std::string file_kind = r.ReadString();
-  DUET_CHECK(file_kind == kind) << "checkpoint holds a '" << file_kind
-                                << "' model, expected '" << kind << "': " << path;
-  const uint64_t fingerprint = r.ReadU64();
-  DUET_CHECK_EQ(fingerprint, ModuleFingerprint(*module))
-      << "architecture fingerprint mismatch for " << path
-      << " (the checkpoint was produced by a differently shaped model)";
-  module->Load(r);
+  const CheckpointStatus st = TryLoadModuleFile(path, kind, module);
+  DUET_CHECK(st.ok) << st.error;
 }
 
 }  // namespace duet::core

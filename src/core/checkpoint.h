@@ -1,11 +1,15 @@
-// Versioned model checkpoints on disk.
+// Versioned, checksummed model checkpoints on disk.
 //
 // A deployed estimator (paper Sec. IV-D: "such a mechanism allows users to
 // fine-tune the model based on history query workloads after it is
 // deployed") needs durable model state. Checkpoints carry a magic tag, a
-// format version, a model-kind string and an architecture fingerprint
-// (hashed parameter shapes), so loading a stale or mismatched file fails
-// loudly with a readable message instead of silently corrupting weights.
+// format version, a model-kind string, an architecture fingerprint (hashed
+// parameter shapes), and — since format v2 — the payload size and an FNV-1a
+// checksum over the serialized parameters. Loading a stale, truncated or
+// bit-flipped file fails loudly with a readable message instead of silently
+// corrupting weights, and the checksum is verified *before* any byte
+// touches the destination module, so a failed load leaves the model exactly
+// as it was (resilience.md §4 covers the crash-safety contract).
 #ifndef DUET_CORE_CHECKPOINT_H_
 #define DUET_CORE_CHECKPOINT_H_
 
@@ -20,14 +24,31 @@ namespace duet::core {
 /// Two modules share a fingerprint iff their parameter layouts agree.
 uint64_t ModuleFingerprint(const nn::Module& module);
 
+/// Outcome of a non-aborting checkpoint load. On failure `error` holds a
+/// readable reason and the destination module is guaranteed untouched.
+struct CheckpointStatus {
+  bool ok = false;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+};
+
 /// Writes `module`'s parameters to `path` under a validated header.
 /// `kind` names the model class (e.g. "duet", "naru", "mscn").
 void SaveModuleFile(const std::string& path, const std::string& kind,
                     const nn::Module& module);
 
 /// Loads parameters saved by SaveModuleFile into an already-constructed
-/// module of the same architecture. Aborts with a readable message if the
-/// file is missing/corrupt, the kind differs, or the fingerprint mismatches.
+/// module of the same architecture. Returns a failure status — never
+/// aborts, never partially applies — if the file is missing, truncated,
+/// corrupt, the wrong kind, an unsupported version, or fingerprint-
+/// mismatched. The payload checksum is verified before the module is
+/// modified, so `*module` keeps serving its previous weights on any error.
+CheckpointStatus TryLoadModuleFile(const std::string& path, const std::string& kind,
+                                   nn::Module* module);
+
+/// Aborting wrapper over TryLoadModuleFile for tools and tests that treat a
+/// bad checkpoint as a fatal configuration error.
 void LoadModuleFile(const std::string& path, const std::string& kind, nn::Module* module);
 
 }  // namespace duet::core

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "query/estimator.h"
+#include "serve/fault_injector.h"
 
 namespace duet::core {
 
@@ -110,6 +112,14 @@ double MedianQError(const DuetModel& model, const query::Workload& workload) {
   std::vector<double> qerrs;
   qerrs.reserve(sels.size());
   for (size_t i = 0; i < sels.size(); ++i) {
+    // A NaN/inf estimate means the model diverged; ClampSelectivity would
+    // quietly map it to 0 (q-error == actual), which can look *good* on
+    // low-cardinality holdouts. Score it as infinitely wrong instead so the
+    // acceptance gate can never publish a divergent candidate.
+    if (!std::isfinite(sels[i])) {
+      qerrs.push_back(std::numeric_limits<double>::infinity());
+      continue;
+    }
     const double est =
         std::max(1.0, query::CardinalityEstimator::ClampSelectivity(sels[i]) * rows);
     qerrs.push_back(query::QError(est, static_cast<double>(workload[i].cardinality)));
@@ -126,6 +136,19 @@ OnlineUpdateResult CloneAndFineTune(const DuetModel& base, const query::Workload
   result.model = CloneModel(base);
   result.holdout_before = MedianQError(*result.model, holdout);
   result.report = FineTune(*result.model, feedback, options.finetune);
+  // Fault point: a divergent fine-tune round (bad feedback, too-hot learning
+  // rate) drives the candidate's weights to NaN. The holdout gate below must
+  // catch it and roll back — the poisoned candidate can never publish.
+  if (serve::FaultInjector::ShouldFail(serve::FaultPoint::kFineTuneDiverge)) {
+    tensor::ParameterMutationGuard mutation;
+    for (const tensor::Tensor& p : result.model->parameters()) {
+      tensor::Tensor param = p;  // shared handle onto the same storage
+      float* data = param.data();
+      for (int64_t i = 0; i < param.numel(); ++i) {
+        data[i] = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+  }
   result.holdout_after = MedianQError(*result.model, holdout);
   // The gate validates on pairs the tuning never saw: a fine-tune that only
   // memorized a poisoned/unrepresentative feedback batch regresses here and

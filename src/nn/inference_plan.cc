@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "serve/fault_injector.h"
 
 namespace duet::nn {
 
@@ -244,6 +245,12 @@ std::shared_ptr<const InferencePlan> GetOrCompilePlan(
     return cache.plan;
   }
   Timer timer;
+  // Fault point: plan compilation happens lazily under the cache lock; a
+  // throw here propagates out of the forward that triggered it and must be
+  // absorbed by the serving layer's shard catch (the cache keeps its
+  // previous plan — the swap below never ran).
+  serve::FaultInjector::MaybeThrow(serve::FaultPoint::kPlanCompile,
+                                   "injected plan-compile failure");
   std::shared_ptr<const InferencePlan> plan = compile(backend);
   DUET_CHECK(plan != nullptr);
   // Atomic publication: the shared_ptr swap under `mu` means a concurrent

@@ -1,0 +1,81 @@
+#include "serve/fault_injector.h"
+
+#if !defined(DUET_FAULT_INJECTION_DISABLED)
+
+#include <array>
+
+namespace duet::serve {
+
+namespace {
+
+struct PointState {
+  std::atomic<uint64_t> skip{0};       // triggers to pass before failing
+  std::atomic<uint64_t> remaining{0};  // failures left in the armed budget
+  std::atomic<uint64_t> fired{0};      // cumulative failures delivered
+};
+
+constexpr size_t kNumPoints = static_cast<size_t>(FaultPoint::kNumFaultPoints);
+
+std::array<PointState, kNumPoints>& Points() {
+  static std::array<PointState, kNumPoints> points;
+  return points;
+}
+
+/// Number of points with a nonzero budget: the one relaxed load every
+/// instrumented site pays when nothing is armed.
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+PointState& State(FaultPoint point) { return Points()[static_cast<size_t>(point)]; }
+
+}  // namespace
+
+void FaultInjector::Arm(FaultPoint point, uint64_t count, uint64_t skip) {
+  PointState& s = State(point);
+  const bool was_armed = s.remaining.load(std::memory_order_relaxed) > 0;
+  s.skip.store(skip, std::memory_order_relaxed);
+  s.remaining.store(count, std::memory_order_relaxed);
+  if (!was_armed && count > 0) ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  if (was_armed && count == 0) ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(FaultPoint point) { Arm(point, 0, 0); }
+
+void FaultInjector::DisarmAll() {
+  for (size_t i = 0; i < kNumPoints; ++i) Disarm(static_cast<FaultPoint>(i));
+}
+
+bool FaultInjector::ShouldFail(FaultPoint point) {
+  // Fast path: nothing armed anywhere in the process.
+  if (ArmedCount().load(std::memory_order_relaxed) == 0) return false;
+  PointState& s = State(point);
+  if (s.remaining.load(std::memory_order_relaxed) == 0) return false;
+  // Consume one skip credit if any are left.
+  uint64_t skip = s.skip.load(std::memory_order_relaxed);
+  while (skip > 0) {
+    if (s.skip.compare_exchange_weak(skip, skip - 1, std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+  // Consume one failure credit; the thread that takes the last one disarms.
+  uint64_t remaining = s.remaining.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (s.remaining.compare_exchange_weak(remaining, remaining - 1,
+                                          std::memory_order_relaxed)) {
+      s.fired.fetch_add(1, std::memory_order_relaxed);
+      if (remaining == 1) ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultInjector::fired(FaultPoint point) {
+  return State(point).fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace duet::serve
+
+#endif  // !DUET_FAULT_INJECTION_DISABLED

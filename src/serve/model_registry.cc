@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/finetune.h"
+#include "serve/fault_injector.h"
 
 namespace duet::serve {
 
@@ -33,6 +34,13 @@ std::shared_ptr<const ModelSnapshot> ModelRegistry::Publish(
   DUET_CHECK(model != nullptr);
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
   Timer publish_timer;
+
+  // Fault point: publication can fail for real (pack/plan compilation below
+  // throws, allocation fails). Everything that can throw runs before the
+  // snapshot becomes visible, so a failed Publish leaves the previous
+  // snapshot serving and the registry state untouched — callers (the update
+  // worker) retry with backoff.
+  FaultInjector::MaybeThrow(FaultPoint::kPublish, "injected publish failure");
 
   // Configure-then-freeze, all before the snapshot is visible: the
   // registry's backend/plan choice is applied while this thread is the

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/logging.h"
+#include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/update_worker.h"
 
@@ -11,21 +13,34 @@ namespace duet::serve {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 /// One submitted query plus its result slot. The mutex/cv pair is per-query
 /// so a Future wait never contends with unrelated traffic.
 struct ServingEngine::Pending {
   query::Query query;
   Clock::time_point enqueued;
+  /// Absolute expiry; time_point::max() = no deadline. The scheduler drops
+  /// expired entries before dispatch.
+  Clock::time_point deadline = Clock::time_point::max();
 
   std::mutex mu;
   std::condition_variable cv;
   bool ready = false;
-  double selectivity = 0.0;
+  Estimate result;
 
-  void Fulfill(double value) {
+  void Fulfill(const Estimate& value) {
     {
       std::lock_guard<std::mutex> lock(mu);
-      selectivity = value;
+      result = value;
       ready = true;
     }
     cv.notify_all();
@@ -38,11 +53,13 @@ bool ServingEngine::Future::Ready() const {
   return state_->ready;
 }
 
-double ServingEngine::Future::Wait() const {
+double ServingEngine::Future::Wait() const { return Result().selectivity; }
+
+Estimate ServingEngine::Future::Result() const {
   DUET_CHECK(state_ != nullptr) << "Wait() on an empty Future";
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [this] { return state_->ready; });
-  return state_->selectivity;
+  return state_->result;
 }
 
 ServingEngine::ServingEngine(query::CardinalityEstimator& estimator, ServingOptions options)
@@ -50,6 +67,10 @@ ServingEngine::ServingEngine(query::CardinalityEstimator& estimator, ServingOpti
   DUET_CHECK_GE(options_.min_shard, 1);
   DUET_CHECK_GE(options_.max_batch, 1);
   DUET_CHECK_GE(options_.max_wait_us, 0);
+  DUET_CHECK_GE(options_.max_queue, 0);
+  DUET_CHECK_GE(options_.default_deadline_us, 0);
+  DUET_CHECK_GE(options_.breaker_threshold, 1);
+  DUET_CHECK_GE(options_.breaker_cooldown_us, 0);
   // Applied before any worker can estimate: layers repack (and plans
   // recompile) lazily on their first forward under the new configuration.
   estimator.SetInferenceBackend(options_.backend);
@@ -62,6 +83,10 @@ ServingEngine::ServingEngine(ModelRegistry& registry, ServingOptions options)
   DUET_CHECK_GE(options_.min_shard, 1);
   DUET_CHECK_GE(options_.max_batch, 1);
   DUET_CHECK_GE(options_.max_wait_us, 0);
+  DUET_CHECK_GE(options_.max_queue, 0);
+  DUET_CHECK_GE(options_.default_deadline_us, 0);
+  DUET_CHECK_GE(options_.breaker_threshold, 1);
+  DUET_CHECK_GE(options_.breaker_cooldown_us, 0);
   // No backend/plan application here: snapshots arrive configured and
   // frozen by the registry (RegistryOptions), and reconfiguring a frozen
   // snapshot is not the engine's call to make.
@@ -98,10 +123,11 @@ void ServingEngine::NoteDispatch(const Target& target) {
   stats_.snapshot_id = target.snapshot_id;
 }
 
-void ServingEngine::EstimateSharded(const Target& target,
-                                    const std::vector<query::Query>& queries, double* out) {
+int64_t ServingEngine::EstimateSharded(const Target& target,
+                                       const std::vector<query::Query>& queries,
+                                       double* out, bool* degraded) {
   const int64_t n = static_cast<int64_t>(queries.size());
-  if (n == 0) return;
+  if (n == 0) return 0;
   query::CardinalityEstimator& estimator = *target.estimator;
   // Shards split on query boundaries; per-row results are batch-size
   // invariant (kernel invariant + per-query deterministic sampling seeds),
@@ -111,12 +137,29 @@ void ServingEngine::EstimateSharded(const Target& target,
   const int64_t by_floor = std::max<int64_t>(1, n / options_.min_shard);
   const int64_t num_shards =
       std::min<int64_t>(static_cast<int64_t>(pool_.num_threads()), by_floor);
+  // Ranges whose neural estimate threw; answered by the fallback after the
+  // batch drains. The exception itself is intentionally not preserved: a
+  // degraded answer, not an error, is the contract (docs/resilience.md §2).
+  std::vector<std::pair<int64_t, int64_t>> failed;
   if (num_shards <= 1) {
-    const std::vector<double> sels = estimator.EstimateSelectivityBatch(queries);
-    std::copy(sels.begin(), sels.end(), out);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.shards;
-    return;
+    try {
+      FaultInjector::MaybeThrow(FaultPoint::kNeuralForward,
+                                "injected neural forward failure");
+      const std::vector<double> sels = estimator.EstimateSelectivityBatch(queries);
+      std::copy(sels.begin(), sels.end(), out);
+    } catch (...) {
+      failed.emplace_back(0, n);
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shards;
+      stats_.neural_failures += static_cast<uint64_t>(failed.size());
+    }
+    for (const auto& [lo, len] : failed) {
+      ServeFallback(queries, lo, len, out);
+      if (degraded != nullptr) std::fill(degraded + lo, degraded + lo + len, true);
+    }
+    return static_cast<int64_t>(failed.size());
   }
 
   // Per-call completion latch (NOT pool_.Wait(): that is a pool-wide
@@ -134,15 +177,27 @@ void ServingEngine::EstimateSharded(const Target& target,
     const int64_t len = base + (s < extra ? 1 : 0);
     const int64_t lo = begin;
     begin += len;
-    pool_.Submit([&estimator, &queries, &latch, out, lo, len] {
-      const std::vector<query::Query> shard(queries.begin() + lo,
-                                            queries.begin() + lo + len);
-      const std::vector<double> sels = estimator.EstimateSelectivityBatch(shard);
-      std::copy(sels.begin(), sels.end(), out + lo);
+    pool_.Submit([&estimator, &queries, &latch, &failed, out, lo, len] {
+      // The catch is the resilience layer's load-bearing wall: a neural
+      // failure (injected or real) must never unwind a pool worker or skip
+      // the latch decrement below — it becomes a fallback-served range.
+      bool ok = true;
+      try {
+        FaultInjector::MaybeThrow(FaultPoint::kNeuralForward,
+                                  "injected neural forward failure");
+        const std::vector<query::Query> shard(queries.begin() + lo,
+                                              queries.begin() + lo + len);
+        const std::vector<double> sels = estimator.EstimateSelectivityBatch(shard);
+        std::copy(sels.begin(), sels.end(), out + lo);
+      } catch (...) {
+        ok = false;
+      }
       // Notify while holding the mutex: the waiter owns the stack-allocated
       // latch and may destroy it the moment it can observe remaining == 0,
-      // which it cannot do until this unlock.
+      // which it cannot do until this unlock. `failed` shares the latch's
+      // lifetime and lock.
       std::lock_guard<std::mutex> lock(latch.mu);
+      if (!ok) failed.emplace_back(lo, len);
       --latch.remaining;
       latch.cv.notify_one();
     });
@@ -152,33 +207,182 @@ void ServingEngine::EstimateSharded(const Target& target,
     std::unique_lock<std::mutex> lock(latch.mu);
     latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
   }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.shards += static_cast<uint64_t>(num_shards);
+    stats_.neural_failures += static_cast<uint64_t>(failed.size());
+  }
+  // Fallback fills run on the dispatching thread, after every shard task
+  // has released the latch (no worker touches `failed` anymore).
+  for (const auto& [lo, len] : failed) {
+    ServeFallback(queries, lo, len, out);
+    if (degraded != nullptr) std::fill(degraded + lo, degraded + lo + len, true);
+  }
+  return static_cast<int64_t>(failed.size());
+}
+
+void ServingEngine::ServeFallback(const std::vector<query::Query>& queries, int64_t lo,
+                                  int64_t len, double* out) {
+  query::CardinalityEstimator* fb = fallback_.load(std::memory_order_acquire);
+  bool answered = false;
+  if (fb != nullptr) {
+    try {
+      const std::vector<query::Query> range(queries.begin() + lo,
+                                            queries.begin() + lo + len);
+      const std::vector<double> sels = fb->EstimateSelectivityBatch(range);
+      std::copy(sels.begin(), sels.end(), out + lo);
+      answered = true;
+    } catch (...) {
+      // Even the fallback failed: fall through to the constant answer.
+    }
+  }
+  if (!answered) std::fill(out + lo, out + lo + len, 0.0);
   std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.shards += static_cast<uint64_t>(num_shards);
+  stats_.fallback_served += static_cast<uint64_t>(len);
+}
+
+bool ServingEngine::AllowNeural() {
+  int state = breaker_state_.load(std::memory_order_acquire);
+  if (state == 0) return true;
+  if (state == 1) {
+    if (NowMicros() >= breaker_open_until_us_.load(std::memory_order_relaxed)) {
+      // Cooldown elapsed: CAS elects exactly one dispatch as the half-open
+      // probe; everyone else keeps serving fallback until it reports back.
+      int expected = 1;
+      if (breaker_state_.compare_exchange_strong(expected, 2,
+                                                 std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return false;  // half-open: another dispatch is probing
+}
+
+void ServingEngine::RecordNeuralOutcome(bool failed) {
+  if (!failed) {
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    // A successful probe closes the breaker; a plain success under closed
+    // state is a no-op CAS.
+    int expected = 2;
+    breaker_state_.compare_exchange_strong(expected, 0, std::memory_order_acq_rel);
+    return;
+  }
+  const int64_t fails = consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int state = breaker_state_.load(std::memory_order_acquire);
+  const bool probe_failed = state == 2;
+  const bool threshold_hit = state == 0 && fails >= options_.breaker_threshold;
+  if (probe_failed || threshold_hit) {
+    breaker_open_until_us_.store(NowMicros() + options_.breaker_cooldown_us,
+                                 std::memory_order_relaxed);
+    breaker_state_.store(1, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.breaker_trips;
+  }
+}
+
+void ServingEngine::ServeBatch(const Target& target,
+                               const std::vector<query::Query>& queries, double* out,
+                               bool* degraded) {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  if (n == 0) return;
+  if (!AllowNeural()) {
+    // Breaker open: the whole dispatch degrades to the fallback without
+    // touching the neural path.
+    ServeFallback(queries, 0, n, out);
+    if (degraded != nullptr) std::fill(degraded, degraded + n, true);
+    return;
+  }
+  const int64_t failed_shards = EstimateSharded(target, queries, out, degraded);
+  RecordNeuralOutcome(failed_shards > 0);
 }
 
 std::vector<double> ServingEngine::EstimateBatch(const std::vector<query::Query>& queries,
                                                  uint64_t* snapshot_id) {
+  const std::vector<Estimate> results = EstimateBatchEx(queries, 0, snapshot_id);
+  std::vector<double> sels(results.size());
+  for (size_t i = 0; i < results.size(); ++i) sels[i] = results[i].selectivity;
+  return sels;
+}
+
+std::vector<Estimate> ServingEngine::EstimateBatchEx(
+    const std::vector<query::Query>& queries, int64_t deadline_us,
+    uint64_t* snapshot_id) {
+  const Clock::time_point start = Clock::now();
   // Resolved once per client call: the pin in `target` holds the snapshot
   // until this batch returns, however many publishes happen meanwhile.
   const Target target = Resolve();
   NoteDispatch(target);
   if (snapshot_id != nullptr) *snapshot_id = target.snapshot_id;
   std::vector<double> sels(queries.size());
-  EstimateSharded(target, queries, sels.data());
+  std::vector<uint8_t> degraded(queries.size(), 0);
+  // bool* view over the flag bytes: std::vector<bool> has no data().
+  static_assert(sizeof(bool) == 1, "degraded flags alias uint8_t storage");
+  ServeBatch(target, queries, sels.data(), reinterpret_cast<bool*>(degraded.data()));
+  // The sync path runs on the caller's thread, so the batch was attempted
+  // regardless of the budget; what a deadline buys here is *late-result
+  // detection* — answers that arrived after the caller's budget are flagged
+  // (the async path, which has a queue to drop from, sheds pre-dispatch).
+  const bool late =
+      deadline_us > 0 &&
+      Clock::now() - start > std::chrono::microseconds(deadline_us);
+  std::vector<Estimate> results(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i].selectivity = sels[i];
+    results[i].fallback = degraded[i] != 0;
+    results[i].deadline_expired = late;
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.sync_batches;
   stats_.queries += static_cast<uint64_t>(queries.size());
-  return sels;
+  if (late) stats_.deadline_missed += static_cast<uint64_t>(queries.size());
+  return results;
 }
 
-ServingEngine::Future ServingEngine::Submit(query::Query query) {
+ServingEngine::Future ServingEngine::Submit(query::Query query, int64_t deadline_us) {
   auto state = std::make_shared<Pending>();
   state->query = std::move(query);
   state->enqueued = Clock::now();
+  if (deadline_us <= 0) deadline_us = options_.default_deadline_us;
+  if (deadline_us > 0) {
+    state->deadline = state->enqueued + std::chrono::microseconds(deadline_us);
+  }
+  bool admitted = true;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     DUET_CHECK(!stop_) << "Submit() after engine shutdown";
-    pending_.push_back(state);
+    if (options_.max_queue > 0 &&
+        static_cast<int64_t>(pending_.size()) >= options_.max_queue) {
+      // Admission control: reject fast rather than queue beyond the bound
+      // (an unbounded queue under overload grows latency without limit and
+      // the caller would have timed out anyway — docs/resilience.md §2).
+      admitted = false;
+    } else {
+      pending_.push_back(state);
+      // Lock order queue_mu_ -> stats_mu_ (stats() and the dispatch path
+      // never nest them the other way around).
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.queue_high_water =
+          std::max(stats_.queue_high_water, static_cast<int64_t>(pending_.size()));
+    }
+  }
+  if (!admitted) {
+    // Shed: answer immediately from the fallback on the caller's thread.
+    // Cheap by construction (the fallback is a classical estimator), and
+    // the Future is ready before Submit returns — never a blocked caller.
+    double sel = 0.0;
+    ServeFallback({state->query}, 0, 1, &sel);
+    Estimate e;
+    e.selectivity = sel;
+    e.fallback = true;
+    e.shed = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed;
+      ++stats_.queries;
+    }
+    state->Fulfill(e);
+    return Future(state);
   }
   queue_cv_.notify_one();
   return Future(state);
@@ -202,6 +406,10 @@ void ServingEngine::ReportObserved(const query::Query& query, double true_cardin
 
 void ServingEngine::AttachUpdateWorker(UpdateWorker* worker) {
   feedback_.store(worker, std::memory_order_release);
+}
+
+void ServingEngine::AttachFallback(query::CardinalityEstimator* fallback) {
+  fallback_.store(fallback, std::memory_order_release);
 }
 
 void ServingEngine::SchedulerLoop() {
@@ -231,33 +439,111 @@ void ServingEngine::SchedulerLoop() {
 }
 
 void ServingEngine::DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> batch) {
-  std::vector<query::Query> queries;
-  queries.reserve(batch.size());
-  for (const auto& p : batch) queries.push_back(p->query);
-  // One snapshot per micro-batch, resolved at dispatch: every query that
-  // was grouped into this batch is answered by the same model.
-  const Target target = Resolve();
-  NoteDispatch(target);
-  std::vector<double> sels(queries.size());
-  EstimateSharded(target, queries, sels.data());
+  // Drop expired work before dispatch: a query past its deadline gets a
+  // flagged fallback answer instead of a slot in the neural batch (the
+  // caller has moved on; burning model time on it only delays the rest).
+  const Clock::time_point now = Clock::now();
+  std::vector<std::shared_ptr<Pending>> admitted;
+  std::vector<std::shared_ptr<Pending>> expired;
+  admitted.reserve(batch.size());
+  for (auto& p : batch) {
+    (p->deadline < now ? expired : admitted).push_back(std::move(p));
+  }
+
+  std::vector<double> expired_sels(expired.size(), 0.0);
+  if (!expired.empty()) {
+    std::vector<query::Query> expired_queries;
+    expired_queries.reserve(expired.size());
+    for (const auto& p : expired) expired_queries.push_back(p->query);
+    ServeFallback(expired_queries, 0, static_cast<int64_t>(expired.size()),
+                  expired_sels.data());
+  }
+
+  std::vector<double> sels(admitted.size());
+  std::vector<uint8_t> degraded(admitted.size(), 0);
+  if (!admitted.empty()) {
+    std::vector<query::Query> queries;
+    queries.reserve(admitted.size());
+    for (const auto& p : admitted) queries.push_back(p->query);
+    // One snapshot per micro-batch, resolved at dispatch: every query that
+    // was grouped into this batch is answered by the same model.
+    const Target target = Resolve();
+    NoteDispatch(target);
+    ServeBatch(target, queries, sels.data(), reinterpret_cast<bool*>(degraded.data()));
+  }
+
   // Count before fulfilling: a client that has observed every Future ready
   // must also observe the counters covering those queries.
   {
+    const Clock::time_point done = Clock::now();
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.micro_batches;
     stats_.queries += static_cast<uint64_t>(batch.size());
+    stats_.deadline_missed += static_cast<uint64_t>(expired.size());
     stats_.largest_micro_batch =
-        std::max(stats_.largest_micro_batch, static_cast<int64_t>(batch.size()));
+        std::max(stats_.largest_micro_batch, static_cast<int64_t>(admitted.size()));
+    for (const auto& p : admitted) {
+      RecordLatencyLocked(std::chrono::duration_cast<std::chrono::microseconds>(
+                              done - p->enqueued)
+                              .count());
+    }
   }
-  for (size_t i = 0; i < batch.size(); ++i) batch[i]->Fulfill(sels[i]);
+  for (size_t i = 0; i < expired.size(); ++i) {
+    Estimate e;
+    e.selectivity = expired_sels[i];
+    e.fallback = true;
+    e.deadline_expired = true;
+    expired[i]->Fulfill(e);
+  }
+  for (size_t i = 0; i < admitted.size(); ++i) {
+    Estimate e;
+    e.selectivity = sels[i];
+    e.fallback = degraded[i] != 0;
+    admitted[i]->Fulfill(e);
+  }
 }
 
+void ServingEngine::RecordLatencyLocked(int64_t micros) {
+  if (micros < 0) micros = 0;
+  size_t bucket = 0;
+  while (bucket + 1 < latency_buckets_.size() && (micros >> bucket) > 0) ++bucket;
+  ++latency_buckets_[bucket];
+  ++latency_count_;
+}
+
+namespace {
+
+/// Upper bound of the histogram bucket containing quantile `q` (in [0, 1]).
+double BucketQuantile(const std::array<uint64_t, 40>& buckets, uint64_t count,
+                      double q) {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += static_cast<double>(buckets[b]);
+    if (seen >= target) return static_cast<double>(1LL << b);
+  }
+  return static_cast<double>(1LL << (buckets.size() - 1));
+}
+
+}  // namespace
+
 ServingStats ServingEngine::stats() const {
+  int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = static_cast<int64_t>(pending_.size());
+  }
   ServingStats snapshot;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     snapshot = stats_;
+    snapshot.latency_p50_us = BucketQuantile(latency_buckets_, latency_count_, 0.50);
+    snapshot.latency_p99_us = BucketQuantile(latency_buckets_, latency_count_, 0.99);
   }
+  snapshot.queue_depth = depth;
+  snapshot.breaker_state =
+      static_cast<uint64_t>(breaker_state_.load(std::memory_order_acquire));
   // Point-in-time gauges, not counters: read from the serving model outside
   // stats_mu_ (the caches and plan telemetry have their own locks/atomics).
   // In registry mode this resolves the current snapshot, so the gauges

@@ -42,9 +42,17 @@
 //    invalidate the packed caches via tensor::BumpParameterVersion(), so
 //    serving resumed afterwards sees the new weights. Wrap a ModelRegistry
 //    instead to drop this restriction.
+//
+// Resilience (docs/resilience.md): requests carry optional deadlines, the
+// async queue is optionally bounded with shed-on-full, a circuit breaker
+// trips to fallback-only serving after consecutive neural failures, and an
+// attached classical fallback estimator answers every degraded query with a
+// bounded-error estimate flagged in the result. The engine never blocks a
+// caller on overload and never lets a neural failure escape as a crash.
 #ifndef DUET_SERVE_SERVING_ENGINE_H_
 #define DUET_SERVE_SERVING_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -93,6 +101,37 @@ struct ServingOptions {
   /// docs/benchmarks.md plan A/B). Ignored in registry mode
   /// (RegistryOptions::compile_plans governs).
   bool compile_plans = true;
+  /// Admission control: async queries pending beyond this depth are shed —
+  /// their Future completes immediately with a flagged fallback estimate,
+  /// never blocking the caller. 0 = unbounded (no shedding).
+  int64_t max_queue = 0;
+  /// Deadline applied to Submit calls that pass none (0 = no default).
+  /// Deadlines are relative to submission; the scheduler drops expired
+  /// entries before dispatch and serves them from the fallback instead.
+  int64_t default_deadline_us = 0;
+  /// Circuit breaker: after this many consecutive failed neural dispatches
+  /// the engine serves fallback-only, then probes its way back with single
+  /// dispatches after breaker_cooldown_us (docs/resilience.md §3).
+  int64_t breaker_threshold = 5;
+  int64_t breaker_cooldown_us = 50 * 1000;
+};
+
+/// One query's answer plus how it was produced. EstimateBatchEx and
+/// Future::Result() return these; the plain EstimateBatch / Future::Wait
+/// surfaces keep returning bare selectivities.
+struct Estimate {
+  double selectivity = 0.0;
+  /// Served by the attached classical fallback (or 0.0 with none attached)
+  /// rather than the neural model — because the query was shed, expired, hit
+  /// a neural failure, or the circuit breaker was open.
+  bool fallback = false;
+  /// The request missed its deadline before (async) or during (sync)
+  /// estimation.
+  bool deadline_expired = false;
+  /// Rejected at admission: the bounded async queue was full.
+  bool shed = false;
+
+  bool degraded() const { return fallback || deadline_expired || shed; }
 };
 
 /// Cumulative counters (monotone since construction), plus point-in-time
@@ -124,6 +163,29 @@ struct ServingStats {
   /// Cumulative no-grad forwards served from an already-compiled plan
   /// (cache hits; 0 with plans off).
   uint64_t plan_cache_hits = 0;
+  /// Queries whose deadline expired before/during estimation (each also
+  /// counts in fallback_served when answered by the fallback).
+  uint64_t deadline_missed = 0;
+  /// Queries rejected at admission because the bounded queue was full.
+  uint64_t shed = 0;
+  /// Queries answered by the fallback path (shed + expired + neural
+  /// failures + breaker-open dispatches).
+  uint64_t fallback_served = 0;
+  /// Shard tasks whose neural estimate threw (each failed shard's queries
+  /// were answered by the fallback).
+  uint64_t neural_failures = 0;
+  /// Times the circuit breaker tripped open.
+  uint64_t breaker_trips = 0;
+  /// Breaker state when stats() was taken: 0 closed, 1 open, 2 half-open.
+  uint64_t breaker_state = 0;
+  /// Async queue depth when stats() was taken / deepest ever observed.
+  int64_t queue_depth = 0;
+  int64_t queue_high_water = 0;
+  /// Submission-to-completion latency percentiles over admitted async
+  /// queries (log-bucketed histogram: values are bucket upper bounds, ~2x
+  /// resolution; 0 until the first async query completes).
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
 };
 
 /// Shards batches across a private worker pool, micro-batches async
@@ -147,9 +209,14 @@ class ServingEngine {
     bool Ready() const;
 
     /// Blocks until the result is available and returns the selectivity
-    /// (exactly what EstimateSelectivityBatch would return for this query).
+    /// (exactly what EstimateSelectivityBatch would return for this query,
+    /// unless the result was degraded — check Result().degraded()).
     /// Safe to call from multiple threads and more than once.
     double Wait() const;
+
+    /// Blocks like Wait() but returns the full result, including the
+    /// degradation flags (fallback / deadline_expired / shed).
+    Estimate Result() const;
 
    private:
     friend class ServingEngine;
@@ -185,11 +252,29 @@ class ServingEngine {
   std::vector<double> EstimateBatch(const std::vector<query::Query>& queries,
                                     uint64_t* snapshot_id = nullptr);
 
+  /// EstimateBatch with per-request resilience metadata. `deadline_us` is a
+  /// latency budget relative to the call (0 = none): the sync path runs on
+  /// the caller's thread so the batch is always attempted, but results that
+  /// arrive after the budget are flagged deadline_expired (and counted) so
+  /// the caller knows the optimizer has moved on. Degraded queries (neural
+  /// failure, breaker open) carry fallback == true.
+  std::vector<Estimate> EstimateBatchEx(const std::vector<query::Query>& queries,
+                                        int64_t deadline_us = 0,
+                                        uint64_t* snapshot_id = nullptr);
+
   /// Asynchronous single-query estimation through the micro-batching
   /// scheduler. The returned Future completes after the query's micro-batch
   /// is dispatched and estimated; its value is identical to what the query
   /// would get from EstimateBatch at that micro-batch's snapshot.
-  Future Submit(query::Query query);
+  ///
+  /// `deadline_us` (relative to submission; 0 = options().default_deadline_us,
+  /// and 0 again = none) bounds how long the query may wait: the scheduler
+  /// drops expired entries before dispatch and answers them from the
+  /// fallback, flagged deadline_expired. If the queue is bounded
+  /// (options().max_queue) and full, the query is shed instead of enqueued:
+  /// the Future completes immediately with a flagged fallback estimate —
+  /// Submit never blocks on overload.
+  Future Submit(query::Query query, int64_t deadline_us = 0);
 
   /// Feedback hook (the adaptation input): reports the true cardinality the
   /// execution engine observed for a served query. Routed to the attached
@@ -201,6 +286,15 @@ class ServingEngine {
   /// ReportObserved feedback. The worker must outlive the engine or be
   /// detached first.
   void AttachUpdateWorker(UpdateWorker* worker);
+
+  /// Attaches (or detaches, with nullptr) the classical fallback estimator
+  /// that answers degraded queries — typically one of the traditional
+  /// baselines (baselines::IndependenceEstimator, baselines::SamplingEstimator):
+  /// model-free, thread-safe after construction, and orders of magnitude
+  /// cheaper than the neural path. It must outlive the engine or be
+  /// detached first. With none attached, degraded queries return
+  /// selectivity 0.0 (still flagged) rather than blocking or throwing.
+  void AttachFallback(query::CardinalityEstimator* fallback);
 
   /// Snapshot of the cumulative counters.
   ServingStats stats() const;
@@ -225,9 +319,28 @@ class ServingEngine {
   void NoteDispatch(const Target& target);
 
   /// Runs `queries` sharded across the pool on `target`, writing into
-  /// out[0..n).
-  void EstimateSharded(const Target& target, const std::vector<query::Query>& queries,
-                       double* out);
+  /// out[0..n). A shard whose neural estimate throws is answered by the
+  /// fallback (flagged in `degraded` when non-null) — the exception never
+  /// escapes. Returns the number of failed shards.
+  int64_t EstimateSharded(const Target& target, const std::vector<query::Query>& queries,
+                          double* out, bool* degraded);
+
+  /// Breaker-aware batch serve: full fallback when the breaker is open,
+  /// else EstimateSharded with the dispatch outcome fed back to the breaker.
+  void ServeBatch(const Target& target, const std::vector<query::Query>& queries,
+                  double* out, bool* degraded);
+
+  /// Answers queries[lo..lo+len) from the attached fallback estimator (0.0
+  /// each with none attached / on fallback failure) and counts them served.
+  void ServeFallback(const std::vector<query::Query>& queries, int64_t lo, int64_t len,
+                     double* out);
+
+  /// Breaker gate for one dispatch: true = attempt the neural path (possibly
+  /// as the elected half-open probe), false = serve fallback.
+  bool AllowNeural();
+
+  /// Feeds one dispatch outcome to the breaker (trip / probe / reset).
+  void RecordNeuralOutcome(bool failed);
 
   /// Scheduler loop: collects pending queries into micro-batches.
   void SchedulerLoop();
@@ -235,15 +348,28 @@ class ServingEngine {
   /// Dispatches up to max_batch pending entries (caller holds no locks).
   void DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> batch);
 
+  /// Records one admitted async query's submission-to-completion latency
+  /// into the log-bucketed histogram (caller holds stats_mu_).
+  void RecordLatencyLocked(int64_t micros);
+
   query::CardinalityEstimator* fixed_estimator_ = nullptr;  // fixed mode
   ModelRegistry* registry_ = nullptr;                       // registry mode
   std::atomic<UpdateWorker*> feedback_{nullptr};
+  std::atomic<query::CardinalityEstimator*> fallback_{nullptr};
   ServingOptions options_;
   ThreadPool pool_;  // private: a shared/global pool would let concurrent
                      // callers observe each other through pool-wide Wait()
 
-  // Async scheduler state.
-  std::mutex queue_mu_;
+  // Circuit breaker (docs/resilience.md §3): lock-free state machine fed by
+  // dispatch outcomes. 0 = closed, 1 = open, 2 = half-open (one elected
+  // probe dispatch in flight).
+  std::atomic<int> breaker_state_{0};
+  std::atomic<int64_t> consecutive_failures_{0};
+  std::atomic<int64_t> breaker_open_until_us_{0};
+
+  // Async scheduler state. queue_mu_ is mutable so stats() can read the
+  // queue-depth gauge.
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<Pending>> pending_;
   bool stop_ = false;
@@ -251,6 +377,10 @@ class ServingEngine {
 
   mutable std::mutex stats_mu_;
   ServingStats stats_;
+  /// Log-bucketed latency histogram: bucket b counts admitted async queries
+  /// with latency in [2^(b-1), 2^b) microseconds.
+  std::array<uint64_t, 40> latency_buckets_{};
+  uint64_t latency_count_ = 0;
 };
 
 }  // namespace duet::serve

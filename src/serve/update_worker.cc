@@ -1,6 +1,10 @@
 #include "serve/update_worker.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <iterator>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -18,6 +22,10 @@ UpdateWorker::UpdateWorker(ModelRegistry& registry, UpdateWorkerOptions options)
   // holdout stride guarantees the validation slice is never empty (an empty
   // holdout would fail the gate and silently reject every round).
   DUET_CHECK_GE(options_.min_feedback, options_.holdout_every);
+  DUET_CHECK_GE(options_.publish_retries, 0);
+  DUET_CHECK_GE(options_.backoff_initial_us, 0);
+  DUET_CHECK_GE(options_.backoff_max_us, options_.backoff_initial_us);
+  DUET_CHECK_GE(options_.max_quarantine, 0);
 }
 
 UpdateWorker::~UpdateWorker() { Stop(); }
@@ -78,23 +86,83 @@ bool UpdateWorker::RunRound() {
   const std::shared_ptr<const ModelSnapshot> base = registry_.Current();
   core::OnlineUpdateResult result =
       core::CloneAndFineTune(base->model(), train, holdout, options_.update);
+
+  // Publish with bounded exponential backoff + jitter: Publish can throw
+  // (pack/plan compilation, allocation), and a throw consumes the model it
+  // was handed, so each attempt gets its own clone of the candidate. After
+  // the retry budget the candidate is abandoned — the registry keeps
+  // serving the previous snapshot and the next round starts fresh.
+  bool published = false;
+  uint64_t attempt_failures = 0;
   if (result.accepted) {
-    registry_.Publish(std::move(result.model));
+    int64_t backoff_us = options_.backoff_initial_us;
+    for (int64_t attempt = 0; attempt <= options_.publish_retries; ++attempt) {
+      try {
+        registry_.Publish(core::CloneModel(*result.model));
+        published = true;
+        break;
+      } catch (const std::exception&) {
+        ++attempt_failures;
+        if (attempt == options_.publish_retries) break;
+        const double jitter = 0.5 + backoff_rng_.UniformDouble();  // [0.5, 1.5)
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<int64_t>(static_cast<double>(backoff_us) * jitter)));
+        backoff_us = std::min(backoff_us * 2, options_.backoff_max_us);
+      }
+    }
+  }
+
+  // A gate-rejected round with a non-empty collection means the feedback
+  // batch itself is suspect (poisoned labels, unrepresentative skew).
+  // Quarantine its pairs instead of retrying or silently dropping them.
+  const bool poisoned = !result.accepted && !result.report.collected.empty();
+  uint64_t quarantined_pairs = 0;
+  if (poisoned) {
+    std::lock_guard<std::mutex> qlock(quarantine_mu_);
+    for (query::Workload* part : {&train, &holdout}) {
+      for (query::LabeledQuery& lq : *part) {
+        quarantine_.push_back(std::move(lq));
+        ++quarantined_pairs;
+      }
+    }
+    while (static_cast<int64_t>(quarantine_.size()) > options_.max_quarantine) {
+      quarantine_.pop_front();
+    }
   }
 
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.rounds;
-  if (result.accepted) {
+  stats_.publish_failures += attempt_failures;
+  if (published) {
     ++stats_.published;
+  } else if (result.accepted) {
+    ++stats_.publish_abandoned;
   } else if (result.report.collected.empty()) {
     ++stats_.skipped;  // nothing exceeded the threshold: candidate == base
   } else {
     ++stats_.rolled_back;
   }
+  if (poisoned) {
+    ++stats_.quarantined_rounds;
+    stats_.feedback_quarantined += quarantined_pairs;
+  }
   stats_.last_holdout_before = result.holdout_before;
   stats_.last_holdout_after = result.holdout_after;
   stats_.last_round_seconds = round_timer.Seconds();
   return true;
+}
+
+int64_t UpdateWorker::quarantined_feedback() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return static_cast<int64_t>(quarantine_.size());
+}
+
+query::Workload UpdateWorker::DrainQuarantine() {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  query::Workload out(std::make_move_iterator(quarantine_.begin()),
+                      std::make_move_iterator(quarantine_.end()));
+  quarantine_.clear();
+  return out;
 }
 
 void UpdateWorker::Start() {

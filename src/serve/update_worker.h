@@ -27,6 +27,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/rng.h"
 #include "core/finetune.h"
 #include "query/query.h"
 #include "serve/model_registry.h"
@@ -46,6 +47,17 @@ struct UpdateWorkerOptions {
   /// instead of the tuning set (deterministic split, so tests can reason
   /// about which pairs train and which validate). Must be >= 2.
   int64_t holdout_every = 4;
+  /// A failed Publish (it can throw: pack/plan compilation, allocation) is
+  /// retried up to this many times with bounded exponential backoff and
+  /// jitter before the round's candidate is abandoned (resilience.md §5).
+  int64_t publish_retries = 3;
+  /// First retry delay; doubles per retry up to backoff_max_us. Jittered by
+  /// a deterministic [0.5, 1.5) factor so synchronized workers desynchronize.
+  int64_t backoff_initial_us = 1000;
+  int64_t backoff_max_us = 100 * 1000;
+  /// Cap on the quarantine buffer holding pairs from gate-rejected rounds
+  /// (oldest dropped beyond it).
+  int64_t max_quarantine = 4096;
   /// Clone-and-tune knobs, including the validation gate
   /// (core::OnlineUpdateOptions::max_regression).
   core::OnlineUpdateOptions update;
@@ -60,6 +72,11 @@ struct UpdateWorkerStats {
   uint64_t rolled_back = 0;       ///< rounds whose candidate failed the gate
   uint64_t skipped = 0;           ///< rounds where nothing exceeded the
                                   ///< collection threshold (candidate == base)
+  uint64_t publish_failures = 0;  ///< individual Publish attempts that threw
+  uint64_t publish_abandoned = 0; ///< accepted candidates dropped after every
+                                  ///< retry failed
+  uint64_t quarantined_rounds = 0;    ///< gate-rejected rounds quarantined
+  uint64_t feedback_quarantined = 0;  ///< pairs moved into quarantine
   /// Holdout median Q-error of the last round's candidate before/after
   /// tuning (the gate's inputs).
   double last_holdout_before = 0.0;
@@ -96,6 +113,13 @@ class UpdateWorker {
   UpdateWorkerStats stats() const;
   const UpdateWorkerOptions& options() const { return options_; }
 
+  /// Pairs currently held in the poisoned-round quarantine.
+  int64_t quarantined_feedback() const;
+
+  /// Removes and returns the quarantined pairs (offline inspection /
+  /// debugging of what poisoned a round). Oldest first.
+  query::Workload DrainQuarantine();
+
  private:
   void Loop();
   /// Drains the buffer (if >= min_feedback) into train/holdout and runs one
@@ -111,6 +135,17 @@ class UpdateWorker {
   bool stop_ = false;
 
   std::mutex round_mu_;  ///< serializes RunOnce vs the background loop
+
+  /// Pairs from gate-rejected (poisoned) rounds: kept out of the live
+  /// buffer so the same batch cannot poison the next round, but retained —
+  /// bounded — for offline inspection.
+  mutable std::mutex quarantine_mu_;
+  std::deque<query::LabeledQuery> quarantine_;
+
+  /// Jitter source for publish backoff; guarded by round_mu_ (only round
+  /// code touches it). Fixed seed: deterministic tests, and desynchronizing
+  /// *distinct* workers is handled by each worker's own sequence.
+  Rng backoff_rng_{0xd0e7};
 
   mutable std::mutex stats_mu_;
   UpdateWorkerStats stats_;

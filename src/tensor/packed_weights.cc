@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "serve/fault_injector.h"
 
 namespace duet::tensor {
 
@@ -300,6 +301,11 @@ std::vector<int32_t> DegreeSortPermutation(const Tensor& w) {
 std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend,
                                                  const std::vector<int32_t>* perm) {
   DUET_CHECK_EQ(w.ndim(), 2);
+  // Fault point: repacking runs lazily on the first forward under a new
+  // backend/version — a failure here surfaces mid-estimate and must degrade
+  // that dispatch, not take the process down.
+  serve::FaultInjector::MaybeThrow(serve::FaultPoint::kPackWeights,
+                                   "injected weight-pack failure");
   auto packed = std::make_shared<PackedWeights>();
   packed->backend = backend;
   packed->in = w.dim(0);

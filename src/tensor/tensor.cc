@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "serve/fault_injector.h"
 
 namespace duet::tensor {
 
@@ -67,6 +68,11 @@ void InferenceArena::Clear() {
 }
 
 std::vector<float> InferenceArena::Acquire(size_t n) {
+  // Fault point: buffer acquisition is where a real allocation failure
+  // (std::bad_alloc) would surface on the inference path; the serving
+  // layer must degrade the affected shard, not crash.
+  serve::FaultInjector::MaybeThrow(serve::FaultPoint::kAllocation,
+                                   "injected arena allocation failure");
   auto it = t_arena.pool.find(n);
   if (it != t_arena.pool.end() && !it->second.empty()) {
     std::vector<float> buf = std::move(it->second.back());

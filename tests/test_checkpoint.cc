@@ -1,9 +1,11 @@
 // Tests for versioned model checkpoints: round trips for every model class
 // that persists, plus failure injection (corrupt files, wrong kind, wrong
 // architecture) which must fail loudly rather than load garbage.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "baselines/mscn/mscn_model.h"
 #include "baselines/naru/naru_model.h"
@@ -170,6 +172,110 @@ TEST_F(CheckpointDeathTest, TruncatedFileFailsLoudly) {
   }
   DuetModel reloaded(table_, SmallOptions());
   EXPECT_DEATH(LoadModuleFile(path, "duet", &reloaded), "");
+  std::remove(path.c_str());
+}
+
+// ---- TryLoadModuleFile: corruption yields a clean error and an untouched
+// model (docs/resilience.md §4). The death tests above pin the abort-on-load
+// contract of LoadModuleFile; these pin the recoverable API the registry and
+// update worker use.
+
+/// Weights before/after comparison helper: flattens every parameter.
+std::vector<float> FlattenParameters(core::DuetModel& model) {
+  std::vector<float> flat;
+  for (const auto& p : model.parameters()) {
+    flat.insert(flat.end(), p.data(), p.data() + p.numel());
+  }
+  return flat;
+}
+
+TEST_F(CheckpointTest, TryLoadTruncatedFileReportsErrorAndLeavesModelAlone) {
+  DuetModel model(table_, SmallOptions());
+  const std::string path = TempPath("try_truncated");
+  SaveModuleFile(path, "duet", model);
+  // Chop off the tail of the payload: checksum can no longer match and the
+  // declared payload size exceeds what is on disk.
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto size = static_cast<size_t>(in.tellg());
+    in.seekg(0);
+    std::string data(size / 2, '\0');
+    in.read(data.data(), static_cast<std::streamsize>(data.size()));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  DuetModel reloaded(table_, SmallOptions());
+  const std::vector<float> before = FlattenParameters(reloaded);
+  const CheckpointStatus st = TryLoadModuleFile(path, "duet", &reloaded);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("truncated checkpoint payload"), std::string::npos) << st.error;
+  EXPECT_EQ(FlattenParameters(reloaded), before);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TryLoadFlippedByteReportsChecksumMismatch) {
+  DuetModel model(table_, SmallOptions());
+  const std::string path = TempPath("try_bitflip");
+  SaveModuleFile(path, "duet", model);
+  // Flip one byte in the middle of the payload (well past the header).
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<int64_t>(f.tellg());
+    ASSERT_GT(size, 128);
+    const int64_t at = size / 2;
+    f.seekg(at);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(at);
+    f.write(&byte, 1);
+  }
+  DuetModel reloaded(table_, SmallOptions());
+  const std::vector<float> before = FlattenParameters(reloaded);
+  const CheckpointStatus st = TryLoadModuleFile(path, "duet", &reloaded);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("checksum mismatch"), std::string::npos) << st.error;
+  EXPECT_EQ(FlattenParameters(reloaded), before);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TryLoadWrongVersionReportsCleanError) {
+  DuetModel model(table_, SmallOptions());
+  const std::string path = TempPath("try_version");
+  SaveModuleFile(path, "duet", model);
+  // Bump the version field (bytes 4..7, after the magic) to a future value.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    const uint32_t future = 999;
+    f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  }
+  DuetModel reloaded(table_, SmallOptions());
+  const std::vector<float> before = FlattenParameters(reloaded);
+  const CheckpointStatus st = TryLoadModuleFile(path, "duet", &reloaded);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("unsupported checkpoint version"), std::string::npos) << st.error;
+  EXPECT_EQ(FlattenParameters(reloaded), before);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TryLoadMissingFileReportsCleanError) {
+  DuetModel model(table_, SmallOptions());
+  const CheckpointStatus st =
+      TryLoadModuleFile("/nonexistent/dir/ckpt.bin", "duet", &model);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("cannot open checkpoint"), std::string::npos) << st.error;
+}
+
+TEST_F(CheckpointTest, TryLoadIntactFileSucceeds) {
+  DuetModel model(table_, SmallOptions());
+  const std::string path = TempPath("try_ok");
+  SaveModuleFile(path, "duet", model);
+  DuetModel reloaded(table_, SmallOptions());
+  const CheckpointStatus st = TryLoadModuleFile(path, "duet", &reloaded);
+  EXPECT_TRUE(st.ok) << st.error;
+  EXPECT_EQ(FlattenParameters(reloaded), FlattenParameters(model));
   std::remove(path.c_str());
 }
 

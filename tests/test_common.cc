@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "common/flags.h"
@@ -167,6 +168,57 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
       },
       true, 1);
   EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPoolTest, EscapedSubmitExceptionDoesNotKillWorkers) {
+  // A raw Submit task that throws must not terminate the process or wedge
+  // the pool: the worker swallows it, bumps the counter, and keeps serving.
+  ThreadPool pool(2);
+  const uint64_t before = pool.escaped_exceptions();
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([] { throw std::runtime_error("task failed"); });
+  }
+  pool.Wait();
+  EXPECT_EQ(pool.escaped_exceptions(), before + 4);
+  // The pool is still fully operational afterwards.
+  std::atomic<int64_t> sum{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&, i] { sum += i; });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 4950);
+  EXPECT_EQ(pool.escaped_exceptions(), before + 4);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedRethrowsOnCaller) {
+  // Exceptions from chunk bodies must surface on the calling thread (first
+  // one wins), after all chunks have finished — not via std::terminate.
+  std::atomic<int64_t> executed{0};
+  bool caught = false;
+  try {
+    ParallelForChunked(
+        0, 1000,
+        [&](int64_t lo, int64_t hi) {
+          executed += hi - lo;
+          if (lo == 0) throw std::runtime_error("chunk exploded");
+        },
+        /*parallel=*/true, /*grain=*/100);
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "chunk exploded");
+  }
+  EXPECT_TRUE(caught);
+  // The pool survives for subsequent clean runs.
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 100, [&](int64_t i) { sum += i; }, true, 1);
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedSerialPathAlsoThrows) {
+  EXPECT_THROW(ParallelForChunked(
+                   0, 10, [](int64_t, int64_t) { throw std::logic_error("serial"); },
+                   /*parallel=*/false),
+               std::logic_error);
 }
 
 TEST(StatsTest, PercentileInterpolates) {

@@ -402,6 +402,30 @@ TEST(LiveUpdateTest, WorkerPublishesWhenFeedbackImproves) {
   EXPECT_GT(registry.Current()->id(), id_before);
 }
 
+TEST(LiveUpdateTest, OverflowedFeedbackIsDroppedOldestFirstAndCounted) {
+  const data::Table t = SmallTable();
+  serve::ModelRegistry registry(
+      std::make_unique<core::DuetModel>(t, SmallModelOptions()));
+
+  serve::UpdateWorkerOptions wopt;
+  wopt.min_feedback = 8;
+  wopt.max_buffer = 8;  // tiny cap: everything past 8 evicts the oldest
+  serve::UpdateWorker worker(registry, wopt);
+
+  query::WorkloadSpec spec;
+  spec.num_queries = 12;
+  spec.seed = 91;
+  const query::Workload wl = query::WorkloadGenerator(t, spec).Generate();
+  for (const auto& lq : wl) {
+    worker.AddFeedback(lq.query, static_cast<double>(lq.cardinality));
+  }
+
+  const serve::UpdateWorkerStats stats = worker.stats();
+  EXPECT_EQ(stats.feedback_received, 12u);
+  EXPECT_EQ(stats.feedback_dropped, 4u);  // 12 submitted into an 8-slot buffer
+  EXPECT_EQ(worker.pending_feedback(), 8);
+}
+
 TEST(LiveUpdateTest, EngineRoutesObservedFeedbackToWorker) {
   const data::Table t = SmallTable();
   serve::ModelRegistry registry(

@@ -147,6 +147,76 @@ TEST(ServingEngineTest, DestructorDrainsPendingFutures) {
   }
 }
 
+TEST(ServingEngineTest, DestructorDrainRacesDeadlineExpiry) {
+  const data::Table t = SmallTable();
+  core::DuetModelOptions opt;
+  opt.hidden_sizes = {32, 32};
+  core::DuetModel model(t, opt);
+  core::DuetEstimator est(model);
+  const std::vector<Query> queries = MakeQueries(t, 24);
+
+  // Deadlines land mid-teardown: some entries expire while the destructor
+  // drains, some are still live. Every future must complete either way —
+  // expired ones flagged, live ones with a real estimate — and nothing may
+  // hang or crash regardless of which side of the race each entry lands on.
+  for (int round = 0; round < 5; ++round) {
+    std::vector<serve::ServingEngine::Future> futures;
+    {
+      serve::ServingOptions sopt;
+      sopt.num_workers = 2;
+      sopt.max_batch = 64;                 // size trigger never fires
+      sopt.max_wait_us = 10 * 1000 * 1000; // dtor does the dispatch
+      serve::ServingEngine engine(est, sopt);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        // Mix of already-expired, racing (~dtor latency), and generous.
+        const int64_t deadline = i % 3 == 0 ? 1 : (i % 3 == 1 ? 300 : 10 * 1000 * 1000);
+        futures.push_back(engine.Submit(queries[i], deadline));
+      }
+    }
+    const std::vector<double> reference = est.EstimateSelectivityBatch(queries);
+    for (size_t i = 0; i < futures.size(); ++i) {
+      ASSERT_TRUE(futures[i].Ready()) << "round " << round << " future " << i;
+      const serve::Estimate e = futures[i].Result();
+      if (!e.deadline_expired) {
+        EXPECT_EQ(e.selectivity, reference[i]) << "round " << round << " query " << i;
+      }
+    }
+  }
+}
+
+TEST(ServingEngineTest, DestructorDrainsShedAndQueuedEntriesTogether) {
+  const data::Table t = SmallTable();
+  core::DuetModelOptions opt;
+  opt.hidden_sizes = {32, 32};
+  core::DuetModel model(t, opt);
+  core::DuetEstimator est(model);
+  const std::vector<Query> queries = MakeQueries(t, 12);
+  const std::vector<double> reference = est.EstimateSelectivityBatch(queries);
+
+  std::vector<serve::ServingEngine::Future> futures;
+  uint64_t shed = 0;
+  {
+    serve::ServingOptions sopt;
+    sopt.num_workers = 2;
+    sopt.max_queue = 3;                  // most submissions shed immediately
+    sopt.max_batch = 64;
+    sopt.max_wait_us = 10 * 1000 * 1000;
+    serve::ServingEngine engine(est, sopt);
+    for (const Query& q : queries) futures.push_back(engine.Submit(q));
+    shed = engine.stats().shed;
+  }
+  EXPECT_GE(shed, queries.size() - 3);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_TRUE(futures[i].Ready()) << "future " << i;
+    const serve::Estimate e = futures[i].Result();
+    if (e.shed) {
+      EXPECT_TRUE(e.degraded());  // no fallback attached: flagged, sel 0.0
+    } else {
+      EXPECT_EQ(e.selectivity, reference[i]) << "query " << i;
+    }
+  }
+}
+
 // The cache unit test: a MaskedLinear forward with gradients disabled must
 // serve cached W o M, and an optimizer step must invalidate it so the next
 // no-grad forward matches the tracked (uncached) path bitwise.
