@@ -35,6 +35,12 @@ for bin in "$BUILD_DIR"/bench_*; do
       # The overload sweep smoke-runs the admission-control path (bounded
       # queue + deadlines + shed-to-fallback) at a sub-second phase length.
       extra="$extra --overload --overload_seconds=0.5" ;;
+    # Small fleet + sub-second steady phase keeps the zoo smoke quick while
+    # still exercising cold-start loads, Zipf traffic, eviction churn and
+    # the zero-repack assertion (the binary exits nonzero if any zoo load
+    # or serve repacked weights).
+    bench_zoo)
+      extra="--models=24 --cold_samples=16 --steady_seconds=0.3" ;;
   esac
   start=$(date +%s)
   if "$bin" $extra >/dev/null 2>&1; then

@@ -1,4 +1,6 @@
-// Using Duet on your own data: load a CSV, train, estimate, checkpoint.
+// Using Duet on your own data: load a CSV, train, estimate, then ship the
+// trained model two ways — a training checkpoint and an mmap-able serving
+// artifact registered in a model zoo (docs/model_zoo.md).
 //
 //   csv_estimator [--csv=path/to/table.csv] [--epochs=N]
 //                 [--where="col >= 3 AND other = 1 OR col < 1"]
@@ -15,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "artifact/artifact.h"
 #include "common/flags.h"
 #include "core/disjunction.h"
 #include "core/duet_model.h"
@@ -23,6 +26,7 @@
 #include "query/evaluator.h"
 #include "query/parser.h"
 #include "query/query.h"
+#include "serve/model_zoo.h"
 
 namespace {
 
@@ -121,7 +125,8 @@ int main(int argc, char** argv) {
               static_cast<double>(estimator.PlanBytes()) / 1024.0,
               static_cast<double>(estimator.PackedWeightBytes()) / 1024.0);
 
-  // Checkpoint round-trip: the trained estimator can be shipped.
+  // Checkpoint round-trip: the trained model can be reloaded for more
+  // training or fine-tuning later.
   {
     std::ofstream out("/tmp/duet_demo.ckpt", std::ios::binary);
     BinaryWriter w(out);
@@ -129,5 +134,34 @@ int main(int argc, char** argv) {
   }
   std::printf("checkpoint written to /tmp/duet_demo.ckpt (%.2f MB of weights)\n",
               model.SizeMB());
-  return 0;
+
+  // Serving hand-off: freeze the trained model into an mmap-able snapshot
+  // artifact and serve it back through a model zoo by key — the multi-model
+  // deployment path (docs/model_zoo.md). CSR packing is bitwise-equal to
+  // the dense fp32 path, so the artifact serves the exact bits above.
+  const std::string artifact_path = "/tmp/duet_demo.duet";
+  {
+    const artifact::ArtifactStatus st =
+        artifact::WriteArtifact(artifact_path, model, tensor::WeightBackend::kCsrF32);
+    if (!st.ok) {
+      std::fprintf(stderr, "artifact write failed: %s\n", st.error.c_str());
+      return 1;
+    }
+  }
+  serve::ModelZoo zoo;
+  zoo.Register(table.name(), artifact_path);
+  serve::ZooPin pin;
+  const artifact::ArtifactStatus st = zoo.TryAcquire(table.name(), &pin);
+  if (!st.ok) {
+    std::fprintf(stderr, "zoo load failed: %s\n", st.error.c_str());
+    return 1;
+  }
+  const double zoo_sel = core::EstimateDisjunction(pin->estimator(), parsed.clauses);
+  std::printf("artifact written to %s (%.1f KiB mapped), served via zoo key '%s': "
+              "%.1f rows (%s the trained model)\n",
+              artifact_path.c_str(),
+              static_cast<double>(pin->model().mapped_bytes()) / 1024.0,
+              pin->key().c_str(), zoo_sel * static_cast<double>(table.num_rows()),
+              zoo_sel == sel ? "bitwise-equal to" : "DIVERGED from");
+  return zoo_sel == sel ? 0 : 1;
 }

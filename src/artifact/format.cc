@@ -1,0 +1,252 @@
+#include "artifact/format.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/serialize.h"
+#include "serve/fault_injector.h"
+
+namespace duet::artifact {
+
+namespace {
+
+uint64_t AlignUp(uint64_t n) { return (n + kArtifactAlign - 1) & ~(kArtifactAlign - 1); }
+
+}  // namespace
+
+MappedArtifact::~MappedArtifact() { Reset(); }
+
+MappedArtifact::MappedArtifact(MappedArtifact&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedArtifact& MappedArtifact::operator=(MappedArtifact&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedArtifact::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, static_cast<size_t>(size_));
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+ArtifactStatus MappedArtifact::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ArtifactStatus::Fail("cannot open artifact: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ArtifactStatus::Fail("cannot stat artifact: " + path);
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return ArtifactStatus::Fail("artifact is empty: " + path);
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (map == MAP_FAILED) return ArtifactStatus::Fail("cannot mmap artifact: " + path);
+  Reset();
+  data_ = static_cast<char*>(map);
+  size_ = static_cast<uint64_t>(st.st_size);
+  return ArtifactStatus::Ok();
+}
+
+ArtifactStatus IndexArtifact(const char* data, uint64_t size, const std::string& expected_kind,
+                             bool verify_payloads, ArtifactIndex* out) {
+  if (out == nullptr) return ArtifactStatus::Fail("null index passed to IndexArtifact");
+  ByteCursor c(data, static_cast<size_t>(size));
+  uint32_t magic = 0;
+  if (!c.ReadU32(&magic)) return ArtifactStatus::Fail("truncated artifact header");
+  if (magic != kArtifactMagic) return ArtifactStatus::Fail("not a duet artifact (bad magic)");
+  uint32_t version = 0;
+  if (!c.ReadU32(&version)) return ArtifactStatus::Fail("truncated artifact header");
+  if (version != kArtifactVersion) {
+    return ArtifactStatus::Fail("unsupported artifact version " + std::to_string(version));
+  }
+  std::string kind;
+  if (!c.ReadString(&kind)) return ArtifactStatus::Fail("truncated artifact header");
+  if (kind != expected_kind) {
+    return ArtifactStatus::Fail("artifact holds kind '" + kind + "', expected '" +
+                                expected_kind + "'");
+  }
+  uint64_t fingerprint = 0, file_size = 0, table_offset = 0, table_checksum = 0;
+  uint32_t section_count = 0, reserved = 0;
+  if (!c.ReadU64(&fingerprint) || !c.ReadU64(&file_size) || !c.ReadU32(&section_count) ||
+      !c.ReadU32(&reserved) || !c.ReadU64(&table_offset) || !c.ReadU64(&table_checksum)) {
+    return ArtifactStatus::Fail("truncated artifact header");
+  }
+  // The header checksum covers every header byte before itself, so any flip
+  // in the fields just read (including the sizes the rest of this function
+  // trusts) is caught here, before they steer further parsing.
+  const size_t checksummed = c.Offset();
+  uint64_t header_checksum = 0;
+  if (!c.ReadU64(&header_checksum)) return ArtifactStatus::Fail("truncated artifact header");
+  if (Fnv1a64(data, checksummed) != header_checksum) {
+    return ArtifactStatus::Fail("artifact header checksum mismatch");
+  }
+  if (file_size != size) {
+    return ArtifactStatus::Fail("artifact truncated: header claims " +
+                                std::to_string(file_size) + " bytes, file has " +
+                                std::to_string(size));
+  }
+  const uint64_t table_bytes = static_cast<uint64_t>(section_count) * kSectionEntryBytes;
+  if (table_offset % kArtifactAlign != 0 || table_offset < c.Offset() ||
+      table_offset > size || table_bytes > size - table_offset) {
+    return ArtifactStatus::Fail("artifact section table out of bounds");
+  }
+  if (Fnv1a64(data + table_offset, static_cast<size_t>(table_bytes)) != table_checksum) {
+    return ArtifactStatus::Fail("artifact section table checksum mismatch");
+  }
+
+  out->kind = kind;
+  out->fingerprint = fingerprint;
+  out->sections.clear();
+  out->sections.reserve(section_count);
+  uint64_t prev_end = table_offset + table_bytes;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    ByteCursor e(data + table_offset + i * kSectionEntryBytes,
+                 static_cast<size_t>(kSectionEntryBytes));
+    SectionEntry entry;
+    e.ReadU32(&entry.kind);
+    e.ReadU32(&entry.flags);
+    e.ReadU64(&entry.offset);
+    e.ReadU64(&entry.size);
+    e.ReadU64(&entry.checksum);
+    if (entry.kind != static_cast<uint32_t>(SectionKind::kMeta) &&
+        entry.kind != static_cast<uint32_t>(SectionKind::kPlan) &&
+        entry.kind != static_cast<uint32_t>(SectionKind::kPack)) {
+      return ArtifactStatus::Fail("artifact section " + std::to_string(i) +
+                                  " has unknown kind " + std::to_string(entry.kind));
+    }
+    // Bounds: the payload must lie inside the file, after the table, and
+    // after the previous section (sections are written in table order, so
+    // monotonicity also rules out overlaps). An oversized `size` fails the
+    // subtraction-form check even when offset + size would wrap.
+    if (entry.offset % kArtifactAlign != 0 || entry.offset < prev_end ||
+        entry.offset > size || entry.size > size - entry.offset) {
+      return ArtifactStatus::Fail("artifact section " + std::to_string(i) +
+                                  " out of bounds (offset " + std::to_string(entry.offset) +
+                                  ", size " + std::to_string(entry.size) + ")");
+    }
+    prev_end = entry.offset + entry.size;
+    const bool streamed = entry.kind != static_cast<uint32_t>(SectionKind::kPack);
+    if ((verify_payloads || streamed) &&
+        Fnv1a64(data + entry.offset, static_cast<size_t>(entry.size)) != entry.checksum) {
+      return ArtifactStatus::Fail("artifact section " + std::to_string(i) +
+                                  " payload checksum mismatch");
+    }
+    out->sections.push_back(entry);
+  }
+  return ArtifactStatus::Ok();
+}
+
+size_t ArtifactFileWriter::AddSection(SectionKind kind, uint32_t flags, std::string payload) {
+  staged_.push_back(Staged{kind, flags, std::move(payload)});
+  return staged_.size() - 1;
+}
+
+uint64_t ArtifactFileWriter::ContentFingerprint() const {
+  uint64_t h = kFnv1a64Basis;
+  for (const Staged& s : staged_) {
+    h = Fnv1a64Mix(h, static_cast<uint64_t>(s.kind));
+    h = Fnv1a64Mix(h, s.flags);
+    h = Fnv1a64Mix(h, Fnv1a64(s.payload.data(), s.payload.size()));
+  }
+  return h;
+}
+
+ArtifactStatus ArtifactFileWriter::Finish(const std::string& path, const std::string& kind,
+                                          uint64_t fingerprint) const {
+  // Fixed header length: magic + version + kind string + fingerprint +
+  // file_size + section_count + reserved + table_offset + table_checksum +
+  // header_checksum.
+  const uint64_t header_bytes = 4 + 4 + (8 + kind.size()) + 8 + 8 + 4 + 4 + 8 + 8 + 8;
+  const uint64_t table_offset = AlignUp(header_bytes);
+  const uint64_t table_bytes = staged_.size() * kSectionEntryBytes;
+
+  // Lay sections out in table order, each aligned.
+  std::vector<uint64_t> offsets(staged_.size());
+  uint64_t cursor = table_offset + table_bytes;
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    cursor = AlignUp(cursor);
+    offsets[i] = cursor;
+    cursor += staged_[i].payload.size();
+  }
+  const uint64_t file_size = cursor;
+
+  std::string table(static_cast<size_t>(table_bytes), '\0');
+  {
+    std::ostringstream tbuf;
+    BinaryWriter tw(tbuf);
+    for (size_t i = 0; i < staged_.size(); ++i) {
+      tw.WriteU32(static_cast<uint32_t>(staged_[i].kind));
+      tw.WriteU32(staged_[i].flags);
+      tw.WriteU64(offsets[i]);
+      tw.WriteU64(staged_[i].payload.size());
+      tw.WriteU64(Fnv1a64(staged_[i].payload.data(), staged_[i].payload.size()));
+    }
+    table = tbuf.str();
+  }
+
+  std::ostringstream hbuf;
+  {
+    BinaryWriter w(hbuf);
+    w.WriteU32(kArtifactMagic);
+    w.WriteU32(kArtifactVersion);
+    w.WriteString(kind);
+    w.WriteU64(fingerprint);
+    w.WriteU64(file_size);
+    w.WriteU32(static_cast<uint32_t>(staged_.size()));
+    w.WriteU32(0);  // reserved
+    w.WriteU64(table_offset);
+    w.WriteU64(Fnv1a64(table.data(), table.size()));
+  }
+  std::string header = hbuf.str();
+  const uint64_t header_checksum = Fnv1a64(header.data(), header.size());
+  header.append(reinterpret_cast<const char*>(&header_checksum), sizeof(header_checksum));
+
+  std::string content;
+  content.reserve(static_cast<size_t>(file_size));
+  content.append(header);
+  content.resize(static_cast<size_t>(table_offset), '\0');  // pad to table
+  content.append(table);
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    content.resize(static_cast<size_t>(offsets[i]), '\0');  // alignment padding
+    content.append(staged_[i].payload);
+  }
+
+  // Fault point shared with checkpoints: a torn write (crash / disk full
+  // mid-flush) leaves a prefix on disk; the stored file_size makes the
+  // loader reject it cleanly.
+  if (serve::FaultInjector::ShouldFail(serve::FaultPoint::kCheckpointWrite)) {
+    content.resize(content.size() - content.size() / 3);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return ArtifactStatus::Fail("cannot open artifact for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out.good()) return ArtifactStatus::Fail("short write on artifact: " + path);
+  return ArtifactStatus::Ok();
+}
+
+}  // namespace duet::artifact

@@ -1,0 +1,155 @@
+// Snapshot-artifact container format: the on-disk framing shared by the
+// writer and the mmap loader (artifact/artifact.h holds the model-level
+// schema; this header only knows about bytes).
+//
+// An artifact is one file that a frozen model snapshot loads from by
+// mapping + pointer-fixup — no parse, no repack (the model-zoo cold-start
+// path, docs/model_zoo.md). The container extends the checkpoint-v2
+// magic/version/FNV-1a scheme (core/checkpoint.cc) from "one sealed
+// payload" to "a section table of independently sealed payloads", because
+// the loader needs random access: the tiny meta/plan sections are parsed
+// eagerly while the large pack sections are only ever *pointed into*.
+//
+// Layout (all integers little-endian, offsets absolute):
+//
+//   header        magic, version, kind string, fingerprint, file_size,
+//                 section_count, table offset, table checksum, and a
+//                 header checksum over every preceding header byte
+//   section table section_count x SectionEntry (32 bytes each), 64-aligned
+//   sections      each 64-byte aligned; byte ranges never overlap
+//
+// Integrity story (what the corruption battery in tests/test_artifact.cc
+// pins down): a flip in the header fails the header checksum; a flip in
+// the table fails the table checksum; a flip in a section payload fails
+// that section's checksum; truncation fails the stored file_size; an
+// oversized/overlapping section entry fails the bounds check; wrong
+// magic/version/kind fail their explicit comparisons; a zero-length or
+// sub-header file is rejected before any field is trusted. Every failure
+// is a clean ArtifactStatus — the loader never aborts on untrusted bytes
+// (the TryLoadModuleFile rule, lifted to sections).
+#ifndef DUET_ARTIFACT_FORMAT_H_
+#define DUET_ARTIFACT_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace duet::artifact {
+
+/// "Dart" — distinct from the checkpoint magic so a checkpoint handed to
+/// the artifact loader (or vice versa) fails on the first four bytes.
+inline constexpr uint32_t kArtifactMagic = 0x74726144;
+inline constexpr uint32_t kArtifactVersion = 1;
+/// Kind string for Duet direct-mode model artifacts.
+inline constexpr const char* kDuetArtifactKind = "duet-direct";
+
+/// Section boundaries (and every packed array inside a pack section) are
+/// aligned to this, so mmap-ed arrays satisfy any scalar alignment and
+/// stay cacheline-clean under UBSan.
+inline constexpr uint64_t kArtifactAlign = 64;
+
+/// Section payload type. A file carries exactly one kMeta and one kPlan
+/// plus one kPack per linear op, but the container itself only requires
+/// kinds it knows about (unknown kinds are a clean error, not a skip —
+/// format evolution bumps the version).
+enum class SectionKind : uint32_t {
+  kMeta = 1,  ///< table schema + encoding options (streamed, parsed eagerly)
+  kPlan = 2,  ///< compiled-program structure + biases (streamed, parsed eagerly)
+  kPack = 3,  ///< one PackedWeights blob (raw, pointed into — never parsed)
+};
+
+/// One section-table row. Fixed 32-byte wire layout.
+struct SectionEntry {
+  uint32_t kind = 0;
+  uint32_t flags = 0;  ///< kPack: the op's pack index; others: 0
+  uint64_t offset = 0;  ///< absolute, kArtifactAlign-aligned
+  uint64_t size = 0;    ///< payload bytes (before alignment padding)
+  uint64_t checksum = 0;  ///< FNV-1a over the payload bytes
+};
+inline constexpr uint64_t kSectionEntryBytes = 32;
+
+/// Clean-error result of artifact operations (the CheckpointStatus shape;
+/// kept separate so serve/ need not depend on core/checkpoint.h).
+struct ArtifactStatus {
+  bool ok = true;
+  std::string error;
+
+  static ArtifactStatus Ok() { return {}; }
+  static ArtifactStatus Fail(std::string message) { return {false, std::move(message)}; }
+};
+
+/// Read-only mmap of one artifact file. Movable, not copyable; unmaps on
+/// destruction. A default-constructed instance is empty (data() == nullptr).
+class MappedArtifact {
+ public:
+  MappedArtifact() = default;
+  ~MappedArtifact();
+  MappedArtifact(MappedArtifact&& other) noexcept;
+  MappedArtifact& operator=(MappedArtifact&& other) noexcept;
+  MappedArtifact(const MappedArtifact&) = delete;
+  MappedArtifact& operator=(const MappedArtifact&) = delete;
+
+  /// Maps `path` read-only (PROT_READ, MAP_PRIVATE). Zero-length and
+  /// unopenable files are clean errors; on failure *this stays empty.
+  ArtifactStatus Map(const std::string& path);
+
+  const char* data() const { return data_; }
+  uint64_t size() const { return size_; }
+
+ private:
+  void Reset();
+  char* data_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+/// Parsed container view: validated header fields plus the section table.
+/// Entries point into the mapped bytes the caller still owns.
+struct ArtifactIndex {
+  std::string kind;
+  uint64_t fingerprint = 0;
+  std::vector<SectionEntry> sections;
+};
+
+/// Validates the container framing of `data[0..size)` against
+/// `expected_kind` and fills `out`: magic/version/kind checks, header and
+/// table checksums, stored-vs-actual file size, per-entry bounds and
+/// alignment, and (verify_payloads) every section's payload checksum.
+/// With verify_payloads == false only kPack payload checksums are skipped —
+/// streamed sections (meta/plan) are always verified, because they are fed
+/// to an aborting reader and must be proven intact first.
+ArtifactStatus IndexArtifact(const char* data, uint64_t size, const std::string& expected_kind,
+                             bool verify_payloads, ArtifactIndex* out);
+
+/// Writer-side accumulator: sections are appended in memory and sealed into
+/// one file by Finish. Layout is fully deterministic (same sections in, same
+/// bytes out) — the golden-file round-trip tests depend on that.
+class ArtifactFileWriter {
+ public:
+  /// Appends a section; payload bytes are copied. Returns the section index.
+  size_t AddSection(SectionKind kind, uint32_t flags, std::string payload);
+
+  /// Content identity of the staged sections: an FNV-1a mix over every
+  /// section's kind, flags and payload checksum. WriteArtifact folds this
+  /// into the stored fingerprint so artifacts with different weight bytes
+  /// get different snapshot ids (the zoo's swap detection keys on it),
+  /// while structurally identical re-saves reproduce the same id.
+  uint64_t ContentFingerprint() const;
+
+  /// Assembles header + table + sections and writes the file. Arms the
+  /// kCheckpointWrite fault point (a torn write leaves a prefix on disk the
+  /// loader must reject cleanly). Returns a clean error on I/O failure.
+  ArtifactStatus Finish(const std::string& path, const std::string& kind,
+                        uint64_t fingerprint) const;
+
+ private:
+  struct Staged {
+    SectionKind kind;
+    uint32_t flags;
+    std::string payload;
+  };
+  std::vector<Staged> staged_;
+};
+
+}  // namespace duet::artifact
+
+#endif  // DUET_ARTIFACT_FORMAT_H_

@@ -4,6 +4,24 @@
 
 namespace duet {
 
+uint64_t Fnv1a64(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = kFnv1a64Basis;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64Mix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 void BinaryWriter::WriteU32(uint32_t v) { out_.write(reinterpret_cast<const char*>(&v), sizeof v); }
 void BinaryWriter::WriteU64(uint64_t v) { out_.write(reinterpret_cast<const char*>(&v), sizeof v); }
 void BinaryWriter::WriteI64(int64_t v) { out_.write(reinterpret_cast<const char*>(&v), sizeof v); }

@@ -5,12 +5,73 @@
 #define DUET_COMMON_SERIALIZE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace duet {
+
+/// 64-bit FNV-1a offset basis. The checkpoint (core/checkpoint.cc) and
+/// snapshot-artifact (artifact/format.h) formats both seal their payloads
+/// with this hash family, so it lives with the serialization layer.
+constexpr uint64_t kFnv1a64Basis = 0xcbf29ce484222325ULL;
+
+/// FNV-1a over a byte range.
+uint64_t Fnv1a64(const void* data, size_t n);
+
+/// Mixes the 8 little-endian bytes of `v` into a running FNV-1a state `h`
+/// (start from kFnv1a64Basis). Used for hashing structured values such as
+/// parameter shapes.
+uint64_t Fnv1a64Mix(uint64_t h, uint64_t v);
+
+/// Bounds-checked reader over an in-memory buffer. BinaryReader aborts on a
+/// short stream, which is exactly what the non-aborting loaders
+/// (core::TryLoadModuleFile, artifact::LoadArtifact) must not do, so
+/// untrusted headers are parsed through this cursor instead: every read
+/// reports failure and leaves the cursor usable.
+class ByteCursor {
+ public:
+  ByteCursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof *v); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof *v); }
+  bool ReadI64(int64_t* v) { return ReadRaw(v, sizeof *v); }
+  bool ReadI32(int32_t* v) { return ReadRaw(v, sizeof *v); }
+  bool ReadF64(double* v) { return ReadRaw(v, sizeof *v); }
+
+  bool ReadString(std::string* s) {
+    uint64_t n = 0;
+    if (!ReadU64(&n)) return false;
+    if (n > Remaining()) return false;
+    s->assign(data_ + off_, static_cast<size_t>(n));
+    off_ += static_cast<size_t>(n);
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (n > Remaining()) return false;
+    off_ += n;
+    return true;
+  }
+
+  size_t Remaining() const { return size_ - off_; }
+  size_t Offset() const { return off_; }
+  const char* Here() const { return data_ + off_; }
+
+ private:
+  bool ReadRaw(void* dst, size_t n) {
+    if (n > Remaining()) return false;
+    std::memcpy(dst, data_ + off_, n);
+    off_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
 
 /// Streaming binary writer.
 class BinaryWriter {

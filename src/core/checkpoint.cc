@@ -19,59 +19,6 @@ constexpr uint32_t kMagic = 0x44554554;  // "DUET"
 // readable error instead.
 constexpr uint32_t kVersion = 2;
 
-uint64_t Fnv1a(uint64_t h, uint64_t v) {
-  // Mix each byte of v into the running FNV-1a state.
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xffULL;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-uint64_t Fnv1aBytes(const char* data, size_t n) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-/// Bounds-checked reader over an in-memory buffer. BinaryReader aborts on a
-/// short stream, which is exactly what TryLoadModuleFile must not do, so
-/// the header is parsed by hand.
-class Cursor {
- public:
-  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
-
-  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof *v); }
-  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof *v); }
-
-  bool ReadString(std::string* s) {
-    uint64_t n = 0;
-    if (!ReadU64(&n)) return false;
-    if (n > Remaining()) return false;
-    s->assign(data_ + off_, static_cast<size_t>(n));
-    off_ += static_cast<size_t>(n);
-    return true;
-  }
-
-  size_t Remaining() const { return size_ - off_; }
-  const char* Here() const { return data_ + off_; }
-
- private:
-  bool ReadRaw(void* dst, size_t n) {
-    if (n > Remaining()) return false;
-    std::memcpy(dst, data_ + off_, n);
-    off_ += n;
-    return true;
-  }
-
-  const char* data_;
-  size_t size_;
-  size_t off_ = 0;
-};
-
 CheckpointStatus Fail(std::string message) {
   CheckpointStatus st;
   st.ok = false;
@@ -82,11 +29,11 @@ CheckpointStatus Fail(std::string message) {
 }  // namespace
 
 uint64_t ModuleFingerprint(const nn::Module& module) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  h = Fnv1a(h, static_cast<uint64_t>(module.parameters().size()));
+  uint64_t h = kFnv1a64Basis;
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(module.parameters().size()));
   for (const tensor::Tensor& p : module.parameters()) {
-    h = Fnv1a(h, static_cast<uint64_t>(p.ndim()));
-    for (int64_t d : p.shape()) h = Fnv1a(h, static_cast<uint64_t>(d));
+    h = Fnv1a64Mix(h, static_cast<uint64_t>(p.ndim()));
+    for (int64_t d : p.shape()) h = Fnv1a64Mix(h, static_cast<uint64_t>(d));
   }
   return h;
 }
@@ -111,7 +58,7 @@ void SaveModuleFile(const std::string& path, const std::string& kind,
     w.WriteString(kind);
     w.WriteU64(ModuleFingerprint(module));
     w.WriteU64(static_cast<uint64_t>(payload.size()));
-    w.WriteU64(Fnv1aBytes(payload.data(), payload.size()));
+    w.WriteU64(Fnv1a64(payload.data(), payload.size()));
     file_buf.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   }
   std::string content = file_buf.str();
@@ -139,7 +86,7 @@ CheckpointStatus TryLoadModuleFile(const std::string& path, const std::string& k
   if (in.bad()) return Fail("cannot open checkpoint: " + path);
   const std::string bytes = raw.str();
 
-  Cursor c(bytes.data(), bytes.size());
+  ByteCursor c(bytes.data(), bytes.size());
   uint32_t magic = 0;
   if (!c.ReadU32(&magic)) return Fail("truncated checkpoint header: " + path);
   if (magic != kMagic) return Fail("not a duet checkpoint: " + path);
@@ -168,7 +115,7 @@ CheckpointStatus TryLoadModuleFile(const std::string& path, const std::string& k
   }
   // Verify integrity BEFORE any byte reaches the module: a failed load must
   // leave the previous weights serving.
-  if (Fnv1aBytes(c.Here(), static_cast<size_t>(payload_size)) != payload_checksum) {
+  if (Fnv1a64(c.Here(), static_cast<size_t>(payload_size)) != payload_checksum) {
     return Fail("checkpoint payload checksum mismatch in " + path);
   }
 

@@ -21,12 +21,11 @@ constexpr float kSelEps = 1e-12f;
 /// changes results — rows are batch-size independent.
 constexpr int64_t kMaxQueriesPerForward = 4096;
 
-/// Algorithm 3 tail for one query row: per constrained block, the masked
-/// softmax mass of that query's code range, accumulated as a log-space
-/// product. Shared by the scalar and batched inference paths — the batch
-/// API contract requires them to return exactly the same value, so there is
-/// deliberately only one copy of this loop. Returns false for a
-/// contradictory query (some range empty).
+}  // namespace
+
+// Algorithm 3 tail for one query row; see the declaration in duet_model.h
+// for the contract (exported so artifact-loaded models reuse the exact
+// same loop and stay bitwise-equal to the in-memory estimator).
 bool MaskedLogSelectivity(const float* logits_row, const std::vector<tensor::BlockSpec>& blocks,
                           const std::vector<query::CodeRange>& ranges, int num_columns,
                           double* log_sel_out) {
@@ -50,7 +49,6 @@ bool MaskedLogSelectivity(const float* logits_row, const std::vector<tensor::Blo
   *log_sel_out = log_sel;
   return true;
 }
-}  // namespace
 
 DuetModel::DuetModel(const data::Table& table, DuetModelOptions options)
     : table_(table), options_(std::move(options)), encoder_(table, options_.encoding) {

@@ -64,6 +64,17 @@ struct PhaseTimes {
   void Clear() { encode_ms = forward_ms = post_ms = 0.0; }
 };
 
+/// Algorithm 3 tail for one query row: per constrained block, the masked
+/// softmax mass of that query's code range, accumulated as a log-space
+/// product. Shared by the scalar and batched inference paths — and by
+/// artifact-loaded models (artifact/artifact.h) — because the batch API
+/// contract and the artifact bitwise-identity contract both require every
+/// estimator to run exactly this loop; there is deliberately only one copy.
+/// Returns false for a contradictory query (some range empty).
+bool MaskedLogSelectivity(const float* logits_row, const std::vector<tensor::BlockSpec>& blocks,
+                          const std::vector<query::CodeRange>& ranges, int num_columns,
+                          double* log_sel_out);
+
 /// Duet model (direct mode).
 class DuetModel : public nn::Module {
  public:

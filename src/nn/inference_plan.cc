@@ -20,6 +20,32 @@ inline bool ElementwiseParallel(int64_t n) { return n > (1 << 16); }
 
 }  // namespace
 
+std::shared_ptr<const InferencePlan> InferencePlan::FromParts(
+    std::vector<PackedOp> ops, int num_slabs, int64_t slab_width, int64_t input_dim,
+    int64_t output_dim, tensor::WeightBackend backend) {
+  DUET_CHECK(!ops.empty());
+  DUET_CHECK_GE(num_slabs, 0);
+  DUET_CHECK_GT(input_dim, 0);
+  DUET_CHECK_GT(output_dim, 0);
+  for (const PackedOp& op : ops) {
+    DUET_CHECK(op.src >= kOutputSlab && op.src < num_slabs);
+    DUET_CHECK(op.dst >= kOutputSlab && op.dst < num_slabs);
+    DUET_CHECK_LE(op.in, op.src == kInputSlab ? input_dim : slab_width);
+    if (op.kind == PackedOp::Kind::kLinear) DUET_CHECK(op.weights != nullptr);
+    if (op.kind == PackedOp::Kind::kAdd) {
+      DUET_CHECK(op.src2 >= kOutputSlab && op.src2 < num_slabs);
+    }
+  }
+  auto plan = std::make_shared<InferencePlan>();
+  plan->ops_ = std::move(ops);
+  plan->num_slabs_ = num_slabs;
+  plan->slab_width_ = slab_width;
+  plan->input_dim_ = input_dim;
+  plan->output_dim_ = output_dim;
+  plan->backend_ = backend;
+  return plan;
+}
+
 uint64_t InferencePlan::bytes() const {
   uint64_t total = 0;
   for (const PackedOp& op : ops_) {

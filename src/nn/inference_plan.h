@@ -105,9 +105,24 @@ class InferencePlan {
   /// Scratch slabs a forward ping-pongs through (2 for plain MADE / MLP
   /// programs, 3 for ResMADE where the skip connection stays live).
   int num_slabs() const { return num_slabs_; }
+  /// Per-slab row width (max intermediate width); serialized into snapshot
+  /// artifacts so a loaded plan executes with identical scratch layout.
+  int64_t slab_width() const { return slab_width_; }
   /// Bytes held by the plan's packed weights (+ permutation metadata);
   /// shared bias/parameter handles count 0.
   uint64_t bytes() const;
+
+  /// Reassembles a plan from already-resolved parts (ops carry PHYSICAL slab
+  /// ids, i.e. post-Finish form). This is the artifact loader's entry point
+  /// (artifact/artifact.h): the writer serializes a Finish()-ed program and
+  /// the loader rebuilds it verbatim around mmap-backed packs — no
+  /// re-planning, no slab reassignment, so execution order and scratch
+  /// layout are byte-for-byte those of the original plan. The loader
+  /// validates structure before calling; the checks here are last-resort.
+  static std::shared_ptr<const InferencePlan> FromParts(std::vector<PackedOp> ops,
+                                                        int num_slabs, int64_t slab_width,
+                                                        int64_t input_dim, int64_t output_dim,
+                                                        tensor::WeightBackend backend);
 
  private:
   friend class PlanBuilder;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "artifact/artifact.h"
 #include "core/finetune.h"
 #include "serve/fault_injector.h"
 
@@ -78,6 +79,14 @@ std::shared_ptr<const ModelSnapshot> ModelRegistry::Publish(
 std::unique_ptr<core::DuetModel> ModelRegistry::CloneCurrent() const {
   const std::shared_ptr<const ModelSnapshot> snapshot = Current();
   return core::CloneModel(snapshot->model());
+}
+
+artifact::ArtifactStatus ModelRegistry::SaveCurrentArtifact(const std::string& path) const {
+  // The pin keeps the snapshot alive through serialization; writing is
+  // read-only on the frozen model, so concurrent dispatches (and even a
+  // concurrent publish) stay undisturbed.
+  const std::shared_ptr<const ModelSnapshot> snapshot = Current();
+  return artifact::WriteArtifact(path, snapshot->model(), options_.backend);
 }
 
 uint64_t ModelRegistry::AliveSnapshots() const {

@@ -29,8 +29,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "artifact/format.h"
 #include "core/duet_model.h"
 #include "tensor/packed_weights.h"
 #include "tensor/tensor.h"
@@ -113,6 +115,13 @@ class ModelRegistry {
   /// every update round (safe concurrently with serving; see
   /// core::CloneModel).
   std::unique_ptr<core::DuetModel> CloneCurrent() const;
+
+  /// Serializes the current snapshot as a snapshot artifact at `path`
+  /// (artifact/artifact.h), compiled under the registry backend — i.e. the
+  /// Publish-path configuration, so a zoo load of the file serves bitwise
+  /// what this registry's dispatches serve. Clean error on I/O failure or
+  /// a backbone with no compiled-plan form.
+  artifact::ArtifactStatus SaveCurrentArtifact(const std::string& path) const;
 
   /// Number of snapshots ever published that are still alive (current +
   /// any still pinned by in-flight batches or external holders). Steady

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "serve/fault_injector.h"
 #include "serve/model_registry.h"
+#include "serve/model_zoo.h"
 #include "serve/update_worker.h"
 
 namespace duet::serve {
@@ -27,6 +28,9 @@ int64_t NowMicros() {
 /// so a Future wait never contends with unrelated traffic.
 struct ServingEngine::Pending {
   query::Query query;
+  /// Zoo mode: which model serves this query (empty in fixed/registry
+  /// mode). The scheduler groups a micro-batch by key at dispatch.
+  std::string model_key;
   Clock::time_point enqueued;
   /// Absolute expiry; time_point::max() = no deadline. The scheduler drops
   /// expired entries before dispatch.
@@ -93,6 +97,20 @@ ServingEngine::ServingEngine(ModelRegistry& registry, ServingOptions options)
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
+ServingEngine::ServingEngine(ModelZoo& zoo, ServingOptions options)
+    : zoo_(&zoo), options_(options), pool_(options.num_workers) {
+  DUET_CHECK_GE(options_.min_shard, 1);
+  DUET_CHECK_GE(options_.max_batch, 1);
+  DUET_CHECK_GE(options_.max_wait_us, 0);
+  DUET_CHECK_GE(options_.max_queue, 0);
+  DUET_CHECK_GE(options_.default_deadline_us, 0);
+  DUET_CHECK_GE(options_.breaker_threshold, 1);
+  DUET_CHECK_GE(options_.breaker_cooldown_us, 0);
+  // Like registry mode: artifacts arrive frozen at write time, so the
+  // engine never applies backend/plan configuration.
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
 ServingEngine::~ServingEngine() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -103,7 +121,12 @@ ServingEngine::~ServingEngine() {
 }
 
 ServingEngine::Target ServingEngine::Resolve() const {
-  if (registry_ == nullptr) return Target{fixed_estimator_, nullptr, 0};
+  if (zoo_ != nullptr) return Target{};  // keyed dispatches use ResolveKey
+  if (registry_ == nullptr) {
+    Target target;
+    target.estimator = fixed_estimator_;
+    return target;
+  }
   // The hot-swap read: one acquire-load of the current snapshot. The
   // returned pin keeps the snapshot alive for the whole dispatch, so a
   // concurrent publish retires the old model only after this batch is done.
@@ -111,6 +134,18 @@ ServingEngine::Target ServingEngine::Resolve() const {
   target.pin = registry_->Current();
   target.estimator = &target.pin->estimator();
   target.snapshot_id = target.pin->id();
+  return target;
+}
+
+ServingEngine::Target ServingEngine::ResolveKey(const std::string& model_key) const {
+  DUET_CHECK(zoo_ != nullptr) << "keyed dispatch on a non-zoo engine";
+  Target target;
+  ZooPin pin;
+  const artifact::ArtifactStatus st = zoo_->TryAcquire(model_key, &pin);
+  if (!st.ok) return target;  // empty target: the dispatch degrades to fallback
+  target.zoo_pin = std::move(pin);
+  target.estimator = &target.zoo_pin->estimator();
+  target.snapshot_id = target.zoo_pin->fingerprint();
   return target;
 }
 
@@ -286,6 +321,14 @@ void ServingEngine::ServeBatch(const Target& target,
                                bool* degraded) {
   const int64_t n = static_cast<int64_t>(queries.size());
   if (n == 0) return;
+  if (target.estimator == nullptr) {
+    // Zoo mode with a key whose artifact failed to load (or was never
+    // registered): the whole dispatch degrades to the fallback, flagged.
+    // Not a neural failure — the breaker only judges the neural path.
+    ServeFallback(queries, 0, n, out);
+    if (degraded != nullptr) std::fill(degraded, degraded + n, true);
+    return;
+  }
   if (!AllowNeural()) {
     // Breaker open: the whole dispatch degrades to the fallback without
     // touching the neural path.
@@ -305,13 +348,37 @@ std::vector<double> ServingEngine::EstimateBatch(const std::vector<query::Query>
   return sels;
 }
 
+std::vector<double> ServingEngine::EstimateBatch(const std::string& model_key,
+                                                 const std::vector<query::Query>& queries,
+                                                 uint64_t* snapshot_id) {
+  const std::vector<Estimate> results = EstimateBatchEx(model_key, queries, 0, snapshot_id);
+  std::vector<double> sels(results.size());
+  for (size_t i = 0; i < results.size(); ++i) sels[i] = results[i].selectivity;
+  return sels;
+}
+
 std::vector<Estimate> ServingEngine::EstimateBatchEx(
     const std::vector<query::Query>& queries, int64_t deadline_us,
     uint64_t* snapshot_id) {
+  DUET_CHECK(zoo_ == nullptr) << "zoo-mode engine requires a model key";
+  return EstimateBatchImpl(nullptr, queries, deadline_us, snapshot_id);
+}
+
+std::vector<Estimate> ServingEngine::EstimateBatchEx(
+    const std::string& model_key, const std::vector<query::Query>& queries,
+    int64_t deadline_us, uint64_t* snapshot_id) {
+  DUET_CHECK(zoo_ != nullptr) << "keyed EstimateBatchEx on a non-zoo engine";
+  return EstimateBatchImpl(&model_key, queries, deadline_us, snapshot_id);
+}
+
+std::vector<Estimate> ServingEngine::EstimateBatchImpl(
+    const std::string* model_key, const std::vector<query::Query>& queries,
+    int64_t deadline_us, uint64_t* snapshot_id) {
   const Clock::time_point start = Clock::now();
   // Resolved once per client call: the pin in `target` holds the snapshot
-  // until this batch returns, however many publishes happen meanwhile.
-  const Target target = Resolve();
+  // (or the pinned zoo model) until this batch returns, however many
+  // publishes or evictions happen meanwhile.
+  const Target target = model_key != nullptr ? ResolveKey(*model_key) : Resolve();
   NoteDispatch(target);
   if (snapshot_id != nullptr) *snapshot_id = target.snapshot_id;
   std::vector<double> sels(queries.size());
@@ -319,6 +386,9 @@ std::vector<Estimate> ServingEngine::EstimateBatchEx(
   // bool* view over the flag bytes: std::vector<bool> has no data().
   static_assert(sizeof(bool) == 1, "degraded flags alias uint8_t storage");
   ServeBatch(target, queries, sels.data(), reinterpret_cast<bool*>(degraded.data()));
+  if (target.zoo_pin != nullptr) {
+    target.zoo_pin->NoteServed(static_cast<uint64_t>(queries.size()));
+  }
   // The sync path runs on the caller's thread, so the batch was attempted
   // regardless of the budget; what a deadline buys here is *late-result
   // detection* — answers that arrived after the caller's budget are flagged
@@ -340,8 +410,21 @@ std::vector<Estimate> ServingEngine::EstimateBatchEx(
 }
 
 ServingEngine::Future ServingEngine::Submit(query::Query query, int64_t deadline_us) {
+  DUET_CHECK(zoo_ == nullptr) << "zoo-mode engine requires a model key";
+  return SubmitImpl(std::string(), std::move(query), deadline_us);
+}
+
+ServingEngine::Future ServingEngine::Submit(const std::string& model_key, query::Query query,
+                                            int64_t deadline_us) {
+  DUET_CHECK(zoo_ != nullptr) << "keyed Submit on a non-zoo engine";
+  return SubmitImpl(model_key, std::move(query), deadline_us);
+}
+
+ServingEngine::Future ServingEngine::SubmitImpl(std::string model_key, query::Query query,
+                                                int64_t deadline_us) {
   auto state = std::make_shared<Pending>();
   state->query = std::move(query);
+  state->model_key = std::move(model_key);
   state->enqueued = Clock::now();
   if (deadline_us <= 0) deadline_us = options_.default_deadline_us;
   if (deadline_us > 0) {
@@ -399,9 +482,13 @@ void ServingEngine::ReportObserved(const query::Query& query, double true_cardin
     return;
   }
   // No worker attached: offer the pair to the estimator's own hook (a
-  // no-op for the in-tree estimators unless they override it).
+  // no-op for the in-tree estimators unless they override it). Zoo mode
+  // has no single serving model to offer it to — the counter above is the
+  // only effect until a worker is attached.
   const Target target = Resolve();
-  target.estimator->ObserveTrueCardinality(query, true_cardinality);
+  if (target.estimator != nullptr) {
+    target.estimator->ObserveTrueCardinality(query, true_cardinality);
+  }
 }
 
 void ServingEngine::AttachUpdateWorker(UpdateWorker* worker) {
@@ -462,14 +549,42 @@ void ServingEngine::DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> bat
   std::vector<double> sels(admitted.size());
   std::vector<uint8_t> degraded(admitted.size(), 0);
   if (!admitted.empty()) {
-    std::vector<query::Query> queries;
-    queries.reserve(admitted.size());
-    for (const auto& p : admitted) queries.push_back(p->query);
-    // One snapshot per micro-batch, resolved at dispatch: every query that
-    // was grouped into this batch is answered by the same model.
-    const Target target = Resolve();
-    NoteDispatch(target);
-    ServeBatch(target, queries, sels.data(), reinterpret_cast<bool*>(degraded.data()));
+    // Group by model key (fixed/registry mode: every key is empty, so this
+    // is one group). Each group is served end-to-end by one resolved
+    // target — one snapshot or one pinned zoo model, never a mid-group mix.
+    // Grouping preserves submission order within each group, so per-query
+    // results are bitwise those of a per-key batch.
+    std::vector<size_t> order(admitted.size());
+    for (size_t i = 0; i < admitted.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return admitted[a]->model_key < admitted[b]->model_key;
+    });
+    size_t g = 0;
+    while (g < order.size()) {
+      size_t end = g + 1;
+      while (end < order.size() &&
+             admitted[order[end]]->model_key == admitted[order[g]]->model_key) {
+        ++end;
+      }
+      std::vector<query::Query> queries;
+      queries.reserve(end - g);
+      for (size_t i = g; i < end; ++i) queries.push_back(admitted[order[i]]->query);
+      const std::string& key = admitted[order[g]]->model_key;
+      const Target target = zoo_ != nullptr ? ResolveKey(key) : Resolve();
+      NoteDispatch(target);
+      std::vector<double> group_sels(queries.size());
+      std::vector<uint8_t> group_degraded(queries.size(), 0);
+      ServeBatch(target, queries, group_sels.data(),
+                 reinterpret_cast<bool*>(group_degraded.data()));
+      if (target.zoo_pin != nullptr) {
+        target.zoo_pin->NoteServed(static_cast<uint64_t>(queries.size()));
+      }
+      for (size_t i = g; i < end; ++i) {
+        sels[order[i]] = group_sels[i - g];
+        degraded[order[i]] = group_degraded[i - g];
+      }
+      g = end;
+    }
   }
 
   // Count before fulfilling: a client that has observed every Future ready
@@ -547,12 +662,16 @@ ServingStats ServingEngine::stats() const {
   // Point-in-time gauges, not counters: read from the serving model outside
   // stats_mu_ (the caches and plan telemetry have their own locks/atomics).
   // In registry mode this resolves the current snapshot, so the gauges
-  // describe what new dispatches would serve on.
+  // describe what new dispatches would serve on. Zoo mode has no single
+  // serving model — per-model gauges live in ModelZoo::ModelStats — so the
+  // model gauges stay 0 there.
   const Target target = Resolve();
-  snapshot.packed_weight_bytes = target.estimator->PackedWeightBytes();
-  snapshot.plan_bytes = target.estimator->PlanBytes();
-  snapshot.plan_compile_micros = target.estimator->PlanCompileMicros();
-  snapshot.plan_cache_hits = target.estimator->PlanCacheHits();
+  if (target.estimator != nullptr) {
+    snapshot.packed_weight_bytes = target.estimator->PackedWeightBytes();
+    snapshot.plan_bytes = target.estimator->PlanBytes();
+    snapshot.plan_compile_micros = target.estimator->PlanCompileMicros();
+    snapshot.plan_cache_hits = target.estimator->PlanCacheHits();
+  }
   return snapshot;
 }
 

@@ -59,6 +59,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -71,6 +72,8 @@ namespace duet::serve {
 
 class ModelRegistry;
 class ModelSnapshot;
+class ModelZoo;
+class ZooHandle;
 class UpdateWorker;
 
 /// Serving engine knobs.
@@ -235,6 +238,16 @@ class ServingEngine {
   /// ignored (RegistryOptions governs them).
   explicit ServingEngine(ModelRegistry& registry, ServingOptions options = {});
 
+  /// Zoo mode: requests are routed by model key through a serve::ModelZoo —
+  /// the keyed EstimateBatch/EstimateBatchEx/Submit overloads below resolve
+  /// (and pin) the named artifact model per dispatch; the key-less overloads
+  /// CHECK-fail. Dispatch pins are ZooPins, so a model serving an in-flight
+  /// batch is never evicted under it, and a key whose artifact fails to
+  /// load degrades that batch to the fallback (flagged) instead of
+  /// crashing. The zoo must outlive the engine. ServingOptions::backend /
+  /// compile_plans are ignored (artifacts are frozen at write time).
+  explicit ServingEngine(ModelZoo& zoo, ServingOptions options = {});
+
   /// Drains the async queue (every issued Future still completes), then
   /// stops the scheduler and joins the workers.
   ~ServingEngine();
@@ -262,6 +275,18 @@ class ServingEngine {
                                         int64_t deadline_us = 0,
                                         uint64_t* snapshot_id = nullptr);
 
+  /// Keyed variants for zoo mode: identical semantics, but the dispatch
+  /// serves the zoo model registered under `model_key` (resolved and pinned
+  /// once per call). In zoo mode *snapshot_id receives the artifact
+  /// fingerprint. Only valid on a zoo-mode engine.
+  std::vector<double> EstimateBatch(const std::string& model_key,
+                                    const std::vector<query::Query>& queries,
+                                    uint64_t* snapshot_id = nullptr);
+  std::vector<Estimate> EstimateBatchEx(const std::string& model_key,
+                                        const std::vector<query::Query>& queries,
+                                        int64_t deadline_us = 0,
+                                        uint64_t* snapshot_id = nullptr);
+
   /// Asynchronous single-query estimation through the micro-batching
   /// scheduler. The returned Future completes after the query's micro-batch
   /// is dispatched and estimated; its value is identical to what the query
@@ -275,6 +300,12 @@ class ServingEngine {
   /// the Future completes immediately with a flagged fallback estimate —
   /// Submit never blocks on overload.
   Future Submit(query::Query query, int64_t deadline_us = 0);
+
+  /// Keyed Submit for zoo mode: the query joins the shared micro-batching
+  /// queue; at dispatch the scheduler groups pending queries BY KEY and
+  /// serves each group on its own pinned zoo model (one resolve per group,
+  /// never a mid-group mix of models). Only valid on a zoo-mode engine.
+  Future Submit(const std::string& model_key, query::Query query, int64_t deadline_us = 0);
 
   /// Feedback hook (the adaptation input): reports the true cardinality the
   /// execution engine observed for a served query. Routed to the attached
@@ -308,12 +339,30 @@ class ServingEngine {
   struct Target {
     query::CardinalityEstimator* estimator = nullptr;
     std::shared_ptr<const ModelSnapshot> pin;
+    /// Zoo mode: the pinned model (nullptr estimator + nullptr zoo_pin
+    /// means the key's artifact failed to load — serve the fallback).
+    std::shared_ptr<const ZooHandle> zoo_pin;
     uint64_t snapshot_id = 0;
   };
 
   /// Resolves the serving target for one dispatch: the fixed estimator, or
-  /// one acquire-load of the registry's current snapshot.
+  /// one acquire-load of the registry's current snapshot. Zoo mode returns
+  /// an empty target (keyed dispatches resolve through ResolveKey).
   Target Resolve() const;
+
+  /// Zoo-mode resolve: pins `model_key`'s artifact model for the dispatch.
+  /// A failed load yields an empty target (estimator == nullptr) — the
+  /// dispatch then degrades to the fallback, flagged.
+  Target ResolveKey(const std::string& model_key) const;
+
+  /// Shared sync-batch implementation behind the keyed and key-less
+  /// EstimateBatchEx overloads.
+  std::vector<Estimate> EstimateBatchImpl(const std::string* model_key,
+                                          const std::vector<query::Query>& queries,
+                                          int64_t deadline_us, uint64_t* snapshot_id);
+
+  /// Shared Submit implementation behind the keyed and key-less overloads.
+  Future SubmitImpl(std::string model_key, query::Query query, int64_t deadline_us);
 
   /// Counts a dispatch against `target`'s snapshot (swap detection).
   void NoteDispatch(const Target& target);
@@ -354,6 +403,7 @@ class ServingEngine {
 
   query::CardinalityEstimator* fixed_estimator_ = nullptr;  // fixed mode
   ModelRegistry* registry_ = nullptr;                       // registry mode
+  ModelZoo* zoo_ = nullptr;                                 // zoo mode
   std::atomic<UpdateWorker*> feedback_{nullptr};
   std::atomic<query::CardinalityEstimator*> fallback_{nullptr};
   ServingOptions options_;

@@ -9,6 +9,8 @@
 #include <immintrin.h>
 #endif
 
+#include <atomic>
+
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "serve/fault_injector.h"
@@ -16,6 +18,9 @@
 namespace duet::tensor {
 
 namespace {
+
+/// Process-wide PackWeights invocation count; see PackWeightsCalls().
+std::atomic<uint64_t> g_pack_calls{0};
 
 /// Same work threshold as the dense GEMM: parallelize only when the dense
 /// equivalent would (CSR does strictly less work, so this is conservative).
@@ -71,7 +76,7 @@ inline int64_t RowPrefixLen(const PackedWeights& w, int64_t k) {
 /// k-ascending zero-skip accumulation as the dense GEMV fast path, so the
 /// gathered result is bitwise-equal to the unpermuted kernels.
 inline void DenseRowAccum(const PackedWeights& w, const float* arow, float* crow) {
-  const float* wp = w.dense.data();
+  const float* wp = w.dense_data();
   for (int64_t k = 0; k < w.in; ++k) {
     const float av = arow[k];
     if (av == 0.0f) continue;
@@ -298,9 +303,12 @@ std::vector<int32_t> DegreeSortPermutation(const Tensor& w) {
   return perm;
 }
 
+uint64_t PackWeightsCalls() { return g_pack_calls.load(std::memory_order_relaxed); }
+
 std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend,
                                                  const std::vector<int32_t>* perm) {
   DUET_CHECK_EQ(w.ndim(), 2);
+  g_pack_calls.fetch_add(1, std::memory_order_relaxed);
   // Fault point: repacking runs lazily on the first forward under a new
   // backend/version — a failure here surfaces mid-estimate and must degrade
   // that dispatch, not take the process down.
@@ -451,7 +459,7 @@ void PackedLinearForward(const PackedWeights& w, const float* x, int64_t batch,
   if (w.backend == WeightBackend::kDenseF32 && !w.permuted()) {
     // Identical code path to the unpacked layer (tiled GEMM / zero-skip
     // GEMV + fused epilogue), so dense packing is bitwise-invisible.
-    RawMatMulBiasAct(x, w.dense.data(), bias, batch, w.in, w.out, act, out);
+    RawMatMulBiasAct(x, w.dense_data(), bias, batch, w.in, w.out, act, out);
     return;
   }
   const bool parallel = PackedParallel(batch, w.in, w.out);

@@ -117,6 +117,54 @@ inline float HalfToFloat(uint16_t h) {
   return out;
 }
 
+/// Storage for one packed-weight array: either an owned vector (PackWeights
+/// builds these) or a non-owning view into externally-owned bytes (mmap-ed
+/// snapshot artifacts, artifact/artifact.h — the map outlives the pack via
+/// the owning ArtifactModel). Views make zero-copy loads possible: the
+/// kernels read through data()/size() and never care which mode they got.
+/// Default copy/move are correct in both modes: owned copies re-point at
+/// their own vector (view_ stays null), view copies share the external
+/// pointer.
+template <typename T>
+class PackedArray {
+ public:
+  PackedArray() = default;
+
+  /// Non-owning view over `n` elements of externally-owned storage. The
+  /// caller guarantees the storage outlives every copy of the view.
+  static PackedArray View(const T* data, size_t n) {
+    PackedArray a;
+    a.view_ = data;
+    a.view_size_ = n;
+    return a;
+  }
+
+  const T* data() const { return view_ != nullptr ? view_ : vec_.data(); }
+  size_t size() const { return view_ != nullptr ? view_size_ : vec_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& back() const { return data()[size() - 1]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  /// Mutators build the owned vector (packing only; never called on views).
+  T* data() { return vec_.data(); }
+  void reserve(size_t n) { vec_.reserve(n); }
+  void resize(size_t n) { vec_.resize(n); }
+  void assign(size_t n, const T& v) { vec_.assign(n, v); }
+  void push_back(const T& v) { vec_.push_back(v); }
+  T& operator[](size_t i) { return vec_[i]; }
+
+  bool operator==(const std::vector<T>& v) const {
+    return size() == v.size() && std::memcmp(data(), v.data(), size() * sizeof(T)) == 0;
+  }
+
+ private:
+  std::vector<T> vec_;
+  const T* view_ = nullptr;
+  size_t view_size_ = 0;
+};
+
 /// One layer's effective weight, packed for inference. Immutable; produced
 /// by PackWeights and consumed by PackedLinearForward / PackedGemv.
 struct PackedWeights {
@@ -126,8 +174,15 @@ struct PackedWeights {
 
   /// kDenseF32: the dense [in, out] matrix (no grad, non-pooled storage).
   /// Permuted packs hold a fresh column-permuted copy; unpermuted packs
-  /// share the caller's handle.
+  /// share the caller's handle. Artifact-loaded packs leave `dense` empty
+  /// and view the mapped file through `dense_view` instead — kernels go
+  /// through dense_data(), which prefers the view.
   Tensor dense;
+  PackedArray<float> dense_view;
+
+  const float* dense_data() const {
+    return dense_view.empty() ? dense.data() : dense_view.data();
+  }
 
   /// kCsrF32: rows are the in-dimension k; row k holds its nonzeros as
   /// maximal contiguous column *runs* (start, len) plus the run values in
@@ -141,37 +196,37 @@ struct PackedWeights {
   /// Run bounds are 16-bit whenever out <= 65535 (every in-tree layer); the
   /// *32 pair is the fallback for very wide layers. Exactly one pair is
   /// populated.
-  std::vector<int32_t> row_ptr;      ///< size in+1: run range of row k
-  std::vector<int32_t> val_ptr;      ///< size in+1: value offset of row k
-  std::vector<uint16_t> run_start16;  ///< per run: first column
-  std::vector<uint16_t> run_len16;    ///< per run: contiguous nonzero count
-  std::vector<int32_t> run_start32;   ///< wide-layer fallback
-  std::vector<int32_t> run_len32;     ///< wide-layer fallback
-  std::vector<float> values;          ///< size nnz, row-major column order
+  PackedArray<int32_t> row_ptr;      ///< size in+1: run range of row k
+  PackedArray<int32_t> val_ptr;      ///< size in+1: value offset of row k
+  PackedArray<uint16_t> run_start16;  ///< per run: first column
+  PackedArray<uint16_t> run_len16;    ///< per run: contiguous nonzero count
+  PackedArray<int32_t> run_start32;   ///< wide-layer fallback
+  PackedArray<int32_t> run_len32;     ///< wide-layer fallback
+  PackedArray<float> values;          ///< size nnz, row-major column order
 
   /// kInt8: row-major [in, out] quantized weights (packed column order when
   /// permuted) and per-ORIGINAL-output-channel dequantization scales
   /// (scale 0 for all-zero channels) — the epilogue gathers before scaling,
   /// so scales never need permuting.
-  std::vector<int8_t> quantized;
-  std::vector<float> scales;  ///< size out, original column order
+  PackedArray<int8_t> quantized;
+  PackedArray<float> scales;  ///< size out, original column order
 
   /// kF16: row-major [in, out] binary16 weights (packed column order when
   /// permuted).
-  std::vector<uint16_t> half;
+  PackedArray<uint16_t> half;
 
   /// Degree-sorted output permutation metadata (empty = identity layout).
   /// unperm maps an ORIGINAL output column j to its packed position; the
   /// fused epilogue reads acc[unperm[j]] so downstream activations stay in
   /// the original layout. 16-bit whenever out <= 65535, else the *32
   /// fallback; exactly one is populated for permuted packs.
-  std::vector<uint16_t> unperm16;
-  std::vector<int32_t> unperm32;
+  PackedArray<uint16_t> unperm16;
+  PackedArray<int32_t> unperm32;
   /// Dense/int8/f16 permuted packs: nonzero prefix length of each input row
   /// in packed column space — the kernels stop here and skip the
   /// structural-zero tail. Same 16/32 split as unperm.
-  std::vector<uint16_t> row_len16;
-  std::vector<int32_t> row_len32;
+  PackedArray<uint16_t> row_len16;
+  PackedArray<int32_t> row_len32;
 
   bool permuted() const { return !unperm16.empty() || !unperm32.empty(); }
 
@@ -196,6 +251,11 @@ struct PackedWeights {
 /// for the identity layout. A permuted dense pack owns a fresh copy.
 std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend backend,
                                                  const std::vector<int32_t>* perm = nullptr);
+
+/// Process-wide count of PackWeights invocations. The zoo bench asserts this
+/// stays flat while serving from mmap-ed artifacts (repack count == 0): an
+/// artifact load must wire views into the map, never re-pack.
+uint64_t PackWeightsCalls();
 
 /// Derives the degree-sorted output permutation for a masked effective
 /// weight: columns stably sorted by descending nonzero count (== descending
