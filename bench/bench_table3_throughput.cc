@@ -10,13 +10,20 @@
 //  * a multi-thread serving sweep through serve::ServingEngine (1/2/4/8
 //    workers x the same batch sizes), with a bitwise sharded-vs-single-
 //    thread equality check, and
-//  * a packed-weight backend sweep (dense fp32 / CSR sparse / int8 / f16),
-//    A/B'd over compiled-plan execution (--plan=on,off): batch-1 and
+//  * a packed-weight backend sweep (dense fp32 / CSR sparse / int8 / f16 /
+//    int4), A/B'd over compiled-plan execution (--plan=on,off): batch-1 and
 //    batch-64 queries/sec per (plan, backend) row, the packed-cache and
 //    plan footprints, plan compile time / cache hits, and the median
 //    q-error delta vs the fp32 path on the seeded workload (exactly 0 for
-//    CSR, bounded for int8/f16) — so the plan win is measured, not
-//    asserted.
+//    CSR, bounded for int8/f16/int4) — so the plan win is measured, not
+//    asserted, and
+//  * a cross-request fusion A/B through the async micro-batcher: the same
+//    batch-1 submission stream with GEMV->GEMM fusion on vs off, with a
+//    bitwise per-request identity check between the two arms (fusion
+//    changes throughput, never answers).
+// The JSON line carries the runtime-selected SIMD tier ("isa") and the
+// host hardware thread count ("hw_threads") so numbers from different
+// machines are comparable.
 // All sweeps are emitted in one JSON line for tooling (schema documented
 // in docs/benchmarks.md).
 //
@@ -36,7 +43,7 @@
 //
 // Flags: --datasets=census,kdd,dmv --batch=N --sweep_queries=N
 //        --sweep_min_seconds=S --sweep=0|1 --sweep_scalar=0|1
-//        --sweep_hidden=N --backend=dense,csr,int8,f16 --backend_hidden=N
+//        --sweep_hidden=N --backend=dense,csr,int8,f16,int4 --backend_hidden=N
 //        --plan=on,off --live_update --live_hidden=N --live_queries=N
 //        --live_publishes=N --live_min_seconds=S --live_max_seconds=S
 //        --overload --overload_hidden=N --overload_workers=N
@@ -57,6 +64,7 @@
 #include "serve/serving_engine.h"
 #include "serve/update_worker.h"
 #include "tensor/packed_weights.h"
+#include "tensor/simd_dispatch.h"
 
 namespace duet::bench {
 namespace {
@@ -163,6 +171,40 @@ double MeasureServingQps(serve::ServingEngine& engine,
       engine.EstimateBatch(chunk);
       done += static_cast<int64_t>(chunk.size());
     }
+  } while (timer.Seconds() < min_seconds);
+  return static_cast<double>(done) / timer.Seconds();
+}
+
+/// Queries/sec of batch-1 async submissions through the micro-batcher at one
+/// fusion setting (serve::ServingOptions::fuse_requests). The per-request
+/// answers of the warm-up pass are captured so the caller can assert the
+/// fused and unfused arms bitwise-identical — the fusion contract is that
+/// coalescing same-target GEMVs into one GEMM changes throughput, never
+/// values.
+double MeasureAsyncQps(query::CardinalityEstimator& est,
+                       const std::vector<query::Query>& queries, bool fuse,
+                       double min_seconds, std::vector<double>* answers) {
+  serve::ServingOptions sopt;
+  sopt.num_workers = 2;
+  sopt.max_batch = 64;
+  sopt.max_wait_us = 200;
+  sopt.fuse_requests = fuse;
+  serve::ServingEngine engine(est, sopt);
+  // Warm-up (populates worker arenas) doubles as the answer capture.
+  std::vector<serve::ServingEngine::Future> warm;
+  warm.reserve(queries.size());
+  for (const auto& q : queries) warm.push_back(engine.Submit(q));
+  answers->clear();
+  answers->reserve(queries.size());
+  for (auto& f : warm) answers->push_back(f.Wait());
+  Timer timer;
+  int64_t done = 0;
+  do {
+    std::vector<serve::ServingEngine::Future> futures;
+    futures.reserve(queries.size());
+    for (const auto& q : queries) futures.push_back(engine.Submit(q));
+    for (auto& f : futures) f.Wait();
+    done += static_cast<int64_t>(queries.size());
   } while (timer.Seconds() < min_seconds);
   return static_cast<double>(done) / timer.Seconds();
 }
@@ -278,10 +320,10 @@ void RunInferenceSweep(const Flags& flags, double scale) {
   // SIMD instead of the weight formats.
   tensor::SetUseScalarKernels(false);
 
-  // --backend: comma-separated subset of dense,csr,int8,f16, swept in the
-  // given order. Unknown names are a hard error — a typo must not let the
-  // smoke run silently skip every backend code path.
-  const std::string backend_list = flags.GetString("backend", "dense,csr,int8,f16");
+  // --backend: comma-separated subset of dense,csr,int8,f16,int4, swept in
+  // the given order. Unknown names are a hard error — a typo must not let
+  // the smoke run silently skip every backend code path.
+  const std::string backend_list = flags.GetString("backend", "dense,csr,int8,f16,int4");
   std::vector<tensor::WeightBackend> backends;
   for (size_t pos = 0; pos <= backend_list.size();) {
     size_t comma = backend_list.find(',', pos);
@@ -291,7 +333,8 @@ void RunInferenceSweep(const Flags& flags, double scale) {
     if (token.empty()) continue;
     tensor::WeightBackend parsed;
     if (!tensor::ParseWeightBackend(token, &parsed)) {
-      std::fprintf(stderr, "unknown --backend entry '%s' (expected dense,csr,int8,f16)\n",
+      std::fprintf(stderr,
+                   "unknown --backend entry '%s' (expected dense,csr,int8,f16,int4)\n",
                    token.c_str());
       std::exit(1);  // a typo must fail the run, not skip the sweep
     }
@@ -412,11 +455,35 @@ void RunInferenceSweep(const Flags& flags, double scale) {
               static_cast<double>(best.PlanCompileMicros()) / 1000.0,
               static_cast<unsigned long long>(best.PlanCacheHits()));
 
+  // Cross-request fusion A/B: the same stream of batch-1 async submissions
+  // through the micro-batcher with GEMV->GEMM fusion on vs off, on the
+  // weight-traffic-bound backend-sweep model (batch-1 is exactly the regime
+  // fusion rescues: concurrent singleton requests coalesce into one GEMM
+  // that re-reads the packed weights once per group instead of once per
+  // query). The two arms must be bitwise identical per request.
+  bmodel.SetInferenceBackend(tensor::WeightBackend::kDenseF32);
+  std::vector<double> fused_answers, unfused_answers;
+  const double fused_qps = MeasureAsyncQps(best, queries, /*fuse=*/true, min_seconds,
+                                           &fused_answers);
+  const double unfused_qps = MeasureAsyncQps(best, queries, /*fuse=*/false, min_seconds,
+                                             &unfused_answers);
+  const bool fusion_bitwise = fused_answers == unfused_answers;
+  const double fusion_speedup = unfused_qps > 0.0 ? fused_qps / unfused_qps : 0.0;
+  std::printf("\nCross-request fusion A/B (async batch-1 submissions, 2 workers, dense)\n");
+  std::printf("fused    %14.1f q/s\nunfused  %14.1f q/s\nfusion speedup %.2fx, "
+              "per-request results %s\n",
+              fused_qps, unfused_qps, fusion_speedup,
+              fusion_bitwise ? "bitwise equal" : "MISMATCH");
+
   ThreadPool::SetGlobalThreads(0);
   tensor::SetUseScalarKernels(false);
 
-  std::string json = "{\"bench\":\"table3_throughput\",\"inference_sweep\":{"
-                     "\"estimator\":\"Duet\",\"threads\":1,\"results\":[";
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "{\"bench\":\"table3_throughput\",\"isa\":\"%s\",\"hw_threads\":%u,"
+                "\"inference_sweep\":{\"estimator\":\"Duet\",\"threads\":1,\"results\":[",
+                tensor::simd::ActiveIsaName(), std::thread::hardware_concurrency());
+  std::string json = head;
   for (size_t i = 0; i < batch_sizes.size(); ++i) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "%s{\"batch\":%lld,\"qps\":%.1f}", i == 0 ? "" : ",",
@@ -499,10 +566,19 @@ void RunInferenceSweep(const Flags& flags, double scale) {
     json += tail3;
   }
   std::snprintf(tail3, sizeof(tail3),
-                ",\"plan_compile_micros\":%llu,\"plan_cache_hits\":%llu}}",
+                ",\"plan_compile_micros\":%llu,\"plan_cache_hits\":%llu}",
                 static_cast<unsigned long long>(best.PlanCompileMicros()),
                 static_cast<unsigned long long>(best.PlanCacheHits()));
   json += tail3;
+  // Fusion A/B: per-request bitwise identity is a correctness gate, so it
+  // rides in the JSON where CI tooling can assert on it.
+  char tail4[192];
+  std::snprintf(tail4, sizeof(tail4),
+                ",\"fusion_sweep\":{\"fused_qps\":%.1f,\"unfused_qps\":%.1f,"
+                "\"fusion_b1_speedup\":%.2f,\"fusion_bitwise_equal\":%s}}",
+                fused_qps, unfused_qps, fusion_speedup,
+                fusion_bitwise ? "true" : "false");
+  json += tail4;
   std::printf("%s\n", json.c_str());
 }
 

@@ -30,8 +30,10 @@ constexpr int64_t kMaxQueriesPerForward = 4096;
 /// reserved) + kNumPackArrays (count, offset) directory entries, offsets
 /// payload-relative and kArtifactAlign-aligned. The array order is the
 /// canonical serialization order — stable across writers, pinned by the
-/// golden files.
-constexpr int kNumPackArrays = 15;
+/// golden files. 15 -> 17 with the int4 backend (nibbles + group_scales
+/// appended); the directory grew, so the goldens were regenerated with it
+/// (tests/golden/, DUET_REGEN_GOLDEN=1).
+constexpr int kNumPackArrays = 17;
 constexpr uint64_t kPackHeaderBytes = 32;
 constexpr uint64_t kPackDirectoryBytes = kNumPackArrays * 16;
 
@@ -66,6 +68,8 @@ std::vector<PackArrayRef> PackArrays(const PackedWeights& w) {
       {w.unperm32.data(), w.unperm32.size(), sizeof(int32_t)},
       {w.row_len16.data(), w.row_len16.size(), sizeof(uint16_t)},
       {w.row_len32.data(), w.row_len32.size(), sizeof(int32_t)},
+      {w.nibbles.data(), w.nibbles.size(), sizeof(uint8_t)},
+      {w.group_scales.data(), w.group_scales.size(), sizeof(float)},
   };
 }
 
@@ -207,7 +211,7 @@ ArtifactStatus BuildPack(const char* base, const SectionEntry& sec,
   c.ReadU64(&reserved64);
   (void)reserved32;
   (void)reserved64;
-  if (backend_raw > static_cast<uint32_t>(tensor::WeightBackend::kF16)) {
+  if (backend_raw > static_cast<uint32_t>(tensor::WeightBackend::kInt4)) {
     return ArtifactStatus::Fail("pack section has unknown backend");
   }
   if (in == 0 || outw == 0 || in > (1ull << 32) || outw > (1ull << 32)) {
@@ -219,8 +223,8 @@ ArtifactStatus BuildPack(const char* base, const SectionEntry& sec,
     c.ReadU64(&counts[i]);
     c.ReadU64(&offsets[i]);
   }
-  static constexpr uint64_t kElemBytes[kNumPackArrays] = {4, 4, 4, 2, 2, 4, 4, 4,
-                                                          1, 4, 2, 2, 4, 2, 4};
+  static constexpr uint64_t kElemBytes[kNumPackArrays] = {4, 4, 4, 2, 2, 4, 4, 4, 1,
+                                                          4, 2, 2, 4, 2, 4, 1, 4};
   for (int i = 0; i < kNumPackArrays; ++i) {
     if (counts[i] == 0) continue;
     const uint64_t bytes = counts[i] * kElemBytes[i];
@@ -257,6 +261,8 @@ ArtifactStatus BuildPack(const char* base, const SectionEntry& sec,
   w->unperm32 = view(12, static_cast<int32_t*>(nullptr));
   w->row_len16 = view(13, static_cast<uint16_t*>(nullptr));
   w->row_len32 = view(14, static_cast<int32_t*>(nullptr));
+  w->nibbles = view(15, static_cast<uint8_t*>(nullptr));
+  w->group_scales = view(16, static_cast<float*>(nullptr));
 
   // Structural validation against the kernel contracts (a single pass, far
   // cheaper than the checksums already computed over the same bytes).
@@ -343,6 +349,15 @@ ArtifactStatus BuildPack(const char* base, const SectionEntry& sec,
         return fail("f16 pack payload size mismatch");
       }
       break;
+    case tensor::WeightBackend::kInt4: {
+      const int64_t groups =
+          (win + tensor::kInt4GroupSize - 1) / tensor::kInt4GroupSize;
+      if (static_cast<int64_t>(v.nibbles.size()) != win * ((wout + 1) / 2) ||
+          static_cast<int64_t>(v.group_scales.size()) != groups * wout) {
+        return fail("int4 pack payload size mismatch");
+      }
+      break;
+    }
   }
   *out = std::move(w);
   return ArtifactStatus::Ok();
@@ -466,7 +481,7 @@ ArtifactStatus LoadArtifact(const std::string& path, const ArtifactLoadOptions& 
     encoding.embedding_dim = r.ReadI64();
     encoding.seed = r.ReadU64();
     backend = static_cast<tensor::WeightBackend>(r.ReadU32());
-    if (backend > tensor::WeightBackend::kF16) {
+    if (backend > tensor::WeightBackend::kInt4) {
       return ArtifactStatus::Fail("artifact meta has unknown backend: " + path);
     }
   }

@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <sstream>
 
 #include "common/logging.h"
-#include "common/serialize.h"
 #include "query/estimator.h"
 #include "serve/fault_injector.h"
 
@@ -87,18 +85,15 @@ FineTuneReport FineTune(DuetModel& model, const query::Workload& served,
 
 std::unique_ptr<DuetModel> CloneModel(const DuetModel& model) {
   auto clone = std::make_unique<DuetModel>(model.table(), model.options());
-  // Round-trip the parameters through the serialization path: the same
-  // mechanism checkpoints use, so clone estimates are bitwise-identical to
-  // the source (Module::Load also bumps the version counter, which the
-  // clone's cold caches key on — the source's caches are untouched, and a
-  // pinned source ignores the bump entirely).
-  std::stringstream buf;
-  {
-    BinaryWriter w(buf);
-    model.Save(w);
-  }
-  BinaryReader r(buf);
-  clone->Load(r);
+  // Direct tensor-to-tensor copy (Module::CopyParametersFrom): bitwise what
+  // the old Save/Load round-trip produced, without materializing a
+  // serialized image of the model — a clone transiently costs one model of
+  // fresh memory, not two, which is what bounds an update round's peak at
+  // zoo scale (UpdateWorkerStats::clone_peak_bytes). CopyParametersFrom
+  // bumps the version counter, which the clone's cold caches key on — the
+  // source's caches are untouched, and a pinned source ignores the bump
+  // entirely.
+  clone->CopyParametersFrom(model);
   return clone;
 }
 

@@ -73,11 +73,12 @@ FineTuneReport FineTune(DuetModel& model, const query::Workload& served,
                         const FineTuneOptions& options = {});
 
 /// Deep copy for online updates: a fresh DuetModel over the same table with
-/// the same architecture options and bitwise-identical parameters (round-
-/// tripped through the serialization path) but cold, unpinned inference
-/// caches. Safe to call concurrently with estimation on `model` (it only
-/// reads the parameter values); the clone is mutable and trainable even
-/// when `model` is a frozen snapshot.
+/// the same architecture options and bitwise-identical parameters (direct
+/// tensor-to-tensor copy via Module::CopyParametersFrom — no serialized
+/// image is materialized, so the round's transient peak is one extra model,
+/// not two) but cold, unpinned inference caches. Safe to call concurrently
+/// with estimation on `model` (it only reads the parameter values); the
+/// clone is mutable and trainable even when `model` is a frozen snapshot.
 std::unique_ptr<DuetModel> CloneModel(const DuetModel& model);
 
 /// Median Q-error of `model` over a labeled workload (one batched forward);

@@ -1,5 +1,7 @@
 #include "nn/module.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace duet::nn {
@@ -35,6 +37,22 @@ void Module::Load(BinaryReader& r) {
     auto values = r.ReadF32Vector();
     DUET_CHECK_EQ(static_cast<int64_t>(values.size()), p.numel());
     std::copy(values.begin(), values.end(), p.data());
+  }
+}
+
+void Module::CopyParametersFrom(const Module& src) {
+  // Same invalidation contract as Load: parameters are replaced wholesale
+  // through raw data() pointers, so any cache derived from them is stale
+  // once this returns.
+  tensor::ParameterMutationGuard mutation;
+  DUET_CHECK_EQ(src.params_.size(), params_.size())
+      << "source module does not match architecture";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const tensor::Tensor& from = src.params_[i];
+    tensor::Tensor to = params_[i];
+    DUET_CHECK(from.shape() == to.shape()) << "parameter shape mismatch";
+    const std::vector<float>& values = from.value_vector();
+    std::copy(values.begin(), values.end(), to.data());
   }
 }
 

@@ -133,6 +133,16 @@ class Module {
   /// match the current architecture.
   void Load(BinaryReader& r);
 
+  /// Copies every parameter value from `src` into this module's existing
+  /// tensors (registration order; counts and shapes must match — both
+  /// modules must share an architecture). Bitwise what Save(src)+Load(this)
+  /// produces, without the serialization buffer: no transient image of the
+  /// parameters is materialized, which is what keeps core::CloneModel at
+  /// one extra model of memory instead of two. Mutates through raw data()
+  /// pointers under a ParameterMutationGuard, so like Load it invalidates
+  /// this module's parameter-derived caches; `src` is only read.
+  void CopyParametersFrom(const Module& src);
+
  protected:
   /// Registers a tensor as trainable and returns it.
   tensor::Tensor RegisterParam(tensor::Tensor t);

@@ -56,6 +56,15 @@ std::shared_ptr<const ModelSnapshot> ModelRegistry::Publish(
     // One wildcard estimate builds the packs and compiles the plan on the
     // publisher's thread, so post-swap traffic starts on warm caches.
     model->EstimateSelectivity(query::Query{});
+    if (options_.prewarm_arena_batch > 0) {
+      // Arena warm-up: one representative-shape batch pass populates this
+      // thread's InferenceArena free lists with batch-sized activation
+      // buffers before the swap, so the first post-swap batch served from
+      // this thread allocates nothing (see RegistryOptions).
+      const std::vector<query::Query> warm(
+          static_cast<size_t>(options_.prewarm_arena_batch), query::Query{});
+      model->EstimateSelectivityBatch(warm);
+    }
   }
   auto snapshot = std::make_shared<const ModelSnapshot>(std::move(model), stamp);
   {

@@ -72,6 +72,16 @@ struct RegistryOptions {
   /// estimate on the publisher's thread), so the first post-swap dispatch
   /// never pays the compile latency. Off = lazy build on first traffic.
   bool prewarm = true;
+  /// With prewarm on: additionally run one wildcard batch of this size so
+  /// the publisher thread's InferenceArena free lists (tensor/tensor.h)
+  /// hold recycled activation buffers for batch-shaped forwards — the first
+  /// post-swap batch served from this thread then performs zero fresh
+  /// activation allocations (asserted via the InferenceArena alloc
+  /// counters). The arena is thread-local, so this warms the *publishing*
+  /// thread's pools; engine worker threads warm their own on first traffic,
+  /// and a swap never invalidates them (pools are keyed by buffer size, not
+  /// by model). 0 disables the batch pass (packs/plan prewarm only).
+  int64_t prewarm_arena_batch = 64;
 };
 
 /// Cumulative registry counters plus point-in-time gauges.

@@ -548,12 +548,19 @@ void ServingEngine::DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> bat
 
   std::vector<double> sels(admitted.size());
   std::vector<uint8_t> degraded(admitted.size(), 0);
+  // Fused dispatch-group sizes (>= 2) formed below; folded into the stats
+  // under stats_mu_ after the batch completes.
+  std::vector<int64_t> fused_sizes;
   if (!admitted.empty()) {
-    // Group by model key (fixed/registry mode: every key is empty, so this
-    // is one group). Each group is served end-to-end by one resolved
-    // target — one snapshot or one pinned zoo model, never a mid-group mix.
-    // Grouping preserves submission order within each group, so per-query
-    // results are bitwise those of a per-key batch.
+    // Cross-request fusion: group by model key (fixed/registry mode: every
+    // key is empty, so this is one group) and serve each group as ONE
+    // batched estimate — a GEMM over the stacked feature rows instead of N
+    // independent batch-1 GEMVs. Each group is served end-to-end by one
+    // resolved target — one snapshot or one pinned zoo model, never a
+    // mid-group mix. Grouping preserves submission order within each group,
+    // and kernel batch invariance makes every per-query result bitwise what
+    // a batch-1 dispatch would produce — so fusion (and the unfused A/B arm
+    // below) changes throughput, never answers.
     std::vector<size_t> order(admitted.size());
     for (size_t i = 0; i < admitted.size(); ++i) order[i] = i;
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -562,10 +569,13 @@ void ServingEngine::DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> bat
     size_t g = 0;
     while (g < order.size()) {
       size_t end = g + 1;
-      while (end < order.size() &&
+      // fuse_requests off: the unfused arm — every query dispatches alone
+      // (its own resolve + batch-1 estimate), for fusion A/B benchmarks.
+      while (options_.fuse_requests && end < order.size() &&
              admitted[order[end]]->model_key == admitted[order[g]]->model_key) {
         ++end;
       }
+      if (end - g >= 2) fused_sizes.push_back(static_cast<int64_t>(end - g));
       std::vector<query::Query> queries;
       queries.reserve(end - g);
       for (size_t i = g; i < end; ++i) queries.push_back(admitted[order[i]]->query);
@@ -597,6 +607,11 @@ void ServingEngine::DispatchMicroBatch(std::vector<std::shared_ptr<Pending>> bat
     stats_.deadline_missed += static_cast<uint64_t>(expired.size());
     stats_.largest_micro_batch =
         std::max(stats_.largest_micro_batch, static_cast<int64_t>(admitted.size()));
+    for (const int64_t sz : fused_sizes) {
+      stats_.fused_requests += static_cast<uint64_t>(sz);
+      ++fusion_size_counts_[sz];
+      ++fusion_group_count_;
+    }
     for (const auto& p : admitted) {
       RecordLatencyLocked(std::chrono::duration_cast<std::chrono::microseconds>(
                               done - p->enqueued)
@@ -655,6 +670,19 @@ ServingStats ServingEngine::stats() const {
     snapshot = stats_;
     snapshot.latency_p50_us = BucketQuantile(latency_buckets_, latency_count_, 0.50);
     snapshot.latency_p99_us = BucketQuantile(latency_buckets_, latency_count_, 0.99);
+    if (fusion_group_count_ > 0) {
+      // Exact median over fused-group sizes (the histogram is keyed by
+      // size, so a linear walk is a handful of entries at most).
+      const uint64_t target = (fusion_group_count_ + 1) / 2;
+      uint64_t seen = 0;
+      for (const auto& [size, count] : fusion_size_counts_) {
+        seen += count;
+        if (seen >= target) {
+          snapshot.fusion_batch_p50 = static_cast<double>(size);
+          break;
+        }
+      }
+    }
   }
   snapshot.queue_depth = depth;
   snapshot.breaker_state =

@@ -57,6 +57,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -117,6 +118,15 @@ struct ServingOptions {
   /// dispatches after breaker_cooldown_us (docs/resilience.md §3).
   int64_t breaker_threshold = 5;
   int64_t breaker_cooldown_us = 50 * 1000;
+  /// Cross-request GEMV→GEMM fusion: coalesce concurrent async submissions
+  /// that resolve to the same target (same snapshot; in zoo mode, same
+  /// model key) into ONE batched dispatch — a GEMM over the stacked feature
+  /// rows — instead of N independent batch-1 GEMVs. Per-request results are
+  /// bitwise identical either way (kernel batch invariance,
+  /// docs/architecture.md §2); fusion buys the weight-reuse of the batched
+  /// kernels, which is the dominant cost at batch 1. Off = the unfused A/B
+  /// arm for benchmarks: every admitted async query dispatches alone.
+  bool fuse_requests = true;
 };
 
 /// One query's answer plus how it was produced. EstimateBatchEx and
@@ -145,6 +155,14 @@ struct ServingStats {
   uint64_t micro_batches = 0;       ///< async scheduler dispatches
   uint64_t shards = 0;              ///< shard tasks run on the pool
   int64_t largest_micro_batch = 0;  ///< max async dispatch size observed
+  /// Async queries served through a fused dispatch group (size >= 2): the
+  /// scheduler coalesced them with concurrent same-target requests into one
+  /// batched GEMM execution instead of independent GEMVs. 0 with
+  /// ServingOptions::fuse_requests off.
+  uint64_t fused_requests = 0;
+  /// Median fused-group size, over groups of size >= 2 (exact histogram,
+  /// not log-bucketed; 0.0 until the first fused group dispatches).
+  double fusion_batch_p50 = 0.0;
   /// Snapshot id the most recent dispatch served on (0 in fixed-estimator
   /// mode — there is no registry and no snapshot).
   uint64_t snapshot_id = 0;
@@ -431,6 +449,11 @@ class ServingEngine {
   /// with latency in [2^(b-1), 2^b) microseconds.
   std::array<uint64_t, 40> latency_buckets_{};
   uint64_t latency_count_ = 0;
+  /// Exact histogram of fused dispatch-group sizes (size -> group count;
+  /// sizes >= 2 only — bounded by max_batch, so the map stays tiny).
+  /// Guarded by stats_mu_; stats() derives fusion_batch_p50 from it.
+  std::map<int64_t, uint64_t> fusion_size_counts_;
+  uint64_t fusion_group_count_ = 0;
 };
 
 }  // namespace duet::serve

@@ -84,6 +84,12 @@ bool UpdateWorker::RunRound() {
 
   Timer round_timer;
   const std::shared_ptr<const ModelSnapshot> base = registry_.Current();
+  // Transient clone accounting (stats().clone_peak_bytes): the round owns
+  // the fine-tune candidate for its whole duration, plus one more clone per
+  // publish attempt while that Publish is in flight.
+  const uint64_t model_bytes =
+      static_cast<uint64_t>(base->model().NumParams()) * sizeof(float);
+  uint64_t round_clone_peak = model_bytes;  // the candidate
   core::OnlineUpdateResult result =
       core::CloneAndFineTune(base->model(), train, holdout, options_.update);
 
@@ -98,6 +104,7 @@ bool UpdateWorker::RunRound() {
     int64_t backoff_us = options_.backoff_initial_us;
     for (int64_t attempt = 0; attempt <= options_.publish_retries; ++attempt) {
       try {
+        round_clone_peak = std::max(round_clone_peak, 2 * model_bytes);
         registry_.Publish(core::CloneModel(*result.model));
         published = true;
         break;
@@ -149,6 +156,7 @@ bool UpdateWorker::RunRound() {
   stats_.last_holdout_before = result.holdout_before;
   stats_.last_holdout_after = result.holdout_after;
   stats_.last_round_seconds = round_timer.Seconds();
+  stats_.clone_peak_bytes = std::max(stats_.clone_peak_bytes, round_clone_peak);
   return true;
 }
 

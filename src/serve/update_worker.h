@@ -82,6 +82,13 @@ struct UpdateWorkerStats {
   double last_holdout_before = 0.0;
   double last_holdout_after = 0.0;
   double last_round_seconds = 0.0;
+  /// Peak transient clone memory any single round has held: parameter bytes
+  /// of round-owned model copies alive at once (the fine-tune candidate,
+  /// plus one per-attempt publish clone while a Publish is in flight). With
+  /// the direct-copy core::CloneModel this is 2x the model's parameter
+  /// bytes at publish and 1x otherwise; the old serialize/deserialize clone
+  /// path added another full serialized image on top of each copy.
+  uint64_t clone_peak_bytes = 0;
 };
 
 /// Owns the feedback buffer and the background round loop. Destruction

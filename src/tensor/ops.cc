@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "tensor/simd_dispatch.h"
 
 namespace duet::tensor {
 
@@ -57,49 +58,20 @@ inline bool GemmParallel(int64_t m, int64_t k, int64_t n) {
   return m * k * n > (1 << 18);
 }
 
-/// Full 4x16 tile over one k panel: C[0..4,0..16) += A_panel x B_panel.
-inline void Micro4x16(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
-                      int64_t ldc, int64_t kc) {
-  float acc[kMr][kNr];
-  for (int64_t i = 0; i < kMr; ++i) {
-#pragma omp simd
-    for (int64_t j = 0; j < kNr; ++j) acc[i][j] = c[i * ldc + j];
-  }
-  for (int64_t k = 0; k < kc; ++k) {
-    const float a0 = a[0 * lda + k];
-    const float a1 = a[1 * lda + k];
-    const float a2 = a[2 * lda + k];
-    const float a3 = a[3 * lda + k];
-    // Skip all-zero quads: Duet inputs are one-hot-sparse, so on first-layer
-    // GEMMs most k steps contribute nothing. Skipping only adds +0.0f terms'
-    // omission, which leaves every accumulator value unchanged.
-    if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
-    const float* brow = b + k * ldb;
-#pragma omp simd
-    for (int64_t j = 0; j < kNr; ++j) {
-      acc[0][j] += a0 * brow[j];
-      acc[1][j] += a1 * brow[j];
-      acc[2][j] += a2 * brow[j];
-      acc[3][j] += a3 * brow[j];
-    }
-  }
-  for (int64_t i = 0; i < kMr; ++i) {
-#pragma omp simd
-    for (int64_t j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i][j];
-  }
-}
+// The 4x16 micro-tile body lives in simd_kernels.inc (compiled per ISA
+// tier; the all-zero-quad skip and k-ascending order are documented there)
+// and is reached through the runtime dispatch table, as is the fp32 axpy
+// that the ragged-edge tail and the zero-skip GEMV bottom out in.
 
 /// Ragged-edge tile (mr < 4 or nr < 16) over one k panel; same k order.
-inline void MicroTail(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
-                      int64_t ldc, int64_t mr, int64_t nr, int64_t kc) {
+inline void MicroTail(const simd::KernelTable& kt, const float* a, int64_t lda,
+                      const float* b, int64_t ldb, float* c, int64_t ldc, int64_t mr,
+                      int64_t nr, int64_t kc) {
   for (int64_t i = 0; i < mr; ++i) {
     const float* arow = a + i * lda;
     float* crow = c + i * ldc;
     for (int64_t k = 0; k < kc; ++k) {
-      const float av = arow[k];
-      const float* brow = b + k * ldb;
-#pragma omp simd
-      for (int64_t j = 0; j < nr; ++j) crow[j] += av * brow[j];
+      kt.axpy_f32(arow[k], b + k * ldb, crow, nr);
     }
   }
 }
@@ -114,15 +86,14 @@ inline void MicroTail(const float* a, int64_t lda, const float* b, int64_t ldb, 
 /// identical to the tiled path — the batch-size-invariance contract holds.
 void GemvRowSparse(const float* A, const float* B, float* C, int64_t K, int64_t N,
                    bool parallel) {
+  const simd::KernelTable& kt = simd::Kernels();
   ParallelForChunked(
       0, N,
       [&](int64_t n0, int64_t n1) {
         for (int64_t k = 0; k < K; ++k) {
           const float av = A[k];
           if (av == 0.0f) continue;
-          const float* brow = B + k * N;
-#pragma omp simd
-          for (int64_t j = n0; j < n1; ++j) C[j] += av * brow[j];
+          kt.axpy_f32(av, B + k * N + n0, C + n0, n1 - n0);
         }
       },
       parallel, /*grain=*/512);
@@ -135,6 +106,7 @@ void GemmTiled(const float* A, const float* B, float* C, int64_t M, int64_t K, i
     GemvRowSparse(A, B, C, K, N, parallel);
     return;
   }
+  const simd::KernelTable& kt = simd::Kernels();
   const int64_t row_blocks = (M + kMc - 1) / kMc;
   const int64_t col_blocks = (N + kNc - 1) / kNc;
   ParallelForChunked(
@@ -151,12 +123,16 @@ void GemmTiled(const float* A, const float* B, float* C, int64_t M, int64_t K, i
               const float* ap = A + i * K + k0;
               int64_t j = n0;
               for (; j + kNr <= n1; j += kNr) {
-                Micro4x16(ap, K, bp + j, N, C + i * N + j, N, kc);
+                kt.micro4x16(ap, K, bp + j, N, C + i * N + j, N, kc);
               }
-              if (j < n1) MicroTail(ap, K, bp + j, N, C + i * N + j, N, kMr, n1 - j, kc);
+              if (j < n1) {
+                MicroTail(kt, ap, K, bp + j, N, C + i * N + j, N, kMr, n1 - j, kc);
+              }
             }
-            if (i < m1) MicroTail(A + i * K + k0, K, bp + n0, N, C + i * N + n0, N, m1 - i,
-                                  n1 - n0, kc);
+            if (i < m1) {
+              MicroTail(kt, A + i * K + k0, K, bp + n0, N, C + i * N + n0, N, m1 - i,
+                        n1 - n0, kc);
+            }
           }
         }
       },

@@ -1,19 +1,15 @@
 #include "tensor/packed_weights.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <numeric>
 
-#if defined(__F16C__)
-#include <immintrin.h>
-#endif
-
-#include <atomic>
-
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "serve/fault_injector.h"
+#include "tensor/simd_dispatch.h"
 
 namespace duet::tensor {
 
@@ -37,8 +33,9 @@ inline bool PackedParallel(int64_t m, int64_t k, int64_t n) {
 /// Templated over the run-bound width. For permuted packs the output row is
 /// in PACKED column space (typically one run per row); the epilogue gathers.
 template <typename Idx>
-inline void CsrRowAccumT(const PackedWeights& w, const Idx* run_start, const Idx* run_len,
-                         const float* arow, float* crow) {
+inline void CsrRowAccumT(const simd::KernelTable& kt, const PackedWeights& w,
+                         const Idx* run_start, const Idx* run_len, const float* arow,
+                         float* crow) {
   for (int64_t k = 0; k < w.in; ++k) {
     const float av = arow[k];
     if (av == 0.0f) continue;  // input sparsity: one-hot / wildcard zeros
@@ -46,20 +43,19 @@ inline void CsrRowAccumT(const PackedWeights& w, const Idx* run_start, const Idx
     const int32_t r0 = w.row_ptr[static_cast<size_t>(k)];
     const int32_t r1 = w.row_ptr[static_cast<size_t>(k) + 1];
     for (int32_t r = r0; r < r1; ++r) {
-      float* dst = crow + run_start[r];
       const int64_t len = run_len[r];
-#pragma omp simd
-      for (int64_t i = 0; i < len; ++i) dst[i] += av * vals[i];
+      kt.axpy_f32(av, vals, crow + run_start[r], len);
       vals += len;
     }
   }
 }
 
-inline void CsrRowAccum(const PackedWeights& w, const float* arow, float* crow) {
+inline void CsrRowAccum(const simd::KernelTable& kt, const PackedWeights& w,
+                        const float* arow, float* crow) {
   if (w.run_start32.empty()) {
-    CsrRowAccumT(w, w.run_start16.data(), w.run_len16.data(), arow, crow);
+    CsrRowAccumT(kt, w, w.run_start16.data(), w.run_len16.data(), arow, crow);
   } else {
-    CsrRowAccumT(w, w.run_start32.data(), w.run_len32.data(), arow, crow);
+    CsrRowAccumT(kt, w, w.run_start32.data(), w.run_len32.data(), arow, crow);
   }
 }
 
@@ -75,74 +71,76 @@ inline int64_t RowPrefixLen(const PackedWeights& w, int64_t k) {
 /// Dense fp32 row sweep with the prefix skip (permuted packs) — the same
 /// k-ascending zero-skip accumulation as the dense GEMV fast path, so the
 /// gathered result is bitwise-equal to the unpermuted kernels.
-inline void DenseRowAccum(const PackedWeights& w, const float* arow, float* crow) {
+inline void DenseRowAccum(const simd::KernelTable& kt, const PackedWeights& w,
+                          const float* arow, float* crow) {
   const float* wp = w.dense_data();
   for (int64_t k = 0; k < w.in; ++k) {
     const float av = arow[k];
     if (av == 0.0f) continue;
-    const float* wrow = wp + k * w.out;
-    const int64_t len = RowPrefixLen(w, k);
-#pragma omp simd
-    for (int64_t j = 0; j < len; ++j) crow[j] += av * wrow[j];
+    kt.axpy_f32(av, wp + k * w.out, crow, RowPrefixLen(w, k));
   }
 }
 
 /// Int8 row sweep for one input row: fp32 accumulation of av * q[k, :]. The
 /// dequantization scale is applied once per output in the epilogue, not per
 /// term, so the accumulator stays a plain fp32 dot product.
-inline void Int8RowAccum(const PackedWeights& w, const float* arow, float* crow) {
+inline void Int8RowAccum(const simd::KernelTable& kt, const PackedWeights& w,
+                         const float* arow, float* crow) {
   for (int64_t k = 0; k < w.in; ++k) {
     const float av = arow[k];
     if (av == 0.0f) continue;
-    const int8_t* qrow = w.quantized.data() + k * w.out;
-    const int64_t len = RowPrefixLen(w, k);
-#pragma omp simd
-    for (int64_t j = 0; j < len; ++j) crow[j] += av * static_cast<float>(qrow[j]);
+    kt.axpy_i8(av, w.quantized.data() + k * w.out, crow, RowPrefixLen(w, k));
   }
 }
 
 /// binary16 row sweep: decode-on-load (the half->float widening IS the
-/// dequantization), fp32 accumulation, same prefix skip as dense. With F16C
-/// available (-DDUET_NATIVE_ARCH=ON on x86) the decode is the 8-wide
-/// VCVTPH2PS instruction; the portable fallback is the branchless software
-/// widening. The two differ only in the scalar tail's op ordering — both
-/// stay within the documented f16 bound and preserve per-row determinism
-/// and batch invariance (the decode never depends on batch position).
-inline void F16RowAccum(const PackedWeights& w, const float* arow, float* crow) {
+/// dequantization), fp32 accumulation, same prefix skip as dense. The
+/// decode form (VCVTPH2PS on the vector tiers vs. the branchless software
+/// widening) is chosen by the dispatch table at runtime; both are exact, so
+/// the result is bitwise-identical across tiers (simd_dispatch.h).
+inline void F16RowAccum(const simd::KernelTable& kt, const PackedWeights& w,
+                        const float* arow, float* crow) {
   for (int64_t k = 0; k < w.in; ++k) {
     const float av = arow[k];
     if (av == 0.0f) continue;
-    const uint16_t* hrow = w.half.data() + k * w.out;
-    const int64_t len = RowPrefixLen(w, k);
-    int64_t j = 0;
-#if defined(__F16C__)
-    const __m256 vav = _mm256_set1_ps(av);
-    for (; j + 8 <= len; j += 8) {
-      const __m128i hv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hrow + j));
-      const __m256 wv = _mm256_cvtph_ps(hv);
-      const __m256 acc = _mm256_loadu_ps(crow + j);
-      _mm256_storeu_ps(crow + j, _mm256_add_ps(acc, _mm256_mul_ps(vav, wv)));
-    }
-#endif
-#pragma omp simd
-    for (int64_t t = j; t < len; ++t) crow[t] += av * HalfToFloat(hrow[t]);
+    kt.axpy_f16(av, w.half.data() + k * w.out, crow, RowPrefixLen(w, k));
+  }
+}
+
+/// Int4 row sweep: nibble decode + per-group dequant fused into the sweep
+/// (the scale varies along k, so it cannot wait for the epilogue), fp32
+/// accumulation, same prefix skip as dense. Row k's scale row is the
+/// group-major slice group_scales[(k / kInt4GroupSize) * out ..].
+inline void Int4RowAccum(const simd::KernelTable& kt, const PackedWeights& w,
+                         const float* arow, float* crow) {
+  const int64_t row_bytes = (w.out + 1) / 2;
+  for (int64_t k = 0; k < w.in; ++k) {
+    const float av = arow[k];
+    if (av == 0.0f) continue;
+    const uint8_t* nrow = w.nibbles.data() + k * row_bytes;
+    const float* gs = w.group_scales.data() + (k / kInt4GroupSize) * w.out;
+    kt.axpy_i4(av, nrow, gs, crow, RowPrefixLen(w, k));
   }
 }
 
 /// Packed-space row accumulation for every non-dense-identity layout.
-inline void PackedRowAccum(const PackedWeights& w, const float* arow, float* crow) {
+inline void PackedRowAccum(const simd::KernelTable& kt, const PackedWeights& w,
+                           const float* arow, float* crow) {
   switch (w.backend) {
     case WeightBackend::kDenseF32:
-      DenseRowAccum(w, arow, crow);
+      DenseRowAccum(kt, w, arow, crow);
       break;
     case WeightBackend::kCsrF32:
-      CsrRowAccum(w, arow, crow);
+      CsrRowAccum(kt, w, arow, crow);
       break;
     case WeightBackend::kInt8:
-      Int8RowAccum(w, arow, crow);
+      Int8RowAccum(kt, w, arow, crow);
       break;
     case WeightBackend::kF16:
-      F16RowAccum(w, arow, crow);
+      F16RowAccum(kt, w, arow, crow);
+      break;
+    case WeightBackend::kInt4:
+      Int4RowAccum(kt, w, arow, crow);
       break;
   }
 }
@@ -208,6 +206,7 @@ const char* WeightBackendName(WeightBackend backend) {
     case WeightBackend::kCsrF32: return "csr";
     case WeightBackend::kInt8: return "int8";
     case WeightBackend::kF16: return "f16";
+    case WeightBackend::kInt4: return "int4";
   }
   return "unknown";
 }
@@ -217,6 +216,7 @@ bool ParseWeightBackend(const std::string& name, WeightBackend* out) {
   if (name == "csr") { *out = WeightBackend::kCsrF32; return true; }
   if (name == "int8") { *out = WeightBackend::kInt8; return true; }
   if (name == "f16") { *out = WeightBackend::kF16; return true; }
+  if (name == "int4") { *out = WeightBackend::kInt4; return true; }
   return false;
 }
 
@@ -269,6 +269,9 @@ uint64_t PackedWeights::bytes() const {
       break;
     case WeightBackend::kF16:
       total += half.size() * sizeof(uint16_t);
+      break;
+    case WeightBackend::kInt4:
+      total += nibbles.size() * sizeof(uint8_t) + group_scales.size() * sizeof(float);
       break;
   }
   return total;
@@ -444,12 +447,43 @@ std::shared_ptr<const PackedWeights> PackWeights(const Tensor& w, WeightBackend 
       }
       break;
     }
+
+    case WeightBackend::kInt4: {
+      // Group-of-kInt4GroupSize scales along k, PACKED column order (the
+      // sweep consumes them pre-gather): s[g][p] = max_{k in g} |W[k,p]| / 7.
+      const int64_t groups = (in + kInt4GroupSize - 1) / kInt4GroupSize;
+      packed->group_scales.assign(static_cast<size_t>(groups * out), 0.0f);
+      for (int64_t k = 0; k < in; ++k) {
+        float* gs = packed->group_scales.data() + (k / kInt4GroupSize) * out;
+        for (int64_t p = 0; p < out; ++p) {
+          gs[p] = std::max(gs[p], std::fabs(at(k, p)));
+        }
+      }
+      std::vector<float> inv(static_cast<size_t>(groups * out), 0.0f);
+      for (int64_t i = 0; i < groups * out; ++i) {
+        float& s = packed->group_scales[static_cast<size_t>(i)];
+        s /= 7.0f;  // symmetric: q in [-7, 7], 0.0 maps to q == 0
+        if (s > 0.0f) inv[static_cast<size_t>(i)] = 1.0f / s;
+      }
+      const int64_t row_bytes = (out + 1) / 2;
+      packed->nibbles.assign(static_cast<size_t>(in * row_bytes), 0);
+      for (int64_t k = 0; k < in; ++k) {
+        uint8_t* nrow = packed->nibbles.data() + k * row_bytes;
+        const float* ginv = inv.data() + (k / kInt4GroupSize) * out;
+        for (int64_t p = 0; p < out; ++p) {
+          const float q = std::nearbyint(at(k, p) * ginv[static_cast<size_t>(p)]);
+          const int32_t qi = static_cast<int32_t>(std::clamp(q, -7.0f, 7.0f));
+          nrow[p >> 1] |= static_cast<uint8_t>((qi & 0xF) << ((p & 1) * 4));
+        }
+      }
+      break;
+    }
   }
   return packed;
 }
 
 void PackedGemv(const PackedWeights& w, const float* x, float* y) {
-  PackedRowAccum(w, x, y);
+  PackedRowAccum(simd::Kernels(), w, x, y);
 }
 
 void PackedLinearForward(const PackedWeights& w, const float* x, int64_t batch,
@@ -463,6 +497,7 @@ void PackedLinearForward(const PackedWeights& w, const float* x, int64_t batch,
     return;
   }
   const bool parallel = PackedParallel(batch, w.in, w.out);
+  const simd::KernelTable& kt = simd::Kernels();
   if (!w.permuted()) {
     // Row-parallel sweep: rows are independent and each output element
     // still accumulates k-ascending, so neither the thread count nor the
@@ -473,7 +508,7 @@ void PackedLinearForward(const PackedWeights& w, const float* x, int64_t batch,
         0, batch,
         [&](int64_t lo, int64_t hi) {
           for (int64_t r = lo; r < hi; ++r) {
-            PackedRowAccum(w, x + r * w.in, out + r * w.out);
+            PackedRowAccum(kt, w, x + r * w.in, out + r * w.out);
           }
         },
         parallel, /*grain=*/8);
@@ -498,7 +533,7 @@ void PackedLinearForward(const PackedWeights& w, const float* x, int64_t batch,
         }
         for (int64_t r = lo; r < hi; ++r) {
           std::fill(acc.begin(), acc.begin() + w.out, 0.0f);
-          PackedRowAccum(w, x + r * w.in, acc.data());
+          PackedRowAccum(kt, w, x + r * w.in, acc.data());
           GatherRow(w, acc.data(), out + r * w.out);
         }
       },

@@ -24,6 +24,19 @@
 //    into the inner loop). 2x less weight traffic; accuracy-bounded with a
 //    relative weight error <= 2^-11 per entry (round-to-nearest-even), far
 //    tighter than int8's per-channel bound.
+//  * kInt4    — per-group symmetric int4 quantization: the k dimension is
+//    cut into groups of kInt4GroupSize (32) input rows, and each
+//    (group, output-column) pair carries its own fp32 scale
+//    s[g][j] = max_{k in g} |W[k,j]| / 7, with weights nibble-packed two
+//    per byte (signed values in [-7, 7]). Accumulation is fp32 and the
+//    per-group dequantization is fused into the row sweep itself (the
+//    scale varies along k, so unlike int8 it cannot be deferred to the
+//    per-output epilogue). ~8x less weight payload than fp32 and ~0.625x
+//    the total int8 footprint (0.5x payload + group scales, which add
+//    out * 4 bytes per 32 input rows); accuracy-bounded per output by
+//    |y_q - y| <= 0.5 * sum_k |x_k| * s[g(k), j] — the per-group max
+//    tracks local weight magnitude, which is why int4's bound in practice
+//    lands near int8's despite half the bits.
 //
 // Degree-sorted output permutation (compiled-plan packs): a pack may carry
 // an output-column permutation chosen so that every MADE-masked row's
@@ -66,13 +79,20 @@ enum class WeightBackend : int32_t {
   kCsrF32 = 1,    ///< sparse fp32 rows (bitwise-identical, zeros skipped)
   kInt8 = 2,      ///< per-output-channel symmetric int8 (accuracy-bounded)
   kF16 = 3,       ///< IEEE binary16 weights, fp32 accumulate (accuracy-bounded)
+  kInt4 = 4,      ///< per-group symmetric int4 nibbles (accuracy-bounded)
 };
 
-/// Human-readable backend name ("dense" / "csr" / "int8" / "f16"), for bench
-/// output.
+/// Input rows (k) per int4 quantization group. 32 balances scale overhead
+/// (one fp32 per output column per group) against bound tightness; it is
+/// baked into the artifact pack encoding, so changing it is a format break.
+inline constexpr int64_t kInt4GroupSize = 32;
+
+/// Human-readable backend name ("dense" / "csr" / "int8" / "f16" / "int4"),
+/// for bench output.
 const char* WeightBackendName(WeightBackend backend);
 
-/// Parses "dense" / "csr" / "int8" / "f16" (returns false on anything else).
+/// Parses "dense" / "csr" / "int8" / "f16" / "int4" (returns false on
+/// anything else).
 bool ParseWeightBackend(const std::string& name, WeightBackend* out);
 
 /// fp32 -> IEEE binary16 with round-to-nearest-even; overflow saturates to
@@ -215,6 +235,21 @@ struct PackedWeights {
   /// permuted).
   PackedArray<uint16_t> half;
 
+  /// kInt4: row-major nibble-packed weights, two packed columns per byte —
+  /// row k occupies (out + 1) / 2 bytes, byte b of a row holds packed
+  /// column 2b in its LOW nibble and 2b+1 in its HIGH nibble (odd `out`
+  /// leaves the final high nibble zero). Values are signed [-7, 7] stored
+  /// as two's-complement low nibbles (decode: (x ^ 8) - 8). Column order is
+  /// PACKED when permuted, like the other payloads.
+  PackedArray<uint8_t> nibbles;
+  /// kInt4: per-(group, packed-column) dequant scales, group-major —
+  /// scale of input row k, packed column p is group_scales[(k /
+  /// kInt4GroupSize) * out + p]. PACKED column order (unlike int8's
+  /// original-order `scales`): the scale is consumed inside the row sweep
+  /// before the epilogue's gather, so it must live in the same layout as
+  /// the accumulators.
+  PackedArray<float> group_scales;
+
   /// Degree-sorted output permutation metadata (empty = identity layout).
   /// unperm maps an ORIGINAL output column j to its packed position; the
   /// fused epilogue reads acc[unperm[j]] so downstream activations stay in
@@ -269,7 +304,9 @@ std::vector<int32_t> DegreeSortPermutation(const Tensor& w);
 /// form has no autograd graph). kDenseF32 dispatches to the standard tiled
 /// GEMM / zero-skip GEMV (bitwise-identical to MatMulBiasAct on the dense
 /// matrix); kCsrF32 runs the sparse kernels (bitwise-identical, see header
-/// comment); kInt8/kF16 accumulate in fp32 and fuse dequant+bias+activation.
+/// comment); kInt8/kF16/kInt4 accumulate in fp32 and fuse
+/// dequant+bias+activation (int4's per-group scale inside the sweep, int8's
+/// per-channel scale in the epilogue).
 Tensor PackedMatMulBiasAct(const Tensor& a, const PackedWeights& w, const Tensor& bias,
                            Activation act);
 
@@ -284,8 +321,10 @@ void PackedLinearForward(const PackedWeights& w, const float* x, int64_t batch,
 
 /// Single-row packed kernel: y[0..out) += x[0..in) x W_packed, with x rows
 /// skipped at x[k] == 0 (Duet inputs are one-hot-sparse). No bias, no
-/// activation, no dequantization for kInt8/kF16 — the caller applies the
-/// epilogue. For permuted packs y is in PACKED column space (the forward
+/// activation, no int8 channel dequantization — the caller applies the
+/// epilogue. (kF16 decode and kInt4 per-group dequant ARE applied: they are
+/// part of the sweep itself.) For permuted packs y is in PACKED column
+/// space (the forward
 /// gathers before its epilogue). This is exactly one row of
 /// PackedLinearForward's sweep (same accumulation code); exposed separately
 /// for kernel tests.

@@ -145,13 +145,15 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, ArtifactRoundTripTest,
                          ::testing::Values(tensor::WeightBackend::kDenseF32,
                                            tensor::WeightBackend::kCsrF32,
                                            tensor::WeightBackend::kInt8,
-                                           tensor::WeightBackend::kF16),
+                                           tensor::WeightBackend::kF16,
+                                           tensor::WeightBackend::kInt4),
                          [](const ::testing::TestParamInfo<tensor::WeightBackend>& info) {
                            switch (info.param) {
                              case tensor::WeightBackend::kDenseF32: return "dense";
                              case tensor::WeightBackend::kCsrF32: return "csr";
                              case tensor::WeightBackend::kInt8: return "int8";
                              case tensor::WeightBackend::kF16: return "f16";
+                             case tensor::WeightBackend::kInt4: return "int4";
                            }
                            return "unknown";
                          });

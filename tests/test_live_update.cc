@@ -400,6 +400,40 @@ TEST(LiveUpdateTest, WorkerPublishesWhenFeedbackImproves) {
   EXPECT_LE(stats.last_holdout_after,
             stats.last_holdout_before * wopt.update.max_regression);
   EXPECT_GT(registry.Current()->id(), id_before);
+  // Clone accounting: a publishing round peaks at candidate + publish clone
+  // — exactly 2x the model's parameter bytes with the direct-copy
+  // CloneModel (the old serialize/deserialize path added a transient
+  // serialized image on top).
+  const uint64_t model_bytes =
+      static_cast<uint64_t>(registry.Current()->model().NumParams()) * sizeof(float);
+  EXPECT_EQ(stats.clone_peak_bytes, 2 * model_bytes);
+}
+
+// Arena warm-up (RegistryOptions::prewarm_arena_batch): Publish's prewarm
+// also runs one batch-shaped pass, so the first post-swap batch served from
+// the publisher's thread draws every activation buffer from the warmed
+// thread-local InferenceArena pools instead of heap-allocating. The arena
+// is thread-local, so the assertion runs on the publishing thread (worker
+// threads warm their own pools on first traffic).
+TEST(LiveUpdateTest, PrewarmPopulatesPublisherArenaForFirstPostSwapBatch) {
+  const data::Table t = SmallTable();
+  serve::RegistryOptions ropt;
+  ropt.prewarm_arena_batch = 16;
+  serve::ModelRegistry registry(
+      std::make_unique<core::DuetModel>(t, SmallModelOptions()), ropt);
+  const std::vector<Query> queries = MakeQueries(t, 16);
+
+  auto clone = registry.CloneCurrent();
+  PerturbParameters(*clone, 5);
+  tensor::InferenceArena::Clear();  // cold pools: prove Publish rewarms them
+  const auto snap = registry.Publish(std::move(clone));
+  tensor::InferenceArena::ResetStats();
+  snap->estimator().EstimateSelectivityBatch(queries);
+  const tensor::InferenceArena::Stats stats = tensor::InferenceArena::stats();
+  EXPECT_EQ(stats.fresh_allocs, 0u)
+      << "first post-swap batch on the publisher thread paid allocation";
+  EXPECT_GT(stats.reuses, 0u);
+  tensor::InferenceArena::Clear();
 }
 
 TEST(LiveUpdateTest, OverflowedFeedbackIsDroppedOldestFirstAndCounted) {

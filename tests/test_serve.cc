@@ -123,6 +123,45 @@ TEST(ServingEngineTest, AsyncSubmitWaitReturnsPerQueryResults) {
   EXPECT_LE(stats.largest_micro_batch, 4);
 }
 
+// Cross-request fusion A/B: fused and unfused dispatch must return bitwise
+// identical per-request results (kernel batch invariance — fusion changes
+// throughput, never answers), and only the fused engine may count fused
+// groups.
+TEST(ServingEngineTest, FusionIsBitwiseInvariantAndCounted) {
+  const data::Table t = SmallTable();
+  core::DuetModelOptions opt;
+  opt.hidden_sizes = {32, 32};
+  core::DuetModel model(t, opt);
+  core::DuetEstimator est(model);
+  const std::vector<Query> queries = MakeQueries(t, 24);
+  const std::vector<double> reference = est.EstimateSelectivityBatch(queries);
+
+  for (const bool fuse : {true, false}) {
+    serve::ServingOptions sopt;
+    sopt.num_workers = 2;
+    sopt.max_batch = 8;
+    sopt.max_wait_us = 50 * 1000;
+    sopt.fuse_requests = fuse;
+    serve::ServingEngine engine(est, sopt);
+    std::vector<serve::ServingEngine::Future> futures;
+    futures.reserve(queries.size());
+    for (const Query& q : queries) futures.push_back(engine.Submit(q));
+    for (size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_EQ(futures[i].Wait(), reference[i]) << "fuse=" << fuse << " query " << i;
+    }
+    const serve::ServingStats stats = engine.stats();
+    if (fuse) {
+      // 24 concurrent submissions into max_batch=8 micro-batches: at least
+      // one dispatch group must have coalesced >= 2 requests.
+      EXPECT_GT(stats.fused_requests, 0u);
+      EXPECT_GE(stats.fusion_batch_p50, 2.0);
+    } else {
+      EXPECT_EQ(stats.fused_requests, 0u) << "unfused arm must not coalesce";
+      EXPECT_EQ(stats.fusion_batch_p50, 0.0);
+    }
+  }
+}
+
 TEST(ServingEngineTest, DestructorDrainsPendingFutures) {
   const data::Table t = SmallTable();
   core::DuetModelOptions opt;
