@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
     if (!sweep.empty() && threads <= sweep.back()) continue;
     sweep.push_back(threads);
   }
+  std::string json_rows;
   for (unsigned threads : sweep) {
     ThreadPool::SetGlobalThreads(threads);
 
@@ -77,6 +78,13 @@ int main(int argc, char** argv) {
     const double single_ms = timer.Millis() / static_cast<double>(probe.size());
 
     std::printf("%-8u %16.4f %16.3f %16.4f\n", threads, batch_ms, mtps, single_ms);
+
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"threads\":%u,\"batch_ms_per_q\":%.4f,\"sampler_mtps\":%.3f,"
+                  "\"single_ms\":%.4f}",
+                  json_rows.empty() ? "" : ",", threads, batch_ms, mtps, single_ms);
+    json_rows += row;
   }
   ThreadPool::SetGlobalThreads(0);  // restore the default
 
@@ -84,8 +92,14 @@ int main(int argc, char** argv) {
       "\nExpected shape: batched estimation and the per-column sampler scale\n"
       "with workers (the paper's parallel matmul / Algorithm 1 claims);\n"
       "single-query latency on a small MADE saturates early because its\n"
-      "matmuls are below the parallel grain - the honest caveat. On a\n"
-      "single-hardware-thread host the sweep collapses to one row and all\n"
-      "paths are serial by construction.\n");
+      "matmuls are below the parallel grain - the honest caveat.\n"
+      "CAVEAT: hw_threads below is what scaling claims must be read against.\n"
+      "On a 1-hardware-thread host the sweep collapses to a single serial\n"
+      "row and NO parallel speedup is observable by construction - treat\n"
+      "such runs as correctness smoke, not scaling evidence.\n");
+  // hw_threads is recorded so a result archive can tell a real scaling
+  // curve from a 1-core degenerate run (docs/benchmarks.md schema).
+  std::printf("{\"bench\":\"ablation_threads\",\"hw_threads\":%u,\"rows\":[%s]}\n", hw,
+              json_rows.c_str());
   return 0;
 }

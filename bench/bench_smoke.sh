@@ -41,6 +41,11 @@ for bin in "$BUILD_DIR"/bench_*; do
     # or serve repacked weights).
     bench_zoo)
       extra="--models=24 --cold_samples=16 --steady_seconds=0.3" ;;
+    # Sub-second closed-loop phases over loopback: exercises the epoll
+    # server, the DuetRpc codec, wire batching and the open-loop pacer
+    # without turning the smoke into a throughput measurement.
+    bench_net)
+      extra="--net_min_seconds=0.15 --conns_sweep=1,4" ;;
   esac
   start=$(date +%s)
   if "$bin" $extra >/dev/null 2>&1; then

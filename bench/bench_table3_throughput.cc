@@ -882,42 +882,46 @@ void RunOverloadSweep(const Flags& flags, double scale) {
               workers, static_cast<long long>(hidden), static_cast<long long>(2 * max_batch),
               static_cast<long long>(deadline_us));
   std::printf("capacity (closed loop)  %14.1f q/s\n", capacity_qps);
-  std::printf("%-10s %12s %12s %10s %10s %10s %9s %9s\n", "phase", "offered q/s",
-              "served q/s", "shed", "expired", "fallback", "p50 us", "p99 us");
+  std::printf("%-10s %12s %12s %10s %10s %10s %9s %9s %9s\n", "phase", "offered q/s",
+              "served q/s", "shed", "expired", "fallback", "p50 us", "p99 us", "p999 us");
   auto print_phase = [](const char* name, const PhaseResult& r) {
-    std::printf("%-10s %12.1f %12.1f %10llu %10llu %10llu %9llu %9llu\n", name,
+    std::printf("%-10s %12.1f %12.1f %10llu %10llu %10llu %9llu %9llu %9llu\n", name,
                 r.offered_qps, r.achieved_qps,
                 static_cast<unsigned long long>(r.stats.shed),
                 static_cast<unsigned long long>(r.stats.deadline_missed),
                 static_cast<unsigned long long>(r.stats.fallback_served),
                 static_cast<unsigned long long>(r.stats.latency_p50_us),
-                static_cast<unsigned long long>(r.stats.latency_p99_us));
+                static_cast<unsigned long long>(r.stats.latency_p99_us),
+                static_cast<unsigned long long>(r.stats.latency_p999_us));
   };
   print_phase("steady", steady);
   print_phase("overload", overload);
   std::printf("overload: %.1f%% of offered load shed, admitted p99 %.2fx steady p99\n",
               100.0 * shed_share, p99_ratio);
 
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"bench\":\"overload\",\"capacity_qps\":%.1f,\"queue_limit\":%lld,"
       "\"deadline_us\":%lld,\"steady\":{\"offered_qps\":%.1f,\"achieved_qps\":%.1f,"
-      "\"shed\":%llu,\"deadline_missed\":%llu,\"p50_us\":%llu,\"p99_us\":%llu},"
+      "\"shed\":%llu,\"deadline_missed\":%llu,\"p50_us\":%llu,\"p99_us\":%llu,"
+      "\"p999_us\":%llu},"
       "\"overload\":{\"offered_qps\":%.1f,\"achieved_qps\":%.1f,\"shed\":%llu,"
       "\"deadline_missed\":%llu,\"fallback_served\":%llu,\"p50_us\":%llu,"
-      "\"p99_us\":%llu},\"shed_share\":%.4f,\"admitted_p99_ratio\":%.3f}",
+      "\"p99_us\":%llu,\"p999_us\":%llu},\"shed_share\":%.4f,\"admitted_p99_ratio\":%.3f}",
       capacity_qps, static_cast<long long>(2 * max_batch),
       static_cast<long long>(deadline_us), steady.offered_qps, steady.achieved_qps,
       static_cast<unsigned long long>(steady.stats.shed),
       static_cast<unsigned long long>(steady.stats.deadline_missed),
       static_cast<unsigned long long>(steady.stats.latency_p50_us),
-      static_cast<unsigned long long>(steady.stats.latency_p99_us), overload.offered_qps,
+      static_cast<unsigned long long>(steady.stats.latency_p99_us),
+      static_cast<unsigned long long>(steady.stats.latency_p999_us), overload.offered_qps,
       overload.achieved_qps, static_cast<unsigned long long>(overload.stats.shed),
       static_cast<unsigned long long>(overload.stats.deadline_missed),
       static_cast<unsigned long long>(overload.stats.fallback_served),
       static_cast<unsigned long long>(overload.stats.latency_p50_us),
-      static_cast<unsigned long long>(overload.stats.latency_p99_us), shed_share, p99_ratio);
+      static_cast<unsigned long long>(overload.stats.latency_p99_us),
+      static_cast<unsigned long long>(overload.stats.latency_p999_us), shed_share, p99_ratio);
   std::printf("%s\n", buf);
 }
 

@@ -1,0 +1,115 @@
+// Per-connection byte ring buffer for the epoll front-end (net/server.h).
+//
+// The wire hot path must not allocate per frame: sockets are read into (and
+// flushed from) one of these per connection, and the buffer only ever grows
+// — capacity reached during warm-up is reused for the connection's life, so
+// steady-state traffic performs zero allocations here. Data wraps around a
+// power-of-two backing store; the scatter/gather span accessors let recv/
+// send move bytes straight between the socket and the ring (readv/writev
+// shapes), and CopyOut lets the frame decoder lift the few header/payload
+// bytes it needs without linearizing the ring.
+#ifndef DUET_NET_RING_BUFFER_H_
+#define DUET_NET_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace duet::net {
+
+/// One contiguous region of a (possibly wrapped) ring range.
+struct RingSpan {
+  char* data = nullptr;
+  size_t len = 0;
+};
+
+/// FIFO byte queue over a power-of-two ring. Not thread-safe: each instance
+/// belongs to exactly one event-loop thread.
+class RingBuffer {
+ public:
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  size_t capacity() const { return buf_.size(); }
+  size_t free_space() const { return buf_.size() - len_; }
+
+  /// Grows capacity so at least `n` more bytes fit (next power of two,
+  /// linearizing the current contents). No-op when they already fit.
+  void EnsureSpace(size_t n) {
+    if (free_space() >= n) return;
+    size_t cap = buf_.empty() ? 4096 : buf_.size();
+    while (cap - len_ < n) cap *= 2;
+    std::vector<char> next(cap);
+    CopyOut(0, len_, next.data());
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  /// Appends `n` bytes (growing if needed).
+  void Append(const void* data, size_t n) {
+    EnsureSpace(n);
+    const char* src = static_cast<const char*>(data);
+    const size_t tail = Index(head_ + len_);
+    const size_t first = std::min(n, buf_.size() - tail);
+    std::memcpy(buf_.data() + tail, src, first);
+    if (n > first) std::memcpy(buf_.data(), src + first, n - first);
+    len_ += n;
+  }
+
+  /// Free-space spans for a scatter read (socket -> ring). Returns the span
+  /// count (0 when full). Call CommitWrite(bytes_read) afterwards.
+  int WriteSpans(RingSpan spans[2]) {
+    if (free_space() == 0) return 0;
+    const size_t tail = Index(head_ + len_);
+    const size_t first = std::min(free_space(), buf_.size() - tail);
+    spans[0] = {buf_.data() + tail, first};
+    if (free_space() > first) {
+      spans[1] = {buf_.data(), free_space() - first};
+      return 2;
+    }
+    return 1;
+  }
+  void CommitWrite(size_t n) { len_ += n; }
+
+  /// Filled spans for a gather write (ring -> socket). Returns the span
+  /// count (0 when empty). Call Consume(bytes_written) afterwards.
+  int ReadSpans(RingSpan spans[2]) {
+    if (len_ == 0) return 0;
+    const size_t first = std::min(len_, buf_.size() - head_);
+    spans[0] = {buf_.data() + head_, first};
+    if (len_ > first) {
+      spans[1] = {buf_.data(), len_ - first};
+      return 2;
+    }
+    return 1;
+  }
+
+  /// Copies `n` bytes starting `offset` bytes past the head into `dst`
+  /// without consuming them. Caller guarantees offset + n <= size().
+  void CopyOut(size_t offset, size_t n, void* dst) const {
+    if (n == 0) return;  // buf_.data() may be null on an empty ring
+    char* out = static_cast<char*>(dst);
+    size_t pos = Index(head_ + offset);
+    const size_t first = std::min(n, buf_.size() - pos);
+    std::memcpy(out, buf_.data() + pos, first);
+    if (n > first) std::memcpy(out + first, buf_.data(), n - first);
+  }
+
+  /// Drops `n` bytes from the head. Caller guarantees n <= size().
+  void Consume(size_t n) {
+    head_ = Index(head_ + n);
+    len_ -= n;
+    if (len_ == 0) head_ = 0;  // cheap relinearization whenever we drain
+  }
+
+ private:
+  size_t Index(size_t i) const { return buf_.empty() ? 0 : (i & (buf_.size() - 1)); }
+
+  std::vector<char> buf_;  // capacity always a power of two (or empty)
+  size_t head_ = 0;
+  size_t len_ = 0;
+};
+
+}  // namespace duet::net
+
+#endif  // DUET_NET_RING_BUFFER_H_

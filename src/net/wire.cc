@@ -1,0 +1,170 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/serialize.h"
+
+namespace duet::net {
+
+namespace {
+
+/// Little-endian scalar append (the x86/aarch64 targets this repo builds on
+/// are little-endian; memcpy keeps the stores alignment-clean).
+template <typename T>
+void AppendScalar(std::string* out, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, FrameType type, uint64_t request_id, uint32_t count,
+                 const void* payload, size_t payload_len) {
+  const size_t header_at = out->size();
+  AppendScalar<uint32_t>(out, kRpcMagic);
+  AppendScalar<uint16_t>(out, kRpcVersion);
+  AppendScalar<uint16_t>(out, static_cast<uint16_t>(type));
+  AppendScalar<uint64_t>(out, request_id);
+  AppendScalar<uint32_t>(out, static_cast<uint32_t>(payload_len));
+  AppendScalar<uint32_t>(out, count);
+  AppendScalar<uint64_t>(out, Fnv1a64(payload, payload_len));
+  // Header checksum seals everything above it.
+  AppendScalar<uint64_t>(out, Fnv1a64(out->data() + header_at, kFrameHeaderBytes - 8));
+  if (payload_len > 0) out->append(static_cast<const char*>(payload), payload_len);
+}
+
+WireStatus ParseFrameHeader(const char* data, uint64_t max_frame_bytes, FrameHeader* out) {
+  FrameHeader h;
+  ByteCursor cursor(data, kFrameHeaderBytes);
+  // version + type share 4 bytes; read them as two u16s via a u32.
+  uint32_t vt = 0;
+  if (!cursor.ReadU32(&h.magic) || !cursor.ReadU32(&vt)) {
+    return WireStatus::Fail("short frame header");
+  }
+  h.version = static_cast<uint16_t>(vt & 0xffffu);
+  h.type = static_cast<uint16_t>(vt >> 16);
+  if (!cursor.ReadU64(&h.request_id) || !cursor.ReadU32(&h.payload_len) ||
+      !cursor.ReadU32(&h.count) || !cursor.ReadU64(&h.payload_checksum) ||
+      !cursor.ReadU64(&h.header_checksum)) {
+    return WireStatus::Fail("short frame header");
+  }
+  if (h.magic != kRpcMagic) return WireStatus::Fail("bad frame magic");
+  if (h.version != kRpcVersion) {
+    return WireStatus::Fail("unsupported protocol version " + std::to_string(h.version));
+  }
+  if (Fnv1a64(data, kFrameHeaderBytes - 8) != h.header_checksum) {
+    return WireStatus::Fail("frame header checksum mismatch");
+  }
+  if (static_cast<uint64_t>(h.payload_len) > max_frame_bytes) {
+    return WireStatus::Fail("oversized frame: " + std::to_string(h.payload_len) +
+                            " > max " + std::to_string(max_frame_bytes));
+  }
+  if (h.type < static_cast<uint16_t>(FrameType::kEstimateRequest) ||
+      h.type > static_cast<uint16_t>(FrameType::kError)) {
+    return WireStatus::Fail("unknown frame type " + std::to_string(h.type));
+  }
+  *out = h;
+  return WireStatus::Ok();
+}
+
+WireStatus VerifyPayload(const FrameHeader& header, const char* payload, size_t len) {
+  if (len != header.payload_len) return WireStatus::Fail("payload length mismatch");
+  if (Fnv1a64(payload, len) != header.payload_checksum) {
+    return WireStatus::Fail("frame payload checksum mismatch");
+  }
+  return WireStatus::Ok();
+}
+
+void EncodeEstimateRequest(const EstimateRequest& request, std::string* payload) {
+  AppendScalar<uint16_t>(payload, static_cast<uint16_t>(request.model_key.size()));
+  payload->append(request.model_key);
+  AppendScalar<uint64_t>(payload, request.deadline_us);
+  for (const query::Query& q : request.queries) {
+    AppendScalar<uint16_t>(payload, static_cast<uint16_t>(q.predicates.size()));
+    for (const query::Predicate& p : q.predicates) {
+      AppendScalar<uint32_t>(payload, static_cast<uint32_t>(p.col));
+      AppendScalar<uint32_t>(payload, static_cast<uint32_t>(p.op));
+      AppendScalar<double>(payload, p.value);
+    }
+  }
+}
+
+WireStatus DecodeEstimateRequest(const char* payload, size_t len, uint32_t count,
+                                 EstimateRequest* out) {
+  ByteCursor cursor(payload, len);
+  uint32_t klen32 = 0;
+  {
+    // u16 key length read via two raw bytes to keep cursor usage uniform.
+    uint8_t raw[2];
+    if (cursor.Remaining() < 2) return WireStatus::Fail("truncated estimate request");
+    std::memcpy(raw, cursor.Here(), 2);
+    cursor.Skip(2);
+    klen32 = static_cast<uint32_t>(raw[0]) | (static_cast<uint32_t>(raw[1]) << 8);
+  }
+  if (cursor.Remaining() < klen32) return WireStatus::Fail("truncated model key");
+  out->model_key.assign(cursor.Here(), klen32);
+  cursor.Skip(klen32);
+  if (!cursor.ReadU64(&out->deadline_us)) return WireStatus::Fail("truncated deadline");
+  out->queries.clear();
+  out->queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint16_t npreds = 0;
+    if (cursor.Remaining() < 2) return WireStatus::Fail("truncated query header");
+    std::memcpy(&npreds, cursor.Here(), 2);
+    cursor.Skip(2);
+    out->queries.emplace_back();
+    query::Query& q = out->queries.back();
+    q.predicates.resize(npreds);
+    for (uint16_t p = 0; p < npreds; ++p) {
+      uint32_t col = 0, op = 0;
+      double value = 0.0;
+      if (!cursor.ReadU32(&col) || !cursor.ReadU32(&op) || !cursor.ReadF64(&value)) {
+        return WireStatus::Fail("truncated predicate");
+      }
+      if (op >= static_cast<uint32_t>(query::kNumPredOps)) {
+        return WireStatus::Fail("invalid predicate op " + std::to_string(op));
+      }
+      q.predicates[p].col = static_cast<int>(col);
+      q.predicates[p].op = static_cast<query::PredOp>(op);
+      q.predicates[p].value = value;
+    }
+  }
+  if (cursor.Remaining() != 0) return WireStatus::Fail("trailing bytes in estimate request");
+  return WireStatus::Ok();
+}
+
+void EncodeEstimateResponse(const EstimateResponse& response, std::string* payload) {
+  AppendScalar<uint64_t>(payload, response.snapshot_id);
+  for (const serve::Estimate& e : response.estimates) {
+    AppendScalar<double>(payload, e.selectivity);
+    uint8_t flags = 0;
+    if (e.fallback) flags |= kFlagFallback;
+    if (e.deadline_expired) flags |= kFlagDeadlineExpired;
+    if (e.shed) flags |= kFlagShed;
+    payload->push_back(static_cast<char>(flags));
+  }
+}
+
+WireStatus DecodeEstimateResponse(const char* payload, size_t len, uint32_t count,
+                                  EstimateResponse* out) {
+  ByteCursor cursor(payload, len);
+  if (!cursor.ReadU64(&out->snapshot_id)) return WireStatus::Fail("truncated response");
+  out->estimates.clear();
+  out->estimates.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    serve::Estimate e;
+    if (!cursor.ReadF64(&e.selectivity)) return WireStatus::Fail("truncated estimate row");
+    if (cursor.Remaining() < 1) return WireStatus::Fail("truncated estimate flags");
+    const uint8_t flags = static_cast<uint8_t>(*cursor.Here());
+    cursor.Skip(1);
+    e.fallback = (flags & kFlagFallback) != 0;
+    e.deadline_expired = (flags & kFlagDeadlineExpired) != 0;
+    e.shed = (flags & kFlagShed) != 0;
+    out->estimates.push_back(e);
+  }
+  if (cursor.Remaining() != 0) return WireStatus::Fail("trailing bytes in estimate response");
+  return WireStatus::Ok();
+}
+
+}  // namespace duet::net

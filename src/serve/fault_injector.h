@@ -41,7 +41,8 @@ enum class FaultPoint : int {
   kCheckpointWrite = 4, ///< core::SaveModuleFile tears the file mid-write
   kPublish = 5,         ///< serve::ModelRegistry::Publish fails
   kFineTuneDiverge = 6, ///< core::CloneAndFineTune candidate diverges (NaN)
-  kNumFaultPoints = 7,
+  kNetSnapshotStream = 7,  ///< net::NetServer tears a snapshot stream mid-transfer
+  kNumFaultPoints = 8,
 };
 
 /// The exception every armed fault point throws. Derives from

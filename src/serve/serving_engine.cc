@@ -40,6 +40,10 @@ struct ServingEngine::Pending {
   std::condition_variable cv;
   bool ready = false;
   Estimate result;
+  /// SubmitWithCallback completion hook; empty for Future-style submits.
+  /// Invoked exactly once, after the result is published (a Future waiter
+  /// racing the callback observes a ready result either way).
+  std::function<void(const Estimate&)> on_complete;
 
   void Fulfill(const Estimate& value) {
     {
@@ -48,6 +52,7 @@ struct ServingEngine::Pending {
       ready = true;
     }
     cv.notify_all();
+    if (on_complete) on_complete(value);
   }
 };
 
@@ -411,20 +416,52 @@ std::vector<Estimate> ServingEngine::EstimateBatchImpl(
 
 ServingEngine::Future ServingEngine::Submit(query::Query query, int64_t deadline_us) {
   DUET_CHECK(zoo_ == nullptr) << "zoo-mode engine requires a model key";
-  return SubmitImpl(std::string(), std::move(query), deadline_us);
+  return SubmitImpl(std::string(), std::move(query), deadline_us, nullptr);
 }
 
 ServingEngine::Future ServingEngine::Submit(const std::string& model_key, query::Query query,
                                             int64_t deadline_us) {
   DUET_CHECK(zoo_ != nullptr) << "keyed Submit on a non-zoo engine";
-  return SubmitImpl(model_key, std::move(query), deadline_us);
+  return SubmitImpl(model_key, std::move(query), deadline_us, nullptr);
+}
+
+void ServingEngine::SubmitWithCallback(query::Query query, int64_t deadline_us,
+                                       std::function<void(const Estimate&)> done) {
+  DUET_CHECK(zoo_ == nullptr) << "zoo-mode engine requires a model key";
+  SubmitImpl(std::string(), std::move(query), deadline_us, std::move(done));
+}
+
+void ServingEngine::SubmitWithCallback(const std::string& model_key, query::Query query,
+                                       int64_t deadline_us,
+                                       std::function<void(const Estimate&)> done) {
+  DUET_CHECK(zoo_ != nullptr) << "keyed SubmitWithCallback on a non-zoo engine";
+  SubmitImpl(model_key, std::move(query), deadline_us, std::move(done));
+}
+
+std::vector<Estimate> ServingEngine::ShedBatch(const std::vector<query::Query>& queries) {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  std::vector<Estimate> results(queries.size());
+  if (n == 0) return results;
+  std::vector<double> sels(queries.size(), 0.0);
+  ServeFallback(queries, 0, n, sels.data());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i].selectivity = sels[i];
+    results[i].fallback = true;
+    results[i].shed = true;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.shed += static_cast<uint64_t>(n);
+  stats_.queries += static_cast<uint64_t>(n);
+  return results;
 }
 
 ServingEngine::Future ServingEngine::SubmitImpl(std::string model_key, query::Query query,
-                                                int64_t deadline_us) {
+                                                int64_t deadline_us,
+                                                std::function<void(const Estimate&)> done) {
   auto state = std::make_shared<Pending>();
   state->query = std::move(query);
   state->model_key = std::move(model_key);
+  state->on_complete = std::move(done);
   state->enqueued = Clock::now();
   if (deadline_us <= 0) deadline_us = options_.default_deadline_us;
   if (deadline_us > 0) {
@@ -670,6 +707,7 @@ ServingStats ServingEngine::stats() const {
     snapshot = stats_;
     snapshot.latency_p50_us = BucketQuantile(latency_buckets_, latency_count_, 0.50);
     snapshot.latency_p99_us = BucketQuantile(latency_buckets_, latency_count_, 0.99);
+    snapshot.latency_p999_us = BucketQuantile(latency_buckets_, latency_count_, 0.999);
     if (fusion_group_count_ > 0) {
       // Exact median over fused-group sizes (the histogram is keyed by
       // size, so a linear walk is a handful of entries at most).

@@ -57,6 +57,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -204,9 +205,12 @@ struct ServingStats {
   int64_t queue_high_water = 0;
   /// Submission-to-completion latency percentiles over admitted async
   /// queries (log-bucketed histogram: values are bucket upper bounds, ~2x
-  /// resolution; 0 until the first async query completes).
+  /// resolution; 0 until the first async query completes). p999 is reported
+  /// at the same quantile set as the network front-end's NetStats
+  /// (src/net/net_stats.h), so in-process and wire latency are comparable.
   double latency_p50_us = 0.0;
   double latency_p99_us = 0.0;
+  double latency_p999_us = 0.0;
 };
 
 /// Shards batches across a private worker pool, micro-batches async
@@ -325,6 +329,33 @@ class ServingEngine {
   /// never a mid-group mix of models). Only valid on a zoo-mode engine.
   Future Submit(const std::string& model_key, query::Query query, int64_t deadline_us = 0);
 
+  /// Completion-callback variant of Submit for event-driven callers (the
+  /// epoll front-end, src/net/server.h): `done` is invoked exactly once
+  /// with the final Estimate — from the scheduler/worker thread when the
+  /// query's micro-batch completes, or synchronously on the caller's thread
+  /// when it is shed at admission. The callback must be cheap and
+  /// non-blocking (it runs inside the dispatch path); it must not call back
+  /// into this engine. Identical routing, deadlines, shedding, fusion and
+  /// stats to Submit().
+  void SubmitWithCallback(query::Query query, int64_t deadline_us,
+                          std::function<void(const Estimate&)> done);
+
+  /// Keyed SubmitWithCallback for zoo mode (the Submit key semantics).
+  void SubmitWithCallback(const std::string& model_key, query::Query query,
+                          int64_t deadline_us, std::function<void(const Estimate&)> done);
+
+  /// Admission hook for front-ends that maintain their own in-flight
+  /// budgets (src/net/server.h): answers every query straight from the
+  /// attached fallback on the caller's thread, flagged shed + fallback,
+  /// and counts them like queue-overflow sheds — the docs/resilience.md §2
+  /// shed path without touching the async queue. Never blocks or throws.
+  std::vector<Estimate> ShedBatch(const std::vector<query::Query>& queries);
+
+  /// True when dispatches are routed by model key (zoo mode) — callers must
+  /// use the keyed overloads; false for fixed/registry engines, whose
+  /// key-less overloads must be used instead.
+  bool keyed() const { return zoo_ != nullptr; }
+
   /// Feedback hook (the adaptation input): reports the true cardinality the
   /// execution engine observed for a served query. Routed to the attached
   /// UpdateWorker's feedback buffer when one is attached, else to the
@@ -379,8 +410,10 @@ class ServingEngine {
                                           const std::vector<query::Query>& queries,
                                           int64_t deadline_us, uint64_t* snapshot_id);
 
-  /// Shared Submit implementation behind the keyed and key-less overloads.
-  Future SubmitImpl(std::string model_key, query::Query query, int64_t deadline_us);
+  /// Shared Submit implementation behind the keyed and key-less overloads
+  /// (Future and callback flavours both funnel here; `done` may be empty).
+  Future SubmitImpl(std::string model_key, query::Query query, int64_t deadline_us,
+                    std::function<void(const Estimate&)> done);
 
   /// Counts a dispatch against `target`'s snapshot (swap detection).
   void NoteDispatch(const Target& target);

@@ -1,0 +1,642 @@
+// Network front-end suite (`ctest -L net`): the DuetRpc v1 wire protocol,
+// the epoll server, and snapshot replication (docs/networking.md).
+//
+// The properties pinned here:
+//  * loopback wire serving is BITWISE identical to in-process
+//    EstimateBatch — the socket, the frame codec and the ring buffers add
+//    no numeric surface, and the async micro-batcher they feed is batch
+//    invariant by the kernel contract (docs/architecture.md §2);
+//  * the corruption battery: truncated, bit-flipped, oversized and
+//    wrong-version frames are each cleanly rejected — the offending
+//    connection is dropped, counted as a protocol error, and the server,
+//    its other connections and the engine keep serving untouched;
+//  * resilience semantics survive the wire: deadlines arrive flagged
+//    deadline_expired, budget overflows arrive flagged shed + fallback,
+//    and service recovers immediately after;
+//  * replication ships the primary's current snapshot to a replica that
+//    serves bitwise-equal estimates; a torn or corrupted transfer leaves
+//    the replica serving its OLD snapshot (fault-injection tested).
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/traditional/independence.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "core/duet_model.h"
+#include "data/generator.h"
+#include "data/table.h"
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/ring_buffer.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "query/query.h"
+#include "query/workload.h"
+#include "serve/fault_injector.h"
+#include "serve/model_registry.h"
+#include "serve/model_zoo.h"
+#include "serve/serving_engine.h"
+
+namespace duet {
+namespace {
+
+using net::FrameHeader;
+using net::FrameType;
+using net::NetServer;
+using net::NetServerOptions;
+using net::RingBuffer;
+using net::RpcClient;
+using net::WireStatus;
+using query::Query;
+
+data::Table SmallTable() { return data::CensusLike(300, 13); }
+
+core::DuetModelOptions SmallModelOptions(uint64_t seed) {
+  core::DuetModelOptions opt;
+  opt.hidden_sizes = {12, 12};
+  opt.residual = true;
+  opt.seed = seed;
+  return opt;
+}
+
+std::vector<Query> MakeQueries(const data::Table& table, int n, uint64_t seed = 31) {
+  query::WorkloadSpec spec;
+  spec.seed = seed;
+  query::WorkloadGenerator gen(table, spec);
+  Rng rng(seed);
+  std::vector<Query> queries;
+  queries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) queries.push_back(gen.GenerateQuery(rng));
+  return queries;
+}
+
+std::string TempPath(const std::string& name) {
+  return "/tmp/duet_net_test_" + std::to_string(::getpid()) + "_" + name + ".duet";
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override { serve::FaultInjector::DisarmAll(); }
+  void TearDown() override { serve::FaultInjector::DisarmAll(); }
+};
+
+/// Fixed-estimator serving bed: one tiny model behind an engine with the
+/// classical fallback attached, served by a NetServer on an ephemeral
+/// loopback port.
+struct ServeBed {
+  explicit ServeBed(serve::ServingOptions serving = {}, NetServerOptions net = {})
+      : table(SmallTable()),
+        model(table, SmallModelOptions(7)),
+        estimator(model),
+        fallback(table),
+        engine(estimator, serving),
+        server(engine, std::move(net)) {
+    engine.AttachFallback(&fallback);
+    const WireStatus st = server.Start();
+    EXPECT_TRUE(st.ok) << st.error;
+  }
+  ~ServeBed() { server.Stop(); }
+
+  RpcClient Connect() {
+    RpcClient client;
+    const WireStatus st = client.Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(st.ok) << st.error;
+    return client;
+  }
+
+  data::Table table;
+  core::DuetModel model;
+  core::DuetEstimator estimator;
+  baselines::IndependenceEstimator fallback;
+  serve::ServingEngine engine;
+  NetServer server;
+};
+
+// ---------------------------------------------------------------------------
+// Ring buffer + frame codec unit coverage
+// ---------------------------------------------------------------------------
+
+TEST(NetRingBuffer, WrapAroundAndCopyOut) {
+  RingBuffer ring;
+  std::string pattern;
+  for (int i = 0; i < 300; ++i) pattern.push_back(static_cast<char>(i * 7));
+  // Force many wraps with interleaved append/consume.
+  size_t produced = 0, consumed = 0;
+  std::string drained;
+  while (consumed < 10000) {
+    ring.Append(pattern.data(), pattern.size());
+    produced += pattern.size();
+    while (ring.size() > 128) {
+      char buf[97];
+      const size_t n = std::min(sizeof buf, ring.size() - 128);
+      ring.CopyOut(0, n, buf);
+      drained.append(buf, n);
+      ring.Consume(n);
+      consumed += n;
+    }
+  }
+  // Everything drained must be the repeated pattern, in order.
+  for (size_t i = 0; i < drained.size(); ++i) {
+    ASSERT_EQ(drained[i], pattern[i % pattern.size()]) << "at " << i;
+  }
+  EXPECT_EQ(produced - consumed, ring.size());
+}
+
+TEST(NetRingBuffer, SpansCoverEverything) {
+  RingBuffer ring;
+  ring.Append("0123456789", 10);
+  ring.Consume(7);  // head advanced: next append wraps
+  ring.EnsureSpace(1);
+  const size_t cap = ring.capacity();
+  std::string big(cap - ring.size(), 'x');
+  ring.Append(big.data(), big.size());  // fills to capacity, wrapping
+  net::RingSpan spans[2];
+  const int n = ring.ReadSpans(spans);
+  size_t total = 0;
+  for (int s = 0; s < n; ++s) total += spans[s].len;
+  EXPECT_EQ(total, ring.size());
+  EXPECT_EQ(ring.free_space(), 0u);
+  EXPECT_EQ(ring.WriteSpans(spans), 0);
+}
+
+TEST(NetWire, FrameAndPayloadRoundTrip) {
+  net::EstimateRequest request;
+  request.model_key = "census";
+  request.deadline_us = 1234;
+  const data::Table table = SmallTable();
+  request.queries = MakeQueries(table, 5);
+
+  std::string payload;
+  net::EncodeEstimateRequest(request, &payload);
+  std::string frame;
+  net::AppendFrame(&frame, FrameType::kEstimateRequest, 42,
+                   static_cast<uint32_t>(request.queries.size()), payload.data(),
+                   payload.size());
+  ASSERT_EQ(frame.size(), net::kFrameHeaderBytes + payload.size());
+
+  FrameHeader header;
+  WireStatus st = net::ParseFrameHeader(frame.data(), 1u << 20, &header);
+  ASSERT_TRUE(st.ok) << st.error;
+  EXPECT_EQ(header.request_id, 42u);
+  EXPECT_EQ(header.count, request.queries.size());
+  st = net::VerifyPayload(header, frame.data() + net::kFrameHeaderBytes, payload.size());
+  ASSERT_TRUE(st.ok) << st.error;
+
+  net::EstimateRequest decoded;
+  st = net::DecodeEstimateRequest(frame.data() + net::kFrameHeaderBytes, payload.size(),
+                                  header.count, &decoded);
+  ASSERT_TRUE(st.ok) << st.error;
+  EXPECT_EQ(decoded.model_key, request.model_key);
+  EXPECT_EQ(decoded.deadline_us, request.deadline_us);
+  ASSERT_EQ(decoded.queries.size(), request.queries.size());
+  for (size_t i = 0; i < decoded.queries.size(); ++i) {
+    ASSERT_EQ(decoded.queries[i].predicates.size(), request.queries[i].predicates.size());
+    for (size_t p = 0; p < decoded.queries[i].predicates.size(); ++p) {
+      EXPECT_EQ(decoded.queries[i].predicates[p].col, request.queries[i].predicates[p].col);
+      EXPECT_EQ(decoded.queries[i].predicates[p].op, request.queries[i].predicates[p].op);
+      EXPECT_EQ(decoded.queries[i].predicates[p].value, request.queries[i].predicates[p].value);
+    }
+  }
+}
+
+TEST(NetWire, HeaderRejectsEveryCorruption) {
+  std::string frame;
+  const char payload[] = "abcdef";
+  net::AppendFrame(&frame, FrameType::kEstimateRequest, 1, 1, payload, sizeof payload);
+  FrameHeader header;
+  ASSERT_TRUE(net::ParseFrameHeader(frame.data(), 1u << 20, &header).ok);
+
+  std::string bad = frame;          // bad magic
+  bad[0] = static_cast<char>(bad[0] ^ 0x5a);
+  EXPECT_FALSE(net::ParseFrameHeader(bad.data(), 1u << 20, &header).ok);
+
+  bad = frame;                      // flipped bit deep in the header
+  bad[18] = static_cast<char>(bad[18] ^ 0x01);
+  EXPECT_FALSE(net::ParseFrameHeader(bad.data(), 1u << 20, &header).ok);
+
+  // Oversized: a frame whose declared payload exceeds the cap is rejected
+  // even with valid checksums.
+  std::string big_payload(4096, 'x');
+  bad.clear();
+  net::AppendFrame(&bad, FrameType::kEstimateRequest, 1, 1, big_payload.data(),
+                   big_payload.size());
+  EXPECT_FALSE(net::ParseFrameHeader(bad.data(), 1024, &header).ok);
+
+  // Payload corruption is caught by the payload checksum.
+  bad = frame;
+  bad[net::kFrameHeaderBytes + 2] = static_cast<char>(bad[net::kFrameHeaderBytes + 2] ^ 0x80);
+  ASSERT_TRUE(net::ParseFrameHeader(bad.data(), 1u << 20, &header).ok);
+  EXPECT_FALSE(
+      net::VerifyPayload(header, bad.data() + net::kFrameHeaderBytes, sizeof payload).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback serving
+// ---------------------------------------------------------------------------
+
+TEST_F(NetTest, LoopbackBitwiseEqualsInProcess) {
+  ServeBed bed;
+  const std::vector<Query> queries = MakeQueries(bed.table, 64);
+  const std::vector<double> reference = bed.engine.EstimateBatch(queries);
+
+  RpcClient client = bed.Connect();
+  std::vector<serve::Estimate> wire;
+  const WireStatus st = client.EstimateBatch("", queries, 0, &wire);
+  ASSERT_TRUE(st.ok) << st.error;
+  ASSERT_EQ(wire.size(), reference.size());
+  for (size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_EQ(wire[i].selectivity, reference[i]) << "query " << i;  // bitwise
+    EXPECT_FALSE(wire[i].degraded()) << "query " << i;
+  }
+
+  const net::NetStats stats = bed.server.stats();
+  EXPECT_EQ(stats.queries, queries.size());
+  EXPECT_EQ(stats.batched_frames, 1u);  // one frame, 64 queries: wire batching
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.estimate.requests, 1u);
+  EXPECT_GT(stats.estimate.p50_us, 0.0);
+}
+
+TEST_F(NetTest, WireBatchingFeedsMicroBatchFusion) {
+  serve::ServingOptions serving;
+  serving.max_batch = 64;
+  serving.max_wait_us = 5000;
+  ServeBed bed(serving);
+  const std::vector<Query> queries = MakeQueries(bed.table, 64);
+  const std::vector<double> reference = bed.engine.EstimateBatch(queries);
+
+  RpcClient client = bed.Connect();
+  std::vector<serve::Estimate> wire;
+  ASSERT_TRUE(client.EstimateBatch("", queries, 0, &wire).ok);
+  for (size_t i = 0; i < wire.size(); ++i) EXPECT_EQ(wire[i].selectivity, reference[i]);
+
+  // The 64 queries of the single wire frame reached the engine as async
+  // submissions and were coalesced by cross-request fusion — wire-level
+  // batching composes with the micro-batcher instead of bypassing it.
+  const serve::ServingStats es = bed.engine.stats();
+  EXPECT_GE(es.fused_requests, 2u);
+}
+
+TEST_F(NetTest, ConcurrentClientsAllBitwiseCorrect) {
+  ServeBed bed;
+  const std::vector<Query> queries = MakeQueries(bed.table, 32);
+  const std::vector<double> reference = bed.engine.EstimateBatch(queries);
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      RpcClient client;
+      if (!client.Connect("127.0.0.1", bed.server.port()).ok) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<serve::Estimate> wire;
+        if (!client.EstimateBatch("", queries, 0, &wire).ok ||
+            wire.size() != reference.size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t i = 0; i < wire.size(); ++i) {
+          if (wire[i].selectivity != reference[i]) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const net::NetStats stats = bed.server.stats();
+  EXPECT_EQ(stats.queries, static_cast<uint64_t>(kClients) * kRounds * queries.size());
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption battery: every malformed frame drops ONLY its connection.
+// ---------------------------------------------------------------------------
+
+/// Builds a frame with full control over the header fields, recomputing
+/// both checksums unless told to corrupt them — so each test isolates
+/// exactly one validation rule.
+std::string RawFrame(uint32_t magic, uint16_t version, uint16_t type, uint32_t payload_len,
+                     const std::string& payload, bool valid_header_checksum = true) {
+  std::string out;
+  auto put = [&out](const void* p, size_t n) { out.append(static_cast<const char*>(p), n); };
+  put(&magic, 4);
+  put(&version, 2);
+  put(&type, 2);
+  const uint64_t request_id = 9;
+  put(&request_id, 8);
+  put(&payload_len, 4);
+  const uint32_t count = 1;
+  put(&count, 4);
+  const uint64_t payload_checksum = Fnv1a64(payload.data(), payload.size());
+  put(&payload_checksum, 8);
+  uint64_t header_checksum = Fnv1a64(out.data(), net::kFrameHeaderBytes - 8);
+  if (!valid_header_checksum) header_checksum ^= 0xdeadbeef;
+  put(&header_checksum, 8);
+  out += payload;
+  return out;
+}
+
+TEST_F(NetTest, CorruptionBatteryDropsOnlyTheOffender) {
+  ServeBed bed;
+  const std::vector<Query> queries = MakeQueries(bed.table, 8);
+  const std::vector<double> reference = bed.engine.EstimateBatch(queries);
+
+  // A healthy long-lived connection that must survive every attack below.
+  RpcClient survivor = bed.Connect();
+
+  net::EstimateRequest request;
+  request.queries = queries;
+  std::string payload;
+  net::EncodeEstimateRequest(request, &payload);
+  const uint16_t req_type = static_cast<uint16_t>(FrameType::kEstimateRequest);
+
+  struct Attack {
+    const char* name;
+    std::string bytes;
+  };
+  std::string flipped_payload = payload;
+  flipped_payload[3] = static_cast<char>(flipped_payload[3] ^ 0x10);
+  std::vector<Attack> attacks = {
+      {"bad magic", RawFrame(0x41414141, net::kRpcVersion, req_type,
+                             static_cast<uint32_t>(payload.size()), payload)},
+      {"wrong version", RawFrame(net::kRpcMagic, 99, req_type,
+                                 static_cast<uint32_t>(payload.size()), payload)},
+      {"bad header checksum", RawFrame(net::kRpcMagic, net::kRpcVersion, req_type,
+                                       static_cast<uint32_t>(payload.size()), payload, false)},
+      {"oversized payload_len", RawFrame(net::kRpcMagic, net::kRpcVersion, req_type,
+                                         64u << 20, "")},
+      {"bit-flipped payload", RawFrame(net::kRpcMagic, net::kRpcVersion, req_type,
+                                       static_cast<uint32_t>(payload.size()), flipped_payload)},
+      {"unknown frame type", RawFrame(net::kRpcMagic, net::kRpcVersion, 200,
+                                      static_cast<uint32_t>(payload.size()), payload)},
+  };
+  // The bit-flipped payload must keep the ORIGINAL payload checksum (the
+  // flip happened "on the wire"), so rebuild that frame with the original
+  // payload's checksum over the flipped bytes.
+  // RawFrame computed the checksum over flipped bytes — overwrite it.
+  {
+    std::string& frame = attacks[4].bytes;
+    const uint64_t original_checksum = Fnv1a64(payload.data(), payload.size());
+    std::memcpy(frame.data() + 24, &original_checksum, 8);
+    uint64_t header_checksum = Fnv1a64(frame.data(), net::kFrameHeaderBytes - 8);
+    std::memcpy(frame.data() + 32, &header_checksum, 8);
+  }
+
+  uint64_t expected_errors = 0;
+  for (const Attack& attack : attacks) {
+    SCOPED_TRACE(attack.name);
+    RpcClient attacker = bed.Connect();
+    ASSERT_TRUE(attacker.SendRaw(attack.bytes.data(), attack.bytes.size()).ok);
+    // The server must DROP the attacker...
+    EXPECT_TRUE(attacker.WaitForClose()) << "server did not drop the connection";
+    ++expected_errors;
+    // ...while the survivor connection keeps serving bitwise-correct
+    // estimates and the server accepts fresh clients.
+    std::vector<serve::Estimate> wire;
+    ASSERT_TRUE(survivor.EstimateBatch("", queries, 0, &wire).ok);
+    for (size_t i = 0; i < wire.size(); ++i) EXPECT_EQ(wire[i].selectivity, reference[i]);
+  }
+
+  // Truncated frame: a header promising more payload than ever arrives,
+  // then EOF. Not a checksum failure — just a clean close, state intact.
+  {
+    std::string frame = RawFrame(net::kRpcMagic, net::kRpcVersion, req_type,
+                                 static_cast<uint32_t>(payload.size()), payload);
+    RpcClient attacker = bed.Connect();
+    ASSERT_TRUE(attacker.SendRaw(frame.data(), frame.size() - 7).ok);
+    attacker.Close();
+    std::vector<serve::Estimate> wire;
+    ASSERT_TRUE(survivor.EstimateBatch("", queries, 0, &wire).ok);
+    for (size_t i = 0; i < wire.size(); ++i) EXPECT_EQ(wire[i].selectivity, reference[i]);
+  }
+
+  const net::NetStats stats = bed.server.stats();
+  EXPECT_EQ(stats.protocol_errors, expected_errors);
+  EXPECT_EQ(stats.connections_dropped, expected_errors);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience semantics over the wire
+// ---------------------------------------------------------------------------
+
+TEST_F(NetTest, DeadlineExpiresOverTheWire) {
+  serve::ServingOptions serving;
+  serving.max_batch = 1024;     // never dispatch on count...
+  serving.max_wait_us = 20000;  // ...and wait far longer than the deadline
+  ServeBed bed(serving);
+  const std::vector<Query> queries = MakeQueries(bed.table, 4);
+
+  RpcClient client = bed.Connect();
+  std::vector<serve::Estimate> wire;
+  const WireStatus st = client.EstimateBatch("", queries, /*deadline_us=*/1, &wire);
+  ASSERT_TRUE(st.ok) << st.error;
+  ASSERT_EQ(wire.size(), queries.size());
+  for (const serve::Estimate& e : wire) {
+    EXPECT_TRUE(e.deadline_expired);
+    EXPECT_TRUE(e.fallback);
+  }
+}
+
+TEST_F(NetTest, BudgetOverflowShedsWholeFrameAndRecovers) {
+  NetServerOptions net_options;
+  net_options.max_connection_inflight = 32;
+  ServeBed bed({}, net_options);
+  const std::vector<Query> queries = MakeQueries(bed.table, 64);
+  const std::vector<double> reference = bed.engine.EstimateBatch(queries);
+
+  RpcClient client = bed.Connect();
+  // 64 queries > the 32-query budget: the whole frame is shed through the
+  // engine's fallback path, flagged on the wire.
+  std::vector<serve::Estimate> wire;
+  ASSERT_TRUE(client.EstimateBatch("", queries, 0, &wire).ok);
+  ASSERT_EQ(wire.size(), queries.size());
+  for (const serve::Estimate& e : wire) {
+    EXPECT_TRUE(e.shed);
+    EXPECT_TRUE(e.fallback);
+  }
+  EXPECT_EQ(bed.server.stats().sheds, queries.size());
+
+  // Within budget, the same connection immediately serves normally again.
+  const std::vector<Query> small(queries.begin(), queries.begin() + 16);
+  ASSERT_TRUE(client.EstimateBatch("", small, 0, &wire).ok);
+  ASSERT_EQ(wire.size(), small.size());
+  for (size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(wire[i].shed);
+    EXPECT_EQ(wire[i].selectivity, reference[i]);
+  }
+}
+
+TEST_F(NetTest, KeyRoutingMismatchIsACleanErrorNotADrop) {
+  ServeBed bed;  // fixed-estimator engine: not keyed
+  const std::vector<Query> queries = MakeQueries(bed.table, 4);
+  RpcClient client = bed.Connect();
+  std::vector<serve::Estimate> wire;
+  const WireStatus st = client.EstimateBatch("some-model", queries, 0, &wire);
+  EXPECT_FALSE(st.ok);  // clean kError response...
+  ASSERT_TRUE(client.EstimateBatch("", queries, 0, &wire).ok);  // ...connection intact
+  EXPECT_EQ(bed.server.stats().protocol_errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot replication
+// ---------------------------------------------------------------------------
+
+/// Primary/replica bed: a registry-mode primary serving + publishing, a
+/// zoo-mode replica, and the artifact paths wired for replication.
+struct ReplicationBed {
+  ReplicationBed()
+      : table(SmallTable()),
+        queries(MakeQueries(table, 32)),
+        registry(std::make_unique<core::DuetModel>(table, SmallModelOptions(11))),
+        primary_engine(registry),
+        primary_server(primary_engine),
+        replica_path(TempPath("replica")),
+        replica_engine(zoo) {
+    primary_server.AttachSnapshotSource(&registry);
+    const WireStatus st = primary_server.Start();
+    EXPECT_TRUE(st.ok) << st.error;
+  }
+  ~ReplicationBed() {
+    primary_server.Stop();
+    ::unlink(replica_path.c_str());
+    ::unlink((replica_path + ".fetch").c_str());
+  }
+
+  RpcClient Connect() {
+    RpcClient client;
+    const WireStatus st = client.Connect("127.0.0.1", primary_server.port());
+    EXPECT_TRUE(st.ok) << st.error;
+    return client;
+  }
+
+  data::Table table;
+  std::vector<Query> queries;
+  serve::ModelRegistry registry;
+  serve::ServingEngine primary_engine;
+  NetServer primary_server;
+  std::string replica_path;
+  serve::ModelZoo zoo;
+  serve::ServingEngine replica_engine;
+};
+
+TEST_F(NetTest, ReplicationServesBitwiseEqualEstimates) {
+  ReplicationBed bed;
+  RpcClient client = bed.Connect();
+  const WireStatus st =
+      net::ReplicateSnapshot(client, bed.zoo, "census", bed.replica_path);
+  ASSERT_TRUE(st.ok) << st.error;
+
+  const std::vector<double> primary = bed.primary_engine.EstimateBatch(bed.queries);
+  const std::vector<double> replica = bed.replica_engine.EstimateBatch("census", bed.queries);
+  ASSERT_EQ(primary.size(), replica.size());
+  for (size_t i = 0; i < primary.size(); ++i) {
+    EXPECT_EQ(primary[i], replica[i]) << "query " << i;  // bitwise
+  }
+  const net::NetStats stats = bed.primary_server.stats();
+  EXPECT_EQ(stats.snapshot_streams, 1u);
+  EXPECT_GT(stats.snapshot_bytes_sent, 0u);
+  EXPECT_EQ(stats.snapshot_stream_failures, 0u);
+}
+
+TEST_F(NetTest, RepublishThenReplicateTracksThePrimary) {
+  ReplicationBed bed;
+  RpcClient client = bed.Connect();
+  ASSERT_TRUE(net::ReplicateSnapshot(client, bed.zoo, "census", bed.replica_path).ok);
+  const std::vector<double> v0 = bed.replica_engine.EstimateBatch("census", bed.queries);
+
+  // Primary publishes a DIFFERENT model (fresh seed): its estimates move.
+  bed.registry.Publish(std::make_unique<core::DuetModel>(bed.table, SmallModelOptions(23)));
+  const std::vector<double> primary_v1 = bed.primary_engine.EstimateBatch(bed.queries);
+  ASSERT_NE(primary_v1, v0);
+
+  // Re-replicate: the replica hot-swaps onto the new snapshot.
+  ASSERT_TRUE(net::ReplicateSnapshot(client, bed.zoo, "census", bed.replica_path).ok);
+  const std::vector<double> replica_v1 = bed.replica_engine.EstimateBatch("census", bed.queries);
+  for (size_t i = 0; i < replica_v1.size(); ++i) {
+    EXPECT_EQ(replica_v1[i], primary_v1[i]) << "query " << i;
+  }
+  EXPECT_EQ(bed.primary_server.stats().snapshot_streams, 2u);
+}
+
+TEST_F(NetTest, TornTransferLeavesReplicaOnOldSnapshot) {
+  ReplicationBed bed;
+  RpcClient client = bed.Connect();
+  ASSERT_TRUE(net::ReplicateSnapshot(client, bed.zoo, "census", bed.replica_path).ok);
+  const std::vector<double> v0 = bed.replica_engine.EstimateBatch("census", bed.queries);
+
+  bed.registry.Publish(std::make_unique<core::DuetModel>(bed.table, SmallModelOptions(23)));
+
+  // Tear the next stream mid-transfer (skip 1: let the first chunk out,
+  // then fail): the primary aborts the connection before the end frame.
+  serve::FaultInjector::Arm(serve::FaultPoint::kNetSnapshotStream, 1, /*skip=*/1);
+  const WireStatus torn =
+      net::ReplicateSnapshot(client, bed.zoo, "census", bed.replica_path);
+  EXPECT_FALSE(torn.ok);
+  EXPECT_EQ(bed.primary_server.stats().snapshot_stream_failures, 1u);
+
+  // The replica still serves its OLD snapshot, bitwise.
+  const std::vector<double> after = bed.replica_engine.EstimateBatch("census", bed.queries);
+  EXPECT_EQ(after, v0);
+
+  // Recovery: a fresh connection replicates the new snapshot cleanly.
+  serve::FaultInjector::DisarmAll();
+  RpcClient retry = bed.Connect();
+  ASSERT_TRUE(net::ReplicateSnapshot(retry, bed.zoo, "census", bed.replica_path).ok);
+  const std::vector<double> replica_v1 = bed.replica_engine.EstimateBatch("census", bed.queries);
+  const std::vector<double> primary_v1 = bed.primary_engine.EstimateBatch(bed.queries);
+  EXPECT_EQ(replica_v1, primary_v1);
+}
+
+TEST_F(NetTest, CorruptedFetchIsRejectedBeforeInstall) {
+  ReplicationBed bed;
+  RpcClient client = bed.Connect();
+  ASSERT_TRUE(net::ReplicateSnapshot(client, bed.zoo, "census", bed.replica_path).ok);
+  const std::vector<double> v0 = bed.replica_engine.EstimateBatch("census", bed.queries);
+
+  // Fetch a fresh copy, then corrupt it on disk before installing — the
+  // artifact's own checksums must reject it and the zoo stays untouched.
+  const std::string fetched = bed.replica_path + ".fetch";
+  ASSERT_TRUE(client.FetchSnapshot(fetched).ok);
+  {
+    std::fstream f(fetched, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(200);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(200);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  const WireStatus st = net::InstallSnapshot(bed.zoo, "census", fetched, bed.replica_path);
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(bed.replica_engine.EstimateBatch("census", bed.queries), v0);
+}
+
+TEST_F(NetTest, SnapshotRequestWithoutSourceIsACleanError) {
+  ServeBed bed;  // no AttachSnapshotSource
+  RpcClient client = bed.Connect();
+  const WireStatus st = client.FetchSnapshot(TempPath("nosource"));
+  EXPECT_FALSE(st.ok);
+  // Connection stays usable.
+  std::vector<serve::Estimate> wire;
+  const std::vector<Query> queries = MakeQueries(bed.table, 4);
+  EXPECT_TRUE(client.EstimateBatch("", queries, 0, &wire).ok);
+}
+
+}  // namespace
+}  // namespace duet
