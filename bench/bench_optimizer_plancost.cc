@@ -1,41 +1,52 @@
-// End-to-end plan-quality bench: how much plan cost does each estimator's
-// Q-error buy? (The paper's introduction motivation, quantified with the
-// plan-cost ratio / P-error of Han et al., ref [46].)
+// Headline optimizer-in-the-loop bench: the provider-driven join-order
+// planner (optimizer/card_provider.h, docs/optimizer.md) planning random
+// star joins THROUGH the serving stack, scored with the plan-cost ratio
+// (P-error of Han et al., paper ref [46]).
 //
-// A three-table star schema with correlated filter columns is planned for
-// many random filter combinations; for each estimator we report the
-// distribution of true-cost(chosen plan) / true-cost(optimal plan).
+// Three estimator rows share one planner and one star workload:
+//  * oracle    — ExactCardinalityProvider; P-error is 1.0 EXACTLY for every
+//                query (bitwise-shared DP), asserted, nonzero exit if not;
+//  * neural    — per-table trained Duet artifacts in a ModelZoo behind a
+//                zoo-mode ServingEngine, one keyed Submit burst per DP
+//                level (ServingCardinalityProvider);
+//  * classical — per-table IndependenceEstimator, the fallback tier
+//                (EstimatorCardinalityProvider).
+//
+// A second section A/Bs the estimation latency of one plan search with the
+// level-batched fetch against a sequential one-request-at-a-time arm, both
+// unmemoized so they issue identical request streams — the wall-clock value
+// of handing the micro-batcher the whole fan-out at once.
 //
 // Flags: --rows=N --queries=N --epochs=N
+#include <unistd.h>
+
+#include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "baselines/pgm/chow_liu.h"
+#include "artifact/artifact.h"
 #include "baselines/traditional/independence.h"
-#include "baselines/traditional/mhist.h"
 #include "bench/bench_util.h"
+#include "optimizer/card_provider.h"
 #include "optimizer/planner.h"
-#include "query/evaluator.h"
+#include "serve/model_zoo.h"
+#include "serve/serving_engine.h"
+#include "tensor/packed_weights.h"
 
 namespace duet::bench {
 namespace {
 
-class Oracle : public query::CardinalityEstimator {
- public:
-  explicit Oracle(const data::Table& t) : table_(t), exact_(t) {}
-  double EstimateSelectivity(const query::Query& q) override {
-    return static_cast<double>(exact_.Count(q)) / static_cast<double>(table_.num_rows());
-  }
-  std::string name() const override { return "Oracle"; }
-
- private:
-  const data::Table& table_;
-  query::ExactEvaluator exact_;
-};
-
 /// Equal-sized tables whose *filters* decide the join order; `correlation`
 /// controls how badly the independence assumption misjudges the two-column
-/// conjunction (0 = independent columns, Indep is exact).
+/// conjunction (0 = independent columns, the classical row is exact).
+///
+/// The generator draws each table an independent real-valued dictionary, so
+/// the key column (col 0) is rebuilt onto the canonical 0..39 domain every
+/// star table shares — star joins match by VALUE (JoinKeyStats /
+/// data::EquiJoin semantics), and disjoint dictionaries would make every
+/// join factor zero.
 data::Table MakeStarTable(const std::string& name, int64_t rows, uint64_t seed,
                           double correlation) {
   data::SyntheticSpec spec;
@@ -47,7 +58,21 @@ data::Table MakeStarTable(const std::string& name, int64_t rows, uint64_t seed,
   spec.columns = {{40, 0.4, 0.3, 0},
                   {12, 0.6, correlation, 0},
                   {12, 0.6, correlation, 0}};
-  return data::GenerateSynthetic(spec);
+  const data::Table generated = data::GenerateSynthetic(spec);
+
+  std::vector<double> shared_domain(40);
+  for (int32_t v = 0; v < 40; ++v) shared_domain[static_cast<size_t>(v)] = v;
+  std::vector<data::Column> columns;
+  for (int c = 0; c < generated.num_columns(); ++c) {
+    const data::Column& src = generated.column(c);
+    std::vector<int32_t> codes(static_cast<size_t>(generated.num_rows()));
+    for (int64_t r = 0; r < generated.num_rows(); ++r) {
+      codes[static_cast<size_t>(r)] = src.code(r);
+    }
+    columns.push_back(data::Column::FromCodes(
+        src.name(), std::move(codes), c == 0 ? shared_domain : src.distinct()));
+  }
+  return data::Table(name, std::move(columns));
 }
 
 }  // namespace
@@ -60,51 +85,79 @@ int main(int argc, char** argv) {
   const double scale = Flags::ScaleFactor();
   const int num_queries = static_cast<int>(flags.GetInt("queries", 60));
   const int epochs = static_cast<int>(flags.GetInt("epochs", 20));
-
   const int64_t rows = flags.GetInt("rows", static_cast<int64_t>(6000 * scale));
+
   data::Table a = MakeStarTable("t_corr", rows, 1, /*correlation=*/0.95);
   data::Table b = MakeStarTable("t_mixed", rows, 2, /*correlation=*/0.6);
   data::Table c = MakeStarTable("t_indep", rows, 3, /*correlation=*/0.0);
   const std::vector<const data::Table*> tables = {&a, &b, &c};
+  const int k = static_cast<int>(tables.size());
 
-  // Per-table estimator stables.
-  std::vector<std::unique_ptr<core::DuetModel>> duet_models;
-  std::vector<std::unique_ptr<query::CardinalityEstimator>> duet_est, indep_est, mhist_est,
-      pgm_est, oracle_est;
-  for (const data::Table* t : tables) {
+  // Train one Duet model per table and publish it as a zoo artifact — the
+  // neural row estimates through the full serving path, not in-process.
+  std::vector<std::string> model_keys, artifact_paths;
+  serve::ModelZoo zoo;
+  for (int t = 0; t < k; ++t) {
     core::DuetModelOptions mopt;
     mopt.hidden_sizes = {64, 64};
     mopt.residual = true;
-    auto model = std::make_unique<core::DuetModel>(*t, mopt);
+    core::DuetModel model(*tables[static_cast<size_t>(t)], mopt);
     core::TrainOptions topt;
     topt.epochs = epochs;
     topt.batch_size = 128;
-    core::DuetTrainer(*model, topt).Train();
-    duet_est.push_back(std::make_unique<core::DuetEstimator>(*model));
-    duet_models.push_back(std::move(model));
-    indep_est.push_back(std::make_unique<baselines::IndependenceEstimator>(*t));
-    mhist_est.push_back(std::make_unique<baselines::MHistEstimator>(*t, 512));
-    pgm_est.push_back(std::make_unique<baselines::ChowLiuEstimator>(*t));
-    oracle_est.push_back(std::make_unique<Oracle>(*t));
+    core::DuetTrainer(model, topt).Train();
+    model.SetInferenceBackend(tensor::WeightBackend::kCsrF32);
+    model.SetPlanEnabled(true);
+    model.EstimateSelectivityBatch({query::Query{}});  // compile the plan
+    const std::string path = "/tmp/duet_bench_plancost_" + std::to_string(::getpid()) +
+                             "_" + std::to_string(t) + ".duet";
+    const artifact::ArtifactStatus st =
+        artifact::WriteArtifact(path, model, tensor::WeightBackend::kCsrF32);
+    if (!st.ok) {
+      std::fprintf(stderr, "artifact write failed: %s\n", st.error.c_str());
+      return 1;
+    }
+    artifact_paths.push_back(path);
+    model_keys.push_back("star-" + std::to_string(t));
+    zoo.Register(model_keys.back(), path);
+  }
+  serve::ServingEngine engine(zoo);  // defaults: fused keyed micro-batching
+
+  std::vector<std::unique_ptr<baselines::IndependenceEstimator>> indep_owned;
+  std::vector<query::CardinalityEstimator*> indep;
+  for (const data::Table* t : tables) {
+    indep_owned.push_back(std::make_unique<baselines::IndependenceEstimator>(*t));
+    indep.push_back(indep_owned.back().get());
   }
 
-  struct Entry {
-    const char* name;
-    std::vector<query::CardinalityEstimator*> ests;
-    std::vector<double> ratios;
-  };
-  auto raw = [](const std::vector<std::unique_ptr<query::CardinalityEstimator>>& v) {
-    std::vector<query::CardinalityEstimator*> out;
-    for (const auto& e : v) out.push_back(e.get());
-    return out;
-  };
-  std::vector<Entry> entries = {{"Indep", raw(indep_est), {}},
-                                {"MHist", raw(mhist_est), {}},
-                                {"PGM", raw(pgm_est), {}},
-                                {"Duet", raw(duet_est), {}},
-                                {"Oracle", raw(oracle_est), {}}};
+  const optimizer::JoinKeyStats stats(tables, /*join_col=*/0);
+  optimizer::ServingCardinalityProvider neural(engine, model_keys, stats);
+  optimizer::EstimatorCardinalityProvider classical(indep, stats);
 
-  // Random correlated filters: a >=-range pair on the two filter columns.
+  // Unmemoized batched vs sequential arms: identical request streams
+  // (ell * C(k, ell) per level), only the waiting discipline differs.
+  optimizer::ComposedProviderOptions fanout_batched;
+  fanout_batched.memoize = false;
+  optimizer::ComposedProviderOptions fanout_sequential;
+  fanout_sequential.memoize = false;
+  fanout_sequential.sequential = true;
+  optimizer::ServingCardinalityProvider neural_batched(engine, model_keys, stats,
+                                                       fanout_batched);
+  optimizer::ServingCardinalityProvider neural_sequential(engine, model_keys, stats,
+                                                          fanout_sequential);
+
+  struct Row {
+    const char* name;
+    optimizer::CardinalityProvider* provider;  // null = oracle, built per query
+    std::vector<double> ratios;
+    uint64_t degraded = 0;
+  };
+  std::vector<Row> rows_out = {{"oracle", nullptr, {}, 0},
+                               {"neural", &neural, {}, 0},
+                               {"classical", &classical, {}, 0}};
+
+  bool oracle_exact = true;
+  double batched_us = 0.0, sequential_us = 0.0;
   Rng rng(777);
   for (int qi = 0; qi < num_queries; ++qi) {
     optimizer::StarJoinQuery star;
@@ -124,28 +177,67 @@ int main(int argc, char** argv) {
            c2.Value(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(c2.ndv()))))});
       star.filters.push_back(f);
     }
-    optimizer::StarJoinPlanner planner(star);
-    for (Entry& e : entries) {
-      const optimizer::JoinPlan plan = planner.PlanWithEstimators(e.ests);
-      e.ratios.push_back(planner.PlanCostRatio(plan));
+
+    optimizer::JoinOrderPlanner planner(star);
+    optimizer::ExactCardinalityProvider oracle(planner.exact());
+    for (Row& row : rows_out) {
+      optimizer::CardinalityProvider& provider =
+          row.provider != nullptr ? *row.provider : static_cast<optimizer::CardinalityProvider&>(oracle);
+      const optimizer::PlanSearchResult res = planner.Plan(provider);
+      row.ratios.push_back(planner.PlanCostRatio(res.plan));
+      row.degraded += res.degraded_estimates;
     }
+    if (rows_out[0].ratios.back() != 1.0) oracle_exact = false;
+
+    batched_us += planner.Plan(neural_batched).estimation_micros;
+    sequential_us += planner.Plan(neural_sequential).estimation_micros;
   }
 
-  std::printf("Plan-cost ratio over %d random star-join queries "
-              "(3 tables, correlated filters; 1.0 = optimal plan)\n",
-              num_queries);
-  std::printf("%-10s %9s %9s %9s %9s\n", "estimator", "mean", "median", "95th", "max");
-  for (Entry& e : entries) {
-    const ErrorSummary s = ErrorSummary::FromValues(e.ratios);
-    std::printf("%-10s %9.3f %9.3f %9.3f %9.3f\n", e.name, s.mean, s.median,
-                Percentile(e.ratios, 95.0), s.max);
+  std::printf("Plan-cost ratio (P-error) over %d random star-join queries\n"
+              "(%d tables, %lld rows each, correlated filters; 1.0 = optimal plan;\n"
+              " neural row served through a zoo-mode engine, one keyed burst per DP level)\n",
+              num_queries, k, static_cast<long long>(rows));
+  std::printf("%-10s %9s %9s %9s %9s %10s\n", "estimator", "mean", "p50", "p99", "max",
+              "degraded");
+  for (Row& row : rows_out) {
+    const ErrorSummary s = ErrorSummary::FromValues(row.ratios);
+    std::printf("%-10s %9.3f %9.3f %9.3f %9.3f %10llu\n", row.name, s.mean, s.median,
+                s.p99, s.max, static_cast<unsigned long long>(row.degraded));
   }
-  std::printf(
-      "\nExpected shape: the oracle's small residual gap is the uniform-key\n"
-      "fanout assumption in the join formula, not cardinality error; Duet\n"
-      "tracks the oracle because its conditional model absorbs the\n"
-      "cross-column correlation; the independence assumption pays the\n"
-      "largest plan-cost premium — the end-to-end version of the paper's\n"
-      "accuracy story.\n");
+  const double per_plan_batched = batched_us / num_queries;
+  const double per_plan_sequential = sequential_us / num_queries;
+  const double speedup =
+      per_plan_batched > 0.0 ? per_plan_sequential / per_plan_batched : 0.0;
+  std::printf("\nEstimation latency per plan search (unmemoized fan-out, same request "
+              "stream):\n  batched  %9.1f us\n  sequential %7.1f us   (batch speedup "
+              "%.2fx)\n",
+              per_plan_batched, per_plan_sequential, speedup);
+
+  const ErrorSummary neural_s = ErrorSummary::FromValues(rows_out[1].ratios);
+  const ErrorSummary classical_s = ErrorSummary::FromValues(rows_out[2].ratios);
+  const bool neural_beats_classical = neural_s.mean <= classical_s.mean;
+
+  // Machine-readable line (docs/benchmarks.md schema).
+  std::printf("\nJSON: {\"bench\":\"optimizer_plancost\",\"queries\":%d,\"tables\":%d,"
+              "\"rows_per_table\":%lld,\"estimators\":[",
+              num_queries, k, static_cast<long long>(rows));
+  for (size_t i = 0; i < rows_out.size(); ++i) {
+    const ErrorSummary s = ErrorSummary::FromValues(rows_out[i].ratios);
+    std::printf("%s{\"name\":\"%s\",\"perror_p50\":%.6f,\"perror_p99\":%.6f,"
+                "\"perror_max\":%.6f,\"degraded\":%llu}",
+                i == 0 ? "" : ",", rows_out[i].name, s.median, s.p99, s.max,
+                static_cast<unsigned long long>(rows_out[i].degraded));
+  }
+  std::printf("],\"batched_est_us_per_plan\":%.1f,\"sequential_est_us_per_plan\":%.1f,"
+              "\"batch_speedup\":%.2f,\"oracle_exact\":%s,\"neural_beats_classical\":%s}\n",
+              per_plan_batched, per_plan_sequential, speedup,
+              oracle_exact ? "true" : "false", neural_beats_classical ? "true" : "false");
+
+  for (const std::string& p : artifact_paths) ::unlink(p.c_str());
+  if (!oracle_exact) {
+    std::fprintf(stderr, "FAIL: oracle provider did not reproduce the optimal plan "
+                         "(P-error != 1.0)\n");
+    return 1;
+  }
   return 0;
 }

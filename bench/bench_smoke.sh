@@ -46,6 +46,12 @@ for bin in "$BUILD_DIR"/bench_*; do
     # without turning the smoke into a throughput measurement.
     bench_net)
       extra="--net_min_seconds=0.15 --conns_sweep=1,4" ;;
+    # Few queries + a short training budget keep the optimizer-in-the-loop
+    # bench quick; the binary still plans through the zoo-mode serving
+    # engine and exits nonzero unless the oracle provider reproduces the
+    # optimal plan on every query (P-error == 1.0 exactly).
+    bench_optimizer_plancost)
+      extra="--queries=10 --epochs=6" ;;
   esac
   start=$(date +%s)
   if "$bin" $extra >/dev/null 2>&1; then

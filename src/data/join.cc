@@ -59,7 +59,25 @@ Table EquiJoin(const Table& left, int left_key, const Table& right, int right_ke
       pairs.emplace_back(r, -1);
     }
   }
-  DUET_CHECK(!pairs.empty()) << "empty join result";
+  if (pairs.empty()) {
+    // A join matching nothing is a valid zero-row relation, not a
+    // programming error — planners and estimators must see the empty
+    // intermediate and clamp. FromValues cannot represent an empty
+    // dictionary (Table requires ndv > 0 per column), so the result
+    // carries the source dictionaries with zero codes.
+    std::vector<Column> empty_columns;
+    empty_columns.reserve(static_cast<size_t>(left.num_columns() + right.num_columns() - 1));
+    for (int c = 0; c < left.num_columns(); ++c) {
+      const Column& src = left.column(c);
+      empty_columns.push_back(Column::FromCodes("l_" + src.name(), {}, src.distinct()));
+    }
+    for (int c = 0; c < right.num_columns(); ++c) {
+      if (c == right_key) continue;
+      const Column& src = right.column(c);
+      empty_columns.push_back(Column::FromCodes("r_" + src.name(), {}, src.distinct()));
+    }
+    return Table(name, std::move(empty_columns));
+  }
 
   std::vector<Column> columns;
   columns.reserve(static_cast<size_t>(left.num_columns() + right.num_columns() - 1));

@@ -31,6 +31,8 @@ enum class JoinKind {
 /// (value equality, not code equality: the tables keep independent
 /// dictionaries). The result's columns are all left columns followed by all
 /// right columns except the right key; names are prefixed "l_" / "r_".
+/// A join matching nothing returns a valid zero-row table (the source
+/// dictionaries are preserved so every column keeps ndv > 0).
 Table EquiJoin(const Table& left, int left_key, const Table& right, int right_key,
                const std::string& name, JoinKind kind = JoinKind::kInner);
 

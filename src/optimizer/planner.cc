@@ -1,11 +1,13 @@
 #include "optimizer/planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "common/logging.h"
+#include "optimizer/card_provider.h"
 
 namespace duet::optimizer {
 
@@ -31,6 +33,19 @@ AccessPathSelector::AccessPathSelector(const data::Table& table,
     DUET_CHECK_GE(c, 0);
     DUET_CHECK_LT(c, table.num_columns());
   }
+  // One pass over the table builds every column's cumulative code
+  // histogram; each TrueColumnSelectivity call is then a prefix-sum
+  // difference instead of a row scan.
+  cum_counts_.resize(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const data::Column& column = table.column(c);
+    std::vector<int64_t>& cum = cum_counts_[static_cast<size_t>(c)];
+    cum.assign(static_cast<size_t>(column.ndv()) + 1, 0);
+    for (int64_t row = 0; row < table.num_rows(); ++row) {
+      cum[static_cast<size_t>(column.code(row)) + 1]++;
+    }
+    for (size_t k = 1; k < cum.size(); ++k) cum[k] += cum[k - 1];
+  }
 }
 
 double AccessPathSelector::IndexCost(double selectivity) const {
@@ -38,17 +53,20 @@ double AccessPathSelector::IndexCost(double selectivity) const {
          selectivity * static_cast<double>(table_.num_rows()) * cost_.index_tuple;
 }
 
+double AccessPathSelector::SelectivityForRange(int col, const query::CodeRange& r) const {
+  if (r.empty() || table_.num_rows() == 0) return 0.0;
+  const std::vector<int64_t>& cum = cum_counts_[static_cast<size_t>(col)];
+  const int32_t ndv = table_.column(col).ndv();
+  const int32_t lo = std::max(r.lo, 0);
+  const int32_t hi = std::min(r.hi, ndv);
+  if (lo >= hi) return 0.0;
+  const int64_t hits = cum[static_cast<size_t>(hi)] - cum[static_cast<size_t>(lo)];
+  return static_cast<double>(hits) / static_cast<double>(table_.num_rows());
+}
+
 double AccessPathSelector::TrueColumnSelectivity(const query::Query& query, int col) const {
   const std::vector<query::CodeRange> ranges = query.PerColumnRanges(table_);
-  const query::CodeRange& r = ranges[static_cast<size_t>(col)];
-  if (r.empty()) return 0.0;
-  const data::Column& column = table_.column(col);
-  int64_t hits = 0;
-  for (int64_t row = 0; row < table_.num_rows(); ++row) {
-    const int32_t code = column.code(row);
-    if (code >= r.lo && code < r.hi) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(table_.num_rows());
+  return SelectivityForRange(col, ranges[static_cast<size_t>(col)]);
 }
 
 AccessPath AccessPathSelector::Choose(const query::Query& query,
@@ -160,25 +178,17 @@ double StarJoinPlanner::TrueCOut(const std::vector<int>& order) {
   return total;
 }
 
-JoinPlan StarJoinPlanner::BestOrderForCards(const std::vector<double>& cards) {
-  const int k = num_tables();
+namespace {
+
+/// The shared System-R left-deep DP: cost(S) = subset_card[S] + min over
+/// last-joined t of cost(S \ t), singletons free (C_out counts intermediate
+/// results only). Every planner entry point funnels here so tie-breaking is
+/// identical everywhere — subsets ascending, tables ascending, strict `<`
+/// improvement — which is what makes chosen plans a pure function of the
+/// subset cardinalities (the bitwise-determinism contract in
+/// docs/optimizer.md §4).
+JoinPlan DpOverSubsetCards(const std::vector<double>& subset_card, int k) {
   const uint32_t full = (1u << k) - 1u;
-  // Estimated cardinality of a joined subset under the uniform-key formula:
-  //   card(S) = prod cards / domain^(|S|-1).
-  std::vector<double> subset_card(full + 1, 0.0);
-  for (uint32_t s = 1; s <= full; ++s) {
-    double prod = 1.0;
-    int bits = 0;
-    for (int t = 0; t < k; ++t) {
-      if (s & (1u << t)) {
-        prod *= std::max(cards[static_cast<size_t>(t)], 1.0);
-        ++bits;
-      }
-    }
-    subset_card[s] = prod / std::pow(static_cast<double>(key_domain_),
-                                     static_cast<double>(bits - 1));
-  }
-  // DP: cost(S) = subset_card(S) + min over last-joined t of cost(S \ t).
   std::vector<double> best_cost(full + 1, std::numeric_limits<double>::infinity());
   std::vector<int> best_last(full + 1, -1);
   for (int t = 0; t < k; ++t) best_cost[1u << t] = 0.0;
@@ -208,6 +218,29 @@ JoinPlan StarJoinPlanner::BestOrderForCards(const std::vector<double>& cards) {
   return plan;
 }
 
+}  // namespace
+
+JoinPlan StarJoinPlanner::BestOrderForCards(const std::vector<double>& cards) {
+  const int k = num_tables();
+  const uint32_t full = (1u << k) - 1u;
+  // Estimated cardinality of a joined subset under the uniform-key formula:
+  //   card(S) = prod cards / domain^(|S|-1).
+  std::vector<double> subset_card(full + 1, 0.0);
+  for (uint32_t s = 1; s <= full; ++s) {
+    double prod = 1.0;
+    int bits = 0;
+    for (int t = 0; t < k; ++t) {
+      if (s & (1u << t)) {
+        prod *= std::max(cards[static_cast<size_t>(t)], 1.0);
+        ++bits;
+      }
+    }
+    subset_card[s] = prod / std::pow(static_cast<double>(key_domain_),
+                                     static_cast<double>(bits - 1));
+  }
+  return DpOverSubsetCards(subset_card, k);
+}
+
 JoinPlan StarJoinPlanner::PlanWithEstimators(
     const std::vector<query::CardinalityEstimator*>& estimators) {
   DUET_CHECK_EQ(estimators.size(), query_.tables.size());
@@ -222,6 +255,22 @@ JoinPlan StarJoinPlanner::PlanWithEstimators(
   return plan;
 }
 
+double StarJoinPlanner::ExactSubsetCard(uint32_t subset) const {
+  const int k = num_tables();
+  double card = 0.0;
+  for (int32_t key = 0; key < key_domain_; ++key) {
+    double prod = 1.0;
+    for (int t = 0; t < k; ++t) {
+      if (subset & (1u << t)) {
+        prod *= static_cast<double>(
+            key_counts_[static_cast<size_t>(t)][static_cast<size_t>(key)]);
+      }
+    }
+    card += prod;
+  }
+  return card;
+}
+
 JoinPlan StarJoinPlanner::OptimalPlan() {
   // True subset cardinalities differ from the uniform-key formula, so run
   // the DP directly on exact per-subset C_out via per-key products.
@@ -230,45 +279,9 @@ JoinPlan StarJoinPlanner::OptimalPlan() {
   std::vector<double> subset_card(full + 1, 0.0);
   for (uint32_t s = 1; s <= full; ++s) {
     if ((s & (s - 1)) == 0) continue;
-    double card = 0.0;
-    for (int32_t key = 0; key < key_domain_; ++key) {
-      double prod = 1.0;
-      for (int t = 0; t < k; ++t) {
-        if (s & (1u << t)) {
-          prod *= static_cast<double>(
-              key_counts_[static_cast<size_t>(t)][static_cast<size_t>(key)]);
-        }
-      }
-      card += prod;
-    }
-    subset_card[s] = card;
+    subset_card[s] = ExactSubsetCard(s);
   }
-  std::vector<double> best_cost(full + 1, std::numeric_limits<double>::infinity());
-  std::vector<int> best_last(full + 1, -1);
-  for (int t = 0; t < k; ++t) best_cost[1u << t] = 0.0;
-  for (uint32_t s = 1; s <= full; ++s) {
-    if ((s & (s - 1)) == 0) continue;
-    for (int t = 0; t < k; ++t) {
-      if (!(s & (1u << t))) continue;
-      const double c = best_cost[s ^ (1u << t)];
-      if (c < best_cost[s]) {
-        best_cost[s] = c;
-        best_last[s] = t;
-      }
-    }
-    best_cost[s] += subset_card[s];
-  }
-  JoinPlan plan;
-  uint32_t s = full;
-  while (s && (s & (s - 1)) != 0) {
-    plan.order.push_back(best_last[s]);
-    s ^= 1u << best_last[s];
-  }
-  for (int t = 0; t < k; ++t) {
-    if (s & (1u << t)) plan.order.push_back(t);
-  }
-  std::reverse(plan.order.begin(), plan.order.end());
-  plan.estimated_cost = best_cost[full];
+  JoinPlan plan = DpOverSubsetCards(subset_card, k);
   plan.true_cost = TrueCOut(plan.order);
   return plan;
 }
@@ -276,6 +289,53 @@ JoinPlan StarJoinPlanner::OptimalPlan() {
 double StarJoinPlanner::PlanCostRatio(const JoinPlan& plan) {
   const double opt = OptimalPlan().true_cost;
   return (plan.true_cost + 1.0) / (opt + 1.0);  // +1 guards empty joins
+}
+
+// ---------------------------------------------------------------------------
+// Provider-driven join ordering
+// ---------------------------------------------------------------------------
+
+PlanSearchResult JoinOrderPlanner::Plan(CardinalityProvider& provider) {
+  const int k = num_tables();
+  const uint32_t full = (1u << k) - 1u;
+  PlanSearchResult result;
+  std::unique_ptr<CardinalityProvider::Session> session =
+      provider.StartPlan(exact_.query());
+
+  // One batched provider call per DP level: level ell requests every
+  // subset of ell tables at once, so the provider can submit its whole
+  // fan-out before waiting (the Submit-burst contract). Answers land in a
+  // dense subset-indexed array the DP then runs on.
+  std::vector<double> subset_card(full + 1, 0.0);
+  std::vector<uint32_t> level_subsets;
+  for (int level = 1; level <= k; ++level) {
+    level_subsets.clear();
+    for (uint32_t s = 1; s <= full; ++s) {
+      if (__builtin_popcount(s) == level) level_subsets.push_back(s);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SubsetEstimate> answers = session->EstimateSubsets(level_subsets);
+    result.estimation_micros +=
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+            .count();
+    DUET_CHECK_EQ(answers.size(), level_subsets.size());
+    result.levels++;
+    for (size_t i = 0; i < level_subsets.size(); ++i) {
+      result.subset_requests++;
+      if (answers[i].degraded) result.degraded_estimates++;
+      // Clamp instead of trusting: a degraded or diverged answer may be
+      // negative, NaN or infinite, and one poisoned number must not poison
+      // the whole search (a zero-cardinality estimate is a legal plan
+      // input — e.g. a truly empty intermediate).
+      double card = answers[i].cardinality;
+      if (!std::isfinite(card) || card < 0.0) card = 0.0;
+      subset_card[level_subsets[i]] = card;
+    }
+  }
+
+  result.plan = DpOverSubsetCards(subset_card, k);
+  result.plan.true_cost = exact_.TrueCOut(result.plan.order);
+  return result;
 }
 
 }  // namespace duet::optimizer

@@ -80,9 +80,19 @@ class AccessPathSelector {
   /// Exact selectivity of the query's predicates on one column.
   double TrueColumnSelectivity(const query::Query& query, int col) const;
 
+  /// Exact selectivity of one code range on one column, answered from the
+  /// per-column cumulative code histograms built at construction — O(1)
+  /// instead of a row scan, with bit-identical results (integer hit counts,
+  /// same final division).
+  double SelectivityForRange(int col, const query::CodeRange& range) const;
+
   const data::Table& table_;
   std::vector<int> indexed_columns_;
   CostModel cost_;
+  /// cum_counts_[c][k] = rows of column c with code < k (k in [0, ndv]).
+  /// Built once per selector so TrueCost / OptimalPath scoring loops are
+  /// O(columns) per query, not O(rows x columns).
+  std::vector<std::vector<int64_t>> cum_counts_;
 };
 
 // ---------------------------------------------------------------------------
@@ -122,7 +132,14 @@ class StarJoinPlanner {
   /// Exact C_out of a concrete order (exposed for tests).
   double TrueCOut(const std::vector<int>& order);
 
+  /// Exact filtered cardinality of a joined table subset (bitmask over
+  /// table indices), from per-key counting. The numbers OptimalPlan() runs
+  /// its DP on — and what ExactCardinalityProvider serves, so an
+  /// oracle-driven JoinOrderPlanner reproduces the optimal plan bitwise.
+  double ExactSubsetCard(uint32_t subset) const;
+
   int num_tables() const { return static_cast<int>(query_.tables.size()); }
+  const StarJoinQuery& query() const { return query_; }
 
  private:
   /// Exact per-key counts of table t's rows passing its local filter.
@@ -136,6 +153,66 @@ class StarJoinPlanner {
   int32_t key_domain_ = 0;                       // shared key dictionary size
   std::vector<std::vector<int64_t>> key_counts_; // exact filtered key counts
   std::vector<double> true_cards_;               // exact filtered cardinalities
+};
+
+// ---------------------------------------------------------------------------
+// Provider-driven join ordering
+// ---------------------------------------------------------------------------
+
+class CardinalityProvider;  // optimizer/card_provider.h
+
+/// How a plan search went: the chosen plan plus the provider traffic it
+/// generated (the degradation and batching observability the bench and the
+/// resilience tests read).
+struct PlanSearchResult {
+  JoinPlan plan;
+  /// Subset estimates requested from the provider (all DP levels).
+  uint64_t subset_requests = 0;
+  /// Requests answered with a degraded flag (fallback / shed / expired
+  /// deadline / failed wire call). The plan is still valid — degraded
+  /// numbers are clamped, never fatal.
+  uint64_t degraded_estimates = 0;
+  /// Provider round-trips (== table count: one batched call per DP level).
+  int levels = 0;
+  /// Wall-clock microseconds spent inside provider calls (the estimation
+  /// cost of the plan search; what the batch-vs-sequential bench compares).
+  double estimation_micros = 0.0;
+};
+
+/// Join-order planner over the CardinalityProvider seam: System-R left-deep
+/// DP (C_out) whose subset cardinalities come from a provider, batched one
+/// level at a time — level ell asks for ALL C(k, ell) subsets in one call
+/// and waits once, so the provider can submit the whole fan-out before any
+/// answer is needed (one keyed Submit burst per level against a serving
+/// engine; see docs/optimizer.md §2). Exact per-key machinery for true
+/// costs / P-error is delegated to an internal StarJoinPlanner.
+class JoinOrderPlanner {
+ public:
+  explicit JoinOrderPlanner(StarJoinQuery query) : exact_(std::move(query)) {}
+
+  /// Runs the DP with subset cardinalities from `provider`. Deterministic
+  /// given the provider's numbers: ties break toward the lowest table
+  /// index, so bitwise-equal cardinalities (the serving engine's batch /
+  /// shard / fusion / SIMD-tier invariants) imply an identical plan.
+  PlanSearchResult Plan(CardinalityProvider& provider);
+
+  /// Best order under exact cardinalities (the oracle plan).
+  JoinPlan OptimalPlan() { return exact_.OptimalPlan(); }
+
+  /// true_cost(plan) / true_cost(optimal) >= 1; the plan-quality metric.
+  double PlanCostRatio(const JoinPlan& plan) { return exact_.PlanCostRatio(plan); }
+
+  /// Exact C_out of a concrete order.
+  double TrueCOut(const std::vector<int>& order) { return exact_.TrueCOut(order); }
+
+  /// The exact-counting core (also the seam ExactCardinalityProvider taps).
+  StarJoinPlanner& exact() { return exact_; }
+
+  const StarJoinQuery& query() const { return exact_.query(); }
+  int num_tables() const { return exact_.num_tables(); }
+
+ private:
+  StarJoinPlanner exact_;
 };
 
 }  // namespace duet::optimizer

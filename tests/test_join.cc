@@ -1,12 +1,18 @@
 // Tests for join support: EquiJoin correctness against a nested-loop
-// reference, outer-join semantics, and the NeuroCard-style end-to-end flow
-// (train Duet on the materialized join, estimate join-query cardinalities).
+// reference, outer-join semantics, the NeuroCard-style end-to-end flow
+// (train Duet on the materialized join, estimate join-query cardinalities),
+// and the property battery calibrating the optimizer's join-factor
+// correction against materialized joins (docs/optimizer.md §3).
+#include <cmath>
+
+#include "baselines/traditional/independence.h"
 #include "common/stats.h"
 #include "core/duet_model.h"
 #include "core/trainer.h"
 #include "data/generator.h"
 #include "data/join.h"
 #include "gtest/gtest.h"
+#include "optimizer/card_provider.h"
 #include "query/evaluator.h"
 #include "query/workload.h"
 
@@ -138,6 +144,150 @@ TEST(JoinTest, DuetEstimatesJoinQueriesOnMaterializedJoin) {
   }
   EXPECT_LT(Percentile(errors, 50), 2.5);
   EXPECT_LT(Percentile(errors, 90), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property battery: EquiJoinSize vs materialized joins, join-factor
+// calibration, and the empty-result regression
+// ---------------------------------------------------------------------------
+
+/// Random single-key table: `rows` keys drawn from a `universe`-value
+/// distribution shifted by `offset` (a large offset makes the key sets
+/// disjoint), plus a payload column. zipf_theta 0 = uniform keys.
+Table RandomKeyTable(const std::string& name, int64_t rows, uint64_t seed,
+                     uint32_t universe, double zipf_theta, int64_t offset) {
+  Rng rng(seed);
+  std::vector<double> keys, payload;
+  keys.reserve(static_cast<size_t>(rows));
+  payload.reserve(static_cast<size_t>(rows));
+  ZipfDistribution zipf(universe, zipf_theta > 0.0 ? zipf_theta : 1.0);
+  for (int64_t i = 0; i < rows; ++i) {
+    const uint64_t k = zipf_theta > 0.0 ? zipf.Sample(rng) : rng.UniformInt(universe);
+    keys.push_back(static_cast<double>(offset + static_cast<int64_t>(k)));
+    payload.push_back(static_cast<double>(rng.UniformInt(5)));
+  }
+  return Table(name, {Column::FromValues("k", keys), Column::FromValues("p", payload)});
+}
+
+TEST(JoinPropertyTest, SizeMatchesMaterializedOnRandomDistributions) {
+  // Randomized FK-ish (full overlap), partial-overlap and disjoint key
+  // distributions, uniform and Zipf-skewed, both join kinds: the cheap
+  // size pre-check must equal the materialized row count every time.
+  struct Case {
+    uint64_t seed;
+    uint32_t left_universe, right_universe;
+    double left_zipf, right_zipf;
+    int64_t right_offset;
+  };
+  const std::vector<Case> cases = {
+      {11, 30, 30, 0.0, 0.0, 0},    // uniform, full overlap
+      {12, 30, 30, 1.2, 0.0, 0},    // skewed left
+      {13, 40, 40, 1.1, 1.3, 20},   // skewed both, partial overlap
+      {14, 25, 25, 0.0, 0.0, 100},  // disjoint keys (empty inner join)
+      {15, 8, 60, 0.0, 1.5, 0},     // narrow left into wide skewed right
+  };
+  for (const Case& c : cases) {
+    const Table left = RandomKeyTable("l", 180, c.seed, c.left_universe, c.left_zipf, 0);
+    const Table right = RandomKeyTable("r", 140, c.seed + 1000, c.right_universe,
+                                       c.right_zipf, c.right_offset);
+    // Nested-loop reference, per kind: sum of per-left-row match counts,
+    // plus one null-padded row per unmatched left row for the outer join.
+    const auto reference = [&](JoinKind kind) {
+      int64_t n = 0;
+      for (int64_t i = 0; i < left.num_rows(); ++i) {
+        const double lv = left.column(0).Value(left.code(i, 0));
+        int64_t matches = 0;
+        for (int64_t j = 0; j < right.num_rows(); ++j) {
+          if (right.column(0).Value(right.code(j, 0)) == lv) ++matches;
+        }
+        n += matches;
+        if (matches == 0 && kind == JoinKind::kLeftOuter) ++n;
+      }
+      return n;
+    };
+    for (const JoinKind kind : {JoinKind::kInner, JoinKind::kLeftOuter}) {
+      const int64_t predicted = EquiJoinSize(left, 0, right, 0, kind);
+      EXPECT_EQ(predicted, reference(kind));
+      const Table joined = EquiJoin(left, 0, right, 0, "j", kind);
+      EXPECT_EQ(joined.num_rows(), predicted)
+          << "seed " << c.seed << " kind " << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(JoinPropertyTest, InnerRowsAreSubsetOfLeftOuterRows) {
+  for (uint64_t seed = 21; seed < 27; ++seed) {
+    const Table left = RandomKeyTable("l", 160, seed, 35, 1.1, 0);
+    const Table right = RandomKeyTable("r", 120, seed + 500, 35, 0.0, 10);
+    const int64_t inner = EquiJoinSize(left, 0, right, 0, JoinKind::kInner);
+    const int64_t outer = EquiJoinSize(left, 0, right, 0, JoinKind::kLeftOuter);
+    EXPECT_LE(inner, outer);
+    // The outer join adds exactly one null-padded row per unmatched left row.
+    int64_t unmatched = 0;
+    const Column& lk = left.column(0);
+    const Column& rk = right.column(0);
+    for (int64_t r = 0; r < left.num_rows(); ++r) {
+      const double v = lk.Value(lk.code(r));
+      int64_t occurrences = 0;
+      for (int64_t rr = 0; rr < right.num_rows(); ++rr) {
+        if (rk.Value(rk.code(rr)) == v) ++occurrences;
+      }
+      if (occurrences == 0) ++unmatched;
+    }
+    EXPECT_EQ(outer - inner, unmatched);
+  }
+}
+
+TEST(JoinPropertyTest, JoinFactorCorrectionMatchesEquiJoinSize) {
+  // The optimizer's join-factor correction (optimizer::JoinKeyStats) must
+  // be EXACTLY EquiJoinSize on two-table subsets — arbitrary (non-aligned)
+  // dictionaries, skew, partial overlap.
+  for (uint64_t seed = 41; seed < 47; ++seed) {
+    const Table left = RandomKeyTable("l", 200, seed, 30, 1.2, 0);
+    const Table right = RandomKeyTable("r", 90, seed + 77, 45, 0.0, 12);
+    const optimizer::JoinKeyStats stats({&left, &right}, 0);
+    EXPECT_EQ(stats.UnfilteredJoinSize(0b11),
+              static_cast<double>(EquiJoinSize(left, 0, right, 0)));
+    EXPECT_EQ(stats.UnfilteredJoinSize(0b01), static_cast<double>(left.num_rows()));
+    EXPECT_EQ(stats.UnfilteredJoinSize(0b10), static_cast<double>(right.num_rows()));
+  }
+}
+
+TEST(JoinPropertyTest, JoinFactorCorrectionExactOnForeignKeyJoins) {
+  // FK join: every fact row matches exactly one dimension row, so the
+  // unfiltered join factor IS the fact row count — the composition
+  // card(S) = sel * J(S) is exact, not an estimate, with no filters.
+  StarPair star = MakeStar(30, 500, 7);
+  const optimizer::JoinKeyStats stats({&star.fact, &star.dim}, 0);
+  EXPECT_EQ(stats.UnfilteredJoinSize(0b11), static_cast<double>(star.fact.num_rows()));
+  EXPECT_EQ(stats.UnfilteredJoinSize(0b11),
+            static_cast<double>(EquiJoinSize(star.fact, 0, star.dim, 0)));
+}
+
+TEST(JoinTest, EmptyJoinResultIsValidZeroRowTable) {
+  // Regression: EquiJoin used to DUET_CHECK-abort on an empty result. A
+  // join matching nothing must come back as a zero-row table with the full
+  // output schema and non-empty dictionaries.
+  Table l("l", {Column::FromValues("k", {1, 2, 3}), Column::FromValues("v", {7, 8, 9})});
+  Table r("r", {Column::FromValues("k", {10, 11}), Column::FromValues("w", {4, 5})});
+  EXPECT_EQ(EquiJoinSize(l, 0, r, 0), 0);
+  Table joined = EquiJoin(l, 0, r, 0, "j");
+  EXPECT_EQ(joined.num_rows(), 0);
+  EXPECT_EQ(joined.num_columns(), 3);
+  EXPECT_EQ(joined.column(0).name(), "l_k");
+  EXPECT_EQ(joined.column(1).name(), "l_v");
+  EXPECT_EQ(joined.column(2).name(), "r_w");
+  for (int c = 0; c < joined.num_columns(); ++c) EXPECT_GT(joined.column(c).ndv(), 0);
+
+  // An estimator fed the zero-row intermediate clamps instead of crashing:
+  // finite selectivity, cardinality floored at the 1-tuple convention.
+  baselines::IndependenceEstimator est(joined);
+  Query q;
+  q.predicates.push_back({1, PredOp::kEq, 7.0});
+  const double sel = est.EstimateSelectivity(q);
+  EXPECT_TRUE(std::isfinite(sel));
+  EXPECT_GE(sel, 0.0);
+  EXPECT_EQ(est.EstimateCardinality(q, joined.num_rows()), 1.0);
 }
 
 }  // namespace

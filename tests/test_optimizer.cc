@@ -118,6 +118,50 @@ TEST_F(AccessPathTest, NoUsableIndexFallsBackToSeqScan) {
   EXPECT_TRUE(sel.Choose(q, oracle).is_seq_scan());
 }
 
+TEST_F(AccessPathTest, MemoizedTrueSelectivityBitIdenticalToNaiveScan) {
+  // TrueCost / OptimalPath answer true selectivities from per-column
+  // cumulative code histograms (O(1) per call) instead of rescanning the
+  // table. The hit counts are integers and the final division is the same
+  // expression, so the result must be BITWISE identical to the naive scan
+  // this test replicates — including empty and contradictory ranges.
+  AccessPathSelector sel(table_, {0, 1});
+  const CostModel cost;  // the selector's defaults
+  Rng rng(99);
+  const query::PredOp ops[] = {query::PredOp::kEq, query::PredOp::kGt, query::PredOp::kLt,
+                               query::PredOp::kGe, query::PredOp::kLe};
+  for (int i = 0; i < 200; ++i) {
+    query::Query q;
+    const int num_preds = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int p = 0; p < num_preds; ++p) {
+      const int col = static_cast<int>(rng.UniformInt(2));
+      const data::Column& column = table_.column(col);
+      const double value =
+          column.Value(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(column.ndv()))));
+      q.predicates.push_back({col, ops[rng.UniformInt(5)], value});
+    }
+    const std::vector<query::CodeRange> ranges = q.PerColumnRanges(table_);
+    for (int col = 0; col < 2; ++col) {
+      // The pre-memoization row scan, verbatim.
+      const query::CodeRange& r = ranges[static_cast<size_t>(col)];
+      double naive = 0.0;
+      if (!r.empty()) {
+        const data::Column& column = table_.column(col);
+        int64_t hits = 0;
+        for (int64_t row = 0; row < table_.num_rows(); ++row) {
+          const int32_t code = column.code(row);
+          if (code >= r.lo && code < r.hi) ++hits;
+        }
+        naive = static_cast<double>(hits) / static_cast<double>(table_.num_rows());
+      }
+      AccessPath path;
+      path.index_col = col;
+      const double expected =
+          cost.index_lookup + naive * static_cast<double>(table_.num_rows()) * cost.index_tuple;
+      EXPECT_EQ(sel.TrueCost(q, path), expected);  // bitwise, not approx
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Star-join ordering
 // ---------------------------------------------------------------------------

@@ -16,7 +16,7 @@ fail() {
 }
 
 # 1. The prose entry points exist and are non-empty.
-for doc in README.md docs/architecture.md docs/benchmarks.md docs/serving.md docs/resilience.md docs/model_zoo.md docs/networking.md; do
+for doc in README.md docs/architecture.md docs/benchmarks.md docs/serving.md docs/resilience.md docs/model_zoo.md docs/networking.md docs/optimizer.md; do
   if [ ! -s "$ROOT/$doc" ]; then
     fail "$doc is missing or empty"
   fi
